@@ -1,0 +1,131 @@
+// E11 — end-to-end language overhead: the full SQL path (parse → bind →
+// plan → push-based execution) for each paper example, measured as
+// per-tuple cost of the registered pipeline plus one-time registration
+// cost. This quantifies the paper's premise that the DSMS language
+// layer is cheap enough to serve as the single RFID processing system.
+
+#include "bench/bench_util.h"
+#include "sql/parser.h"
+
+namespace eslev {
+namespace {
+
+// One-time cost: parsing + planning each example query.
+void BM_ParseAndPlan(benchmark::State& state) {
+  const char* kQueries[] = {
+      // Example 1
+      R"sql(INSERT INTO cleaned_readings
+        SELECT * FROM readings AS r1
+        WHERE NOT EXISTS
+          (SELECT * FROM TABLE( readings OVER
+              (RANGE 1 seconds PRECEDING CURRENT)) AS r2
+           WHERE r2.reader_id = r1.reader_id AND r2.tag_id = r1.tag_id))sql",
+      // Example 7
+      R"sql(SELECT FIRST(R1*).tagtime, COUNT(R1*), R2.tagid, R2.tagtime
+        FROM R1, R2
+        WHERE SEQ(R1*, R2) MODE CHRONICLE
+          AND R2.tagtime - LAST(R1*).tagtime <= 5 SECONDS
+          AND R1.tagtime - R1.previous.tagtime <= 1 SECONDS)sql",
+      // §3.1.3
+      R"sql(SELECT A1.tagid, A2.tagid, A3.tagid FROM A1, A2, A3
+        WHERE EXCEPTION_SEQ(A1, A2, A3) OVER [1 HOURS FOLLOWING A1])sql",
+  };
+  size_t parsed = 0;
+  for (auto _ : state) {
+    for (const char* q : kQueries) {
+      auto stmt = ParseStatement(q);
+      bench::CheckOk(stmt.status(), "parse");
+      benchmark::DoNotOptimize(stmt);
+      ++parsed;
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(parsed));
+}
+BENCHMARK(BM_ParseAndPlan);
+
+// Steady-state per-tuple cost of each registered example pipeline.
+void BM_Example1PerTuple(benchmark::State& state) {
+  rfid::DuplicateWorkloadOptions options;
+  options.num_distinct = 5000;
+  options.duplicates_per_read = 3;
+  auto workload = rfid::MakeDuplicateWorkload(options);
+  for (auto _ : state) {
+    state.PauseTiming();
+    Engine engine;
+    bench::CheckOk(engine.ExecuteScript(R"sql(
+      CREATE STREAM readings(reader_id, tag_id, read_time);
+      CREATE STREAM cleaned_readings(reader_id, tag_id, read_time);
+      INSERT INTO cleaned_readings
+      SELECT * FROM readings AS r1
+      WHERE NOT EXISTS
+        (SELECT * FROM TABLE( readings OVER
+            (RANGE 1 seconds PRECEDING CURRENT)) AS r2
+         WHERE r2.reader_id = r1.reader_id AND r2.tag_id = r1.tag_id);
+    )sql"),
+                   "setup");
+    state.ResumeTiming();
+    bench::Feed(&engine, workload);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          workload.events.size());
+}
+BENCHMARK(BM_Example1PerTuple);
+
+void BM_Example7PerTuple(benchmark::State& state) {
+  rfid::PackingWorkloadOptions options;
+  options.num_cases = 2000;
+  auto workload = rfid::MakePackingWorkload(options);
+  for (auto _ : state) {
+    state.PauseTiming();
+    Engine engine;
+    bench::CheckOk(engine.ExecuteScript(R"sql(
+      CREATE STREAM R1(readerid, tagid, tagtime);
+      CREATE STREAM R2(readerid, tagid, tagtime);
+    )sql"),
+                   "ddl");
+    auto q = engine.RegisterQuery(R"sql(
+      SELECT FIRST(R1*).tagtime, COUNT(R1*), R2.tagid, R2.tagtime
+      FROM R1, R2
+      WHERE SEQ(R1*, R2) MODE CHRONICLE
+        AND R2.tagtime - LAST(R1*).tagtime <= 5 SECONDS
+        AND R1.tagtime - R1.previous.tagtime <= 1 SECONDS
+    )sql");
+    bench::CheckOk(q.status(), "query");
+    state.ResumeTiming();
+    bench::Feed(&engine, workload);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          workload.events.size());
+}
+BENCHMARK(BM_Example7PerTuple);
+
+void BM_Example5PerTuple(benchmark::State& state) {
+  rfid::LabWorkflowWorkloadOptions options;
+  options.num_rounds = 3000;
+  auto workload = rfid::MakeLabWorkflowWorkload(options);
+  for (auto _ : state) {
+    state.PauseTiming();
+    Engine engine;
+    bench::CheckOk(engine.ExecuteScript(R"sql(
+      CREATE STREAM A1(staffid, tagid, tagtime);
+      CREATE STREAM A2(staffid, tagid, tagtime);
+      CREATE STREAM A3(staffid, tagid, tagtime);
+    )sql"),
+                   "ddl");
+    auto q = engine.RegisterQuery(R"sql(
+      SELECT A1.tagid, A2.tagid, A3.tagid FROM A1, A2, A3
+      WHERE EXCEPTION_SEQ(A1, A2, A3) OVER [1 HOURS FOLLOWING A1]
+    )sql");
+    bench::CheckOk(q.status(), "query");
+    state.ResumeTiming();
+    bench::Feed(&engine, workload);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          workload.events.size());
+}
+BENCHMARK(BM_Example5PerTuple);
+
+}  // namespace
+}  // namespace eslev
+
+BENCHMARK_MAIN();

@@ -1,0 +1,110 @@
+// E12 (extension) — ALE event-cycle reporting throughput.
+//
+// The paper motivates ESL-EV with the ALE standard's requirements
+// ("data filtering, windows-based aggregation, and reporting", §1).
+// This bench measures the ALE layer itself: per-reading cost of event
+// cycles with pattern filtering and additions/deletions reporting,
+// sweeping the number of report specs per cycle.
+
+#include <benchmark/benchmark.h>
+
+#include "ale/event_cycle.h"
+#include "bench/bench_util.h"
+
+namespace eslev {
+namespace {
+
+void BM_AleEventCycles(benchmark::State& state) {
+  const int num_reports = static_cast<int>(state.range(0));
+
+  rfid::EpcWorkloadOptions options;
+  options.num_readings = 20000;
+  auto workload = rfid::MakeEpcWorkload(options);
+
+  size_t cycles = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    ale::EcSpec spec;
+    spec.period = Seconds(10);
+    for (int i = 0; i < num_reports; ++i) {
+      ale::ReportSpec r;
+      r.name = "report" + std::to_string(i);
+      r.include_patterns = {"20.*.*"};
+      r.exclude_patterns = {"20.*.[0-" + std::to_string(1000 * (i + 1)) +
+                            "]"};
+      r.set = i % 2 == 0 ? ale::ReportSet::kAdditions
+                         : ale::ReportSet::kCurrent;
+      r.count_only = i % 3 == 0;
+      spec.reports.push_back(std::move(r));
+    }
+    auto proc_result = ale::EventCycleProcessor::Make(spec, 0);
+    bench::CheckOk(proc_result.status(), "make");
+    auto proc = std::move(proc_result).ValueUnsafe();
+    size_t local_cycles = 0;
+    proc->SetCallback(
+        [&](const ale::EcCycleResult&) { ++local_cycles; });
+    state.ResumeTiming();
+    for (const auto& e : workload.events) {
+      bench::CheckOk(
+          proc->OnReading(e.tuple.value(1).string_value(), e.tuple.ts()),
+          "reading");
+    }
+    cycles = local_cycles;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          workload.events.size());
+  state.counters["reports_per_cycle"] = static_cast<double>(num_reports);
+  state.counters["cycles"] = static_cast<double>(cycles);
+}
+BENCHMARK(BM_AleEventCycles)->Arg(1)->Arg(4)->Arg(16);
+
+// End-to-end: dedup in ESL-EV feeding the ALE layer.
+void BM_AlePipelineWithDedup(benchmark::State& state) {
+  rfid::DuplicateWorkloadOptions options;
+  options.num_distinct = 4000;
+  options.duplicates_per_read = 3;
+  auto workload = rfid::MakeDuplicateWorkload(options);
+
+  for (auto _ : state) {
+    state.PauseTiming();
+    Engine engine;
+    bench::CheckOk(engine.ExecuteScript(R"sql(
+      CREATE STREAM readings(reader_id, tag_id, read_time);
+      CREATE STREAM cleaned(reader_id, tag_id, read_time);
+      INSERT INTO cleaned
+      SELECT * FROM readings AS r1
+      WHERE NOT EXISTS
+        (SELECT * FROM TABLE( readings OVER
+            (RANGE 1 seconds PRECEDING CURRENT)) AS r2
+         WHERE r2.reader_id = r1.reader_id AND r2.tag_id = r1.tag_id);
+    )sql"),
+                   "setup");
+    ale::EcSpec spec;
+    spec.period = Seconds(30);
+    ale::ReportSpec r;
+    r.name = "all";
+    r.count_only = true;
+    spec.reports.push_back(r);
+    auto proc_result = ale::EventCycleProcessor::Make(spec, 0);
+    bench::CheckOk(proc_result.status(), "make");
+    auto proc = std::move(proc_result).ValueUnsafe();
+    ale::EventCycleProcessor* raw = proc.get();
+    bench::CheckOk(engine.Subscribe("cleaned",
+                                    [raw](const Tuple& t) {
+                                      (void)raw->OnReading(
+                                          t.value(1).string_value(),
+                                          t.ts());
+                                    }),
+                   "subscribe");
+    state.ResumeTiming();
+    bench::Feed(&engine, workload);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          workload.events.size());
+}
+BENCHMARK(BM_AlePipelineWithDedup);
+
+}  // namespace
+}  // namespace eslev
+
+BENCHMARK_MAIN();

@@ -1,0 +1,85 @@
+// E3 — Example 3: EPC-pattern aggregation with UDFs.
+//
+// Paper claim: ALE-style EPC aggregation (pattern 20.*.[5000-9999]) is
+// expressible with built-in LIKE plus the extract_serial UDF. We sweep
+// pattern selectivity (width of the serial range) and verify the count
+// against generator ground truth.
+
+#include "bench/bench_util.h"
+
+namespace eslev {
+namespace {
+
+void BM_EpcAggregation(benchmark::State& state) {
+  const int64_t hi = 5000 + state.range(0);  // serial range [5000, hi]
+  rfid::EpcWorkloadOptions options;
+  options.num_readings = 20000;
+  options.pattern = "20.*.[5000-" + std::to_string(hi) + "]";
+  auto workload = rfid::MakeEpcWorkload(options);
+
+  const std::string query =
+      "SELECT count(tid) FROM readings WHERE tid LIKE '20.%.%' "
+      "AND extract_serial(tid) >= 5000 AND extract_serial(tid) <= " +
+      std::to_string(hi);
+
+  int64_t last_count = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Engine engine;
+    bench::CheckOk(
+        engine.ExecuteScript("CREATE STREAM readings(reader_id, tid, read_time);"),
+        "ddl");
+    auto q = engine.RegisterQuery(query);
+    bench::CheckOk(q.status(), "query");
+    last_count = 0;
+    bench::CheckOk(engine.Subscribe(q->output_stream,
+                                    [&](const Tuple& t) {
+                                      last_count = t.value(0).int_value();
+                                    }),
+                   "subscribe");
+    state.ResumeTiming();
+    bench::Feed(&engine, workload);
+  }
+  if (last_count != static_cast<int64_t>(workload.expected_matches)) {
+    state.SkipWithError("aggregation count does not match ground truth");
+    return;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          workload.events.size());
+  state.counters["selectivity_pct"] =
+      100.0 * static_cast<double>(workload.expected_matches) /
+      workload.events.size();
+}
+BENCHMARK(BM_EpcAggregation)->Arg(100)->Arg(1000)->Arg(4999)->Arg(7000);
+
+// Windowed variant: hourly-style count over a sliding window.
+void BM_EpcWindowedCount(benchmark::State& state) {
+  rfid::EpcWorkloadOptions options;
+  options.num_readings = 20000;
+  auto workload = rfid::MakeEpcWorkload(options);
+  const std::string query =
+      "SELECT count(tid) FROM TABLE(readings OVER (RANGE " +
+      std::to_string(state.range(0)) +
+      " SECONDS PRECEDING CURRENT)) AS r WHERE tid LIKE '20.%.%'";
+
+  for (auto _ : state) {
+    state.PauseTiming();
+    Engine engine;
+    bench::CheckOk(
+        engine.ExecuteScript("CREATE STREAM readings(reader_id, tid, read_time);"),
+        "ddl");
+    auto q = engine.RegisterQuery(query);
+    bench::CheckOk(q.status(), "query");
+    state.ResumeTiming();
+    bench::Feed(&engine, workload);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          workload.events.size());
+  state.counters["window_s"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_EpcWindowedCount)->Arg(1)->Arg(10)->Arg(60);
+
+}  // namespace
+}  // namespace eslev
+
+BENCHMARK_MAIN();

@@ -1,0 +1,104 @@
+// E4 — Figure 1 / Examples 4 & 7: containment detection with star
+// sequences.
+//
+// Paper claim: SEQ(R1*, R2) MODE CHRONICLE detects which products are
+// packed into which case, including the interleaved Figure-1(b)
+// schedule, with aggressive history consumption. We sweep the case size
+// and verify event counts against ground truth; history after the run
+// must be (near) empty because CHRONICLE consumes matched groups.
+
+#include "bench/bench_util.h"
+
+namespace eslev {
+namespace {
+
+constexpr const char* kDdl = R"sql(
+  CREATE STREAM R1(readerid, tagid, tagtime);
+  CREATE STREAM R2(readerid, tagid, tagtime);
+)sql";
+
+constexpr const char* kQuery = R"sql(
+  SELECT FIRST(R1*).tagtime, COUNT(R1*), R2.tagid, R2.tagtime
+  FROM R1, R2
+  WHERE SEQ(R1*, R2) MODE CHRONICLE
+    AND R2.tagtime - LAST(R1*).tagtime <= 5 SECONDS
+    AND R1.tagtime - R1.previous.tagtime <= 1 SECONDS
+)sql";
+
+void BM_ContainmentSweepCaseSize(benchmark::State& state) {
+  rfid::PackingWorkloadOptions options;
+  options.num_cases = 500;
+  options.min_case_size = static_cast<size_t>(state.range(0));
+  options.max_case_size = static_cast<size_t>(state.range(0));
+  auto workload = rfid::MakePackingWorkload(options);
+
+  size_t events = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Engine engine;
+    bench::CheckOk(engine.ExecuteScript(kDdl), "ddl");
+    auto q = engine.RegisterQuery(kQuery);
+    bench::CheckOk(q.status(), "query");
+    events = 0;
+    bench::CheckOk(
+        engine.Subscribe(q->output_stream, [&](const Tuple&) { ++events; }),
+        "subscribe");
+    state.ResumeTiming();
+    bench::Feed(&engine, workload);
+  }
+  if (events != workload.expected_events) {
+    state.SkipWithError("containment events do not match ground truth");
+    return;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          workload.events.size());
+  state.counters["case_size"] = static_cast<double>(state.range(0));
+  state.counters["cases"] = static_cast<double>(events);
+}
+BENCHMARK(BM_ContainmentSweepCaseSize)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+// The per-product multiple-return variant (footnote 4): output volume
+// scales with case size while detection cost stays flat.
+void BM_ContainmentPerItemReturn(benchmark::State& state) {
+  rfid::PackingWorkloadOptions options;
+  options.num_cases = 500;
+  options.min_case_size = static_cast<size_t>(state.range(0));
+  options.max_case_size = static_cast<size_t>(state.range(0));
+  auto workload = rfid::MakePackingWorkload(options);
+
+  size_t rows = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Engine engine;
+    bench::CheckOk(engine.ExecuteScript(kDdl), "ddl");
+    auto q = engine.RegisterQuery(R"sql(
+      SELECT R1.tagid, R1.tagtime, R2.tagid, R2.tagtime
+      FROM R1, R2
+      WHERE SEQ(R1*, R2) MODE CHRONICLE
+        AND R2.tagtime - LAST(R1*).tagtime <= 5 SECONDS
+        AND R1.tagtime - R1.previous.tagtime <= 1 SECONDS
+    )sql");
+    bench::CheckOk(q.status(), "query");
+    rows = 0;
+    bench::CheckOk(
+        engine.Subscribe(q->output_stream, [&](const Tuple&) { ++rows; }),
+        "subscribe");
+    state.ResumeTiming();
+    bench::Feed(&engine, workload);
+  }
+  // One output row per packed product.
+  const size_t products = workload.events.size() - options.num_cases;
+  if (rows != products) {
+    state.SkipWithError("per-item rows do not match product count");
+    return;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          workload.events.size());
+  state.counters["rows_out"] = static_cast<double>(rows);
+}
+BENCHMARK(BM_ContainmentPerItemReturn)->Arg(4)->Arg(16);
+
+}  // namespace
+}  // namespace eslev
+
+BENCHMARK_MAIN();

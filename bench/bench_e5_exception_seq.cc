@@ -1,0 +1,118 @@
+// E5 — Example 5 / §3.1.3: lab-workflow exception detection.
+//
+// Paper claim: EXCEPTION_SEQ with a FOLLOWING window detects wrong-order,
+// wrong-start and timeout violations, the last requiring *active
+// expiration*. We sweep the violation rate, verify alerts against
+// injected ground truth, and separately measure the cost of heartbeat
+// (active-expiration) traffic.
+
+#include "bench/bench_util.h"
+
+namespace eslev {
+namespace {
+
+constexpr const char* kDdl = R"sql(
+  CREATE STREAM A1(staffid, tagid, tagtime);
+  CREATE STREAM A2(staffid, tagid, tagtime);
+  CREATE STREAM A3(staffid, tagid, tagtime);
+)sql";
+
+constexpr const char* kQuery = R"sql(
+  SELECT A1.tagid, A2.tagid, A3.tagid
+  FROM A1, A2, A3
+  WHERE EXCEPTION_SEQ(A1, A2, A3)
+  OVER [1 HOURS FOLLOWING A1]
+)sql";
+
+void BM_ExceptionSeqSweepViolationRate(benchmark::State& state) {
+  rfid::LabWorkflowWorkloadOptions options;
+  options.num_rounds = 2000;
+  const double rate = static_cast<double>(state.range(0)) / 300.0;
+  options.wrong_order_rate = rate;
+  options.wrong_start_rate = rate;
+  options.timeout_rate = rate;
+  auto workload = rfid::MakeLabWorkflowWorkload(options);
+
+  size_t alerts = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Engine engine;
+    bench::CheckOk(engine.ExecuteScript(kDdl), "ddl");
+    auto q = engine.RegisterQuery(kQuery);
+    bench::CheckOk(q.status(), "query");
+    alerts = 0;
+    bench::CheckOk(
+        engine.Subscribe(q->output_stream, [&](const Tuple&) { ++alerts; }),
+        "subscribe");
+    state.ResumeTiming();
+    bench::Feed(&engine, workload);
+    bench::CheckOk(engine.AdvanceTime(engine.current_time() + Hours(2)),
+                   "advance");
+  }
+  if (alerts < workload.expected_exceptions ||
+      alerts > 2 * workload.expected_exceptions + 1) {
+    state.SkipWithError("alert count outside ground-truth bounds");
+    return;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          workload.events.size());
+  state.counters["violation_pct"] = 100.0 * 3.0 * rate;
+  state.counters["alerts"] = static_cast<double>(alerts);
+}
+BENCHMARK(BM_ExceptionSeqSweepViolationRate)
+    ->Arg(0)
+    ->Arg(15)
+    ->Arg(50)
+    ->Arg(100);
+
+// Active expiration overhead: heartbeats delivered between rounds.
+void BM_ExceptionSeqHeartbeats(benchmark::State& state) {
+  rfid::LabWorkflowWorkloadOptions options;
+  options.num_rounds = 500;
+  options.timeout_rate = 0.2;
+  options.wrong_order_rate = 0;
+  options.wrong_start_rate = 0;
+  auto workload = rfid::MakeLabWorkflowWorkload(options);
+  const int heartbeats_per_event = static_cast<int>(state.range(0));
+
+  size_t alerts = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Engine engine;
+    bench::CheckOk(engine.ExecuteScript(kDdl), "ddl");
+    auto q = engine.RegisterQuery(kQuery);
+    bench::CheckOk(q.status(), "query");
+    alerts = 0;
+    bench::CheckOk(
+        engine.Subscribe(q->output_stream, [&](const Tuple&) { ++alerts; }),
+        "subscribe");
+    state.ResumeTiming();
+    Timestamp last = 0;
+    for (const auto& e : workload.events) {
+      // Emulate a periodic clock between arrivals.
+      for (int h = 1; h <= heartbeats_per_event; ++h) {
+        const Timestamp tick =
+            last + (e.tuple.ts() - last) * h / (heartbeats_per_event + 1);
+        bench::CheckOk(engine.AdvanceTime(tick), "heartbeat");
+      }
+      bench::CheckOk(engine.PushTuple(e.stream, e.tuple), "push");
+      last = e.tuple.ts();
+    }
+    bench::CheckOk(engine.AdvanceTime(last + Hours(2)), "final");
+  }
+  if (alerts != workload.expected_exceptions) {
+    state.SkipWithError("timeout alerts do not match ground truth");
+    return;
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations()) * workload.events.size() *
+      (1 + heartbeats_per_event));
+  state.counters["heartbeats_per_event"] =
+      static_cast<double>(heartbeats_per_event);
+}
+BENCHMARK(BM_ExceptionSeqHeartbeats)->Arg(0)->Arg(1)->Arg(4)->Arg(16);
+
+}  // namespace
+}  // namespace eslev
+
+BENCHMARK_MAIN();

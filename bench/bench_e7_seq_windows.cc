@@ -1,0 +1,92 @@
+// E7 — §3.1.1 "Sliding Windows on SEQ": window length vs. retained
+// history and match rate.
+//
+// Paper claim: windows on event operators both bound the tuple history
+// the operator keeps (expired tuples can be removed) and reduce
+// unwanted combinations. We sweep the window length on
+// SEQ(C1,C2,C3,C4) OVER [W PRECEDING C4] and report peak history and
+// events; events rise toward the unwindowed count as W grows past the
+// pipeline latency, while history grows linearly with W.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "cep/seq_operator.h"
+#include "expr/binder.h"
+#include "sql/parser.h"
+
+namespace eslev {
+namespace {
+
+void BM_SeqWindowSweep(benchmark::State& state) {
+  rfid::QualityCheckWorkloadOptions options;
+  options.num_products = 2000;
+  options.stage_delay = Seconds(2);   // total pipeline latency ~6 s
+  options.product_interval = Seconds(1);
+  auto workload = rfid::MakeQualityCheckWorkload(options);
+
+  const Duration window = Seconds(state.range(0));
+  FunctionRegistry registry;
+  auto schema = Schema::Make({{"readerid", TypeId::kString},
+                              {"tagid", TypeId::kString},
+                              {"tagtime", TypeId::kTimestamp}});
+
+  uint64_t events = 0;
+  size_t peak_history = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    SeqOperatorConfig config;
+    BindScope scope;
+    for (int i = 1; i <= 4; ++i) {
+      const std::string alias = "C" + std::to_string(i);
+      scope.AddEntry({alias, schema, 0, false});
+      config.positions.push_back({alias, schema, false});
+    }
+    Binder binder(&scope, &registry);
+    auto bind = [&](const std::string& text) {
+      auto parsed = ParseExpression(text);
+      bench::CheckOk(parsed.status(), "parse");
+      auto bound = binder.Bind(**parsed);
+      bench::CheckOk(bound.status(), "bind");
+      return std::move(bound).ValueUnsafe();
+    };
+    for (size_t pos = 0; pos < 3; ++pos) {
+      PairwiseConstraint c;
+      c.pos_a = pos;
+      c.pos_b = 3;
+      c.expr = bind("C" + std::to_string(pos + 1) + ".tagid = C4.tagid");
+      config.pairwise.push_back(std::move(c));
+    }
+    config.projection.push_back(bind("C4.tagid"));
+    config.out_schema = Schema::Make({{"tag", TypeId::kString}});
+    SeqWindow w;
+    w.length = window;
+    w.direction = WindowDirection::kPreceding;
+    w.anchor = 3;
+    config.window = w;
+    auto op_result = SeqOperator::Make(std::move(config));
+    bench::CheckOk(op_result.status(), "make");
+    auto op = std::move(op_result).ValueUnsafe();
+    peak_history = 0;
+    state.ResumeTiming();
+    for (const auto& e : workload.events) {
+      const size_t port = static_cast<size_t>(e.stream[1] - '1');
+      bench::CheckOk(op->OnTuple(port, e.tuple), "tuple");
+      peak_history = std::max(peak_history, op->history_size());
+    }
+    events = op->matches_emitted();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          workload.events.size());
+  state.counters["window_s"] = static_cast<double>(state.range(0));
+  state.counters["events"] = static_cast<double>(events);
+  state.counters["peak_history"] = static_cast<double>(peak_history);
+  state.counters["complete_products"] =
+      static_cast<double>(workload.expected_events);
+}
+BENCHMARK(BM_SeqWindowSweep)->Arg(2)->Arg(5)->Arg(10)->Arg(30)->Arg(120);
+
+}  // namespace
+}  // namespace eslev
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+// E8 — Example 8: theft detection with a PRECEDING AND FOLLOWING window
+// synchronized across the sub-query boundary.
+//
+// Paper claim: the before-and-after authorization check needs both the
+// FOLLOWING window construct and cross-subquery synchronization. We
+// sweep the theft rate, verify the alert count against ground truth,
+// and measure the full-SQL pipeline throughput, including the pending
+// buffer the FOLLOWING side requires.
+
+#include "bench/bench_util.h"
+
+namespace eslev {
+namespace {
+
+constexpr const char* kDdl = R"sql(
+  CREATE STREAM tag_readings(tagid, tagtype, tagtime);
+)sql";
+
+constexpr const char* kQuery = R"sql(
+  SELECT * FROM tag_readings AS item
+  WHERE item.tagtype = 'item' AND NOT EXISTS
+    (SELECT * FROM tag_readings AS person
+       OVER [1 MINUTES PRECEDING AND FOLLOWING item]
+     WHERE person.tagtype = 'person')
+)sql";
+
+void BM_TheftSweepRate(benchmark::State& state) {
+  rfid::DoorWorkloadOptions options;
+  options.num_items = 3000;
+  options.theft_rate = static_cast<double>(state.range(0)) / 100.0;
+  auto workload = rfid::MakeDoorWorkload(options);
+
+  size_t alerts = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Engine engine;
+    bench::CheckOk(engine.ExecuteScript(kDdl), "ddl");
+    auto q = engine.RegisterQuery(kQuery);
+    bench::CheckOk(q.status(), "query");
+    alerts = 0;
+    bench::CheckOk(
+        engine.Subscribe(q->output_stream, [&](const Tuple&) { ++alerts; }),
+        "subscribe");
+    state.ResumeTiming();
+    bench::Feed(&engine, workload);
+    bench::CheckOk(engine.AdvanceTime(engine.current_time() + Minutes(2)),
+                   "drain");
+  }
+  if (alerts != workload.expected_events) {
+    state.SkipWithError("theft alerts do not match ground truth");
+    return;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          workload.events.size());
+  state.counters["theft_pct"] = static_cast<double>(state.range(0));
+  state.counters["alerts"] = static_cast<double>(alerts);
+}
+BENCHMARK(BM_TheftSweepRate)->Arg(0)->Arg(5)->Arg(20)->Arg(50);
+
+}  // namespace
+}  // namespace eslev
+
+BENCHMARK_MAIN();

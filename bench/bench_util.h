@@ -1,0 +1,39 @@
+// Shared helpers for the experiment benches (see DESIGN.md §4 for the
+// experiment index and EXPERIMENTS.md for paper-vs-measured results).
+
+#ifndef ESLEV_BENCH_BENCH_UTIL_H_
+#define ESLEV_BENCH_BENCH_UTIL_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "core/engine.h"
+#include "rfid/workloads.h"
+
+namespace eslev {
+namespace bench {
+
+/// \brief Abort the benchmark binary on setup errors (benches must not
+/// silently measure a broken pipeline).
+inline void CheckOk(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "bench setup failed (%s): %s\n", what,
+                 status.ToString().c_str());
+    std::abort();
+  }
+}
+
+/// \brief Feed a workload trace into an engine; returns tuples pushed.
+inline size_t Feed(Engine* engine, const rfid::Workload& workload) {
+  for (const auto& e : workload.events) {
+    CheckOk(engine->PushTuple(e.stream, e.tuple), "push");
+  }
+  return workload.events.size();
+}
+
+}  // namespace bench
+}  // namespace eslev
+
+#endif  // ESLEV_BENCH_BENCH_UTIL_H_

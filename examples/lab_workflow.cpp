@@ -1,0 +1,73 @@
+// Clinic-laboratory workflow compliance (the paper's Example 5, §3.1.3).
+//
+// A staff member must perform operations A, B, C in order within one
+// hour. EXCEPTION_SEQ raises an alert on any violation: wrong order,
+// wrong starting operation, or timing out — the last detected by
+// *active expiration* (a clock tick with no tuple arrivals).
+
+#include <cstdio>
+
+#include "core/engine.h"
+#include "rfid/workloads.h"
+
+int main() {
+  eslev::Engine engine;
+  auto status = engine.ExecuteScript(R"sql(
+    CREATE STREAM A1(staffid, tagid, tagtime);
+    CREATE STREAM A2(staffid, tagid, tagtime);
+    CREATE STREAM A3(staffid, tagid, tagtime);
+  )sql");
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  auto query = engine.RegisterQuery(R"sql(
+    SELECT A1.tagid, A2.tagid, A3.tagid
+    FROM A1, A2, A3
+    WHERE EXCEPTION_SEQ(A1, A2, A3)
+    OVER [1 HOURS FOLLOWING A1]
+  )sql");
+  if (!query.ok()) {
+    std::fprintf(stderr, "%s\n", query.status().ToString().c_str());
+    return 1;
+  }
+
+  size_t alerts = 0;
+  status = engine.Subscribe(query->output_stream, [&](const eslev::Tuple& t) {
+    ++alerts;
+    auto cell = [&](size_t i) {
+      return t.value(i).is_null() ? std::string("-")
+                                  : t.value(i).string_value();
+    };
+    std::printf("  ALERT at %-12s partial: A=%-4s B=%-4s C=%-4s\n",
+                eslev::FormatTimestamp(t.ts()).c_str(), cell(0).c_str(),
+                cell(1).c_str(), cell(2).c_str());
+  });
+  if (!status.ok()) return 1;
+
+  eslev::rfid::LabWorkflowWorkloadOptions options;
+  options.num_rounds = 12;
+  options.wrong_order_rate = 0.15;
+  options.wrong_start_rate = 0.1;
+  options.timeout_rate = 0.15;
+  auto workload = eslev::rfid::MakeLabWorkflowWorkload(options);
+
+  std::printf("workflow alerts:\n");
+  for (const auto& e : workload.events) {
+    status = engine.PushTuple(e.stream, e.tuple);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+  // Close the last round: a pure clock tick fires any pending timeout.
+  status = engine.AdvanceTime(engine.current_time() + eslev::Hours(2));
+  if (!status.ok()) return 1;
+
+  std::printf(
+      "\n%zu alert(s) raised for %zu injected violation(s) across %zu "
+      "rounds\n",
+      alerts, workload.expected_exceptions, options.num_rounds);
+  return alerts >= workload.expected_exceptions ? 0 : 1;
+}

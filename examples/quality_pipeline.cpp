@@ -1,0 +1,93 @@
+// Four-stage quality-check pipeline (the paper's Example 6 and §3.1.1).
+//
+// Every product passes four RFID-instrumented checking steps C1..C4.
+// A SEQ query with a 30-minute window reports products completing all
+// steps; the same run is repeated under each Tuple Pairing Mode to show
+// how the modes change both the events generated and the tuple history
+// the operator must retain.
+
+#include <cstdio>
+
+#include "core/engine.h"
+#include "rfid/workloads.h"
+
+namespace {
+
+struct RunResult {
+  size_t events = 0;
+  bool ok = false;
+};
+
+RunResult RunWithMode(const char* mode_clause,
+                      const eslev::rfid::Workload& workload) {
+  RunResult result;
+  eslev::Engine engine;
+  auto status = engine.ExecuteScript(R"sql(
+    CREATE STREAM C1(readerid, tagid, tagtime);
+    CREATE STREAM C2(readerid, tagid, tagtime);
+    CREATE STREAM C3(readerid, tagid, tagtime);
+    CREATE STREAM C4(readerid, tagid, tagtime);
+  )sql");
+  if (!status.ok()) return result;
+
+  std::string sql = R"sql(
+    SELECT C4.tagid, C1.tagtime, C4.tagtime
+    FROM C1, C2, C3, C4
+    WHERE SEQ(C1, C2, C3, C4)
+    OVER [30 MINUTES PRECEDING C4]
+  )sql";
+  sql += mode_clause;
+  sql += R"sql(
+      AND C1.tagid=C2.tagid AND C1.tagid=C3.tagid
+      AND C1.tagid=C4.tagid
+  )sql";
+  auto query = engine.RegisterQuery(sql);
+  if (!query.ok()) {
+    std::fprintf(stderr, "%s\n", query.status().ToString().c_str());
+    return result;
+  }
+  status = engine.Subscribe(query->output_stream,
+                            [&](const eslev::Tuple&) { ++result.events; });
+  if (!status.ok()) return result;
+  for (const auto& e : workload.events) {
+    if (!engine.PushTuple(e.stream, e.tuple).ok()) return result;
+  }
+  result.ok = true;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  eslev::rfid::QualityCheckWorkloadOptions options;
+  options.num_products = 200;
+  options.drop_rate = 0.1;  // some products lose a stage reading
+  auto workload = eslev::rfid::MakeQualityCheckWorkload(options);
+
+  std::printf("quality pipeline: %zu products, %zu complete\n",
+              options.num_products, workload.expected_events);
+  std::printf("%-14s %10s\n", "mode", "events");
+
+  struct ModeRow {
+    const char* name;
+    const char* clause;
+  };
+  const ModeRow modes[] = {
+      {"UNRESTRICTED", ""},
+      {"RECENT", " MODE RECENT"},
+      {"CHRONICLE", " MODE CHRONICLE"},
+      {"CONSECUTIVE", " MODE CONSECUTIVE"},
+  };
+  bool all_ok = true;
+  for (const ModeRow& m : modes) {
+    RunResult r = RunWithMode(m.clause, workload);
+    all_ok = all_ok && r.ok;
+    std::printf("%-14s %10zu\n", m.name, r.events);
+  }
+  // With per-product tag joins, UNRESTRICTED/RECENT/CHRONICLE all find
+  // each completed product exactly once here; CONSECUTIVE requires the
+  // four readings to be adjacent in the joint history, which interleaved
+  // products rarely are — the expected drop-off the paper motivates the
+  // modes with.
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,161 @@
+#include "ale/event_cycle.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace eslev {
+namespace ale {
+
+const char* ReportSetToString(ReportSet set) {
+  switch (set) {
+    case ReportSet::kCurrent:
+      return "CURRENT";
+    case ReportSet::kAdditions:
+      return "ADDITIONS";
+    case ReportSet::kDeletions:
+      return "DELETIONS";
+  }
+  return "?";
+}
+
+Result<std::unique_ptr<EventCycleProcessor>> EventCycleProcessor::Make(
+    EcSpec spec, Timestamp start) {
+  if (spec.period <= 0) {
+    return Status::Invalid("event cycle period must be positive");
+  }
+  if (spec.reports.empty()) {
+    return Status::Invalid("event cycle spec has no reports");
+  }
+  std::unordered_set<std::string> names;
+  std::vector<CompiledReport> compiled;
+  for (ReportSpec& r : spec.reports) {
+    if (r.name.empty()) {
+      return Status::Invalid("report name must not be empty");
+    }
+    if (!names.insert(r.name).second) {
+      return Status::Invalid("duplicate report name: " + r.name);
+    }
+    CompiledReport c;
+    for (const std::string& p : r.include_patterns) {
+      ESLEV_ASSIGN_OR_RETURN(auto pattern, rfid::AlePattern::Parse(p));
+      c.includes.push_back(std::move(pattern));
+    }
+    for (const std::string& p : r.exclude_patterns) {
+      ESLEV_ASSIGN_OR_RETURN(auto pattern, rfid::AlePattern::Parse(p));
+      c.excludes.push_back(std::move(pattern));
+    }
+    c.spec = std::move(r);
+    compiled.push_back(std::move(c));
+  }
+  return std::unique_ptr<EventCycleProcessor>(new EventCycleProcessor(
+      std::move(compiled), spec.period, start));
+}
+
+EventCycleProcessor::EventCycleProcessor(std::vector<CompiledReport> reports,
+                                         Duration period, Timestamp start)
+    : reports_(std::move(reports)), period_(period), cycle_begin_(start) {}
+
+Status EventCycleProcessor::OnReading(const std::string& epc, Timestamp ts) {
+  if (ts < cycle_begin_) {
+    return Status::OutOfRange("reading predates the current event cycle");
+  }
+  ESLEV_RETURN_NOT_OK(CloseElapsed(ts));
+  ++readings_this_cycle_;
+  auto parsed = rfid::ParseEpc(epc);
+  if (!parsed.ok()) {
+    // A tag that is not EPC-formatted matches no pattern, but reports
+    // with no patterns at all ("everything at this reader") still see it.
+    for (CompiledReport& r : reports_) {
+      if (r.includes.empty() && r.excludes.empty()) r.current.insert(epc);
+    }
+    return Status::OK();
+  }
+  for (CompiledReport& r : reports_) {
+    bool included = r.includes.empty();
+    for (const auto& p : r.includes) {
+      if (p.Matches(*parsed)) {
+        included = true;
+        break;
+      }
+    }
+    if (!included) continue;
+    bool excluded = false;
+    for (const auto& p : r.excludes) {
+      if (p.Matches(*parsed)) {
+        excluded = true;
+        break;
+      }
+    }
+    if (excluded) continue;
+    r.current.insert(epc);
+  }
+  return Status::OK();
+}
+
+Status EventCycleProcessor::OnTime(Timestamp now) {
+  if (now < cycle_begin_) {
+    return Status::OutOfRange("time cannot move before the current cycle");
+  }
+  return CloseElapsed(now);
+}
+
+Status EventCycleProcessor::CloseElapsed(Timestamp now) {
+  while (now >= cycle_begin_ + period_) {
+    CloseOneCycle();
+  }
+  return Status::OK();
+}
+
+void EventCycleProcessor::CloseOneCycle() {
+  EcCycleResult result;
+  result.cycle_index = cycle_index_;
+  result.begin = cycle_begin_;
+  result.end = cycle_begin_ + period_;
+  result.readings = readings_this_cycle_;
+
+  for (CompiledReport& r : reports_) {
+    EcReport report;
+    report.name = r.spec.name;
+    report.set = r.spec.set;
+
+    std::vector<std::string> tags;
+    switch (r.spec.set) {
+      case ReportSet::kCurrent:
+        tags.assign(r.current.begin(), r.current.end());
+        break;
+      case ReportSet::kAdditions:
+        std::set_difference(r.current.begin(), r.current.end(),
+                            r.previous.begin(), r.previous.end(),
+                            std::back_inserter(tags));
+        break;
+      case ReportSet::kDeletions:
+        std::set_difference(r.previous.begin(), r.previous.end(),
+                            r.current.begin(), r.current.end(),
+                            std::back_inserter(tags));
+        break;
+    }
+    report.count = tags.size();
+    if (r.spec.group_by_company) {
+      for (const std::string& tag : tags) {
+        auto parsed = rfid::ParseEpc(tag);
+        if (parsed.ok()) ++report.groups[parsed->company];
+      }
+    }
+    if (!r.spec.count_only) {
+      report.epcs = std::move(tags);
+    }
+    result.reports.push_back(std::move(report));
+
+    r.previous = std::move(r.current);
+    r.current.clear();
+  }
+
+  cycle_begin_ += period_;
+  ++cycle_index_;
+  ++cycles_completed_;
+  readings_this_cycle_ = 0;
+  if (callback_) callback_(result);
+}
+
+}  // namespace ale
+}  // namespace eslev

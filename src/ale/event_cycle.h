@@ -1,0 +1,132 @@
+// ALE (Application Level Events) event-cycle processing — the standard
+// interface the paper cites as the driving requirement for RFID data
+// processing (§1: "a common interface to process raw RFID events,
+// including data filtering, windows-based aggregation, and reporting").
+//
+// This module implements the core of an ALE reading API:
+//  * an ECSpec-like EcSpec: a fixed cycle period and a list of report
+//    specifications;
+//  * per-report include/exclude tag patterns (`20.*.[5000-9999]`);
+//  * report sets CURRENT / ADDITIONS / DELETIONS relative to the
+//    previous cycle;
+//  * count-only or full-EPC-list reports, with optional grouping by
+//    company prefix.
+//
+// The processor consumes timestamped EPC readings (e.g. subscribed to an
+// ESL-EV stream) and emits one EcCycleResult per elapsed cycle; time can
+// also advance without readings (empty cycles still report).
+
+#ifndef ESLEV_ALE_EVENT_CYCLE_H_
+#define ESLEV_ALE_EVENT_CYCLE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/time.h"
+#include "rfid/epc.h"
+
+namespace eslev {
+namespace ale {
+
+/// \brief Which tag set a report delivers (ALE §8.3 report sets).
+enum class ReportSet { kCurrent = 0, kAdditions, kDeletions };
+
+const char* ReportSetToString(ReportSet set);
+
+/// \brief One report inside an event cycle spec.
+struct ReportSpec {
+  std::string name;
+  /// Tags must match at least one include pattern (empty = match all).
+  std::vector<std::string> include_patterns;
+  /// ...and none of the exclude patterns.
+  std::vector<std::string> exclude_patterns;
+  ReportSet set = ReportSet::kCurrent;
+  /// Report only the tag count, not the EPC list.
+  bool count_only = false;
+  /// Group tags by EPC company field, reporting per-group counts.
+  bool group_by_company = false;
+};
+
+/// \brief An ECSpec: cycle boundaries plus the reports to produce.
+struct EcSpec {
+  Duration period = 0;  // fixed-duration cycles, back to back
+  std::vector<ReportSpec> reports;
+};
+
+/// \brief One produced report.
+struct EcReport {
+  std::string name;
+  ReportSet set = ReportSet::kCurrent;
+  /// Sorted distinct EPCs (empty when count_only).
+  std::vector<std::string> epcs;
+  size_t count = 0;
+  /// Per-company counts when group_by_company is set.
+  std::map<std::string, size_t> groups;
+};
+
+/// \brief The output of one completed event cycle.
+struct EcCycleResult {
+  size_t cycle_index = 0;
+  Timestamp begin = 0;
+  Timestamp end = 0;
+  size_t readings = 0;  // raw readings observed in the cycle
+  std::vector<EcReport> reports;
+};
+
+using EcCallback = std::function<void(const EcCycleResult&)>;
+
+class EventCycleProcessor {
+ public:
+  /// \brief Validate the spec (period > 0, parseable patterns, distinct
+  /// report names) and build a processor whose first cycle starts at
+  /// `start`.
+  static Result<std::unique_ptr<EventCycleProcessor>> Make(EcSpec spec,
+                                                           Timestamp start);
+
+  void SetCallback(EcCallback callback) { callback_ = std::move(callback); }
+
+  /// \brief Observe one EPC reading. Closes any cycles that ended at or
+  /// before `ts` first. Malformed EPCs are counted but match nothing.
+  Status OnReading(const std::string& epc, Timestamp ts);
+
+  /// \brief Advance time without a reading; closes elapsed cycles
+  /// (empty cycles still produce reports).
+  Status OnTime(Timestamp now);
+
+  size_t cycles_completed() const { return cycles_completed_; }
+  Timestamp current_cycle_begin() const { return cycle_begin_; }
+
+ private:
+  struct CompiledReport {
+    ReportSpec spec;
+    std::vector<rfid::AlePattern> includes;
+    std::vector<rfid::AlePattern> excludes;
+    std::set<std::string> current;   // tags seen this cycle
+    std::set<std::string> previous;  // tags of the last closed cycle
+  };
+
+  EventCycleProcessor(std::vector<CompiledReport> reports, Duration period,
+                      Timestamp start);
+
+  // Close cycles whose end is <= now.
+  Status CloseElapsed(Timestamp now);
+  void CloseOneCycle();
+
+  std::vector<CompiledReport> reports_;
+  Duration period_;
+  Timestamp cycle_begin_;
+  size_t cycle_index_ = 0;
+  size_t cycles_completed_ = 0;
+  size_t readings_this_cycle_ = 0;
+  EcCallback callback_;
+};
+
+}  // namespace ale
+}  // namespace eslev
+
+#endif  // ESLEV_ALE_EVENT_CYCLE_H_

@@ -1,0 +1,41 @@
+#include "baseline/naive_join.h"
+
+namespace eslev {
+namespace baseline {
+
+Status NaiveJoinSequenceDetector::OnTuple(size_t stream, const Tuple& tuple) {
+  if (stream >= options_.num_streams) {
+    return Status::Invalid("stream index out of range");
+  }
+  if (stream + 1 == options_.num_streams) {
+    Enumerate(static_cast<int>(options_.num_streams) - 2, tuple, tuple);
+    return Status::OK();
+  }
+  history_[stream].push_back(tuple);
+  return Status::OK();
+}
+
+// Joins backwards from position `stream`, `next` being the tuple chosen
+// for position stream+1 and `last` the triggering final tuple.
+void NaiveJoinSequenceDetector::Enumerate(int stream, const Tuple& next,
+                                          const Tuple& last) {
+  if (stream < 0) {
+    ++matches_;
+    return;
+  }
+  for (const Tuple& t : history_[stream]) {
+    if (t.ts() >= next.ts()) continue;  // timestamp-order predicate
+    if (options_.key_column >= 0 &&
+        !(t.value(options_.key_column) ==
+          last.value(options_.key_column))) {
+      continue;  // key-equality predicate
+    }
+    if (options_.window > 0 && t.ts() < last.ts() - options_.window) {
+      continue;  // timing predicate (no purging!)
+    }
+    Enumerate(stream - 1, t, last);
+  }
+}
+
+}  // namespace baseline
+}  // namespace eslev

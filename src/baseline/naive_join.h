@@ -1,0 +1,62 @@
+// NaiveJoinSequenceDetector: the paper's footnote-3 strawman — what a
+// plain SQL engine without temporal operators can do. For each incoming
+// final-stream tuple it joins against the *full* accumulated history of
+// every other stream, applying timestamp-order, key-equality and timing
+// conditions as ordinary predicates.
+//
+// Two deliberate deficiencies (they are the point of the comparison):
+//  * no history purging — plain SQL has no window/consumption constructs,
+//    so history grows without bound (E9 measures this);
+//  * no star patterns — `a+ b` is inexpressible as a fixed join (§2.2).
+
+#ifndef ESLEV_BASELINE_NAIVE_JOIN_H_
+#define ESLEV_BASELINE_NAIVE_JOIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "types/tuple.h"
+
+namespace eslev {
+namespace baseline {
+
+struct NaiveJoinOptions {
+  size_t num_streams = 2;
+  /// Column index that must be equal across all joined tuples (-1: none).
+  int key_column = -1;
+  /// Timing condition: all tuples within `window` of the final tuple
+  /// (0: none). Checked as a predicate only — history is NOT purged.
+  Duration window = 0;
+};
+
+class NaiveJoinSequenceDetector {
+ public:
+  explicit NaiveJoinSequenceDetector(NaiveJoinOptions options)
+      : options_(options), history_(options.num_streams) {}
+
+  /// \brief Feed a tuple; arrival on the final stream evaluates the join
+  /// and returns via matches().
+  Status OnTuple(size_t stream, const Tuple& tuple);
+
+  uint64_t matches() const { return matches_; }
+
+  /// \brief Total tuples retained (the unbounded-state metric).
+  size_t history_size() const {
+    size_t n = 0;
+    for (const auto& h : history_) n += h.size();
+    return n;
+  }
+
+ private:
+  void Enumerate(int stream, const Tuple& next, const Tuple& last);
+
+  NaiveJoinOptions options_;
+  std::vector<std::vector<Tuple>> history_;
+  uint64_t matches_ = 0;
+};
+
+}  // namespace baseline
+}  // namespace eslev
+
+#endif  // ESLEV_BASELINE_NAIVE_JOIN_H_

@@ -1,0 +1,139 @@
+#include "baseline/rceda.h"
+
+namespace eslev {
+namespace baseline {
+
+void EventNode::Produce(const EventInstance& instance) {
+  ++produced_;
+  for (const auto& edge : parents_) {
+    edge.parent->OnChildEvent(edge.child_index, instance);
+  }
+  for (const auto& cb : callbacks_) {
+    cb(instance);
+  }
+}
+
+void PrimitiveNode::Inject(const Tuple& tuple) {
+  EventInstance instance;
+  instance.start = instance.end = tuple.ts();
+  instance.tuples.push_back(tuple);
+  Produce(instance);
+}
+
+namespace {
+
+EventInstance Compose(const EventInstance& left, const EventInstance& right) {
+  EventInstance out;
+  out.start = left.start;
+  out.end = right.end;
+  out.tuples = left.tuples;
+  out.tuples.insert(out.tuples.end(), right.tuples.begin(),
+                    right.tuples.end());
+  return out;
+}
+
+}  // namespace
+
+void SeqNode::OnChildEvent(int child_index, const EventInstance& instance) {
+  if (child_index == 0) {
+    // New left instance: materialize; it may also pair with stored right
+    // instances that ended after it... SEQ requires left before right,
+    // and rights arrived earlier end earlier, so only future rights can
+    // follow it. Store and wait.
+    left_.push_back(instance);
+    return;
+  }
+  right_.push_back(instance);
+  for (const EventInstance& l : left_) {
+    if (l.end >= instance.start) continue;  // must strictly precede
+    if (guard_ && !guard_(l, instance)) continue;
+    Produce(Compose(l, instance));
+  }
+}
+
+void AndNode::OnChildEvent(int child_index, const EventInstance& instance) {
+  auto& mine = child_index == 0 ? left_ : right_;
+  auto& other = child_index == 0 ? right_ : left_;
+  mine.push_back(instance);
+  for (const EventInstance& o : other) {
+    const EventInstance& l = o.start <= instance.start ? o : instance;
+    const EventInstance& r = o.start <= instance.start ? instance : o;
+    if (guard_ && !guard_(l, r)) continue;
+    Produce(Compose(l, r));
+  }
+}
+
+PrimitiveNode* RcedaEngine::AddPrimitive(const std::string& stream_name) {
+  auto node = std::make_unique<PrimitiveNode>();
+  PrimitiveNode* raw = node.get();
+  nodes_.push_back(std::move(node));
+  primitives_.emplace_back(stream_name, raw);
+  return raw;
+}
+
+SeqNode* RcedaEngine::AddSeq(EventNode* left, EventNode* right,
+                             ComposeGuard guard) {
+  auto node = std::make_unique<SeqNode>(std::move(guard));
+  SeqNode* raw = node.get();
+  left->AddParent(raw, 0);
+  right->AddParent(raw, 1);
+  nodes_.push_back(std::move(node));
+  return raw;
+}
+
+AndNode* RcedaEngine::AddAnd(EventNode* left, EventNode* right,
+                             ComposeGuard guard) {
+  auto node = std::make_unique<AndNode>(std::move(guard));
+  AndNode* raw = node.get();
+  left->AddParent(raw, 0);
+  right->AddParent(raw, 1);
+  nodes_.push_back(std::move(node));
+  return raw;
+}
+
+OrNode* RcedaEngine::AddOr(EventNode* left, EventNode* right) {
+  auto node = std::make_unique<OrNode>();
+  OrNode* raw = node.get();
+  left->AddParent(raw, 0);
+  right->AddParent(raw, 1);
+  nodes_.push_back(std::move(node));
+  return raw;
+}
+
+EventNode* RcedaEngine::BuildSeqChain(const std::vector<std::string>& streams,
+                                      ComposeGuard guard) {
+  if (streams.empty()) return nullptr;
+  EventNode* acc = AddPrimitive(streams[0]);
+  for (size_t i = 1; i < streams.size(); ++i) {
+    EventNode* next = AddPrimitive(streams[i]);
+    acc = AddSeq(acc, next, guard);
+  }
+  return acc;
+}
+
+Status RcedaEngine::Inject(const std::string& stream_name,
+                           const Tuple& tuple) {
+  bool found = false;
+  for (auto& [name, node] : primitives_) {
+    if (name == stream_name) {
+      node->Inject(tuple);
+      found = true;
+    }
+  }
+  if (!found) {
+    return Status::NotFound("no primitive event node for stream: " +
+                            stream_name);
+  }
+  return Status::OK();
+}
+
+size_t RcedaEngine::retained_instances() const {
+  size_t total = 0;
+  for (const auto& node : nodes_) {
+    total += node->retained_instances();
+  }
+  return total;
+}
+
+}  // namespace baseline
+}  // namespace eslev

@@ -1,0 +1,157 @@
+// RCEDA-style graph-based composite event engine — a reimplementation of
+// the standalone event system the paper argues against ([23], "a simple
+// graph-based processing model [that] lacks optimization techniques for
+// large volume RFID event data processing").
+//
+// Composite events are detected by an event graph: primitive event nodes
+// feed operator nodes (SEQ, AND, OR), each of which *materializes* the
+// composite event instances it has produced so far and keeps its child
+// histories forever (no sliding windows, no consumption modes). This
+// faithfully yields UNRESTRICTED-equivalent results while exhibiting the
+// unbounded-state behaviour the paper criticizes (bench E10).
+
+#ifndef ESLEV_BASELINE_RCEDA_H_
+#define ESLEV_BASELINE_RCEDA_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "types/tuple.h"
+
+namespace eslev {
+namespace baseline {
+
+/// \brief A (possibly composite) event occurrence: the interval it spans
+/// and the constituent tuples in temporal order.
+struct EventInstance {
+  Timestamp start = 0;
+  Timestamp end = 0;
+  std::vector<Tuple> tuples;
+};
+
+using EventCallback = std::function<void(const EventInstance&)>;
+
+/// \brief Optional guard evaluated when composing two child instances
+/// (e.g. equal tag ids); return false to reject the combination.
+using ComposeGuard =
+    std::function<bool(const EventInstance& left, const EventInstance& right)>;
+
+class EventNode {
+ public:
+  virtual ~EventNode() = default;
+
+  void AddParent(EventNode* parent, int child_index) {
+    parents_.push_back({parent, child_index});
+  }
+  void AddCallback(EventCallback cb) { callbacks_.push_back(std::move(cb)); }
+
+  /// \brief Number of event instances this node retains.
+  virtual size_t retained_instances() const = 0;
+
+  uint64_t instances_produced() const { return produced_; }
+
+ protected:
+  void Produce(const EventInstance& instance);
+  virtual void OnChildEvent(int child_index, const EventInstance& instance) = 0;
+
+ private:
+  friend class RcedaEngine;
+  struct ParentEdge {
+    EventNode* parent;
+    int child_index;
+  };
+  std::vector<ParentEdge> parents_;
+  std::vector<EventCallback> callbacks_;
+  uint64_t produced_ = 0;
+};
+
+/// \brief Leaf node: every injected tuple is a primitive event.
+class PrimitiveNode : public EventNode {
+ public:
+  void Inject(const Tuple& tuple);
+  size_t retained_instances() const override { return 0; }
+
+ protected:
+  void OnChildEvent(int, const EventInstance&) override {}
+};
+
+/// \brief SEQ(left, right): right instance following a left instance.
+/// Materializes both child histories (never purged).
+class SeqNode : public EventNode {
+ public:
+  explicit SeqNode(ComposeGuard guard = nullptr) : guard_(std::move(guard)) {}
+  size_t retained_instances() const override {
+    return left_.size() + right_.size();
+  }
+
+ protected:
+  void OnChildEvent(int child_index, const EventInstance& instance) override;
+
+ private:
+  ComposeGuard guard_;
+  std::vector<EventInstance> left_;
+  std::vector<EventInstance> right_;
+};
+
+/// \brief AND(left, right): both occurred, either order.
+class AndNode : public EventNode {
+ public:
+  explicit AndNode(ComposeGuard guard = nullptr) : guard_(std::move(guard)) {}
+  size_t retained_instances() const override {
+    return left_.size() + right_.size();
+  }
+
+ protected:
+  void OnChildEvent(int child_index, const EventInstance& instance) override;
+
+ private:
+  ComposeGuard guard_;
+  std::vector<EventInstance> left_;
+  std::vector<EventInstance> right_;
+};
+
+/// \brief OR(left, right): either occurred.
+class OrNode : public EventNode {
+ public:
+  size_t retained_instances() const override { return 0; }
+
+ protected:
+  void OnChildEvent(int, const EventInstance& instance) override {
+    Produce(instance);
+  }
+};
+
+/// \brief The event graph: owns nodes, routes primitive injections.
+class RcedaEngine {
+ public:
+  PrimitiveNode* AddPrimitive(const std::string& stream_name);
+  SeqNode* AddSeq(EventNode* left, EventNode* right,
+                  ComposeGuard guard = nullptr);
+  AndNode* AddAnd(EventNode* left, EventNode* right,
+                  ComposeGuard guard = nullptr);
+  OrNode* AddOr(EventNode* left, EventNode* right);
+
+  /// \brief Build a left-deep SEQ chain over n primitive streams (the
+  /// graph for SEQ(E1, ..., En)); returns the root.
+  EventNode* BuildSeqChain(const std::vector<std::string>& streams,
+                           ComposeGuard guard = nullptr);
+
+  /// \brief Inject a primitive event into the named stream's node.
+  Status Inject(const std::string& stream_name, const Tuple& tuple);
+
+  /// \brief Total instances materialized across all operator nodes — the
+  /// engine's state-size metric.
+  size_t retained_instances() const;
+
+ private:
+  std::vector<std::unique_ptr<EventNode>> nodes_;
+  std::vector<std::pair<std::string, PrimitiveNode*>> primitives_;
+};
+
+}  // namespace baseline
+}  // namespace eslev
+
+#endif  // ESLEV_BASELINE_RCEDA_H_

@@ -1,0 +1,30 @@
+#include "cep/pairing_mode.h"
+
+#include "common/string_util.h"
+
+namespace eslev {
+
+const char* PairingModeToString(PairingMode mode) {
+  switch (mode) {
+    case PairingMode::kUnrestricted:
+      return "UNRESTRICTED";
+    case PairingMode::kRecent:
+      return "RECENT";
+    case PairingMode::kChronicle:
+      return "CHRONICLE";
+    case PairingMode::kConsecutive:
+      return "CONSECUTIVE";
+  }
+  return "?";
+}
+
+Result<PairingMode> ParsePairingMode(const std::string& name) {
+  const std::string u = AsciiToUpper(name);
+  if (u == "UNRESTRICTED") return PairingMode::kUnrestricted;
+  if (u == "RECENT") return PairingMode::kRecent;
+  if (u == "CHRONICLE") return PairingMode::kChronicle;
+  if (u == "CONSECUTIVE") return PairingMode::kConsecutive;
+  return Status::ParseError("unknown tuple pairing mode: " + name);
+}
+
+}  // namespace eslev

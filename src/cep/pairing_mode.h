@@ -1,0 +1,36 @@
+// Tuple Pairing Modes (paper §3.1.1): event-operator modifiers that
+// restrict which tuple combinations form events and license purging of
+// tuple history. Modeled after Snoop's event consumption modes.
+
+#ifndef ESLEV_CEP_PAIRING_MODE_H_
+#define ESLEV_CEP_PAIRING_MODE_H_
+
+#include <string>
+
+#include "common/result.h"
+
+namespace eslev {
+
+/// \brief How SEQ pairs tuples across its argument streams.
+enum class PairingMode : int {
+  /// All time-ordered combinations form events (default).
+  kUnrestricted = 0,
+  /// Match only the most recent qualifying tuple on each earlier stream.
+  kRecent,
+  /// Match the earliest qualifying tuples; each tuple participates in at
+  /// most one event and is consumed on match.
+  kChronicle,
+  /// Tuples must be adjacent on the joint tuple history of all
+  /// participating streams.
+  kConsecutive,
+};
+
+/// \brief Keyword name as it appears in the MODE clause.
+const char* PairingModeToString(PairingMode mode);
+
+/// \brief Parse a MODE keyword (case-insensitive).
+Result<PairingMode> ParsePairingMode(const std::string& name);
+
+}  // namespace eslev
+
+#endif  // ESLEV_CEP_PAIRING_MODE_H_

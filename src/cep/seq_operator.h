@@ -1,0 +1,131 @@
+// SeqOperator: the paper's SEQ temporal event operator (§3.1.1-3.1.2).
+//
+// Detects sequences of tuples across n argument streams under a Tuple
+// Pairing Mode, with optional sliding windows anchored at any position
+// and star (repeating) arguments.
+//
+// Semantics implemented (see DESIGN.md §5 for the full discussion):
+//  * Sequence order is strict: position i+1's tuple must arrive after
+//    position i's, compared by (timestamp, arrival index).
+//  * The final position triggers matching on arrival; final-position
+//    tuples are never stored (they cannot participate in later events).
+//  * UNRESTRICTED enumerates all qualifying combinations; RECENT emits at
+//    most one event per trigger using the most recent qualifying tuples;
+//    CHRONICLE uses the earliest qualifying tuples and consumes them;
+//    CONSECUTIVE requires the tuples to be adjacent on the joint history
+//    of the participating streams.
+//  * Star positions accumulate *groups*: the open group extends while
+//    the position's star gate (`.previous.` conjuncts) passes; a failing
+//    arrival closes the group and opens a new one (Figure 1(b)'s
+//    inter-product gap). Matching always uses the longest group
+//    available (the paper's longest-match rule); a trailing star emits
+//    online, once per arrival.
+//  * History purging: final position never stored; CHRONICLE removes
+//    consumed tuples; CONSECUTIVE keeps only the current partial run;
+//    RECENT prunes entries that can no longer be the most recent
+//    qualifying choice (exact when no pairwise constraints exist);
+//    windowed operators evict expired entries.
+
+#ifndef ESLEV_CEP_SEQ_OPERATOR_H_
+#define ESLEV_CEP_SEQ_OPERATOR_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "cep/seq_config.h"
+#include "stream/operator.h"
+
+namespace eslev {
+
+class SeqOperator : public Operator {
+ public:
+  /// \brief Validates the configuration (e.g. a usable window anchor,
+  /// at most one per-tuple star) and builds the operator.
+  static Result<std::unique_ptr<SeqOperator>> Make(SeqOperatorConfig config);
+
+  /// \brief Port == position index.
+  Status OnTuple(size_t port, const Tuple& tuple) override;
+  Status OnHeartbeat(Timestamp now) override;
+
+  /// \brief Total tuples retained across all positions — the state-size
+  /// metric behind the paper's purging claims (bench E6).
+  size_t history_size() const;
+
+  uint64_t matches_emitted() const { return matches_emitted_; }
+
+ private:
+  // A history entry: one tuple for plain positions, a group for stars.
+  struct Entry {
+    std::vector<Tuple> tuples;
+    uint64_t first_seq = 0;
+    uint64_t last_seq = 0;
+    bool open = false;  // star group still accumulating
+
+    Timestamp first_ts() const { return tuples.front().ts(); }
+    Timestamp last_ts() const { return tuples.back().ts(); }
+  };
+
+  explicit SeqOperator(SeqOperatorConfig config);
+
+  // (ts, seq) strict ordering between entry boundaries.
+  static bool Before(Timestamp ts_a, uint64_t seq_a, Timestamp ts_b,
+                     uint64_t seq_b) {
+    return ts_a < ts_b || (ts_a == ts_b && seq_a < seq_b);
+  }
+
+  Result<bool> PassesArrivalFilter(size_t pos, const Tuple& tuple);
+  Result<bool> PassesStarGate(size_t pos, const Tuple& tuple,
+                              const Tuple& previous);
+  // Evaluate a pairwise constraint with both endpoints bound.
+  Result<bool> PassesPairwise(const PairwiseConstraint& c, const Entry& ea,
+                              const Entry& eb);
+  // All pairwise constraints between `pos` (candidate entry) and already
+  // chosen later positions.
+  Result<bool> PairwiseOkWithChosen(
+      size_t pos, const Entry& candidate,
+      const std::vector<const Entry*>& chosen);
+
+  bool WindowOk(size_t pos, const Entry& entry,
+                const std::vector<const Entry*>& chosen) const;
+
+  // Mode-specific match triggers; `trigger` is the just-completed entry
+  // for the final position.
+  Status MatchUnrestricted(const Entry& trigger);
+  Status MatchRecent(const Entry& trigger);
+  Status MatchChronicle(const Entry& trigger);
+  Status HandleConsecutive(size_t pos, const Tuple& tuple, uint64_t seq);
+
+  Status EnumerateFrom(int pos, std::vector<const Entry*>* chosen);
+  Status EmitMatch(const std::vector<const Entry*>& chosen);
+
+  Status StoreArrival(size_t pos, const Tuple& tuple, uint64_t seq);
+  void EvictByWindow(Timestamp now);
+  void PurgeRecent();
+
+  // Negative events: nearest bound (non-negated, chosen) neighbours.
+  const Entry* NextChosen(const std::vector<const Entry*>& chosen,
+                          size_t pos) const;
+  const Entry* PrevChosen(const std::vector<const Entry*>& chosen,
+                          int pos) const;
+  // True iff no stored tuple of any negated position falls strictly
+  // between its neighbouring chosen entries.
+  bool NegationOk(const std::vector<const Entry*>& chosen) const;
+
+  SeqOperatorConfig config_;
+  size_t n_;  // number of positions
+  bool last_is_star_;
+  bool recent_exact_purge_;  // purging is exact (no pairwise constraints)
+  std::vector<std::deque<Entry>> history_;  // per position
+  // CONSECUTIVE state: the current partial run, one entry per filled
+  // position (history_ is unused in that mode).
+  std::vector<Entry> run_;
+  uint64_t arrival_seq_ = 0;
+  uint64_t matches_emitted_ = 0;
+  RowScratch scratch_;
+};
+
+}  // namespace eslev
+
+#endif  // ESLEV_CEP_SEQ_OPERATOR_H_

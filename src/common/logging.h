@@ -1,0 +1,37 @@
+// Minimal assertion/logging macros (Arrow DCHECK style). Fatal checks are
+// for programmer errors only; recoverable conditions use Status.
+
+#ifndef ESLEV_COMMON_LOGGING_H_
+#define ESLEV_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+
+#define ESLEV_CHECK(cond)                                              \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      std::cerr << "CHECK failed: " #cond " at " << __FILE__ << ":"    \
+                << __LINE__ << std::endl;                              \
+      std::abort();                                                    \
+    }                                                                  \
+  } while (false)
+
+#define ESLEV_CHECK_OK(status_expr)                                    \
+  do {                                                                 \
+    ::eslev::Status _st = (status_expr);                               \
+    if (!_st.ok()) {                                                   \
+      std::cerr << "CHECK_OK failed: " << _st.ToString() << " at "     \
+                << __FILE__ << ":" << __LINE__ << std::endl;           \
+      std::abort();                                                    \
+    }                                                                  \
+  } while (false)
+
+#ifndef NDEBUG
+#define ESLEV_DCHECK(cond) ESLEV_CHECK(cond)
+#else
+#define ESLEV_DCHECK(cond) \
+  do {                     \
+  } while (false)
+#endif
+
+#endif  // ESLEV_COMMON_LOGGING_H_

@@ -1,0 +1,72 @@
+// Result<T>: value-or-Status, in the style of arrow::Result.
+
+#ifndef ESLEV_COMMON_RESULT_H_
+#define ESLEV_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace eslev {
+
+/// \brief Holds either a successfully produced T or the Status explaining
+/// why it could not be produced.
+///
+/// Use with ESLEV_ASSIGN_OR_RETURN for concise propagation:
+/// \code
+///   ESLEV_ASSIGN_OR_RETURN(auto plan, Analyze(ast));
+/// \endcode
+template <typename T>
+class Result {
+ public:
+  /// \brief Construct from a success value.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// \brief Construct from an error Status. Must not be OK.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(repr_).ok() &&
+           "Result constructed from OK Status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// \brief The error status, or OK when a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  /// \brief Access the value. Requires ok().
+  const T& ValueUnsafe() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& ValueUnsafe() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& ValueUnsafe() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  /// \brief Move the value out, or return `alternative` on error.
+  T ValueOr(T alternative) && {
+    if (ok()) return std::get<T>(std::move(repr_));
+    return alternative;
+  }
+
+  const T& operator*() const& { return ValueUnsafe(); }
+  T& operator*() & { return ValueUnsafe(); }
+  const T* operator->() const { return &ValueUnsafe(); }
+  T* operator->() { return &ValueUnsafe(); }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+}  // namespace eslev
+
+#endif  // ESLEV_COMMON_RESULT_H_

@@ -1,0 +1,137 @@
+// Status: lightweight error propagation for ESL-EV, in the style of
+// Arrow/RocksDB. Functions that can fail return Status (or Result<T>,
+// see result.h) instead of throwing.
+
+#ifndef ESLEV_COMMON_STATUS_H_
+#define ESLEV_COMMON_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace eslev {
+
+/// \brief Machine-readable category of a Status.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalid = 1,         // invalid argument / malformed input
+  kParseError = 2,      // SQL text could not be parsed
+  kBindError = 3,       // name resolution / type checking failed
+  kNotFound = 4,        // stream / table / column / function not found
+  kAlreadyExists = 5,   // duplicate registration
+  kOutOfRange = 6,      // index or window bound out of range
+  kTypeError = 7,       // runtime type mismatch
+  kNotImplemented = 8,  // feature outside the supported subset
+  kExecutionError = 9,  // runtime failure while processing tuples
+  kIoError = 10,        // I/O failure (file-backed workloads)
+};
+
+/// \brief Human-readable name of a StatusCode ("Invalid", "ParseError", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Success-or-error outcome of an operation.
+///
+/// A default-constructed Status is OK and carries no allocation; error
+/// states allocate a small state block with the code and message.
+class Status {
+ public:
+  Status() = default;
+
+  Status(StatusCode code, std::string msg) {
+    if (code != StatusCode::kOk) {
+      state_ = std::make_shared<State>(State{code, std::move(msg)});
+    }
+  }
+
+  /// \brief True iff this status represents success.
+  bool ok() const { return state_ == nullptr; }
+
+  StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
+
+  /// \brief The error message; empty for OK.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ ? state_->msg : kEmpty;
+  }
+
+  /// \brief "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool IsInvalid() const { return code() == StatusCode::kInvalid; }
+  bool IsParseError() const { return code() == StatusCode::kParseError; }
+  bool IsBindError() const { return code() == StatusCode::kBindError; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsTypeError() const { return code() == StatusCode::kTypeError; }
+  bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
+  bool IsExecutionError() const { return code() == StatusCode::kExecutionError; }
+  bool IsIoError() const { return code() == StatusCode::kIoError; }
+
+  static Status OK() { return Status(); }
+  static Status Invalid(std::string msg) {
+    return Status(StatusCode::kInvalid, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status BindError(std::string msg) {
+    return Status(StatusCode::kBindError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status ExecutionError(std::string msg) {
+    return Status(StatusCode::kExecutionError, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  // Shared so Status is cheap to copy (it is returned pervasively).
+  std::shared_ptr<const State> state_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+}  // namespace eslev
+
+/// \brief Propagate a non-OK Status to the caller.
+#define ESLEV_RETURN_NOT_OK(expr)                 \
+  do {                                            \
+    ::eslev::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                    \
+  } while (false)
+
+#define ESLEV_CONCAT_IMPL(x, y) x##y
+#define ESLEV_CONCAT(x, y) ESLEV_CONCAT_IMPL(x, y)
+
+/// \brief Evaluate a Result<T> expression; on error return the Status,
+/// otherwise assign the value to `lhs` (which may be a declaration).
+#define ESLEV_ASSIGN_OR_RETURN(lhs, rexpr)                          \
+  auto ESLEV_CONCAT(_res_, __LINE__) = (rexpr);                     \
+  if (!ESLEV_CONCAT(_res_, __LINE__).ok())                          \
+    return ESLEV_CONCAT(_res_, __LINE__).status();                  \
+  lhs = std::move(ESLEV_CONCAT(_res_, __LINE__)).ValueUnsafe()
+
+#endif  // ESLEV_COMMON_STATUS_H_

@@ -1,0 +1,40 @@
+// Small string helpers shared across the lexer, EPC handling, and tests.
+
+#ifndef ESLEV_COMMON_STRING_UTIL_H_
+#define ESLEV_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace eslev {
+
+/// \brief ASCII-only uppercase copy (SQL keywords are ASCII).
+std::string AsciiToUpper(std::string_view s);
+
+/// \brief ASCII-only lowercase copy.
+std::string AsciiToLower(std::string_view s);
+
+/// \brief Case-insensitive ASCII equality.
+bool AsciiEqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// \brief Split on a delimiter character; no trimming; empty pieces kept.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// \brief Join pieces with a separator.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+
+/// \brief Strip leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// \brief True iff `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// \brief SQL LIKE match with '%' (any run) and '_' (any single char).
+/// No escape character (matches the subset used in the paper).
+bool SqlLikeMatch(std::string_view text, std::string_view pattern);
+
+}  // namespace eslev
+
+#endif  // ESLEV_COMMON_STRING_UTIL_H_

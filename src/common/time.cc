@@ -1,0 +1,68 @@
+#include "common/time.h"
+
+#include <cstdio>
+
+#include "common/string_util.h"
+
+namespace eslev {
+
+Result<Duration> ParseTimeUnit(const std::string& unit) {
+  std::string u = AsciiToUpper(unit);
+  if (u == "MICROSECOND" || u == "MICROSECONDS") return kMicrosecond;
+  if (u == "MILLISECOND" || u == "MILLISECONDS") return kMillisecond;
+  if (u == "SECOND" || u == "SECONDS") return kSecond;
+  if (u == "MINUTE" || u == "MINUTES") return kMinute;
+  if (u == "HOUR" || u == "HOURS") return kHour;
+  if (u == "DAY" || u == "DAYS") return kDay;
+  return Status::ParseError("unknown time unit: " + unit);
+}
+
+std::string FormatDuration(Duration d) {
+  if (d == 0) return "0s";
+  std::string out;
+  if (d < 0) {
+    out += "-";
+    d = -d;
+  }
+  const Duration hours = d / kHour;
+  d %= kHour;
+  const Duration minutes = d / kMinute;
+  d %= kMinute;
+  const Duration seconds = d / kSecond;
+  d %= kSecond;
+  const Duration millis = d / kMillisecond;
+  d %= kMillisecond;
+  char buf[32];
+  if (hours > 0) {
+    std::snprintf(buf, sizeof(buf), "%lldh", static_cast<long long>(hours));
+    out += buf;
+  }
+  if (minutes > 0) {
+    std::snprintf(buf, sizeof(buf), "%lldm", static_cast<long long>(minutes));
+    out += buf;
+  }
+  if (seconds > 0) {
+    std::snprintf(buf, sizeof(buf), "%llds", static_cast<long long>(seconds));
+    out += buf;
+  }
+  if (millis > 0) {
+    std::snprintf(buf, sizeof(buf), "%lldms", static_cast<long long>(millis));
+    out += buf;
+  }
+  if (d > 0) {
+    std::snprintf(buf, sizeof(buf), "%lldus", static_cast<long long>(d));
+    out += buf;
+  }
+  return out;
+}
+
+std::string FormatTimestamp(Timestamp ts) {
+  char buf[48];
+  const long long secs = ts / kSecond;
+  long long micros = ts % kSecond;
+  if (micros < 0) micros += kSecond;
+  std::snprintf(buf, sizeof(buf), "%lld.%06llds", secs, micros);
+  return buf;
+}
+
+}  // namespace eslev

@@ -1,0 +1,53 @@
+// Timestamps and durations. ESL-EV timestamps are microseconds on a
+// single logical timeline (the "application time" of tuple arrival, per
+// the paper's totally ordered joint tuple history).
+
+#ifndef ESLEV_COMMON_TIME_H_
+#define ESLEV_COMMON_TIME_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+
+namespace eslev {
+
+/// \brief Microseconds since an arbitrary epoch.
+using Timestamp = int64_t;
+
+/// \brief A span of time in microseconds.
+using Duration = int64_t;
+
+constexpr Duration kMicrosecond = 1;
+constexpr Duration kMillisecond = 1000 * kMicrosecond;
+constexpr Duration kSecond = 1000 * kMillisecond;
+constexpr Duration kMinute = 60 * kSecond;
+constexpr Duration kHour = 60 * kMinute;
+constexpr Duration kDay = 24 * kHour;
+
+/// \brief Smallest representable timestamp (used as "no expiry yet").
+constexpr Timestamp kMinTimestamp = INT64_MIN;
+/// \brief Largest representable timestamp (used as "never expires").
+constexpr Timestamp kMaxTimestamp = INT64_MAX;
+
+/// \brief Convenience constructors for literal durations in tests/examples.
+constexpr Duration Seconds(int64_t n) { return n * kSecond; }
+constexpr Duration Milliseconds(int64_t n) { return n * kMillisecond; }
+constexpr Duration Minutes(int64_t n) { return n * kMinute; }
+constexpr Duration Hours(int64_t n) { return n * kHour; }
+
+/// \brief Parse an SQL window time unit keyword ("SECONDS", "MINUTE", ...)
+/// into the duration of one unit. Case-insensitive; both singular and
+/// plural spellings are accepted.
+Result<Duration> ParseTimeUnit(const std::string& unit);
+
+/// \brief Render a duration as a compact human string, e.g. "5s", "1h30m".
+std::string FormatDuration(Duration d);
+
+/// \brief Render a timestamp as seconds with microsecond precision,
+/// e.g. "12.000345s".
+std::string FormatTimestamp(Timestamp ts);
+
+}  // namespace eslev
+
+#endif  // ESLEV_COMMON_TIME_H_

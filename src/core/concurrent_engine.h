@@ -1,0 +1,84 @@
+// ConcurrentEngine: a lock-protected wrapper enabling multi-threaded
+// feeding of an Engine.
+//
+// The paper's semantics are defined on a totally ordered joint tuple
+// history, so the core Engine is single-threaded run-to-completion
+// (DESIGN.md §5). This wrapper serializes concurrent producers onto
+// that history: timestamps are monotonized under the lock (a tuple
+// arriving with an older timestamp than the engine clock is stamped at
+// the clock), matching how a DSMS ingests from multiple reader
+// connections whose local clocks drift slightly.
+
+#ifndef ESLEV_CORE_CONCURRENT_ENGINE_H_
+#define ESLEV_CORE_CONCURRENT_ENGINE_H_
+
+#include <mutex>
+
+#include "core/engine.h"
+
+namespace eslev {
+
+class ConcurrentEngine {
+ public:
+  explicit ConcurrentEngine(EngineOptions options = {}) : engine_(options) {}
+
+  /// \brief Serialized access for setup (DDL, query registration,
+  /// subscriptions). Callbacks registered through the engine run under
+  /// the ingestion lock; keep them short.
+  Status ExecuteScript(const std::string& sql) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return engine_.ExecuteScript(sql);
+  }
+
+  Result<QueryInfo> RegisterQuery(const std::string& sql) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return engine_.RegisterQuery(sql);
+  }
+
+  Status Subscribe(const std::string& stream, TupleCallback callback) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return engine_.Subscribe(stream, std::move(callback));
+  }
+
+  /// \brief Thread-safe push. The tuple's timestamp is clamped forward
+  /// to the engine clock so the joint history stays totally ordered no
+  /// matter how producer threads interleave.
+  Status Push(const std::string& stream, std::vector<Value> values,
+              Timestamp ts) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const Timestamp effective = std::max(ts, engine_.current_time());
+    return engine_.Push(stream, std::move(values), effective);
+  }
+
+  Status PushTuple(const std::string& stream, const Tuple& tuple) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (tuple.ts() < engine_.current_time()) {
+      Tuple clamped = tuple;
+      clamped.set_ts(engine_.current_time());
+      return engine_.PushTuple(stream, clamped);
+    }
+    return engine_.PushTuple(stream, tuple);
+  }
+
+  Status AdvanceTime(Timestamp now) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (now < engine_.current_time()) return Status::OK();  // stale tick
+    return engine_.AdvanceTime(now);
+  }
+
+  Result<std::vector<Tuple>> ExecuteSnapshot(const std::string& sql) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return engine_.ExecuteSnapshot(sql);
+  }
+
+  /// \brief Direct (unlocked) access for single-threaded phases.
+  Engine* engine() { return &engine_; }
+
+ private:
+  std::mutex mu_;
+  Engine engine_;
+};
+
+}  // namespace eslev
+
+#endif  // ESLEV_CORE_CONCURRENT_ENGINE_H_

@@ -1,0 +1,193 @@
+#include "core/engine.h"
+
+#include "common/string_util.h"
+#include "expr/sql_uda.h"
+#include "plan/snapshot_executor.h"
+
+namespace eslev {
+
+Engine::Engine(EngineOptions options) : options_(options) {}
+
+Engine::~Engine() = default;
+
+Status Engine::CreateStream(const std::string& name, SchemaPtr schema) {
+  const std::string key = AsciiToLower(name);
+  if (streams_.count(key) || tables_.count(key)) {
+    return Status::AlreadyExists("stream or table already exists: " + name);
+  }
+  auto stream = std::make_unique<Stream>(name, std::move(schema));
+  if (options_.default_retention > 0) {
+    stream->SetRetention(options_.default_retention);
+  }
+  streams_.emplace(key, std::move(stream));
+  return Status::OK();
+}
+
+Status Engine::CreateTable(const std::string& name, SchemaPtr schema) {
+  const std::string key = AsciiToLower(name);
+  if (streams_.count(key) || tables_.count(key)) {
+    return Status::AlreadyExists("stream or table already exists: " + name);
+  }
+  tables_.emplace(key, std::make_unique<Table>(name, std::move(schema)));
+  return Status::OK();
+}
+
+Stream* Engine::FindStream(const std::string& name) const {
+  auto it = streams_.find(AsciiToLower(name));
+  return it == streams_.end() ? nullptr : it->second.get();
+}
+
+Table* Engine::FindTable(const std::string& name) const {
+  auto it = tables_.find(AsciiToLower(name));
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+Status Engine::ExecuteScript(const std::string& sql) {
+  ESLEV_ASSIGN_OR_RETURN(auto statements, ParseScript(sql));
+  for (const StatementPtr& stmt : statements) {
+    ESLEV_RETURN_NOT_OK(ExecuteStatement(*stmt));
+  }
+  return Status::OK();
+}
+
+Status Engine::ExecuteStatement(const Statement& stmt) {
+  switch (stmt.kind) {
+    case StatementKind::kCreateStream:
+    case StatementKind::kCreateTable: {
+      const auto& create = static_cast<const CreateStmt&>(stmt);
+      SchemaPtr schema = Schema::Make(create.fields);
+      if (create.is_stream) {
+        return CreateStream(create.name, std::move(schema));
+      }
+      return CreateTable(create.name, std::move(schema));
+    }
+    case StatementKind::kCreateAggregate: {
+      const auto& create = static_cast<const CreateAggregateStmt&>(stmt);
+      ESLEV_ASSIGN_OR_RETURN(AggregateFunction fn,
+                             CompileSqlUda(create, registry_));
+      return registry_.RegisterAggregate(std::move(fn));
+    }
+    case StatementKind::kInsert:
+    case StatementKind::kSelect: {
+      ESLEV_ASSIGN_OR_RETURN(QueryInfo info, RegisterParsed(stmt));
+      (void)info;
+      return Status::OK();
+    }
+  }
+  return Status::Invalid("unknown statement kind");
+}
+
+Result<QueryInfo> Engine::RegisterQuery(const std::string& sql) {
+  ESLEV_ASSIGN_OR_RETURN(StatementPtr stmt, ParseStatement(sql));
+  return RegisterParsed(*stmt);
+}
+
+Result<QueryInfo> Engine::RegisterParsed(const Statement& stmt) {
+  Planner planner(this);
+  ESLEV_ASSIGN_OR_RETURN(PlannedQuery planned, planner.Plan(stmt));
+
+  QueryInfo info;
+  info.id = next_query_id_++;
+
+  if (planned.target_is_table) {
+    info.output_table = planned.target;
+  } else {
+    std::string out_name = planned.target;
+    if (out_name.empty()) {
+      // Bare SELECT: materialize the answer as a derived stream.
+      out_name = "_q" + std::to_string(info.id);
+      ESLEV_RETURN_NOT_OK(CreateStream(out_name, planned.output_schema));
+      derived_[AsciiToLower(out_name)] = true;
+    }
+    Stream* out = FindStream(out_name);
+    if (out == nullptr) {
+      return Status::NotFound("INSERT target not found: " + out_name);
+    }
+    derived_[AsciiToLower(out_name)] = true;
+    auto sink = std::make_unique<StreamInsertOperator>(out);
+    planned.tail->AddSink(sink.get(), 0);
+    sinks_.push_back(std::move(sink));
+    info.output_stream = out_name;
+  }
+
+  // Wire the source subscriptions last, so a partially built pipeline
+  // never observes tuples.
+  for (const auto& sub : planned.subscriptions) {
+    sub.stream->Subscribe(sub.op, sub.port);
+  }
+  queries_.push_back(std::move(planned));
+  return info;
+}
+
+Result<std::vector<Tuple>> Engine::ExecuteSnapshot(const std::string& sql) {
+  ESLEV_ASSIGN_OR_RETURN(StatementPtr stmt, ParseStatement(sql));
+  if (stmt->kind != StatementKind::kSelect) {
+    return Status::Invalid("snapshot queries must be SELECT statements");
+  }
+  SnapshotExecutor executor(this, clock_);
+  return executor.Execute(*static_cast<const SelectStatement&>(*stmt).select);
+}
+
+Result<std::string> Engine::Explain(const std::string& sql) {
+  ESLEV_ASSIGN_OR_RETURN(StatementPtr stmt, ParseStatement(sql));
+  if (stmt->kind != StatementKind::kInsert &&
+      stmt->kind != StatementKind::kSelect) {
+    return Status::Invalid("EXPLAIN applies to SELECT / INSERT statements");
+  }
+  Planner planner(this);
+  ESLEV_ASSIGN_OR_RETURN(PlannedQuery planned, planner.Plan(*stmt));
+  std::string out;
+  for (const std::string& note : planned.notes) {
+    out += note;
+    out += "\n";
+  }
+  out += "Output: (" + planned.output_schema->ToString() + ")";
+  if (!planned.target.empty()) {
+    out += planned.target_is_table ? " -> table " : " -> stream ";
+    out += planned.target;
+  }
+  return out;
+}
+
+Status Engine::Subscribe(const std::string& stream, TupleCallback callback) {
+  Stream* s = FindStream(stream);
+  if (s == nullptr) return Status::NotFound("stream not found: " + stream);
+  s->SubscribeCallback(std::move(callback));
+  return Status::OK();
+}
+
+Status Engine::Push(const std::string& stream, std::vector<Value> values,
+                    Timestamp ts) {
+  Stream* s = FindStream(stream);
+  if (s == nullptr) return Status::NotFound("stream not found: " + stream);
+  ESLEV_ASSIGN_OR_RETURN(Tuple tuple,
+                         MakeTuple(s->schema(), std::move(values), ts));
+  return PushTuple(stream, tuple);
+}
+
+Status Engine::PushTuple(const std::string& stream, const Tuple& tuple) {
+  Stream* s = FindStream(stream);
+  if (s == nullptr) return Status::NotFound("stream not found: " + stream);
+  if (options_.enforce_monotonic_time && tuple.ts() < clock_) {
+    return Status::OutOfRange(
+        "out-of-order tuple: ts " + FormatTimestamp(tuple.ts()) +
+        " is before the engine clock " + FormatTimestamp(clock_) +
+        " (the joint tuple history is totally ordered)");
+  }
+  clock_ = std::max(clock_, tuple.ts());
+  return s->Push(tuple);
+}
+
+Status Engine::AdvanceTime(Timestamp now) {
+  if (options_.enforce_monotonic_time && now < clock_) {
+    return Status::OutOfRange("time cannot move backwards");
+  }
+  clock_ = std::max(clock_, now);
+  for (auto& [key, stream] : streams_) {
+    if (derived_.count(key)) continue;  // reached through the pipelines
+    ESLEV_RETURN_NOT_OK(stream->Heartbeat(now));
+  }
+  return Status::OK();
+}
+
+}  // namespace eslev

@@ -1,0 +1,127 @@
+// Engine: the public API of the ESL-EV DSMS.
+//
+// Typical usage (Example 1, duplicate elimination):
+// \code
+//   Engine engine;
+//   ESLEV_CHECK_OK(engine.ExecuteScript(R"sql(
+//     CREATE STREAM readings(reader_id, tag_id, read_time);
+//     CREATE STREAM cleaned_readings(reader_id, tag_id, read_time);
+//     INSERT INTO cleaned_readings
+//     SELECT * FROM readings AS r1
+//     WHERE NOT EXISTS
+//       (SELECT * FROM TABLE( readings OVER
+//           (RANGE 1 seconds PRECEDING CURRENT)) AS r2
+//        WHERE r2.reader_id = r1.reader_id AND r2.tag_id = r1.tag_id);
+//   )sql"));
+//   engine.Subscribe("cleaned_readings", [](const Tuple& t) { ... });
+//   engine.Push("readings", {...values...}, ts);
+// \endcode
+//
+// Execution is single-threaded run-to-completion: Push() drives a tuple
+// through every subscribed pipeline before returning; AdvanceTime()
+// delivers heartbeats (active expiration) without tuples.
+
+#ifndef ESLEV_CORE_ENGINE_H_
+#define ESLEV_CORE_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "plan/catalog.h"
+#include "plan/planner.h"
+#include "sql/parser.h"
+
+namespace eslev {
+
+struct EngineOptions {
+  /// Retention for ad-hoc snapshot queries over streams; 0 disables.
+  /// Individual streams can override via Stream::SetRetention.
+  Duration default_retention = 0;
+  /// Reject out-of-order Push timestamps (the paper's joint tuple
+  /// history is totally ordered). When false, out-of-order tuples are
+  /// accepted and processed in arrival order.
+  bool enforce_monotonic_time = true;
+};
+
+/// \brief Handle to a registered continuous query.
+struct QueryInfo {
+  int id = 0;
+  /// Stream receiving the query's output (the INSERT target, or an
+  /// auto-created `_q<id>` stream for bare SELECTs). Empty when the
+  /// target is a table.
+  std::string output_stream;
+  /// Table receiving the output, when the INSERT target is a table.
+  std::string output_table;
+};
+
+class Engine : public Catalog {
+ public:
+  explicit Engine(EngineOptions options = {});
+  ~Engine() override;
+
+  // ---- DDL ---------------------------------------------------------------
+
+  Status CreateStream(const std::string& name, SchemaPtr schema);
+  Status CreateTable(const std::string& name, SchemaPtr schema);
+
+  // ---- queries -----------------------------------------------------------
+
+  /// \brief Run a script: DDL statements execute immediately; SELECT /
+  /// INSERT statements register as continuous queries.
+  Status ExecuteScript(const std::string& sql);
+
+  /// \brief Register one continuous query (SELECT or INSERT ... SELECT).
+  Result<QueryInfo> RegisterQuery(const std::string& sql);
+
+  /// \brief Ad-hoc one-shot query over tables and retained stream
+  /// history (§2.1 ad-hoc snapshot queries).
+  Result<std::vector<Tuple>> ExecuteSnapshot(const std::string& sql);
+
+  /// \brief Plan a query without registering it and describe the
+  /// resulting pipeline (one step per line, plus the output schema).
+  Result<std::string> Explain(const std::string& sql);
+
+  /// \brief Receive every tuple appearing on `stream`.
+  Status Subscribe(const std::string& stream, TupleCallback callback);
+
+  // ---- data --------------------------------------------------------------
+
+  /// \brief Append a tuple to a source stream; drives all subscribed
+  /// pipelines to completion before returning.
+  Status Push(const std::string& stream, std::vector<Value> values,
+              Timestamp ts);
+  Status PushTuple(const std::string& stream, const Tuple& tuple);
+
+  /// \brief Advance application time without a tuple: fires window
+  /// expirations (active expiration) across all pipelines.
+  Status AdvanceTime(Timestamp now);
+
+  Timestamp current_time() const { return clock_; }
+
+  // ---- catalog -----------------------------------------------------------
+
+  Stream* FindStream(const std::string& name) const override;
+  Table* FindTable(const std::string& name) const override;
+  const FunctionRegistry& registry() const override { return registry_; }
+  FunctionRegistry* mutable_registry() { return &registry_; }
+
+ private:
+  Status ExecuteStatement(const Statement& stmt);
+  Result<QueryInfo> RegisterParsed(const Statement& stmt);
+
+  EngineOptions options_;
+  FunctionRegistry registry_;
+  std::map<std::string, std::unique_ptr<Stream>> streams_;  // lower-case key
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+  std::map<std::string, bool> derived_;  // output streams of queries
+  std::vector<PlannedQuery> queries_;
+  std::vector<std::unique_ptr<Operator>> sinks_;
+  Timestamp clock_ = kMinTimestamp;
+  int next_query_id_ = 1;
+};
+
+}  // namespace eslev
+
+#endif  // ESLEV_CORE_ENGINE_H_

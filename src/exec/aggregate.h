@@ -1,0 +1,82 @@
+// AggregateOperator: continuous (optionally windowed, optionally grouped)
+// aggregation over a stream — Example 3's EPC-pattern COUNT, hourly
+// product counts, min/max sensor monitoring (paper §2.1).
+//
+// Emission model follows ESL's continuous-query semantics: each input
+// tuple updates its group and emits one output row reflecting the
+// group's new aggregate values (the "current answer" stream).
+
+#ifndef ESLEV_EXEC_AGGREGATE_H_
+#define ESLEV_EXEC_AGGREGATE_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "expr/bound_expr.h"
+#include "expr/function_registry.h"
+#include "sql/ast.h"
+#include "stream/operator.h"
+#include "stream/window_buffer.h"
+
+namespace eslev {
+
+/// \brief One aggregate computed by the operator.
+struct AggSpec {
+  const AggregateFunction* fn = nullptr;
+  BoundExprPtr arg;        // null for COUNT(*)
+  bool count_star = false;
+};
+
+class AggregateOperator : public Operator {
+ public:
+  /// \param aggs       the aggregate computations (BoundAggRef index i in
+  ///                    the projection reads aggs[i])
+  /// \param group_by   grouping key expressions (slot 0 = input tuple);
+  ///                    empty for a single global group
+  /// \param projection output expressions (may reference input columns,
+  ///                    group keys and BoundAggRef values)
+  /// \param having     optional filter on the output row (after aggs)
+  /// \param out_schema schema of emitted tuples
+  /// \param window     optional PRECEDING window; aggregates then cover
+  ///                    only the window contents
+  AggregateOperator(std::vector<AggSpec> aggs,
+                    std::vector<BoundExprPtr> group_by,
+                    std::vector<BoundExprPtr> projection, BoundExprPtr having,
+                    SchemaPtr out_schema, std::optional<WindowSpec> window);
+
+  Status OnTuple(size_t, const Tuple& tuple) override;
+  Status OnHeartbeat(Timestamp now) override;
+
+  size_t num_groups() const { return groups_.size(); }
+
+ private:
+  struct Group {
+    std::vector<std::unique_ptr<AggregateState>> states;
+  };
+  // Group keys are rendered Values; std::map keeps deterministic order.
+  using GroupKey = std::vector<std::string>;
+
+  Result<GroupKey> KeyOf(const Tuple& tuple);
+  Group* GetOrCreateGroup(const GroupKey& key);
+  Status AccumulateInto(Group* group, const Tuple& tuple, int sign);
+  Status RecomputeGroup(const GroupKey& key, Group* group);
+  Status EvictExpired(Timestamp now);
+
+  std::vector<AggSpec> aggs_;
+  std::vector<BoundExprPtr> group_by_;
+  std::vector<BoundExprPtr> projection_;
+  BoundExprPtr having_;
+  SchemaPtr out_schema_;
+  std::optional<WindowSpec> window_;
+  bool all_retractable_;
+
+  std::unique_ptr<WindowBuffer> buffer_;
+  std::map<GroupKey, Group> groups_;
+  RowScratch scratch_;
+};
+
+}  // namespace eslev
+
+#endif  // ESLEV_EXEC_AGGREGATE_H_

@@ -1,0 +1,183 @@
+// Stream-DB spanning operators (paper §2.1): persistent-table inserts,
+// correlated NOT EXISTS against a table (Example 2, location tracking),
+// and context-retrieval joins of a stream against a table.
+//
+// Slot convention for correlated predicates: slot 0 = table row (inner),
+// slot 1 = stream tuple (outer).
+
+#ifndef ESLEV_EXEC_TABLE_OPS_H_
+#define ESLEV_EXEC_TABLE_OPS_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "expr/bound_expr.h"
+#include "stream/operator.h"
+#include "storage/table.h"
+
+namespace eslev {
+
+/// \brief Appends each input tuple (optionally projected) to a table.
+class TableInsertOperator : public Operator {
+ public:
+  /// With empty `exprs` the input tuple is inserted as-is.
+  TableInsertOperator(Table* table, std::vector<BoundExprPtr> exprs)
+      : table_(table), exprs_(std::move(exprs)), scratch_(1) {}
+
+  Status OnTuple(size_t, const Tuple& tuple) override {
+    if (exprs_.empty()) {
+      ESLEV_RETURN_NOT_OK(table_->InsertTuple(tuple));
+      return Emit(tuple);
+    }
+    scratch_.SetTuple(0, &tuple);
+    std::vector<Value> values;
+    values.reserve(exprs_.size());
+    for (const auto& e : exprs_) {
+      ESLEV_ASSIGN_OR_RETURN(Value v, e->Eval(scratch_.Row()));
+      values.push_back(std::move(v));
+    }
+    ESLEV_ASSIGN_OR_RETURN(
+        Tuple row, MakeTuple(table_->schema(), std::move(values), tuple.ts()));
+    ESLEV_RETURN_NOT_OK(table_->InsertTuple(row));
+    return Emit(row);
+  }
+
+ private:
+  Table* table_;
+  std::vector<BoundExprPtr> exprs_;
+  RowScratch scratch_;
+};
+
+/// \brief Forwards the stream tuple only when no table row satisfies the
+/// correlated predicate — `WHERE NOT EXISTS (SELECT .. FROM table WHERE
+/// ...)` with a table inner (Example 2).
+///
+/// When (`probe_column`, `probe_expr`) is set, rows are located through
+/// the table's hash index on that column instead of a full scan.
+class TableNotExistsOperator : public Operator {
+ public:
+  TableNotExistsOperator(const Table* table, BoundExprPtr predicate)
+      : table_(table), predicate_(std::move(predicate)), scratch_(2) {}
+
+  Status SetProbe(std::string column, BoundExprPtr expr) {
+    if (!table_->schema() ||
+        table_->schema()->FindField(column) < 0) {
+      return Status::BindError("probe column not in table: " + column);
+    }
+    probe_column_ = std::move(column);
+    probe_expr_ = std::move(expr);
+    return Status::OK();
+  }
+
+  Status OnTuple(size_t, const Tuple& tuple) override {
+    ESLEV_ASSIGN_OR_RETURN(bool exists, Exists(tuple));
+    if (!exists) return Emit(tuple);
+    return Status::OK();
+  }
+
+ private:
+  Result<bool> Exists(const Tuple& outer) {
+    scratch_.SetTuple(1, &outer);
+    bool found = false;
+    auto check = [&](const Tuple& row) {
+      if (found) return;
+      scratch_.SetTuple(0, &row);
+      auto r = EvalPredicate(*predicate_, scratch_.Row());
+      if (r.ok() && *r) found = true;
+    };
+    if (probe_expr_) {
+      scratch_.SetTuple(0, nullptr);
+      ESLEV_ASSIGN_OR_RETURN(Value key, probe_expr_->Eval(scratch_.Row()));
+      ESLEV_RETURN_NOT_OK(table_->ScanEq(probe_column_, key, check));
+    } else {
+      table_->Scan(nullptr, check);
+    }
+    return found;
+  }
+
+  const Table* table_;
+  BoundExprPtr predicate_;
+  std::string probe_column_;
+  BoundExprPtr probe_expr_;
+  RowScratch scratch_;
+};
+
+/// \brief Context-retrieval join: for each stream tuple, emit one
+/// projected output per table row satisfying the correlated predicate.
+class StreamTableJoinOperator : public Operator {
+ public:
+  StreamTableJoinOperator(const Table* table, BoundExprPtr predicate,
+                          std::vector<BoundExprPtr> projection,
+                          SchemaPtr out_schema)
+      : table_(table),
+        predicate_(std::move(predicate)),
+        projection_(std::move(projection)),
+        out_schema_(std::move(out_schema)),
+        scratch_(2) {}
+
+  Status SetProbe(std::string column, BoundExprPtr expr) {
+    if (!table_->schema() ||
+        table_->schema()->FindField(column) < 0) {
+      return Status::BindError("probe column not in table: " + column);
+    }
+    probe_column_ = std::move(column);
+    probe_expr_ = std::move(expr);
+    return Status::OK();
+  }
+
+  Status OnTuple(size_t, const Tuple& tuple) override {
+    scratch_.SetTuple(1, &tuple);
+    Status status;
+    auto visit = [&](const Tuple& row) {
+      if (!status.ok()) return;
+      scratch_.SetTuple(0, &row);
+      auto pass = predicate_ ? EvalPredicate(*predicate_, scratch_.Row())
+                             : Result<bool>(true);
+      if (!pass.ok()) {
+        status = pass.status();
+        return;
+      }
+      if (!*pass) return;
+      std::vector<Value> values;
+      values.reserve(projection_.size());
+      for (const auto& e : projection_) {
+        auto v = e->Eval(scratch_.Row());
+        if (!v.ok()) {
+          status = v.status();
+          return;
+        }
+        values.push_back(std::move(v).ValueUnsafe());
+      }
+      auto out = MakeTuple(out_schema_, std::move(values), tuple.ts());
+      if (!out.ok()) {
+        status = out.status();
+        return;
+      }
+      status = Emit(*out);
+    };
+    if (probe_expr_) {
+      scratch_.SetTuple(0, nullptr);
+      ESLEV_ASSIGN_OR_RETURN(Value key, probe_expr_->Eval(scratch_.Row()));
+      ESLEV_RETURN_NOT_OK(table_->ScanEq(probe_column_, key, visit));
+    } else {
+      table_->Scan(nullptr, visit);
+    }
+    return status;
+  }
+
+ private:
+  const Table* table_;
+  BoundExprPtr predicate_;
+  std::vector<BoundExprPtr> projection_;
+  SchemaPtr out_schema_;
+  std::string probe_column_;
+  BoundExprPtr probe_expr_;
+  RowScratch scratch_;
+};
+
+}  // namespace eslev
+
+#endif  // ESLEV_EXEC_TABLE_OPS_H_

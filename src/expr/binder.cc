@@ -1,0 +1,154 @@
+#include "expr/binder.h"
+
+#include <limits>
+
+#include "common/string_util.h"
+
+namespace eslev {
+
+int BindScope::FindAlias(const std::string& alias) const {
+  int best = -1;
+  int best_depth = std::numeric_limits<int>::max();
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (AsciiEqualsIgnoreCase(entries_[i].alias, alias) &&
+        entries_[i].depth < best_depth) {
+      best = static_cast<int>(i);
+      best_depth = entries_[i].depth;
+    }
+  }
+  return best;
+}
+
+Result<std::pair<size_t, size_t>> BindScope::ResolveColumn(
+    const std::string& column) const {
+  int best_depth = std::numeric_limits<int>::max();
+  int matches_at_best = 0;
+  size_t slot = 0, col = 0;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    const int idx = entries_[i].schema->FindField(column);
+    if (idx < 0) continue;
+    if (entries_[i].depth < best_depth) {
+      best_depth = entries_[i].depth;
+      matches_at_best = 1;
+      slot = i;
+      col = static_cast<size_t>(idx);
+    } else if (entries_[i].depth == best_depth) {
+      ++matches_at_best;
+    }
+  }
+  if (matches_at_best == 0) {
+    return Status::BindError("column not found in any stream/table: " +
+                             column);
+  }
+  if (matches_at_best > 1) {
+    return Status::BindError("ambiguous column reference: " + column);
+  }
+  return std::make_pair(slot, col);
+}
+
+Result<BoundExprPtr> Binder::Bind(const Expr& expr) const {
+  switch (expr.kind) {
+    case ExprKind::kLiteral:
+      return BoundExprPtr(
+          new BoundLiteral(static_cast<const LiteralExpr&>(expr).value));
+    case ExprKind::kColumnRef:
+      return BindColumnRef(static_cast<const ColumnRefExpr&>(expr));
+    case ExprKind::kFuncCall:
+      return BindFuncCall(static_cast<const FuncCallExpr&>(expr));
+    case ExprKind::kStarAgg:
+      return BindStarAgg(static_cast<const StarAggExpr&>(expr));
+    case ExprKind::kUnary: {
+      const auto& u = static_cast<const UnaryExpr&>(expr);
+      ESLEV_ASSIGN_OR_RETURN(BoundExprPtr inner, Bind(*u.operand));
+      return BoundExprPtr(new BoundUnary(u.op, std::move(inner)));
+    }
+    case ExprKind::kBinary: {
+      const auto& b = static_cast<const BinaryExpr&>(expr);
+      ESLEV_ASSIGN_OR_RETURN(BoundExprPtr l, Bind(*b.lhs));
+      ESLEV_ASSIGN_OR_RETURN(BoundExprPtr r, Bind(*b.rhs));
+      return BoundExprPtr(new BoundBinary(b.op, std::move(l), std::move(r)));
+    }
+    case ExprKind::kExists:
+      return Status::BindError(
+          "EXISTS subqueries are planned, not bound directly (planner bug)");
+    case ExprKind::kSeq:
+      return Status::BindError(
+          "SEQ operators are planned, not bound directly (planner bug)");
+  }
+  return Status::BindError("unknown expression kind");
+}
+
+Result<BoundExprPtr> Binder::BindColumnRef(const ColumnRefExpr& ref) const {
+  if (!ref.qualifier.empty()) {
+    const int slot = scope_->FindAlias(ref.qualifier);
+    if (slot < 0) {
+      return Status::BindError("unknown stream/table alias: " +
+                               ref.qualifier);
+    }
+    const auto& entry = scope_->entries()[static_cast<size_t>(slot)];
+    ESLEV_ASSIGN_OR_RETURN(size_t col, entry.schema->FieldIndex(ref.column));
+    if (ref.previous && !entry.star) {
+      return Status::BindError(
+          "`.previous.` requires a starred SEQ argument: " + ref.ToString());
+    }
+    return BoundExprPtr(new BoundColumnRef(static_cast<size_t>(slot), col,
+                                           ref.previous, ref.ToString()));
+  }
+  if (ref.previous) {
+    return Status::BindError("`.previous.` requires a qualified reference");
+  }
+  ESLEV_ASSIGN_OR_RETURN(auto loc, scope_->ResolveColumn(ref.column));
+  return BoundExprPtr(
+      new BoundColumnRef(loc.first, loc.second, false, ref.ToString()));
+}
+
+Result<BoundExprPtr> Binder::BindFuncCall(const FuncCallExpr& call) const {
+  if (registry_->IsAggregate(call.name)) {
+    if (!aggregate_hook_) {
+      return Status::BindError(
+          "aggregate function not allowed in this context: " + call.name);
+    }
+    return aggregate_hook_(call);
+  }
+  if (call.star_arg) {
+    return Status::BindError("'*' argument only valid in aggregates: " +
+                             call.name);
+  }
+  ESLEV_ASSIGN_OR_RETURN(const ScalarFunction* fn,
+                         registry_->FindScalar(call.name));
+  const int argc = static_cast<int>(call.args.size());
+  if (argc < fn->min_args ||
+      (fn->max_args >= 0 && argc > fn->max_args)) {
+    return Status::BindError("wrong argument count for " + call.name);
+  }
+  std::vector<BoundExprPtr> args;
+  args.reserve(call.args.size());
+  for (const auto& a : call.args) {
+    ESLEV_ASSIGN_OR_RETURN(BoundExprPtr b, Bind(*a));
+    args.push_back(std::move(b));
+  }
+  return BoundExprPtr(new BoundScalarCall(fn, std::move(args)));
+}
+
+Result<BoundExprPtr> Binder::BindStarAgg(const StarAggExpr& agg) const {
+  const int slot = scope_->FindAlias(agg.stream);
+  if (slot < 0) {
+    return Status::BindError("unknown star-sequence alias: " + agg.stream);
+  }
+  const auto& entry = scope_->entries()[static_cast<size_t>(slot)];
+  if (!entry.star) {
+    return Status::BindError(
+        agg.stream + " is not a starred SEQ argument; " +
+        std::string(StarAggFnToString(agg.fn)) + "(" + agg.stream +
+        "*) is invalid");
+  }
+  int col = -1;
+  if (agg.fn != StarAggFn::kCount) {
+    ESLEV_ASSIGN_OR_RETURN(size_t c, entry.schema->FieldIndex(agg.column));
+    col = static_cast<int>(c);
+  }
+  return BoundExprPtr(new BoundStarAgg(agg.fn, static_cast<size_t>(slot), col,
+                                       agg.ToString()));
+}
+
+}  // namespace eslev

@@ -1,0 +1,83 @@
+// Binder: resolves AST expressions against a scope of aliased schemas,
+// producing BoundExpr trees.
+
+#ifndef ESLEV_EXPR_BINDER_H_
+#define ESLEV_EXPR_BINDER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "expr/bound_expr.h"
+#include "expr/function_registry.h"
+#include "sql/ast.h"
+#include "types/schema.h"
+
+namespace eslev {
+
+/// \brief One resolvable alias: `readings AS r1` contributes
+/// {alias="r1", schema=readings' schema}. `depth` separates subquery
+/// scopes: 0 is the innermost; outer scopes have larger depths and are
+/// shadowed by inner names. `star` marks starred SEQ arguments.
+struct ScopeEntry {
+  std::string alias;
+  SchemaPtr schema;
+  int depth = 0;
+  bool star = false;
+  /// Negated SEQ argument: bindable (its arrival filters need the
+  /// schema) but excluded from `*` expansion — it never carries a tuple.
+  bool negated = false;
+};
+
+/// \brief Name-resolution scope; entry order defines slot numbering.
+class BindScope {
+ public:
+  size_t AddEntry(ScopeEntry entry) {
+    entries_.push_back(std::move(entry));
+    return entries_.size() - 1;
+  }
+
+  const std::vector<ScopeEntry>& entries() const { return entries_; }
+  size_t size() const { return entries_.size(); }
+
+  /// \brief Slot of an alias (case-insensitive), or -1.
+  int FindAlias(const std::string& alias) const;
+
+  /// \brief Resolve an unqualified column: searches all entries, innermost
+  /// depth first; ambiguity within one depth is a BindError.
+  Result<std::pair<size_t, size_t>> ResolveColumn(
+      const std::string& column) const;
+
+ private:
+  std::vector<ScopeEntry> entries_;
+};
+
+class Binder {
+ public:
+  Binder(const BindScope* scope, const FunctionRegistry* registry)
+      : scope_(scope), registry_(registry) {}
+
+  /// \brief Install a hook that binds aggregate function calls (COUNT,
+  /// SUM, ...) to BoundAggRef slots. Without a hook, aggregate calls are
+  /// a BindError (they are only legal where the planner arranged states).
+  void set_aggregate_hook(
+      std::function<Result<BoundExprPtr>(const FuncCallExpr&)> hook) {
+    aggregate_hook_ = std::move(hook);
+  }
+
+  Result<BoundExprPtr> Bind(const Expr& expr) const;
+
+ private:
+  Result<BoundExprPtr> BindColumnRef(const ColumnRefExpr& ref) const;
+  Result<BoundExprPtr> BindFuncCall(const FuncCallExpr& call) const;
+  Result<BoundExprPtr> BindStarAgg(const StarAggExpr& agg) const;
+
+  const BindScope* scope_;
+  const FunctionRegistry* registry_;
+  std::function<Result<BoundExprPtr>(const FuncCallExpr&)> aggregate_hook_;
+};
+
+}  // namespace eslev
+
+#endif  // ESLEV_EXPR_BINDER_H_

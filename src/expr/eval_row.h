@@ -1,0 +1,77 @@
+// EvalRow: the runtime row context a bound expression evaluates against.
+//
+// A query's binder assigns each FROM-clause alias (or SEQ argument) a
+// *slot*. At evaluation time the operator supplies, per slot: the current
+// tuple, optionally the previous tuple (for `alias.previous.col` on star
+// sequences), and optionally the accumulated star group (for FIRST/LAST/
+// COUNT star aggregates). Correlated subqueries append the outer query's
+// slots after the inner ones, so inner names shadow outer names.
+
+#ifndef ESLEV_EXPR_EVAL_ROW_H_
+#define ESLEV_EXPR_EVAL_ROW_H_
+
+#include <vector>
+
+#include "types/tuple.h"
+#include "types/value.h"
+
+namespace eslev {
+
+struct EvalRow {
+  /// Current tuple per slot; entries may be null (e.g. unmatched stream).
+  const Tuple* const* slots = nullptr;
+  size_t num_slots = 0;
+  /// Previous tuple per slot, for `.previous.` references; may be null.
+  const Tuple* const* prev_slots = nullptr;
+  /// Star group per slot (accumulated tuples of a starred SEQ argument);
+  /// may be null.
+  const std::vector<Tuple>* const* star_groups = nullptr;
+  /// Pre-computed aggregate results referenced by BoundAggRef.
+  const std::vector<Value>* agg_values = nullptr;
+};
+
+/// \brief Owning scratch space for building an EvalRow incrementally.
+/// Operators keep one RowScratch and refill it per evaluation.
+class RowScratch {
+ public:
+  explicit RowScratch(size_t num_slots)
+      : slots_(num_slots, nullptr),
+        prevs_(num_slots, nullptr),
+        stars_(num_slots, nullptr) {}
+
+  void Clear() {
+    std::fill(slots_.begin(), slots_.end(), nullptr);
+    std::fill(prevs_.begin(), prevs_.end(), nullptr);
+    std::fill(stars_.begin(), stars_.end(), nullptr);
+    agg_values_ = nullptr;
+  }
+
+  void SetTuple(size_t slot, const Tuple* t) { slots_[slot] = t; }
+  void SetPrevious(size_t slot, const Tuple* t) { prevs_[slot] = t; }
+  void SetStarGroup(size_t slot, const std::vector<Tuple>* g) {
+    stars_[slot] = g;
+  }
+  void SetAggValues(const std::vector<Value>* v) { agg_values_ = v; }
+
+  size_t num_slots() const { return slots_.size(); }
+
+  EvalRow Row() const {
+    EvalRow row;
+    row.slots = slots_.data();
+    row.num_slots = slots_.size();
+    row.prev_slots = prevs_.data();
+    row.star_groups = stars_.data();
+    row.agg_values = agg_values_;
+    return row;
+  }
+
+ private:
+  std::vector<const Tuple*> slots_;
+  std::vector<const Tuple*> prevs_;
+  std::vector<const std::vector<Tuple>*> stars_;
+  const std::vector<Value>* agg_values_ = nullptr;
+};
+
+}  // namespace eslev
+
+#endif  // ESLEV_EXPR_EVAL_ROW_H_

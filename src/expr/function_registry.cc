@@ -1,0 +1,295 @@
+#include "expr/function_registry.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace eslev {
+
+namespace {
+
+
+// ---- built-in scalar functions --------------------------------------------
+
+// EPC codes are formatted "company.productcode.serialnumber" (paper §2.1).
+Result<std::vector<std::string>> EpcParts(const Value& v,
+                                          const std::string& fn) {
+  if (v.is_null()) return Status::Invalid(fn + ": NULL EPC");
+  if (v.type() != TypeId::kString) {
+    return Status::TypeError(fn + " expects a VARCHAR EPC code");
+  }
+  auto parts = Split(v.string_value(), '.');
+  if (parts.size() != 3) {
+    return Status::Invalid(fn + ": malformed EPC code '" + v.string_value() +
+                           "' (want company.product.serial)");
+  }
+  return parts;
+}
+
+Result<Value> ExtractSerial(const std::vector<Value>& args) {
+  if (args[0].is_null()) return Value::Null();
+  ESLEV_ASSIGN_OR_RETURN(auto parts, EpcParts(args[0], "extract_serial"));
+  char* end = nullptr;
+  const long long serial = std::strtoll(parts[2].c_str(), &end, 10);
+  if (end == parts[2].c_str() || *end != '\0') {
+    return Status::Invalid("extract_serial: non-numeric serial '" +
+                           parts[2] + "'");
+  }
+  return Value::Int(serial);
+}
+
+Result<Value> ExtractCompany(const std::vector<Value>& args) {
+  if (args[0].is_null()) return Value::Null();
+  ESLEV_ASSIGN_OR_RETURN(auto parts, EpcParts(args[0], "extract_company"));
+  return Value::String(parts[0]);
+}
+
+Result<Value> ExtractProduct(const std::vector<Value>& args) {
+  if (args[0].is_null()) return Value::Null();
+  ESLEV_ASSIGN_OR_RETURN(auto parts, EpcParts(args[0], "extract_product"));
+  return Value::String(parts[1]);
+}
+
+Result<Value> Length(const std::vector<Value>& args) {
+  if (args[0].is_null()) return Value::Null();
+  if (args[0].type() != TypeId::kString) {
+    return Status::TypeError("length expects VARCHAR");
+  }
+  return Value::Int(static_cast<int64_t>(args[0].string_value().size()));
+}
+
+Result<Value> Lower(const std::vector<Value>& args) {
+  if (args[0].is_null()) return Value::Null();
+  if (args[0].type() != TypeId::kString) {
+    return Status::TypeError("lower expects VARCHAR");
+  }
+  return Value::String(AsciiToLower(args[0].string_value()));
+}
+
+Result<Value> Upper(const std::vector<Value>& args) {
+  if (args[0].is_null()) return Value::Null();
+  if (args[0].type() != TypeId::kString) {
+    return Status::TypeError("upper expects VARCHAR");
+  }
+  return Value::String(AsciiToUpper(args[0].string_value()));
+}
+
+// substr(s, start_1based, len)
+Result<Value> Substr(const std::vector<Value>& args) {
+  if (args[0].is_null()) return Value::Null();
+  if (args[0].type() != TypeId::kString) {
+    return Status::TypeError("substr expects VARCHAR");
+  }
+  ESLEV_ASSIGN_OR_RETURN(int64_t start, args[1].AsInt64());
+  const std::string& s = args[0].string_value();
+  if (start < 1) start = 1;
+  if (static_cast<size_t>(start) > s.size()) return Value::String("");
+  size_t len = s.size();
+  if (args.size() == 3) {
+    ESLEV_ASSIGN_OR_RETURN(int64_t n, args[2].AsInt64());
+    len = n < 0 ? 0 : static_cast<size_t>(n);
+  }
+  return Value::String(s.substr(static_cast<size_t>(start - 1), len));
+}
+
+Result<Value> Abs(const std::vector<Value>& args) {
+  if (args[0].is_null()) return Value::Null();
+  if (args[0].type() == TypeId::kDouble) {
+    return Value::Double(std::abs(args[0].double_value()));
+  }
+  ESLEV_ASSIGN_OR_RETURN(int64_t v, args[0].AsInt64());
+  return Value::Int(v < 0 ? -v : v);
+}
+
+Result<Value> Coalesce(const std::vector<Value>& args) {
+  for (const Value& v : args) {
+    if (!v.is_null()) return v;
+  }
+  return Value::Null();
+}
+
+Result<Value> Concat(const std::vector<Value>& args) {
+  std::string out;
+  for (const Value& v : args) {
+    if (v.is_null()) return Value::Null();
+    out += v.ToString();
+  }
+  return Value::String(out);
+}
+
+// ---- built-in aggregates ---------------------------------------------------
+
+class CountState : public AggregateState {
+ public:
+  Status Accumulate(const Value& v) override {
+    if (!v.is_null()) ++count_;
+    return Status::OK();
+  }
+  Status Retract(const Value& v) override {
+    if (!v.is_null()) --count_;
+    return Status::OK();
+  }
+  Value Finalize() const override { return Value::Int(count_); }
+  void Reset() override { count_ = 0; }
+
+ private:
+  int64_t count_ = 0;
+};
+
+class SumState : public AggregateState {
+ public:
+  Status Accumulate(const Value& v) override { return Apply(v, +1); }
+  Status Retract(const Value& v) override { return Apply(v, -1); }
+  Value Finalize() const override {
+    if (count_ == 0) return Value::Null();
+    if (is_double_) return Value::Double(dsum_);
+    return Value::Int(isum_);
+  }
+  void Reset() override {
+    isum_ = 0;
+    dsum_ = 0;
+    count_ = 0;
+    is_double_ = false;
+  }
+
+ protected:
+  Status Apply(const Value& v, int sign) {
+    if (v.is_null()) return Status::OK();
+    if (v.type() == TypeId::kDouble) is_double_ = true;
+    ESLEV_ASSIGN_OR_RETURN(double d, v.AsDouble());
+    dsum_ += sign * d;
+    if (!is_double_) {
+      ESLEV_ASSIGN_OR_RETURN(int64_t i, v.AsInt64());
+      isum_ += sign * i;
+    }
+    count_ += sign;
+    return Status::OK();
+  }
+
+  int64_t isum_ = 0;
+  double dsum_ = 0;
+  int64_t count_ = 0;
+  bool is_double_ = false;
+};
+
+class AvgState : public SumState {
+ public:
+  Value Finalize() const override {
+    if (count_ == 0) return Value::Null();
+    return Value::Double(dsum_ / static_cast<double>(count_));
+  }
+};
+
+class MinMaxState : public AggregateState {
+ public:
+  explicit MinMaxState(bool is_min) : is_min_(is_min) {}
+  Status Accumulate(const Value& v) override {
+    if (v.is_null()) return Status::OK();
+    if (best_.is_null()) {
+      best_ = v;
+      return Status::OK();
+    }
+    ESLEV_ASSIGN_OR_RETURN(int cmp, v.Compare(best_));
+    if ((is_min_ && cmp < 0) || (!is_min_ && cmp > 0)) best_ = v;
+    return Status::OK();
+  }
+  Value Finalize() const override { return best_; }
+  void Reset() override { best_ = Value::Null(); }
+
+ private:
+  bool is_min_;
+  Value best_;
+};
+
+}  // namespace
+
+FunctionRegistry::FunctionRegistry() { RegisterBuiltins(); }
+
+void FunctionRegistry::RegisterBuiltins() {
+  auto add = [this](const char* name, int min_args, int max_args,
+                    ScalarFn fn, TypeId return_type) {
+    ScalarFunction f;
+    f.name = name;
+    f.min_args = min_args;
+    f.max_args = max_args;
+    f.fn = std::move(fn);
+    f.return_type = return_type;
+    scalars_.emplace(AsciiToLower(f.name), std::move(f));
+  };
+  add("extract_serial", 1, 1, ExtractSerial, TypeId::kInt64);
+  add("extract_company", 1, 1, ExtractCompany, TypeId::kString);
+  add("extract_product", 1, 1, ExtractProduct, TypeId::kString);
+  add("length", 1, 1, Length, TypeId::kInt64);
+  add("lower", 1, 1, Lower, TypeId::kString);
+  add("upper", 1, 1, Upper, TypeId::kString);
+  add("substr", 2, 3, Substr, TypeId::kString);
+  add("abs", 1, 1, Abs, TypeId::kNull);       // same as argument
+  add("coalesce", 1, -1, Coalesce, TypeId::kNull);
+  add("concat", 1, -1, Concat, TypeId::kString);
+
+  auto add_agg = [this](const char* name, bool retract,
+                        std::function<std::unique_ptr<AggregateState>()> mk,
+                        TypeId return_type) {
+    AggregateFunction f;
+    f.name = name;
+    f.supports_retract = retract;
+    f.make_state = std::move(mk);
+    f.return_type = return_type;
+    aggregates_.emplace(AsciiToLower(f.name), std::move(f));
+  };
+  add_agg("count", true, [] { return std::make_unique<CountState>(); },
+          TypeId::kInt64);
+  // SUM declares DOUBLE: runtime INT sums widen on insertion, and a group
+  // that later sees a DOUBLE cannot invalidate the output schema.
+  add_agg("sum", true, [] { return std::make_unique<SumState>(); },
+          TypeId::kDouble);
+  add_agg("avg", true, [] { return std::make_unique<AvgState>(); },
+          TypeId::kDouble);
+  add_agg("min", false, [] { return std::make_unique<MinMaxState>(true); },
+          TypeId::kNull);
+  add_agg("max", false, [] { return std::make_unique<MinMaxState>(false); },
+          TypeId::kNull);
+}
+
+Status FunctionRegistry::RegisterScalar(ScalarFunction fn) {
+  const std::string key = AsciiToLower(fn.name);
+  if (scalars_.count(key) || aggregates_.count(key)) {
+    return Status::AlreadyExists("function already registered: " + fn.name);
+  }
+  scalars_.emplace(key, std::move(fn));
+  return Status::OK();
+}
+
+Status FunctionRegistry::RegisterAggregate(AggregateFunction fn) {
+  const std::string key = AsciiToLower(fn.name);
+  if (scalars_.count(key) || aggregates_.count(key)) {
+    return Status::AlreadyExists("function already registered: " + fn.name);
+  }
+  aggregates_.emplace(key, std::move(fn));
+  return Status::OK();
+}
+
+Result<const ScalarFunction*> FunctionRegistry::FindScalar(
+    const std::string& name) const {
+  auto it = scalars_.find(AsciiToLower(name));
+  if (it == scalars_.end()) {
+    return Status::NotFound("scalar function not found: " + name);
+  }
+  return &it->second;
+}
+
+Result<const AggregateFunction*> FunctionRegistry::FindAggregate(
+    const std::string& name) const {
+  auto it = aggregates_.find(AsciiToLower(name));
+  if (it == aggregates_.end()) {
+    return Status::NotFound("aggregate function not found: " + name);
+  }
+  return &it->second;
+}
+
+bool FunctionRegistry::IsAggregate(const std::string& name) const {
+  return aggregates_.count(AsciiToLower(name)) > 0;
+}
+
+}  // namespace eslev

@@ -1,0 +1,89 @@
+// Scalar UDF and aggregate (UDA) registry. ESL exposes user-defined
+// functions/aggregates as first-class language citizens (paper §2.1,
+// Example 3 uses the UDF `extract_serial`); this registry is where both
+// built-ins and user extensions live.
+
+#ifndef ESLEV_EXPR_FUNCTION_REGISTRY_H_
+#define ESLEV_EXPR_FUNCTION_REGISTRY_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "types/value.h"
+
+namespace eslev {
+
+/// \brief Implementation of a scalar function.
+using ScalarFn = std::function<Result<Value>(const std::vector<Value>&)>;
+
+struct ScalarFunction {
+  std::string name;
+  int min_args = 0;
+  int max_args = 0;  // -1 for variadic
+  ScalarFn fn;
+  /// Declared result type, used to build output schemas. kNull means
+  /// "same as the first argument" (e.g. abs, coalesce).
+  TypeId return_type = TypeId::kString;
+};
+
+/// \brief One running instance of an aggregate (created per group).
+///
+/// The built-in aggregates follow SQL semantics: NULL inputs are skipped;
+/// COUNT(*) counts rows. `Retract` enables incremental sliding-window
+/// aggregation; aggregates that cannot retract return NotImplemented and
+/// the operator falls back to recomputation over the window buffer.
+class AggregateState {
+ public:
+  virtual ~AggregateState() = default;
+  virtual Status Accumulate(const Value& v) = 0;
+  virtual Status Retract(const Value& v) {
+    (void)v;
+    return Status::NotImplemented("aggregate does not support retraction");
+  }
+  virtual Value Finalize() const = 0;
+  virtual void Reset() = 0;
+};
+
+struct AggregateFunction {
+  std::string name;
+  bool supports_retract = false;
+  std::function<std::unique_ptr<AggregateState>()> make_state;
+  /// Declared result type; kNull means "same as the argument" (min/max).
+  TypeId return_type = TypeId::kNull;
+};
+
+/// \brief Name-indexed registry of scalar and aggregate functions.
+/// Lookup is case-insensitive. A fresh registry contains the built-ins.
+class FunctionRegistry {
+ public:
+  FunctionRegistry();
+
+  /// \brief Register a scalar UDF; AlreadyExists if the name is taken.
+  Status RegisterScalar(ScalarFunction fn);
+
+  /// \brief Register a UDA; AlreadyExists if the name is taken.
+  Status RegisterAggregate(AggregateFunction fn);
+
+  /// \brief Find a scalar function, NotFound otherwise.
+  Result<const ScalarFunction*> FindScalar(const std::string& name) const;
+
+  /// \brief Find an aggregate, NotFound otherwise.
+  Result<const AggregateFunction*> FindAggregate(
+      const std::string& name) const;
+
+  bool IsAggregate(const std::string& name) const;
+
+ private:
+  void RegisterBuiltins();
+
+  std::unordered_map<std::string, ScalarFunction> scalars_;
+  std::unordered_map<std::string, AggregateFunction> aggregates_;
+};
+
+}  // namespace eslev
+
+#endif  // ESLEV_EXPR_FUNCTION_REGISTRY_H_

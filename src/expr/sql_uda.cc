@@ -1,0 +1,87 @@
+#include "expr/sql_uda.h"
+
+#include "expr/binder.h"
+
+namespace eslev {
+
+namespace {
+
+// Shared compiled body; each group's state holds only its accumulator.
+struct UdaProgram {
+  SchemaPtr scope_schema;
+  BoundExprPtr initialize;
+  BoundExprPtr iterate;
+  BoundExprPtr terminate;  // may be null
+};
+
+class SqlUdaState : public AggregateState {
+ public:
+  explicit SqlUdaState(std::shared_ptr<const UdaProgram> program)
+      : program_(std::move(program)) {}
+
+  Status Accumulate(const Value& v) override {
+    // Scope row: (state, next, n) — n includes the current input.
+    Tuple row(program_->scope_schema,
+              {state_, v, Value::Int(count_ + 1)}, 0);
+    RowScratch scratch(1);
+    scratch.SetTuple(0, &row);
+    const BoundExpr& expr =
+        count_ == 0 ? *program_->initialize : *program_->iterate;
+    ESLEV_ASSIGN_OR_RETURN(state_, expr.Eval(scratch.Row()));
+    ++count_;
+    return Status::OK();
+  }
+
+  Value Finalize() const override {
+    if (count_ == 0) return Value::Null();
+    if (!program_->terminate) return state_;
+    Tuple row(program_->scope_schema,
+              {state_, Value::Null(), Value::Int(count_)}, 0);
+    RowScratch scratch(1);
+    scratch.SetTuple(0, &row);
+    auto result = program_->terminate->Eval(scratch.Row());
+    return result.ok() ? *result : Value::Null();
+  }
+
+  void Reset() override {
+    state_ = Value::Null();
+    count_ = 0;
+  }
+
+ private:
+  std::shared_ptr<const UdaProgram> program_;
+  Value state_;
+  int64_t count_ = 0;
+};
+
+}  // namespace
+
+Result<AggregateFunction> CompileSqlUda(const CreateAggregateStmt& stmt,
+                                        const FunctionRegistry& registry) {
+  auto program = std::make_shared<UdaProgram>();
+  // The declared column types are irrelevant: UDA values are dynamically
+  // typed and the binder only resolves names to slots.
+  program->scope_schema = Schema::Make({{"state", TypeId::kString},
+                                        {"next", TypeId::kString},
+                                        {"n", TypeId::kInt64}});
+  BindScope scope;
+  scope.AddEntry({"uda", program->scope_schema, 0, false});
+  Binder binder(&scope, &registry);
+
+  ESLEV_ASSIGN_OR_RETURN(program->initialize, binder.Bind(*stmt.initialize));
+  ESLEV_ASSIGN_OR_RETURN(program->iterate, binder.Bind(*stmt.iterate));
+  if (stmt.terminate) {
+    ESLEV_ASSIGN_OR_RETURN(program->terminate, binder.Bind(*stmt.terminate));
+  }
+
+  AggregateFunction fn;
+  fn.name = stmt.name;
+  fn.supports_retract = false;
+  fn.return_type = stmt.return_type;
+  fn.make_state = [program] {
+    return std::make_unique<SqlUdaState>(program);
+  };
+  return fn;
+}
+
+}  // namespace eslev

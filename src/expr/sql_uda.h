@@ -1,0 +1,31 @@
+// SQL-defined user-defined aggregates (ESL-style, paper §2.1): compile a
+// CREATE AGGREGATE statement's INITIALIZE / ITERATE / TERMINATE
+// expressions into an AggregateFunction.
+
+#ifndef ESLEV_EXPR_SQL_UDA_H_
+#define ESLEV_EXPR_SQL_UDA_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "expr/function_registry.h"
+#include "sql/ast.h"
+
+namespace eslev {
+
+/// \brief Compile a CreateAggregateStmt against the scalar functions in
+/// `registry` and return a registrable AggregateFunction.
+///
+/// The three expressions are bound against the synthetic scope
+/// (state, next, n): `state` is the accumulator (NULL before the first
+/// input), `next` the incoming value, and `n` the number of accumulated
+/// inputs (including the current one inside ITERATE). SQL UDAs do not
+/// support retraction, so windowed queries recompute over the buffer —
+/// the same fallback min/max use.
+Result<AggregateFunction> CompileSqlUda(const CreateAggregateStmt& stmt,
+                                        const FunctionRegistry& registry);
+
+}  // namespace eslev
+
+#endif  // ESLEV_EXPR_SQL_UDA_H_

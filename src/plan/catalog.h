@@ -1,0 +1,27 @@
+// Catalog: name resolution interface the planner uses to find streams,
+// tables and functions (implemented by core::Engine).
+
+#ifndef ESLEV_PLAN_CATALOG_H_
+#define ESLEV_PLAN_CATALOG_H_
+
+#include <string>
+
+#include "expr/function_registry.h"
+#include "storage/table.h"
+#include "stream/stream.h"
+
+namespace eslev {
+
+class Catalog {
+ public:
+  virtual ~Catalog() = default;
+  /// \brief Find a stream by name (case-insensitive); null when absent.
+  virtual Stream* FindStream(const std::string& name) const = 0;
+  /// \brief Find a table by name (case-insensitive); null when absent.
+  virtual Table* FindTable(const std::string& name) const = 0;
+  virtual const FunctionRegistry& registry() const = 0;
+};
+
+}  // namespace eslev
+
+#endif  // ESLEV_PLAN_CATALOG_H_

@@ -1,0 +1,100 @@
+// Planner: turns analyzed ESL-EV statements into operator pipelines.
+//
+// Query shapes supported (each maps to a paper scenario):
+//   1. Single-stream transducer: filter/project, windowed NOT EXISTS
+//      against the same or another stream (Examples 1, 8), NOT EXISTS
+//      against a table (Example 2), aggregation with UDFs (Example 3).
+//   2. Stream-table context-retrieval join (§2.1 Context Retrieval).
+//   3. SEQ queries over n streams with pairing modes, windows and star
+//      arguments (Examples 6, 7).
+//   4. EXCEPTION_SEQ / CLEVEL_SEQ queries (Example 5, §3.1.3).
+//
+// WHERE-clause conjuncts of a SEQ query are classified into:
+//   arrival filters (single position, no star constructs), star gates
+//   (contain `.previous.`), pairwise constraints (exactly two positions),
+//   and final checks (everything else) — see DESIGN.md §5.
+
+#ifndef ESLEV_PLAN_PLANNER_H_
+#define ESLEV_PLAN_PLANNER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "expr/binder.h"
+#include "plan/catalog.h"
+#include "sql/ast.h"
+#include "stream/operator.h"
+
+namespace eslev {
+
+/// \brief A fully wired continuous-query pipeline. The Engine owns the
+/// operators, makes the subscriptions, and attaches the output sink to
+/// `tail`.
+struct PlannedQuery {
+  struct Subscription {
+    Stream* stream;
+    Operator* op;
+    size_t port;
+  };
+
+  std::vector<std::unique_ptr<Operator>> operators;
+  std::vector<Subscription> subscriptions;
+  Operator* tail = nullptr;
+  SchemaPtr output_schema;
+
+  /// Human-readable plan steps, in execution order (EXPLAIN output).
+  std::vector<std::string> notes;
+
+  /// INSERT target name; empty for bare SELECTs. When the target is a
+  /// table the pipeline already ends in a TableInsertOperator.
+  std::string target;
+  bool target_is_table = false;
+};
+
+class Planner {
+ public:
+  explicit Planner(const Catalog* catalog) : catalog_(catalog) {}
+
+  /// \brief Plan a continuous query (INSERT INTO ... SELECT, or SELECT).
+  Result<PlannedQuery> Plan(const Statement& stmt);
+
+ private:
+  Result<PlannedQuery> PlanSelectInto(const SelectStmt& select,
+                                      const std::string& target);
+
+  Result<PlannedQuery> PlanSeqQuery(const SelectStmt& select,
+                                    const std::string& target,
+                                    std::vector<const Expr*> conjuncts);
+  Result<PlannedQuery> PlanStreamPipeline(
+      const SelectStmt& select, const std::string& target,
+      std::vector<const Expr*> conjuncts);
+  Result<PlannedQuery> PlanStreamTableJoin(
+      const SelectStmt& select, const std::string& target,
+      std::vector<const Expr*> conjuncts);
+
+  const Catalog* catalog_;
+};
+
+/// \brief Flatten a WHERE clause into its top-level AND conjuncts.
+void FlattenConjuncts(const Expr* where, std::vector<const Expr*>* out);
+
+/// \brief Collect which scope slots an expression references, whether it
+/// contains `.previous.` references, star aggregates, or subqueries.
+struct ExprRefs {
+  std::vector<bool> slots;  // size == scope size
+  bool has_previous = false;
+  bool has_star_agg = false;
+  bool has_exists = false;
+  bool has_seq = false;
+
+  int SingleSlot() const;  // the only referenced slot, or -1
+  size_t Count() const;
+};
+
+Result<ExprRefs> CollectRefs(const Expr& expr, const BindScope& scope);
+
+}  // namespace eslev
+
+#endif  // ESLEV_PLAN_PLANNER_H_

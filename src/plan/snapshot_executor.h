@@ -1,0 +1,50 @@
+// SnapshotExecutor: one-shot (ad-hoc) evaluation of a SELECT against
+// persistent tables and the retained history of streams — the paper's
+// §2.1 "ad-hoc snapshot queries" (e.g. a physician asking for a
+// patient's current location without persisting the location stream).
+
+#ifndef ESLEV_PLAN_SNAPSHOT_EXECUTOR_H_
+#define ESLEV_PLAN_SNAPSHOT_EXECUTOR_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "expr/binder.h"
+#include "plan/catalog.h"
+#include "sql/ast.h"
+
+namespace eslev {
+
+class SnapshotExecutor {
+ public:
+  /// \param now the engine clock, used to evaluate PRECEDING windows on
+  /// stream references.
+  SnapshotExecutor(const Catalog* catalog, Timestamp now)
+      : catalog_(catalog), now_(now) {}
+
+  /// \brief Execute a SELECT supporting: FROM over tables and retained
+  /// streams (cartesian), WHERE with (NOT) EXISTS subqueries, scalar
+  /// functions/UDFs, aggregates with GROUP BY / HAVING.
+  Result<std::vector<Tuple>> Execute(const SelectStmt& stmt);
+
+ private:
+  struct OuterContext {
+    std::vector<ScopeEntry> entries;        // depths already >= 1
+    std::vector<const Tuple*> tuples;       // aligned with entries
+  };
+
+  Result<std::vector<Tuple>> ExecuteInternal(const SelectStmt& stmt,
+                                             const OuterContext& outer,
+                                             bool exists_only,
+                                             bool* exists_out);
+
+  // Materialize the rows a FROM entry contributes.
+  Result<std::vector<Tuple>> SourceRows(const TableRef& ref) const;
+
+  const Catalog* catalog_;
+  Timestamp now_;
+};
+
+}  // namespace eslev
+
+#endif  // ESLEV_PLAN_SNAPSHOT_EXECUTOR_H_

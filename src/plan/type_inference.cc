@@ -1,0 +1,98 @@
+#include "plan/type_inference.h"
+
+namespace eslev {
+
+Result<TypeId> InferExprType(const Expr& expr, const BindScope& scope,
+                             const FunctionRegistry& registry) {
+  switch (expr.kind) {
+    case ExprKind::kLiteral:
+      return static_cast<const LiteralExpr&>(expr).value.type();
+    case ExprKind::kColumnRef: {
+      const auto& ref = static_cast<const ColumnRefExpr&>(expr);
+      if (!ref.qualifier.empty()) {
+        const int slot = scope.FindAlias(ref.qualifier);
+        if (slot < 0) {
+          return Status::BindError("unknown alias: " + ref.qualifier);
+        }
+        const auto& entry = scope.entries()[static_cast<size_t>(slot)];
+        ESLEV_ASSIGN_OR_RETURN(size_t col,
+                               entry.schema->FieldIndex(ref.column));
+        return entry.schema->field(col).type;
+      }
+      ESLEV_ASSIGN_OR_RETURN(auto loc, scope.ResolveColumn(ref.column));
+      return scope.entries()[loc.first].schema->field(loc.second).type;
+    }
+    case ExprKind::kStarAgg: {
+      const auto& agg = static_cast<const StarAggExpr&>(expr);
+      if (agg.fn == StarAggFn::kCount) return TypeId::kInt64;
+      const int slot = scope.FindAlias(agg.stream);
+      if (slot < 0) return Status::BindError("unknown alias: " + agg.stream);
+      const auto& entry = scope.entries()[static_cast<size_t>(slot)];
+      ESLEV_ASSIGN_OR_RETURN(size_t col, entry.schema->FieldIndex(agg.column));
+      return entry.schema->field(col).type;
+    }
+    case ExprKind::kFuncCall: {
+      const auto& call = static_cast<const FuncCallExpr&>(expr);
+      if (registry.IsAggregate(call.name)) {
+        ESLEV_ASSIGN_OR_RETURN(const AggregateFunction* fn,
+                               registry.FindAggregate(call.name));
+        if (fn->return_type != TypeId::kNull) return fn->return_type;
+        if (call.args.empty()) return TypeId::kInt64;  // count(*)
+        return InferExprType(*call.args[0], scope, registry);
+      }
+      ESLEV_ASSIGN_OR_RETURN(const ScalarFunction* fn,
+                             registry.FindScalar(call.name));
+      if (fn->return_type != TypeId::kNull) return fn->return_type;
+      if (call.args.empty()) return TypeId::kString;
+      return InferExprType(*call.args[0], scope, registry);
+    }
+    case ExprKind::kUnary: {
+      const auto& u = static_cast<const UnaryExpr&>(expr);
+      if (u.op == UnaryOp::kNot) return TypeId::kBool;
+      return InferExprType(*u.operand, scope, registry);
+    }
+    case ExprKind::kBinary: {
+      const auto& b = static_cast<const BinaryExpr&>(expr);
+      switch (b.op) {
+        case BinaryOp::kAnd:
+        case BinaryOp::kOr:
+        case BinaryOp::kEq:
+        case BinaryOp::kNe:
+        case BinaryOp::kLt:
+        case BinaryOp::kLe:
+        case BinaryOp::kGt:
+        case BinaryOp::kGe:
+        case BinaryOp::kLike:
+        case BinaryOp::kNotLike:
+          return TypeId::kBool;
+        default:
+          break;
+      }
+      ESLEV_ASSIGN_OR_RETURN(TypeId lt, InferExprType(*b.lhs, scope, registry));
+      ESLEV_ASSIGN_OR_RETURN(TypeId rt, InferExprType(*b.rhs, scope, registry));
+      if (lt == TypeId::kDouble || rt == TypeId::kDouble) {
+        return TypeId::kDouble;
+      }
+      const bool lts = lt == TypeId::kTimestamp;
+      const bool rts = rt == TypeId::kTimestamp;
+      if (lts && rts) return TypeId::kInt64;  // ts - ts -> duration
+      if (lts || rts) {
+        if (b.op == BinaryOp::kAdd || b.op == BinaryOp::kSub) {
+          return TypeId::kTimestamp;
+        }
+        return TypeId::kInt64;
+      }
+      return TypeId::kInt64;
+    }
+    case ExprKind::kExists:
+      return TypeId::kBool;
+    case ExprKind::kSeq: {
+      const auto& seq = static_cast<const SeqExpr&>(expr);
+      return seq.seq_kind == SeqKind::kClevelSeq ? TypeId::kInt64
+                                                 : TypeId::kBool;
+    }
+  }
+  return Status::BindError("cannot infer type");
+}
+
+}  // namespace eslev

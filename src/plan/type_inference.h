@@ -1,0 +1,22 @@
+// Best-effort static type inference for projecting expressions into
+// output stream/table schemas.
+
+#ifndef ESLEV_PLAN_TYPE_INFERENCE_H_
+#define ESLEV_PLAN_TYPE_INFERENCE_H_
+
+#include "common/result.h"
+#include "expr/binder.h"
+#include "expr/function_registry.h"
+#include "sql/ast.h"
+
+namespace eslev {
+
+/// \brief Infer the static result type of `expr` against `scope`.
+/// Scalar functions report their declared return type; arithmetic
+/// follows the evaluator's rules (timestamp difference is INT, etc.).
+Result<TypeId> InferExprType(const Expr& expr, const BindScope& scope,
+                             const FunctionRegistry& registry);
+
+}  // namespace eslev
+
+#endif  // ESLEV_PLAN_TYPE_INFERENCE_H_

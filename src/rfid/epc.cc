@@ -1,0 +1,131 @@
+#include "rfid/epc.h"
+
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace eslev {
+namespace rfid {
+
+std::string Epc::ToString() const {
+  return company + "." + product + "." + std::to_string(serial);
+}
+
+Result<Epc> ParseEpc(const std::string& text) {
+  auto parts = Split(text, '.');
+  if (parts.size() != 3) {
+    return Status::Invalid("malformed EPC '" + text +
+                           "' (want company.product.serial)");
+  }
+  if (parts[0].empty() || parts[1].empty() || parts[2].empty()) {
+    return Status::Invalid("malformed EPC '" + text + "' (empty field)");
+  }
+  char* end = nullptr;
+  const long long serial = std::strtoll(parts[2].c_str(), &end, 10);
+  if (end == parts[2].c_str() || *end != '\0') {
+    return Status::Invalid("non-numeric EPC serial in '" + text + "'");
+  }
+  Epc epc;
+  epc.company = parts[0];
+  epc.product = parts[1];
+  epc.serial = serial;
+  return epc;
+}
+
+bool AlePatternField::Matches(const std::string& value) const {
+  switch (kind) {
+    case Kind::kAny:
+      return true;
+    case Kind::kExact:
+      return value == exact;
+    case Kind::kRange: {
+      char* end = nullptr;
+      const long long v = std::strtoll(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0') return false;
+      return v >= lo && v <= hi;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+Result<AlePatternField> ParseField(const std::string& text) {
+  AlePatternField field;
+  if (text == "*") {
+    field.kind = AlePatternField::Kind::kAny;
+    return field;
+  }
+  if (text.size() >= 2 && text.front() == '[' && text.back() == ']') {
+    const std::string body = text.substr(1, text.size() - 2);
+    const size_t dash = body.find('-');
+    if (dash == std::string::npos) {
+      return Status::Invalid("malformed ALE range: " + text);
+    }
+    char* end = nullptr;
+    const std::string lo_text = body.substr(0, dash);
+    const std::string hi_text = body.substr(dash + 1);
+    field.lo = std::strtoll(lo_text.c_str(), &end, 10);
+    if (end == lo_text.c_str() || *end != '\0') {
+      return Status::Invalid("malformed ALE range bound: " + lo_text);
+    }
+    field.hi = std::strtoll(hi_text.c_str(), &end, 10);
+    if (end == hi_text.c_str() || *end != '\0') {
+      return Status::Invalid("malformed ALE range bound: " + hi_text);
+    }
+    if (field.lo > field.hi) {
+      return Status::Invalid("inverted ALE range: " + text);
+    }
+    field.kind = AlePatternField::Kind::kRange;
+    return field;
+  }
+  if (text.empty()) return Status::Invalid("empty ALE pattern field");
+  field.kind = AlePatternField::Kind::kExact;
+  field.exact = text;
+  return field;
+}
+
+std::string FieldToString(const AlePatternField& f) {
+  switch (f.kind) {
+    case AlePatternField::Kind::kAny:
+      return "*";
+    case AlePatternField::Kind::kExact:
+      return f.exact;
+    case AlePatternField::Kind::kRange:
+      return "[" + std::to_string(f.lo) + "-" + std::to_string(f.hi) + "]";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Result<AlePattern> AlePattern::Parse(const std::string& pattern) {
+  auto parts = Split(pattern, '.');
+  if (parts.size() != 3) {
+    return Status::Invalid("ALE pattern needs three fields: " + pattern);
+  }
+  AlePattern out;
+  ESLEV_ASSIGN_OR_RETURN(out.company_, ParseField(parts[0]));
+  ESLEV_ASSIGN_OR_RETURN(out.product_, ParseField(parts[1]));
+  ESLEV_ASSIGN_OR_RETURN(out.serial_, ParseField(parts[2]));
+  return out;
+}
+
+bool AlePattern::Matches(const Epc& epc) const {
+  return company_.Matches(epc.company) && product_.Matches(epc.product) &&
+         serial_.Matches(std::to_string(epc.serial));
+}
+
+bool AlePattern::Matches(const std::string& epc_text) const {
+  auto epc = ParseEpc(epc_text);
+  if (!epc.ok()) return false;
+  return Matches(*epc);
+}
+
+std::string AlePattern::ToString() const {
+  return FieldToString(company_) + "." + FieldToString(product_) + "." +
+         FieldToString(serial_);
+}
+
+}  // namespace rfid
+}  // namespace eslev

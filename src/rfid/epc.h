@@ -1,0 +1,61 @@
+// EPC (Electronic Product Code) handling in the paper's simplified
+// "company.productcode.serialnumber" format (§2.1, Example 3), plus
+// ALE-standard-style tag patterns such as `20.*.[5000-9999]`.
+
+#ifndef ESLEV_RFID_EPC_H_
+#define ESLEV_RFID_EPC_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+
+namespace eslev {
+namespace rfid {
+
+/// \brief A parsed EPC code.
+struct Epc {
+  std::string company;
+  std::string product;
+  int64_t serial = 0;
+
+  /// \brief Render as "company.product.serial".
+  std::string ToString() const;
+};
+
+/// \brief Parse "company.product.serial"; Invalid on malformed input.
+Result<Epc> ParseEpc(const std::string& text);
+
+/// \brief One field of an ALE tag pattern: an exact value, `*`, or a
+/// numeric range `[lo-hi]`.
+struct AlePatternField {
+  enum class Kind { kExact, kAny, kRange };
+  Kind kind = Kind::kAny;
+  std::string exact;
+  int64_t lo = 0;
+  int64_t hi = 0;
+
+  bool Matches(const std::string& value) const;
+};
+
+/// \brief An ALE tag pattern over the three EPC fields, e.g.
+/// `20.*.[5000-9999]` — company 20, any product, serial in [5000, 9999].
+class AlePattern {
+ public:
+  static Result<AlePattern> Parse(const std::string& pattern);
+
+  bool Matches(const Epc& epc) const;
+  bool Matches(const std::string& epc_text) const;
+
+  std::string ToString() const;
+
+ private:
+  AlePatternField company_;
+  AlePatternField product_;
+  AlePatternField serial_;
+};
+
+}  // namespace rfid
+}  // namespace eslev
+
+#endif  // ESLEV_RFID_EPC_H_

@@ -1,0 +1,35 @@
+// Trace persistence: save generated workloads to CSV and replay them —
+// the substitute for recorded production reader logs (DESIGN.md,
+// Substitutions). The format is one event per line:
+//
+//   stream,timestamp_us,v1,v2,...
+//
+// Values are rendered per the stream's schema; strings are quoted only
+// when they contain a comma or quote (doubled-quote escaping).
+
+#ifndef ESLEV_RFID_TRACE_IO_H_
+#define ESLEV_RFID_TRACE_IO_H_
+
+#include <map>
+#include <string>
+
+#include "common/result.h"
+#include "rfid/workloads.h"
+
+namespace eslev {
+namespace rfid {
+
+/// \brief Write a workload trace to `path` (ground-truth metadata is not
+/// persisted). IoError on filesystem failures.
+Status SaveTraceCsv(const Workload& workload, const std::string& path);
+
+/// \brief Read a trace; each stream's values are parsed against its
+/// schema from `schemas` (NotFound for an unknown stream name).
+Result<Workload> LoadTraceCsv(
+    const std::string& path,
+    const std::map<std::string, SchemaPtr>& schemas);
+
+}  // namespace rfid
+}  // namespace eslev
+
+#endif  // ESLEV_RFID_TRACE_IO_H_

@@ -1,0 +1,292 @@
+#include "rfid/workloads.h"
+
+#include <algorithm>
+#include <random>
+
+#include "common/logging.h"
+#include "rfid/epc.h"
+
+namespace eslev {
+namespace rfid {
+
+namespace {
+
+Tuple Reading(const SchemaPtr& schema, const std::string& reader,
+              const std::string& tag, Timestamp ts) {
+  auto t = MakeTuple(
+      schema, {Value::String(reader), Value::String(tag), Value::Time(ts)},
+      ts);
+  ESLEV_CHECK(t.ok());
+  return std::move(t).ValueUnsafe();
+}
+
+void SortByTime(Workload* w) {
+  std::stable_sort(w->events.begin(), w->events.end(),
+                   [](const TimedReading& a, const TimedReading& b) {
+                     return a.tuple.ts() < b.tuple.ts();
+                   });
+}
+
+}  // namespace
+
+SchemaPtr ReaderSchema() {
+  static SchemaPtr schema = Schema::Make({{"reader_id", TypeId::kString},
+                                          {"tag_id", TypeId::kString},
+                                          {"read_time", TypeId::kTimestamp}});
+  return schema;
+}
+
+// ---------------------------------------------------------------------------
+// Duplicates
+// ---------------------------------------------------------------------------
+
+Workload MakeDuplicateWorkload(const DuplicateWorkloadOptions& options) {
+  std::mt19937 rng(options.seed);
+  std::uniform_int_distribution<size_t> reader_dist(0,
+                                                    options.num_readers - 1);
+  std::uniform_int_distribution<Duration> spread_dist(
+      1, std::max<Duration>(1, options.duplicate_spread));
+
+  Workload w;
+  auto schema = ReaderSchema();
+  Timestamp ts = 0;
+  for (size_t i = 0; i < options.num_distinct; ++i) {
+    // Distinct readings are spaced so that two occurrences of the same
+    // (reader, tag) key never fall inside the dedup threshold: tags
+    // rotate round-robin, so the same tag recurs only after
+    // num_tags * inter_arrival.
+    ts += options.inter_arrival;
+    const std::string reader = "rd" + std::to_string(reader_dist(rng));
+    const std::string tag = "tag" + std::to_string(i % options.num_tags);
+    w.events.push_back({"readings", Reading(schema, reader, tag, ts)});
+    for (size_t d = 0; d < options.duplicates_per_read; ++d) {
+      w.events.push_back(
+          {"readings", Reading(schema, reader, tag, ts + spread_dist(rng))});
+    }
+  }
+  w.distinct_readings = options.num_distinct;
+  SortByTime(&w);
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// Packing (Figure 1)
+// ---------------------------------------------------------------------------
+
+PackingWorkload MakePackingWorkload(const PackingWorkloadOptions& options) {
+  std::mt19937 rng(options.seed);
+  std::uniform_int_distribution<size_t> size_dist(options.min_case_size,
+                                                  options.max_case_size);
+  std::uniform_int_distribution<Duration> gap_dist(
+      1, std::max<Duration>(1, options.max_intra_gap));
+
+  PackingWorkload w;
+  auto schema = ReaderSchema();
+  Timestamp ts = 0;
+  size_t product_id = 0;
+  for (size_t c = 0; c < options.num_cases; ++c) {
+    const size_t size = size_dist(rng);
+    w.case_sizes.push_back(size);
+    ts += options.inter_case_gap;  // > t1: closes the previous group
+    Timestamp last_item_ts = ts;
+    for (size_t i = 0; i < size; ++i) {
+      if (i > 0) ts += gap_dist(rng);  // <= t1: same group
+      last_item_ts = ts;
+      w.events.push_back(
+          {"R1", Reading(schema, "shelf",
+                         "item" + std::to_string(product_id++), ts)});
+    }
+    // The case reading: within t0 of the last item. With interleaving
+    // (Figure 1(b)), it arrives after the *next* case's items start, so
+    // its timestamp overlaps the next group; correctness then depends on
+    // CHRONICLE consumption, not timing order.
+    const Timestamp case_ts = last_item_ts + options.case_delay;
+    w.events.push_back(
+        {"R2",
+         Reading(schema, "packer", "case" + std::to_string(c), case_ts)});
+  }
+  w.expected_events = options.num_cases;
+  if (options.interleave_next_case) {
+    SortByTime(&w);
+  }
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// Quality-check pipeline
+// ---------------------------------------------------------------------------
+
+Workload MakeQualityCheckWorkload(
+    const QualityCheckWorkloadOptions& options) {
+  std::mt19937 rng(options.seed);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  std::uniform_int_distribution<Duration> jitter(
+      0, std::max<Duration>(1, options.stage_delay / 2));
+  std::uniform_int_distribution<size_t> drop_stage(1, options.num_stages - 1);
+
+  Workload w;
+  auto schema = ReaderSchema();
+  size_t completed = 0;
+  for (size_t p = 0; p < options.num_products; ++p) {
+    const Timestamp start =
+        static_cast<Timestamp>(p) * options.product_interval;
+    const bool dropped = unit(rng) < options.drop_rate;
+    const size_t missing = dropped ? drop_stage(rng) : options.num_stages;
+    bool complete = true;
+    Timestamp ts = start;
+    for (size_t s = 0; s < options.num_stages; ++s) {
+      if (s > 0) ts += options.stage_delay + jitter(rng);
+      if (s == missing) {
+        complete = false;
+        continue;  // reading lost at this stage
+      }
+      w.events.push_back(
+          {"C" + std::to_string(s + 1),
+           Reading(schema, "stage" + std::to_string(s + 1),
+                   "prod" + std::to_string(p), ts)});
+    }
+    if (complete) ++completed;
+  }
+  w.expected_events = completed;
+  SortByTime(&w);
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// Lab workflow
+// ---------------------------------------------------------------------------
+
+Workload MakeLabWorkflowWorkload(const LabWorkflowWorkloadOptions& options) {
+  std::mt19937 rng(options.seed);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+
+  Workload w;
+  auto schema = ReaderSchema();
+  Timestamp ts = 0;
+  const char* ops[3] = {"opA", "opB", "opC"};
+  for (size_t r = 0; r < options.num_rounds; ++r) {
+    ts += options.round_gap;
+    const double dice = unit(rng);
+    if (dice < options.wrong_start_rate) {
+      // Round begins with B: one level-0 violation, then a clean round.
+      w.events.push_back({"A2", Reading(schema, "staff", "opB", ts)});
+      ts += options.step_delay;
+      ++w.expected_exceptions;
+    } else if (dice < options.wrong_start_rate + options.wrong_order_rate) {
+      // A then C: violation mid-sequence.
+      w.events.push_back({"A1", Reading(schema, "staff", "opA", ts)});
+      ts += options.step_delay;
+      w.events.push_back({"A3", Reading(schema, "staff", "opC", ts)});
+      ts += options.step_delay;
+      ++w.expected_exceptions;
+      continue;
+    } else if (dice < options.wrong_start_rate + options.wrong_order_rate +
+                          options.timeout_rate) {
+      // A, B, then nothing until far past the window.
+      w.events.push_back({"A1", Reading(schema, "staff", "opA", ts)});
+      ts += options.step_delay;
+      w.events.push_back({"A2", Reading(schema, "staff", "opB", ts)});
+      ts += options.window + options.step_delay;  // stall past deadline
+      ++w.expected_exceptions;
+      continue;
+    }
+    // Clean round.
+    for (int s = 0; s < 3; ++s) {
+      w.events.push_back(
+          {"A" + std::to_string(s + 1), Reading(schema, "staff", ops[s], ts)});
+      ts += options.step_delay;
+    }
+  }
+  SortByTime(&w);
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// Door traffic / theft
+// ---------------------------------------------------------------------------
+
+Workload MakeDoorWorkload(const DoorWorkloadOptions& options) {
+  std::mt19937 rng(options.seed);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  std::uniform_int_distribution<Duration> near(
+      1, std::max<Duration>(1, options.window - Seconds(1)));
+
+  Workload w;
+  auto schema = Schema::Make({{"tagid", TypeId::kString},
+                              {"tagtype", TypeId::kString},
+                              {"tagtime", TypeId::kTimestamp}});
+  auto reading = [&](const std::string& id, const std::string& type,
+                     Timestamp ts) {
+    auto t = MakeTuple(
+        schema, {Value::String(id), Value::String(type), Value::Time(ts)},
+        ts);
+    ESLEV_CHECK(t.ok());
+    return std::move(t).ValueUnsafe();
+  };
+
+  size_t thefts = 0;
+  Timestamp ts = 0;
+  for (size_t i = 0; i < options.num_items; ++i) {
+    // Keep items far enough apart that authorization windows of
+    // neighbouring items never overlap.
+    ts += options.item_interval + 2 * options.window;
+    const std::string item = "item" + std::to_string(i);
+    const bool theft = unit(rng) < options.theft_rate;
+    if (theft) {
+      ++thefts;
+      w.events.push_back({"tag_readings", reading(item, "item", ts)});
+      continue;
+    }
+    // A person passes within the window, before or after the item.
+    const bool before = unit(rng) < 0.5;
+    const Duration offset = near(rng);
+    const Timestamp person_ts = before ? ts - offset : ts + offset;
+    w.events.push_back(
+        {"tag_readings",
+         reading("person" + std::to_string(i), "person", person_ts)});
+    w.events.push_back({"tag_readings", reading(item, "item", ts)});
+  }
+  w.expected_events = thefts;
+  SortByTime(&w);
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// EPC readings
+// ---------------------------------------------------------------------------
+
+Workload MakeEpcWorkload(const EpcWorkloadOptions& options) {
+  std::mt19937 rng(options.seed);
+  std::uniform_int_distribution<size_t> company_dist(
+      0, options.companies.size() - 1);
+  std::uniform_int_distribution<size_t> product_dist(0,
+                                                     options.num_products - 1);
+  std::uniform_int_distribution<int64_t> serial_dist(0, options.max_serial);
+
+  auto pattern = AlePattern::Parse(options.pattern);
+  ESLEV_CHECK(pattern.ok());
+
+  Workload w;
+  auto schema = Schema::Make({{"reader_id", TypeId::kString},
+                              {"tid", TypeId::kString},
+                              {"read_time", TypeId::kTimestamp}});
+  Timestamp ts = 0;
+  for (size_t i = 0; i < options.num_readings; ++i) {
+    ts += options.inter_arrival;
+    Epc epc;
+    epc.company = options.companies[company_dist(rng)];
+    epc.product = std::to_string(product_dist(rng));
+    epc.serial = serial_dist(rng);
+    if (pattern->Matches(epc)) ++w.expected_matches;
+    auto t = MakeTuple(schema,
+                       {Value::String("dock"), Value::String(epc.ToString()),
+                        Value::Time(ts)},
+                       ts);
+    ESLEV_CHECK(t.ok());
+    w.events.push_back({"readings", std::move(t).ValueUnsafe()});
+  }
+  return w;
+}
+
+}  // namespace rfid
+}  // namespace eslev

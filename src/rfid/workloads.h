@@ -1,0 +1,155 @@
+// Synthetic RFID workload generators — the reproduction's substitute for
+// physical readers and tags (see DESIGN.md, Substitutions). Each
+// generator produces a timestamp-ordered event trace plus the scenario's
+// ground truth, so benches can check correctness while they measure.
+//
+// All generators are deterministic given a seed.
+
+#ifndef ESLEV_RFID_WORKLOADS_H_
+#define ESLEV_RFID_WORKLOADS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "types/tuple.h"
+
+namespace eslev {
+namespace rfid {
+
+/// \brief One generated event: a tuple destined for a named stream.
+struct TimedReading {
+  std::string stream;
+  Tuple tuple;
+};
+
+/// \brief A generated trace, ordered by tuple timestamp.
+struct Workload {
+  std::vector<TimedReading> events;
+
+  // Scenario-specific ground truth (only the relevant fields are set).
+  size_t distinct_readings = 0;   // dedup: unique (reader,tag) events
+  size_t expected_events = 0;     // generic: events a correct engine finds
+  size_t expected_exceptions = 0; // workflow: violations injected
+  size_t expected_matches = 0;    // EPC: readings matching the pattern
+};
+
+/// \brief Schema used by reader streams:
+/// (reader_id VARCHAR, tag_id VARCHAR, read_time TIMESTAMP).
+SchemaPtr ReaderSchema();
+
+// ---------------------------------------------------------------------------
+// E1: duplicate-heavy reading stream (Example 1)
+// ---------------------------------------------------------------------------
+
+struct DuplicateWorkloadOptions {
+  size_t num_distinct = 1000;    // distinct logical readings
+  size_t duplicates_per_read = 3;  // extra copies of each reading
+  Duration duplicate_spread = Milliseconds(800);  // dups fall within this
+  Duration inter_arrival = Milliseconds(1500);    // gap between readings
+  size_t num_readers = 4;
+  size_t num_tags = 100;
+  uint32_t seed = 42;
+};
+
+/// \brief Readings on stream "readings"; ground truth: distinct_readings.
+Workload MakeDuplicateWorkload(const DuplicateWorkloadOptions& options);
+
+// ---------------------------------------------------------------------------
+// E4: Figure 1 packing scenario (Examples 4 & 7)
+// ---------------------------------------------------------------------------
+
+struct PackingWorkloadOptions {
+  size_t num_cases = 100;
+  size_t min_case_size = 2;
+  size_t max_case_size = 6;
+  Duration max_intra_gap = Milliseconds(900);  // < t1 = 1 s
+  Duration case_delay = Seconds(3);            // < t0 = 5 s after last item
+  Duration inter_case_gap = Seconds(4);        // > t1 between groups
+  bool interleave_next_case = true;            // Figure 1(b) behaviour
+  uint32_t seed = 42;
+};
+
+/// \brief Product readings on "R1", case readings on "R2"; ground truth:
+/// expected_events == num_cases and the per-case product counts.
+struct PackingWorkload : Workload {
+  std::vector<size_t> case_sizes;
+};
+
+PackingWorkload MakePackingWorkload(const PackingWorkloadOptions& options);
+
+// ---------------------------------------------------------------------------
+// E6/E7/E9/E10: four-stage quality-check pipeline (Example 6)
+// ---------------------------------------------------------------------------
+
+struct QualityCheckWorkloadOptions {
+  size_t num_products = 1000;
+  size_t num_stages = 4;           // streams C1..Cn
+  Duration stage_delay = Seconds(2);    // mean delay between stages
+  Duration product_interval = Seconds(1);  // new product enters this often
+  double drop_rate = 0.0;          // fraction of products losing one stage
+  uint32_t seed = 42;
+};
+
+/// \brief Stage readings on "C1".."Cn"; expected_events counts products
+/// passing all stages in order.
+Workload MakeQualityCheckWorkload(const QualityCheckWorkloadOptions& options);
+
+// ---------------------------------------------------------------------------
+// E5: lab workflow with violation injection (Example 5)
+// ---------------------------------------------------------------------------
+
+struct LabWorkflowWorkloadOptions {
+  size_t num_rounds = 200;
+  double wrong_order_rate = 0.05;  // e.g. C directly after A
+  double wrong_start_rate = 0.05;  // round begins with B
+  double timeout_rate = 0.05;      // round stalls past the window
+  Duration step_delay = Minutes(10);
+  Duration window = Hours(1);
+  Duration round_gap = Minutes(5);
+  uint32_t seed = 42;
+};
+
+/// \brief Operation readings on "A1".."A3"; expected_exceptions counts
+/// rounds with an injected violation (each raises at least one alert).
+Workload MakeLabWorkflowWorkload(const LabWorkflowWorkloadOptions& options);
+
+// ---------------------------------------------------------------------------
+// E8: door traffic with thefts (Example 8)
+// ---------------------------------------------------------------------------
+
+struct DoorWorkloadOptions {
+  size_t num_items = 1000;
+  double theft_rate = 0.05;      // items with no person nearby
+  Duration window = Minutes(1);  // authorization window tau
+  Duration item_interval = Seconds(30);
+  uint32_t seed = 42;
+};
+
+/// \brief Mixed person/item readings on "tag_readings"
+/// (tagid, tagtype, tagtime); expected_events counts thefts.
+Workload MakeDoorWorkload(const DoorWorkloadOptions& options);
+
+// ---------------------------------------------------------------------------
+// E3: EPC-coded readings (Example 3)
+// ---------------------------------------------------------------------------
+
+struct EpcWorkloadOptions {
+  size_t num_readings = 10000;
+  std::vector<std::string> companies = {"20", "21", "37"};
+  size_t num_products = 50;
+  int64_t max_serial = 12000;
+  Duration inter_arrival = Milliseconds(100);
+  uint32_t seed = 42;
+  // The pattern whose ground-truth match count is recorded.
+  std::string pattern = "20.*.[5000-9999]";
+};
+
+/// \brief EPC readings on "readings" (reader_id, tid, read_time);
+/// expected_matches counts readings matching `pattern`.
+Workload MakeEpcWorkload(const EpcWorkloadOptions& options);
+
+}  // namespace rfid
+}  // namespace eslev
+
+#endif  // ESLEV_RFID_WORKLOADS_H_

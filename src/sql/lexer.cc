@@ -1,0 +1,339 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace eslev {
+
+const char* TokenTypeToString(TokenType t) {
+  switch (t) {
+    case TokenType::kEnd:
+      return "end of input";
+    case TokenType::kIdentifier:
+      return "identifier";
+    case TokenType::kInteger:
+      return "integer";
+    case TokenType::kFloat:
+      return "float";
+    case TokenType::kString:
+      return "string";
+    case TokenType::kLParen:
+      return "'('";
+    case TokenType::kRParen:
+      return "')'";
+    case TokenType::kLBracket:
+      return "'['";
+    case TokenType::kRBracket:
+      return "']'";
+    case TokenType::kComma:
+      return "','";
+    case TokenType::kDot:
+      return "'.'";
+    case TokenType::kSemicolon:
+      return "';'";
+    case TokenType::kBang:
+      return "'!'";
+    case TokenType::kStar:
+      return "'*'";
+    case TokenType::kPlus:
+      return "'+'";
+    case TokenType::kMinus:
+      return "'-'";
+    case TokenType::kSlash:
+      return "'/'";
+    case TokenType::kPercent:
+      return "'%'";
+    case TokenType::kEq:
+      return "'='";
+    case TokenType::kNe:
+      return "'<>'";
+    case TokenType::kLt:
+      return "'<'";
+    case TokenType::kLe:
+      return "'<='";
+    case TokenType::kGt:
+      return "'>'";
+    case TokenType::kGe:
+      return "'>='";
+  }
+  return "?";
+}
+
+std::string Token::Describe() const {
+  if (type == TokenType::kIdentifier || type == TokenType::kInteger ||
+      type == TokenType::kFloat) {
+    return "'" + text + "'";
+  }
+  if (type == TokenType::kString) return "'" + text + "' (string)";
+  return TokenTypeToString(type);
+}
+
+namespace {
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& sql) : sql_(sql) {}
+
+  Result<std::vector<Token>> Run() {
+    std::vector<Token> out;
+    while (true) {
+      ESLEV_RETURN_NOT_OK(SkipWhitespaceAndComments());
+      Token tok;
+      tok.offset = pos_;
+      tok.line = line_;
+      tok.column = column_;
+      if (pos_ >= sql_.size()) {
+        tok.type = TokenType::kEnd;
+        out.push_back(std::move(tok));
+        return out;
+      }
+      ESLEV_RETURN_NOT_OK(LexOne(&tok));
+      out.push_back(std::move(tok));
+    }
+  }
+
+ private:
+  char Peek(size_t ahead = 0) const {
+    return pos_ + ahead < sql_.size() ? sql_[pos_ + ahead] : '\0';
+  }
+
+  void Advance() {
+    if (pos_ < sql_.size()) {
+      if (sql_[pos_] == '\n') {
+        ++line_;
+        column_ = 1;
+      } else {
+        ++column_;
+      }
+      ++pos_;
+    }
+  }
+
+  Status Error(const std::string& msg) const {
+    return Status::ParseError(msg + " at line " + std::to_string(line_) +
+                              ", column " + std::to_string(column_));
+  }
+
+  Status SkipWhitespaceAndComments() {
+    while (pos_ < sql_.size()) {
+      const char c = Peek();
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        Advance();
+      } else if (c == '-' && Peek(1) == '-') {
+        while (pos_ < sql_.size() && Peek() != '\n') Advance();
+      } else if (c == '/' && Peek(1) == '*') {
+        Advance();
+        Advance();
+        while (pos_ < sql_.size() && !(Peek() == '*' && Peek(1) == '/')) {
+          Advance();
+        }
+        if (pos_ >= sql_.size()) return Error("unterminated block comment");
+        Advance();
+        Advance();
+      } else {
+        break;
+      }
+    }
+    return Status::OK();
+  }
+
+  Status LexOne(Token* tok) {
+    const char c = Peek();
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      return LexIdentifier(tok);
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) return LexNumber(tok);
+    if (c == '\'') return LexString(tok);
+
+    // U+2264 (<=) appears in the paper's query listings; accept it.
+    if (static_cast<unsigned char>(c) == 0xE2 &&
+        static_cast<unsigned char>(Peek(1)) == 0x89) {
+      const unsigned char third = static_cast<unsigned char>(Peek(2));
+      if (third == 0xA4) {  // U+2264 LESS-THAN OR EQUAL TO
+        Advance();
+        Advance();
+        Advance();
+        tok->type = TokenType::kLe;
+        return Status::OK();
+      }
+      if (third == 0xA5) {  // U+2265 GREATER-THAN OR EQUAL TO
+        Advance();
+        Advance();
+        Advance();
+        tok->type = TokenType::kGe;
+        return Status::OK();
+      }
+    }
+
+    switch (c) {
+      case '(':
+        tok->type = TokenType::kLParen;
+        Advance();
+        return Status::OK();
+      case ')':
+        tok->type = TokenType::kRParen;
+        Advance();
+        return Status::OK();
+      case '[':
+        tok->type = TokenType::kLBracket;
+        Advance();
+        return Status::OK();
+      case ']':
+        tok->type = TokenType::kRBracket;
+        Advance();
+        return Status::OK();
+      case ',':
+        tok->type = TokenType::kComma;
+        Advance();
+        return Status::OK();
+      case '.':
+        tok->type = TokenType::kDot;
+        Advance();
+        return Status::OK();
+      case ';':
+        tok->type = TokenType::kSemicolon;
+        Advance();
+        return Status::OK();
+      case '*':
+        tok->type = TokenType::kStar;
+        Advance();
+        return Status::OK();
+      case '+':
+        tok->type = TokenType::kPlus;
+        Advance();
+        return Status::OK();
+      case '-':
+        tok->type = TokenType::kMinus;
+        Advance();
+        return Status::OK();
+      case '/':
+        tok->type = TokenType::kSlash;
+        Advance();
+        return Status::OK();
+      case '%':
+        tok->type = TokenType::kPercent;
+        Advance();
+        return Status::OK();
+      case '=':
+        tok->type = TokenType::kEq;
+        Advance();
+        return Status::OK();
+      case '!':
+        if (Peek(1) == '=') {
+          Advance();
+          Advance();
+          tok->type = TokenType::kNe;
+          return Status::OK();
+        }
+        Advance();
+        tok->type = TokenType::kBang;
+        return Status::OK();
+      case '<':
+        Advance();
+        if (Peek() == '=') {
+          Advance();
+          tok->type = TokenType::kLe;
+        } else if (Peek() == '>') {
+          Advance();
+          tok->type = TokenType::kNe;
+        } else {
+          tok->type = TokenType::kLt;
+        }
+        return Status::OK();
+      case '>':
+        Advance();
+        if (Peek() == '=') {
+          Advance();
+          tok->type = TokenType::kGe;
+        } else {
+          tok->type = TokenType::kGt;
+        }
+        return Status::OK();
+      default:
+        return Error(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  Status LexIdentifier(Token* tok) {
+    const size_t start = pos_;
+    while (pos_ < sql_.size() &&
+           (std::isalnum(static_cast<unsigned char>(Peek())) ||
+            Peek() == '_')) {
+      Advance();
+    }
+    tok->type = TokenType::kIdentifier;
+    tok->text = sql_.substr(start, pos_ - start);
+    return Status::OK();
+  }
+
+  Status LexNumber(Token* tok) {
+    const size_t start = pos_;
+    while (std::isdigit(static_cast<unsigned char>(Peek()))) Advance();
+    bool is_float = false;
+    // Only treat '.' as a decimal point when followed by a digit, so that
+    // qualified references after integers (rare) keep working.
+    if (Peek() == '.' &&
+        std::isdigit(static_cast<unsigned char>(Peek(1)))) {
+      is_float = true;
+      Advance();
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) Advance();
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      size_t save = pos_;
+      Advance();
+      if (Peek() == '+' || Peek() == '-') Advance();
+      if (std::isdigit(static_cast<unsigned char>(Peek()))) {
+        is_float = true;
+        while (std::isdigit(static_cast<unsigned char>(Peek()))) Advance();
+      } else {
+        pos_ = save;  // 'e' begins an identifier (e.g., `5 seconds`)
+      }
+    }
+    tok->text = sql_.substr(start, pos_ - start);
+    if (is_float) {
+      tok->type = TokenType::kFloat;
+      tok->float_value = std::strtod(tok->text.c_str(), nullptr);
+    } else {
+      tok->type = TokenType::kInteger;
+      tok->int_value = std::strtoll(tok->text.c_str(), nullptr, 10);
+    }
+    return Status::OK();
+  }
+
+  Status LexString(Token* tok) {
+    Advance();  // opening quote
+    std::string value;
+    while (true) {
+      if (pos_ >= sql_.size()) return Error("unterminated string literal");
+      const char c = Peek();
+      if (c == '\'') {
+        if (Peek(1) == '\'') {  // escaped quote: ''
+          value.push_back('\'');
+          Advance();
+          Advance();
+          continue;
+        }
+        Advance();
+        break;
+      }
+      value.push_back(c);
+      Advance();
+    }
+    tok->type = TokenType::kString;
+    tok->text = std::move(value);
+    return Status::OK();
+  }
+
+  const std::string& sql_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  return Lexer(sql).Run();
+}
+
+}  // namespace eslev

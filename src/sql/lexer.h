@@ -1,0 +1,26 @@
+// Hand-written lexer for the ESL-EV SQL dialect.
+//
+// Notes specific to this dialect:
+//  * `--` starts a line comment; `/* */` is a block comment.
+//  * `<=` may also be written as the Unicode character U+2264 (the paper's
+//    examples use it); it lexes to kLe.
+//  * Identifiers are [A-Za-z_][A-Za-z0-9_]*; keywords are plain
+//    identifiers, resolved case-insensitively by the parser.
+
+#ifndef ESLEV_SQL_LEXER_H_
+#define ESLEV_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/token.h"
+
+namespace eslev {
+
+/// \brief Tokenize `sql`; the final token is always kEnd.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace eslev
+
+#endif  // ESLEV_SQL_LEXER_H_

@@ -1,0 +1,28 @@
+// Recursive-descent parser for the ESL-EV dialect (see ast.h for the
+// grammar summary). Keywords are matched case-insensitively and only in
+// keyword positions, so most keywords remain usable as identifiers.
+
+#ifndef ESLEV_SQL_PARSER_H_
+#define ESLEV_SQL_PARSER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace eslev {
+
+/// \brief Parse a single statement (trailing ';' optional).
+Result<StatementPtr> ParseStatement(const std::string& sql);
+
+/// \brief Parse a ';'-separated script into statements.
+Result<std::vector<StatementPtr>> ParseScript(const std::string& sql);
+
+/// \brief Parse a standalone scalar/boolean expression (used by tests).
+Result<ExprPtr> ParseExpression(const std::string& text);
+
+}  // namespace eslev
+
+#endif  // ESLEV_SQL_PARSER_H_

@@ -1,0 +1,55 @@
+// Token stream produced by the ESL-EV lexer.
+
+#ifndef ESLEV_SQL_TOKEN_H_
+#define ESLEV_SQL_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace eslev {
+
+enum class TokenType : int {
+  kEnd = 0,
+  kIdentifier,   // readings, r1, SELECT (keywords resolved by the parser)
+  kInteger,      // 42
+  kFloat,        // 1.5
+  kString,       // 'person'
+  kLParen,       // (
+  kRParen,       // )
+  kLBracket,     // [
+  kRBracket,     // ]
+  kComma,        // ,
+  kDot,          // .
+  kSemicolon,    // ;
+  kStar,         // *
+  kPlus,         // +
+  kMinus,        // -
+  kSlash,        // /
+  kPercent,      // %
+  kBang,         // !   (negative SEQ arguments)
+  kEq,           // =
+  kNe,           // <> or !=
+  kLt,           // <
+  kLe,           // <=
+  kGt,           // >
+  kGe,           // >=
+};
+
+/// \brief Token name for diagnostics.
+const char* TokenTypeToString(TokenType t);
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;      // raw text (string literals unquoted)
+  int64_t int_value = 0;
+  double float_value = 0;
+  size_t offset = 0;     // byte offset into the query for error messages
+  int line = 1;
+  int column = 1;
+
+  std::string Describe() const;
+};
+
+}  // namespace eslev
+
+#endif  // ESLEV_SQL_TOKEN_H_

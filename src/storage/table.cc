@@ -1,0 +1,103 @@
+#include "storage/table.h"
+
+#include <algorithm>
+
+namespace eslev {
+
+Status Table::Insert(std::vector<Value> values, Timestamp ts) {
+  ESLEV_ASSIGN_OR_RETURN(Tuple t, MakeTuple(schema_, std::move(values), ts));
+  return InsertTuple(t);
+}
+
+Status Table::InsertTuple(const Tuple& tuple) {
+  if (tuple.size() != schema_->num_fields()) {
+    return Status::Invalid("row arity does not match table " + name_);
+  }
+  rows_.push_back(tuple);
+  if (indexed_column_) {
+    index_.emplace(tuple.value(*indexed_column_).Hash(), rows_.size() - 1);
+  }
+  return Status::OK();
+}
+
+size_t Table::Scan(const std::function<bool(const Tuple&)>& pred,
+                   const std::function<void(const Tuple&)>& visit) const {
+  size_t n = 0;
+  for (const Tuple& row : rows_) {
+    if (!pred || pred(row)) {
+      visit(row);
+      ++n;
+    }
+  }
+  return n;
+}
+
+bool Table::Any(const std::function<bool(const Tuple&)>& pred) const {
+  for (const Tuple& row : rows_) {
+    if (pred(row)) return true;
+  }
+  return false;
+}
+
+Status Table::ScanEq(const std::string& column, const Value& v,
+                     const std::function<void(const Tuple&)>& visit) const {
+  ESLEV_ASSIGN_OR_RETURN(size_t col, schema_->FieldIndex(column));
+  if (indexed_column_ && *indexed_column_ == col) {
+    auto range = index_.equal_range(v.Hash());
+    for (auto it = range.first; it != range.second; ++it) {
+      const Tuple& row = rows_[it->second];
+      if (row.value(col) == v) visit(row);
+    }
+    return Status::OK();
+  }
+  for (const Tuple& row : rows_) {
+    if (row.value(col) == v) visit(row);
+  }
+  return Status::OK();
+}
+
+Result<size_t> Table::Update(const std::function<bool(const Tuple&)>& pred,
+                             const std::string& set_column,
+                             const Value& set_value) {
+  ESLEV_ASSIGN_OR_RETURN(size_t col, schema_->FieldIndex(set_column));
+  size_t n = 0;
+  for (Tuple& row : rows_) {
+    if (pred(row)) {
+      row.mutable_value(col) = set_value;
+      ++n;
+    }
+  }
+  if (n > 0 && indexed_column_ && *indexed_column_ == col) ReindexAll();
+  return n;
+}
+
+size_t Table::Delete(const std::function<bool(const Tuple&)>& pred) {
+  const size_t before = rows_.size();
+  rows_.erase(std::remove_if(rows_.begin(), rows_.end(), pred), rows_.end());
+  const size_t removed = before - rows_.size();
+  if (removed > 0 && indexed_column_) ReindexAll();
+  return removed;
+}
+
+Status Table::CreateIndex(const std::string& column) {
+  ESLEV_ASSIGN_OR_RETURN(size_t col, schema_->FieldIndex(column));
+  indexed_column_ = col;
+  ReindexAll();
+  return Status::OK();
+}
+
+bool Table::HasIndex(const std::string& column) const {
+  if (!indexed_column_) return false;
+  const int col = schema_->FindField(column);
+  return col >= 0 && static_cast<size_t>(col) == *indexed_column_;
+}
+
+void Table::ReindexAll() {
+  index_.clear();
+  if (!indexed_column_) return;
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    index_.emplace(rows_[i].value(*indexed_column_).Hash(), i);
+  }
+}
+
+}  // namespace eslev

@@ -1,0 +1,67 @@
+// Operator: base class of the push-based execution DAG.
+//
+// Execution model (single-threaded, run-to-completion): the Engine pushes
+// a source tuple into a Stream, which forwards it to subscribed
+// operators; operators process and Emit() derived tuples to their sinks,
+// which may include other operators, derived Streams, and user
+// callbacks. Heartbeats (OnHeartbeat) carry time forward without tuples,
+// enabling *active expiration* — the paper's requirement that
+// EXCEPTION_SEQ window expirations fire without new arrivals (§3.1.3).
+
+#ifndef ESLEV_STREAM_OPERATOR_H_
+#define ESLEV_STREAM_OPERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "types/tuple.h"
+
+namespace eslev {
+
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  /// \brief Process one input tuple arriving on `port` (operators with a
+  /// single input use port 0).
+  virtual Status OnTuple(size_t port, const Tuple& tuple) = 0;
+
+  /// \brief Advance wall-clock/application time without a tuple.
+  /// Default: propagate to sinks so expirations cascade.
+  virtual Status OnHeartbeat(Timestamp now) { return EmitHeartbeat(now); }
+
+  /// \brief Connect `op` as a downstream sink receiving on `port`.
+  void AddSink(Operator* op, size_t port = 0) { sinks_.push_back({op, port}); }
+
+  uint64_t tuples_emitted() const { return tuples_emitted_; }
+
+ protected:
+  /// \brief Forward a derived tuple to all sinks.
+  Status Emit(const Tuple& tuple) {
+    ++tuples_emitted_;
+    for (const Sink& s : sinks_) {
+      ESLEV_RETURN_NOT_OK(s.op->OnTuple(s.port, tuple));
+    }
+    return Status::OK();
+  }
+
+  Status EmitHeartbeat(Timestamp now) {
+    for (const Sink& s : sinks_) {
+      ESLEV_RETURN_NOT_OK(s.op->OnHeartbeat(now));
+    }
+    return Status::OK();
+  }
+
+ private:
+  struct Sink {
+    Operator* op;
+    size_t port;
+  };
+  std::vector<Sink> sinks_;
+  uint64_t tuples_emitted_ = 0;
+};
+
+}  // namespace eslev
+
+#endif  // ESLEV_STREAM_OPERATOR_H_

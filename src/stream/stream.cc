@@ -1,0 +1,44 @@
+#include "stream/stream.h"
+
+namespace eslev {
+
+Status Stream::Push(const Tuple& tuple) {
+  if (tuple.size() != schema_->num_fields()) {
+    return Status::Invalid("tuple arity " + std::to_string(tuple.size()) +
+                           " does not match stream '" + name_ +
+                           "' arity " +
+                           std::to_string(schema_->num_fields()));
+  }
+  ++tuples_pushed_;
+  Retain(tuple);
+  for (const Subscriber& s : subscribers_) {
+    ESLEV_RETURN_NOT_OK(s.op->OnTuple(s.port, tuple));
+  }
+  for (const TupleCallback& cb : callbacks_) {
+    cb(tuple);
+  }
+  return Status::OK();
+}
+
+Status Stream::Heartbeat(Timestamp now) {
+  TrimRetention(now);
+  for (const Subscriber& s : subscribers_) {
+    ESLEV_RETURN_NOT_OK(s.op->OnHeartbeat(now));
+  }
+  return Status::OK();
+}
+
+void Stream::Retain(const Tuple& tuple) {
+  if (retention_ <= 0) return;
+  retained_.push_back(tuple);
+  TrimRetention(tuple.ts());
+}
+
+void Stream::TrimRetention(Timestamp now) {
+  if (retention_ <= 0) return;
+  while (!retained_.empty() && retained_.front().ts() < now - retention_) {
+    retained_.pop_front();
+  }
+}
+
+}  // namespace eslev

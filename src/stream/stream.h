@@ -1,0 +1,97 @@
+// Stream: a named, schema-typed, append-only tuple stream with fan-out to
+// subscribed operators and user callbacks, plus an optional bounded
+// retention buffer that serves ad-hoc snapshot queries (paper §2.1:
+// "current location of the patient ... queried directly ... without
+// having to store such location data all the time in a persistent
+// database").
+
+#ifndef ESLEV_STREAM_STREAM_H_
+#define ESLEV_STREAM_STREAM_H_
+
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "stream/operator.h"
+#include "types/schema.h"
+#include "types/tuple.h"
+
+namespace eslev {
+
+using TupleCallback = std::function<void(const Tuple&)>;
+
+class Stream {
+ public:
+  Stream(std::string name, SchemaPtr schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  const SchemaPtr& schema() const { return schema_; }
+
+  /// \brief Subscribe a downstream operator (delivery in subscription
+  /// order, which the planner relies on for same-stream self-references).
+  void Subscribe(Operator* op, size_t port = 0) {
+    subscribers_.push_back({op, port});
+  }
+
+  /// \brief Subscribe a user callback (invoked after operators).
+  void SubscribeCallback(TupleCallback cb) {
+    callbacks_.push_back(std::move(cb));
+  }
+
+  /// \brief Keep the most recent `duration` of tuples for snapshots.
+  /// 0 disables retention (the default).
+  void SetRetention(Duration duration) { retention_ = duration; }
+
+  /// \brief The retained suffix of the stream (most recent first-in order).
+  const std::deque<Tuple>& retained() const { return retained_; }
+
+  /// \brief Append a tuple: validates arity, retains, and fans out.
+  Status Push(const Tuple& tuple);
+
+  /// \brief Propagate a heartbeat to subscribers and trim retention.
+  Status Heartbeat(Timestamp now);
+
+  uint64_t tuples_pushed() const { return tuples_pushed_; }
+
+ private:
+  void Retain(const Tuple& tuple);
+  void TrimRetention(Timestamp now);
+
+  struct Subscriber {
+    Operator* op;
+    size_t port;
+  };
+
+  std::string name_;
+  SchemaPtr schema_;
+  std::vector<Subscriber> subscribers_;
+  std::vector<TupleCallback> callbacks_;
+  Duration retention_ = 0;
+  std::deque<Tuple> retained_;
+  uint64_t tuples_pushed_ = 0;
+};
+
+/// \brief Adapter operator that pushes every received tuple into a Stream
+/// (the sink of `INSERT INTO <stream> SELECT ...` transducers).
+class StreamInsertOperator : public Operator {
+ public:
+  explicit StreamInsertOperator(Stream* stream) : stream_(stream) {}
+
+  Status OnTuple(size_t, const Tuple& tuple) override {
+    return stream_->Push(tuple);
+  }
+
+  Status OnHeartbeat(Timestamp now) override {
+    return stream_->Heartbeat(now);
+  }
+
+ private:
+  Stream* stream_;
+};
+
+}  // namespace eslev
+
+#endif  // ESLEV_STREAM_STREAM_H_

@@ -1,0 +1,39 @@
+#include "types/schema.h"
+
+#include "common/string_util.h"
+
+namespace eslev {
+
+Schema::Schema(std::vector<Field> fields) : fields_(std::move(fields)) {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    index_.emplace(AsciiToLower(fields_[i].name), i);
+  }
+}
+
+int Schema::FindField(const std::string& name) const {
+  auto it = index_.find(AsciiToLower(name));
+  if (it == index_.end()) return -1;
+  return static_cast<int>(it->second);
+}
+
+Result<size_t> Schema::FieldIndex(const std::string& name) const {
+  int i = FindField(name);
+  if (i < 0) {
+    return Status::NotFound("column not found: " + name +
+                            " in schema (" + ToString() + ")");
+  }
+  return static_cast<size_t>(i);
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[i].name;
+    out += " ";
+    out += TypeIdToString(fields_[i].type);
+  }
+  return out;
+}
+
+}  // namespace eslev

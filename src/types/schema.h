@@ -1,0 +1,62 @@
+// Schema: ordered, named, typed columns of a stream or table.
+
+#ifndef ESLEV_TYPES_SCHEMA_H_
+#define ESLEV_TYPES_SCHEMA_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "types/value.h"
+
+namespace eslev {
+
+/// \brief One column of a schema.
+struct Field {
+  std::string name;
+  TypeId type = TypeId::kString;
+
+  bool operator==(const Field& o) const {
+    return name == o.name && type == o.type;
+  }
+};
+
+/// \brief Immutable column layout shared by all tuples of a stream/table.
+///
+/// Column-name lookup is case-insensitive (SQL identifiers).
+class Schema {
+ public:
+  explicit Schema(std::vector<Field> fields);
+
+  /// \brief Convenience: build a shared schema from fields.
+  static std::shared_ptr<const Schema> Make(std::vector<Field> fields) {
+    return std::make_shared<const Schema>(std::move(fields));
+  }
+
+  const std::vector<Field>& fields() const { return fields_; }
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+
+  /// \brief Index of a column by (case-insensitive) name; -1 if absent.
+  int FindField(const std::string& name) const;
+
+  /// \brief Index of a column, or NotFound.
+  Result<size_t> FieldIndex(const std::string& name) const;
+
+  bool Equals(const Schema& other) const { return fields_ == other.fields_; }
+
+  /// \brief "name TYPE, name TYPE, ..." for diagnostics.
+  std::string ToString() const;
+
+ private:
+  std::vector<Field> fields_;
+  std::unordered_map<std::string, size_t> index_;  // lower-cased name
+};
+
+using SchemaPtr = std::shared_ptr<const Schema>;
+
+}  // namespace eslev
+
+#endif  // ESLEV_TYPES_SCHEMA_H_

@@ -1,0 +1,58 @@
+// Tuple: one timestamped row of a data stream (append-only relation model).
+
+#ifndef ESLEV_TYPES_TUPLE_H_
+#define ESLEV_TYPES_TUPLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace eslev {
+
+/// \brief A timestamped row. RFID primitive events are tuples
+/// (reader_id, tag_id, read_time) whose `ts` is the observation time.
+///
+/// The timestamp is carried out-of-band (every stream tuple has one, per
+/// the standard DSMS model); workload generators typically also mirror it
+/// into a column such as `read_time` so queries can reference it.
+class Tuple {
+ public:
+  Tuple() = default;
+  Tuple(SchemaPtr schema, std::vector<Value> values, Timestamp ts)
+      : schema_(std::move(schema)), values_(std::move(values)), ts_(ts) {}
+
+  const SchemaPtr& schema() const { return schema_; }
+  const std::vector<Value>& values() const { return values_; }
+  size_t size() const { return values_.size(); }
+  Timestamp ts() const { return ts_; }
+  void set_ts(Timestamp ts) { ts_ = ts; }
+
+  const Value& value(size_t i) const { return values_[i]; }
+  Value& mutable_value(size_t i) { return values_[i]; }
+
+  /// \brief Value by column name, or NotFound.
+  Result<Value> ValueByName(const std::string& name) const;
+
+  /// \brief Structural equality of values and timestamp (schema by layout).
+  bool Equals(const Tuple& other) const;
+
+  /// \brief "(v1, v2, ...)@ts" for test failure messages.
+  std::string ToString() const;
+
+ private:
+  SchemaPtr schema_;
+  std::vector<Value> values_;
+  Timestamp ts_ = 0;
+};
+
+/// \brief Build a tuple validating arity and (loosely) types against the
+/// schema: kNull is allowed anywhere; ints widen to double columns.
+Result<Tuple> MakeTuple(const SchemaPtr& schema, std::vector<Value> values,
+                        Timestamp ts);
+
+}  // namespace eslev
+
+#endif  // ESLEV_TYPES_TUPLE_H_

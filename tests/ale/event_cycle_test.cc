@@ -1,0 +1,199 @@
+#include "ale/event_cycle.h"
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "rfid/workloads.h"
+
+namespace eslev {
+namespace ale {
+namespace {
+
+EcSpec BasicSpec() {
+  EcSpec spec;
+  spec.period = Seconds(10);
+  ReportSpec all;
+  all.name = "all";
+  spec.reports.push_back(all);
+  return spec;
+}
+
+TEST(EventCycleTest, MakeValidation) {
+  EcSpec no_period = BasicSpec();
+  no_period.period = 0;
+  EXPECT_TRUE(EventCycleProcessor::Make(no_period, 0).status().IsInvalid());
+
+  EcSpec no_reports;
+  no_reports.period = Seconds(1);
+  EXPECT_TRUE(EventCycleProcessor::Make(no_reports, 0).status().IsInvalid());
+
+  EcSpec dup = BasicSpec();
+  dup.reports.push_back(dup.reports[0]);
+  EXPECT_TRUE(EventCycleProcessor::Make(dup, 0).status().IsInvalid());
+
+  EcSpec bad_pattern = BasicSpec();
+  bad_pattern.reports[0].include_patterns.push_back("not-a-pattern");
+  EXPECT_TRUE(
+      EventCycleProcessor::Make(bad_pattern, 0).status().IsInvalid());
+}
+
+TEST(EventCycleTest, CurrentSetPerCycle) {
+  auto proc = std::move(EventCycleProcessor::Make(BasicSpec(), 0)).ValueUnsafe();
+  std::vector<EcCycleResult> cycles;
+  proc->SetCallback([&](const EcCycleResult& r) { cycles.push_back(r); });
+
+  ASSERT_TRUE(proc->OnReading("20.1.100", Seconds(1)).ok());
+  ASSERT_TRUE(proc->OnReading("20.1.101", Seconds(2)).ok());
+  ASSERT_TRUE(proc->OnReading("20.1.100", Seconds(3)).ok());  // dup tag
+  // Crossing into the second cycle closes the first.
+  ASSERT_TRUE(proc->OnReading("20.1.102", Seconds(12)).ok());
+  ASSERT_EQ(cycles.size(), 1u);
+  EXPECT_EQ(cycles[0].cycle_index, 0u);
+  EXPECT_EQ(cycles[0].readings, 3u);
+  ASSERT_EQ(cycles[0].reports.size(), 1u);
+  EXPECT_EQ(cycles[0].reports[0].count, 2u);  // distinct tags
+  EXPECT_EQ(cycles[0].reports[0].epcs,
+            (std::vector<std::string>{"20.1.100", "20.1.101"}));
+}
+
+TEST(EventCycleTest, AdditionsAndDeletions) {
+  EcSpec spec;
+  spec.period = Seconds(10);
+  ReportSpec adds;
+  adds.name = "in";
+  adds.set = ReportSet::kAdditions;
+  ReportSpec dels;
+  dels.name = "out";
+  dels.set = ReportSet::kDeletions;
+  spec.reports.push_back(adds);
+  spec.reports.push_back(dels);
+  auto proc = std::move(EventCycleProcessor::Make(spec, 0)).ValueUnsafe();
+  std::vector<EcCycleResult> cycles;
+  proc->SetCallback([&](const EcCycleResult& r) { cycles.push_back(r); });
+
+  // Cycle 0: tags A, B.
+  ASSERT_TRUE(proc->OnReading("1.1.1", Seconds(1)).ok());
+  ASSERT_TRUE(proc->OnReading("1.1.2", Seconds(2)).ok());
+  // Cycle 1: tags B, C.
+  ASSERT_TRUE(proc->OnReading("1.1.2", Seconds(11)).ok());
+  ASSERT_TRUE(proc->OnReading("1.1.3", Seconds(12)).ok());
+  // Close cycle 1 too.
+  ASSERT_TRUE(proc->OnTime(Seconds(20)).ok());
+
+  ASSERT_EQ(cycles.size(), 2u);
+  // Cycle 0: everything is an addition, nothing deleted.
+  EXPECT_EQ(cycles[0].reports[0].epcs,
+            (std::vector<std::string>{"1.1.1", "1.1.2"}));
+  EXPECT_TRUE(cycles[0].reports[1].epcs.empty());
+  // Cycle 1: C added, A deleted.
+  EXPECT_EQ(cycles[1].reports[0].epcs, (std::vector<std::string>{"1.1.3"}));
+  EXPECT_EQ(cycles[1].reports[1].epcs, (std::vector<std::string>{"1.1.1"}));
+}
+
+TEST(EventCycleTest, IncludeExcludePatterns) {
+  EcSpec spec;
+  spec.period = Seconds(10);
+  ReportSpec r;
+  r.name = "company20_high_serials";
+  r.include_patterns = {"20.*.*"};
+  r.exclude_patterns = {"20.*.[0-4999]"};
+  spec.reports.push_back(r);
+  auto proc = std::move(EventCycleProcessor::Make(spec, 0)).ValueUnsafe();
+  std::vector<EcCycleResult> cycles;
+  proc->SetCallback([&](const EcCycleResult& c) { cycles.push_back(c); });
+
+  ASSERT_TRUE(proc->OnReading("20.1.7000", Seconds(1)).ok());  // in
+  ASSERT_TRUE(proc->OnReading("20.1.100", Seconds(2)).ok());   // excluded
+  ASSERT_TRUE(proc->OnReading("21.1.7000", Seconds(3)).ok());  // not included
+  ASSERT_TRUE(proc->OnReading("garbage", Seconds(4)).ok());    // malformed
+  ASSERT_TRUE(proc->OnTime(Seconds(10)).ok());
+
+  ASSERT_EQ(cycles.size(), 1u);
+  EXPECT_EQ(cycles[0].readings, 4u);
+  EXPECT_EQ(cycles[0].reports[0].epcs,
+            (std::vector<std::string>{"20.1.7000"}));
+}
+
+TEST(EventCycleTest, CountOnlyAndGrouping) {
+  EcSpec spec;
+  spec.period = Seconds(10);
+  ReportSpec r;
+  r.name = "by_company";
+  r.count_only = true;
+  r.group_by_company = true;
+  spec.reports.push_back(r);
+  auto proc = std::move(EventCycleProcessor::Make(spec, 0)).ValueUnsafe();
+  std::vector<EcCycleResult> cycles;
+  proc->SetCallback([&](const EcCycleResult& c) { cycles.push_back(c); });
+
+  ASSERT_TRUE(proc->OnReading("20.1.1", Seconds(1)).ok());
+  ASSERT_TRUE(proc->OnReading("20.2.2", Seconds(2)).ok());
+  ASSERT_TRUE(proc->OnReading("37.1.1", Seconds(3)).ok());
+  ASSERT_TRUE(proc->OnTime(Seconds(10)).ok());
+
+  ASSERT_EQ(cycles.size(), 1u);
+  const EcReport& report = cycles[0].reports[0];
+  EXPECT_TRUE(report.epcs.empty());  // count_only
+  EXPECT_EQ(report.count, 3u);
+  EXPECT_EQ(report.groups.at("20"), 2u);
+  EXPECT_EQ(report.groups.at("37"), 1u);
+}
+
+TEST(EventCycleTest, EmptyCyclesStillReport) {
+  auto proc = std::move(EventCycleProcessor::Make(BasicSpec(), 0)).ValueUnsafe();
+  size_t cycles = 0;
+  proc->SetCallback([&](const EcCycleResult&) { ++cycles; });
+  ASSERT_TRUE(proc->OnTime(Seconds(35)).ok());
+  EXPECT_EQ(cycles, 3u);  // cycles [0,10), [10,20), [20,30)
+  EXPECT_EQ(proc->current_cycle_begin(), Seconds(30));
+}
+
+TEST(EventCycleTest, TimeCannotRegress) {
+  auto proc = std::move(EventCycleProcessor::Make(BasicSpec(), Seconds(100))).ValueUnsafe();
+  EXPECT_TRUE(proc->OnReading("1.1.1", Seconds(50)).IsOutOfRange());
+  EXPECT_TRUE(proc->OnTime(Seconds(50)).IsOutOfRange());
+}
+
+TEST(EventCycleTest, DrivenFromAnEngineStream) {
+  // The intended integration: the processor subscribes to a (possibly
+  // already cleaned) ESL-EV stream.
+  Engine engine;
+  ASSERT_TRUE(
+      engine.ExecuteScript("CREATE STREAM readings(reader_id, tid, read_time);")
+          .ok());
+  EcSpec spec;
+  spec.period = Seconds(60);
+  ReportSpec r;
+  r.name = "company20";
+  r.include_patterns = {"20.*.*"};
+  r.count_only = true;
+  spec.reports.push_back(r);
+  auto proc = std::move(EventCycleProcessor::Make(spec, 0)).ValueUnsafe();
+  std::vector<size_t> counts;
+  proc->SetCallback([&](const EcCycleResult& c) {
+    counts.push_back(c.reports[0].count);
+  });
+  EventCycleProcessor* raw = proc.get();
+  ASSERT_TRUE(engine.Subscribe("readings", [raw](const Tuple& t) {
+                      (void)raw->OnReading(t.value(1).string_value(),
+                                           t.ts());
+                    }).ok());
+
+  rfid::EpcWorkloadOptions options;
+  options.num_readings = 3000;  // 100 ms apart -> 300 s -> 5 cycles
+  auto workload = rfid::MakeEpcWorkload(options);
+  size_t expected_company20 = 0;
+  for (const auto& e : workload.events) {
+    ASSERT_TRUE(engine.PushTuple(e.stream, e.tuple).ok());
+  }
+  (void)expected_company20;
+  ASSERT_TRUE(raw->OnTime(engine.current_time() + Minutes(2)).ok());
+  EXPECT_GE(counts.size(), 5u);
+  size_t total = 0;
+  for (size_t c : counts) total += c;
+  EXPECT_GT(total, 0u);
+}
+
+}  // namespace
+}  // namespace ale
+}  // namespace eslev

@@ -1,0 +1,199 @@
+// Baseline engines: the naive SQL join and the RCEDA-style event graph
+// must agree with SEQ/UNRESTRICTED on match counts (they are the same
+// semantics), while exhibiting the state growth the paper criticizes.
+
+#include <gtest/gtest.h>
+
+#include "baseline/naive_join.h"
+#include "baseline/rceda.h"
+#include "tests/cep/seq_test_util.h"
+
+namespace eslev {
+namespace {
+
+using baseline::NaiveJoinSequenceDetector;
+using baseline::RcedaEngine;
+using cep_test::Reading;
+using cep_test::SeqBuilder;
+
+TEST(NaiveJoinTest, MatchesWalkthroughUnrestrictedCount) {
+  // §3.1.1 history: UNRESTRICTED finds 4 events; so must the naive join.
+  baseline::NaiveJoinOptions options;
+  options.num_streams = 4;
+  NaiveJoinSequenceDetector det(options);
+  auto schema = cep_test::ReadingSchema();
+  auto push = [&](size_t s, Timestamp t) {
+    ASSERT_TRUE(det.OnTuple(s, Reading(schema, "r", "x", t)).ok());
+  };
+  push(0, Seconds(1));
+  push(0, Seconds(2));
+  push(1, Seconds(3));
+  push(2, Seconds(4));
+  push(2, Seconds(5));
+  push(1, Seconds(6));
+  push(3, Seconds(7));
+  EXPECT_EQ(det.matches(), 4u);
+  EXPECT_EQ(det.history_size(), 6u);  // everything retained, forever
+}
+
+TEST(NaiveJoinTest, KeyEqualityJoin) {
+  baseline::NaiveJoinOptions options;
+  options.num_streams = 2;
+  options.key_column = 1;  // tagid
+  NaiveJoinSequenceDetector det(options);
+  auto schema = cep_test::ReadingSchema();
+  ASSERT_TRUE(det.OnTuple(0, Reading(schema, "r", "A", Seconds(1))).ok());
+  ASSERT_TRUE(det.OnTuple(0, Reading(schema, "r", "B", Seconds(2))).ok());
+  ASSERT_TRUE(det.OnTuple(1, Reading(schema, "r", "A", Seconds(3))).ok());
+  EXPECT_EQ(det.matches(), 1u);
+}
+
+TEST(NaiveJoinTest, WindowPredicateDoesNotPurge) {
+  baseline::NaiveJoinOptions options;
+  options.num_streams = 2;
+  options.window = Seconds(10);
+  NaiveJoinSequenceDetector det(options);
+  auto schema = cep_test::ReadingSchema();
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(
+        det.OnTuple(0, Reading(schema, "r", "x", Seconds(i))).ok());
+  }
+  ASSERT_TRUE(det.OnTuple(1, Reading(schema, "r", "x", Seconds(100))).ok());
+  // Only the last 10 seconds qualify...
+  EXPECT_EQ(det.matches(), 10u);
+  // ...but nothing was ever evicted (plain SQL has no windows).
+  EXPECT_EQ(det.history_size(), 100u);
+}
+
+TEST(NaiveJoinTest, AgreesWithSeqUnrestrictedOnRandomHistory) {
+  // Cross-validate against the real SEQ operator over a pseudo-random
+  // interleaving (fixed seed via simple LCG).
+  baseline::NaiveJoinOptions options;
+  options.num_streams = 3;
+  NaiveJoinSequenceDetector det(options);
+
+  SeqBuilder b({"C1", "C2", "C3"});
+  auto op = b.Mode(PairingMode::kUnrestricted).Build();
+  CollectOperator out;
+  op->AddSink(&out);
+
+  auto schema = cep_test::ReadingSchema();
+  uint64_t state = 12345;
+  for (int i = 0; i < 60; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    const size_t stream = (state >> 33) % 3;
+    Tuple t = Reading(schema, "r", "x", Seconds(i));
+    ASSERT_TRUE(det.OnTuple(stream, t).ok());
+    ASSERT_TRUE(op->OnTuple(stream, t).ok());
+  }
+  EXPECT_EQ(det.matches(), out.tuples().size());
+  EXPECT_GT(det.matches(), 0u);
+}
+
+TEST(NaiveJoinTest, StreamIndexValidation) {
+  baseline::NaiveJoinOptions options;
+  options.num_streams = 2;
+  NaiveJoinSequenceDetector det(options);
+  auto schema = cep_test::ReadingSchema();
+  EXPECT_TRUE(det.OnTuple(5, Reading(schema, "r", "x", 0)).IsInvalid());
+}
+
+// ---------------------------------------------------------------------------
+// RCEDA graph engine
+// ---------------------------------------------------------------------------
+
+TEST(RcedaTest, SeqChainMatchesWalkthrough) {
+  RcedaEngine engine;
+  auto* root = engine.BuildSeqChain({"C1", "C2", "C3", "C4"});
+  size_t events = 0;
+  root->AddCallback([&](const baseline::EventInstance& e) {
+    ++events;
+    EXPECT_EQ(e.tuples.size(), 4u);
+    EXPECT_LT(e.start, e.end);
+  });
+  auto schema = cep_test::ReadingSchema();
+  auto push = [&](const std::string& s, Timestamp t) {
+    ASSERT_TRUE(engine.Inject(s, Reading(schema, "r", "x", t)).ok());
+  };
+  push("C1", Seconds(1));
+  push("C1", Seconds(2));
+  push("C2", Seconds(3));
+  push("C3", Seconds(4));
+  push("C3", Seconds(5));
+  push("C2", Seconds(6));
+  push("C4", Seconds(7));
+  EXPECT_EQ(events, 4u);  // same as UNRESTRICTED
+  // The graph retains primitive AND intermediate composite instances.
+  EXPECT_GT(engine.retained_instances(), 6u);
+}
+
+TEST(RcedaTest, IntermediateStateBlowsUp) {
+  // A burst of C1/C2 pairs: the left-deep graph materializes every
+  // partial C1-C2 combination — quadratic state, the paper's complaint.
+  RcedaEngine engine;
+  engine.BuildSeqChain({"C1", "C2", "C3"});
+  auto schema = cep_test::ReadingSchema();
+  const int n = 30;
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(
+        engine.Inject("C1", Reading(schema, "r", "x", Seconds(2 * i))).ok());
+    ASSERT_TRUE(
+        engine
+            .Inject("C2", Reading(schema, "r", "x", Seconds(2 * i + 1)))
+            .ok());
+  }
+  // Pairs: n C1s, n C2s; C1-C2 composites: sum over arrivals = n(n+1)/2.
+  EXPECT_GE(engine.retained_instances(),
+            static_cast<size_t>(n) * (n + 1) / 2);
+}
+
+TEST(RcedaTest, GuardFiltersCombinations) {
+  RcedaEngine engine;
+  auto guard = [](const baseline::EventInstance& l,
+                  const baseline::EventInstance& r) {
+    return l.tuples.front().value(1) == r.tuples.back().value(1);
+  };
+  auto* root = engine.BuildSeqChain({"A", "B"}, guard);
+  size_t events = 0;
+  root->AddCallback([&](const baseline::EventInstance&) { ++events; });
+  auto schema = cep_test::ReadingSchema();
+  ASSERT_TRUE(engine.Inject("A", Reading(schema, "r", "t1", Seconds(1))).ok());
+  ASSERT_TRUE(engine.Inject("A", Reading(schema, "r", "t2", Seconds(2))).ok());
+  ASSERT_TRUE(engine.Inject("B", Reading(schema, "r", "t1", Seconds(3))).ok());
+  EXPECT_EQ(events, 1u);
+}
+
+TEST(RcedaTest, AndOrNodes) {
+  RcedaEngine engine;
+  auto* a = engine.AddPrimitive("A");
+  auto* b = engine.AddPrimitive("B");
+  auto* both = engine.AddAnd(a, b);
+  size_t and_events = 0;
+  both->AddCallback([&](const baseline::EventInstance&) { ++and_events; });
+
+  auto* c = engine.AddPrimitive("C");
+  auto* d = engine.AddPrimitive("D");
+  auto* either = engine.AddOr(c, d);
+  size_t or_events = 0;
+  either->AddCallback([&](const baseline::EventInstance&) { ++or_events; });
+
+  auto schema = cep_test::ReadingSchema();
+  // AND fires regardless of order.
+  ASSERT_TRUE(engine.Inject("B", Reading(schema, "r", "x", Seconds(1))).ok());
+  ASSERT_TRUE(engine.Inject("A", Reading(schema, "r", "x", Seconds(2))).ok());
+  EXPECT_EQ(and_events, 1u);
+  // OR fires per child event.
+  ASSERT_TRUE(engine.Inject("C", Reading(schema, "r", "x", Seconds(3))).ok());
+  ASSERT_TRUE(engine.Inject("D", Reading(schema, "r", "x", Seconds(4))).ok());
+  EXPECT_EQ(or_events, 2u);
+}
+
+TEST(RcedaTest, UnknownStreamRejected) {
+  RcedaEngine engine;
+  engine.BuildSeqChain({"A", "B"});
+  auto schema = cep_test::ReadingSchema();
+  EXPECT_TRUE(engine.Inject("Z", Reading(schema, "r", "x", 0)).IsNotFound());
+}
+
+}  // namespace
+}  // namespace eslev

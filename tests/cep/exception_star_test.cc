@@ -1,0 +1,206 @@
+// Star sequences inside EXCEPTION_SEQ (§3.1.3: "EXCEPTION_SEQ can also
+// allow repeating star sequences"). Scenario: a batch-loading workflow —
+// one or more items loaded (L*), then a seal (S), then a dispatch (D);
+// violations when the order breaks, when the inter-item gap exceeds the
+// gate, or when the sequence times out.
+
+#include "cep/exception_seq_operator.h"
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "exec/basic_ops.h"
+#include "expr/binder.h"
+#include "sql/parser.h"
+
+namespace eslev {
+namespace {
+
+SchemaPtr OpSchema() {
+  return Schema::Make({{"worker", TypeId::kString},
+                       {"tagid", TypeId::kString},
+                       {"tagtime", TypeId::kTimestamp}});
+}
+
+Tuple Op(const SchemaPtr& s, const std::string& tag, Timestamp ts) {
+  return *MakeTuple(
+      s, {Value::String("w"), Value::String(tag), Value::Time(ts)}, ts);
+}
+
+class ExceptionStarTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    schema_ = OpSchema();
+    scope_.AddEntry({"L", schema_, 0, true});
+    scope_.AddEntry({"S", schema_, 0, false});
+    scope_.AddEntry({"D", schema_, 0, false});
+  }
+
+  BoundExprPtr Bind(const std::string& text) {
+    auto parsed = ParseExpression(text);
+    EXPECT_TRUE(parsed.ok()) << parsed.status();
+    Binder binder(&scope_, &registry_);
+    auto bound = binder.Bind(**parsed);
+    EXPECT_TRUE(bound.ok()) << bound.status();
+    return std::move(bound).ValueUnsafe();
+  }
+
+  // EXCEPTION_SEQ(L*, S, D) OVER [10 MINUTES FOLLOWING L], gate: items
+  // arrive within 1 minute of each other.
+  std::unique_ptr<ExceptionSeqOperator> MakeOp() {
+    ExceptionSeqConfig config;
+    config.positions = {{"L", schema_, true},
+                        {"S", schema_, false},
+                        {"D", schema_, false}};
+    SeqWindow w;
+    w.length = Minutes(10);
+    w.direction = WindowDirection::kFollowing;
+    w.anchor = 0;
+    config.window = w;
+    config.star_gates.resize(3);
+    config.star_gates[0] =
+        Bind("L.tagtime - L.previous.tagtime <= 1 MINUTES");
+    config.projection.push_back(Bind("COUNT(L*)"));
+    config.projection.push_back(Bind("S.tagid"));
+    config.projection.push_back(Bind("D.tagid"));
+    config.out_schema = Schema::Make({{"items", TypeId::kInt64},
+                                      {"seal", TypeId::kString},
+                                      {"dispatch", TypeId::kString}});
+    config.level_op = BinaryOp::kLt;
+    config.level_rhs = 3;
+    auto op = ExceptionSeqOperator::Make(std::move(config));
+    EXPECT_TRUE(op.ok()) << op.status();
+    return std::move(op).ValueUnsafe();
+  }
+
+  SchemaPtr schema_;
+  BindScope scope_;
+  FunctionRegistry registry_;
+};
+
+TEST_F(ExceptionStarTest, CleanBatchCompletes) {
+  auto op = MakeOp();
+  CollectOperator out;
+  op->AddSink(&out);
+  ASSERT_TRUE(op->OnTuple(0, Op(schema_, "item1", Minutes(0))).ok());
+  ASSERT_TRUE(op->OnTuple(0, Op(schema_, "item2", Seconds(30))).ok());
+  ASSERT_TRUE(op->OnTuple(0, Op(schema_, "item3", Seconds(70))).ok());
+  ASSERT_TRUE(op->OnTuple(1, Op(schema_, "seal1", Minutes(3))).ok());
+  ASSERT_TRUE(op->OnTuple(2, Op(schema_, "dock1", Minutes(5))).ok());
+  EXPECT_TRUE(out.tuples().empty());
+  EXPECT_EQ(op->sequences_completed(), 1u);
+}
+
+TEST_F(ExceptionStarTest, GateViolationRaisesException) {
+  auto op = MakeOp();
+  CollectOperator out;
+  op->AddSink(&out);
+  ASSERT_TRUE(op->OnTuple(0, Op(schema_, "item1", Minutes(0))).ok());
+  // 5-minute gap between items: gate fails, partial (L) at level 1.
+  ASSERT_TRUE(op->OnTuple(0, Op(schema_, "item2", Minutes(5))).ok());
+  ASSERT_EQ(out.tuples().size(), 1u);
+  EXPECT_EQ(out.tuples()[0].value(0).int_value(), 1);  // COUNT(L*) == 1
+  // The offending item restarts a fresh batch (it is a valid start).
+  EXPECT_EQ(op->partial_level(), 1u);
+  ASSERT_TRUE(op->OnTuple(1, Op(schema_, "seal1", Minutes(6))).ok());
+  ASSERT_TRUE(op->OnTuple(2, Op(schema_, "dock1", Minutes(7))).ok());
+  EXPECT_EQ(op->sequences_completed(), 1u);
+}
+
+TEST_F(ExceptionStarTest, WrongOrderAfterStarGroup) {
+  auto op = MakeOp();
+  CollectOperator out;
+  op->AddSink(&out);
+  ASSERT_TRUE(op->OnTuple(0, Op(schema_, "item1", Minutes(0))).ok());
+  ASSERT_TRUE(op->OnTuple(0, Op(schema_, "item2", Seconds(20))).ok());
+  // Dispatch before seal: level-1 exception with the 2-item group.
+  ASSERT_TRUE(op->OnTuple(2, Op(schema_, "dock1", Minutes(1))).ok());
+  ASSERT_EQ(out.tuples().size(), 2u);  // partial + stray dispatch
+  EXPECT_EQ(out.tuples()[0].value(0).int_value(), 2);
+  EXPECT_EQ(out.tuples()[0].value(2).string_value(), "dock1");  // offender
+  EXPECT_TRUE(out.tuples()[1].value(1).is_null());
+}
+
+TEST_F(ExceptionStarTest, TimeoutCountsWholeGroup) {
+  auto op = MakeOp();
+  CollectOperator out;
+  op->AddSink(&out);
+  ASSERT_TRUE(op->OnTuple(0, Op(schema_, "item1", Minutes(0))).ok());
+  ASSERT_TRUE(op->OnTuple(0, Op(schema_, "item2", Seconds(40))).ok());
+  ASSERT_TRUE(op->OnTuple(1, Op(schema_, "seal1", Minutes(2))).ok());
+  // No dispatch within 10 minutes of the first item.
+  ASSERT_TRUE(op->OnHeartbeat(Minutes(11)).ok());
+  ASSERT_EQ(out.tuples().size(), 1u);
+  EXPECT_EQ(out.tuples()[0].value(0).int_value(), 2);
+  EXPECT_EQ(out.tuples()[0].value(1).string_value(), "seal1");
+  EXPECT_TRUE(out.tuples()[0].value(2).is_null());
+  EXPECT_EQ(op->partial_level(), 0u);
+}
+
+TEST_F(ExceptionStarTest, DeadlineAnchoredAtFirstStarTuple) {
+  // The FOLLOWING window anchors at the *first* tuple of the starred
+  // group (the batch's start), not the last.
+  auto op = MakeOp();
+  CollectOperator out;
+  op->AddSink(&out);
+  ASSERT_TRUE(op->OnTuple(0, Op(schema_, "item1", Minutes(0))).ok());
+  for (int i = 1; i <= 11; ++i) {
+    // Keep feeding items every 50 s: gate passes, but the 10-minute
+    // deadline from item1 eventually fires.
+    Status s = op->OnTuple(0, Op(schema_, "item" + std::to_string(i + 1),
+                                 i * Seconds(50)));
+    ASSERT_TRUE(s.ok());
+  }
+  // 12th item arrives at 550 s < 600 s; next crosses the deadline.
+  ASSERT_TRUE(op->OnTuple(0, Op(schema_, "late", Seconds(650))).ok());
+  ASSERT_EQ(out.tuples().size(), 1u);
+  EXPECT_EQ(out.tuples()[0].value(0).int_value(), 12);
+}
+
+TEST_F(ExceptionStarTest, EndToEndThroughSql) {
+  // The same pattern expressed in ESL-EV SQL through the Engine.
+  Engine engine;
+  ASSERT_TRUE(engine.ExecuteScript(R"sql(
+    CREATE STREAM L(worker, tagid, tagtime);
+    CREATE STREAM S(worker, tagid, tagtime);
+    CREATE STREAM D(worker, tagid, tagtime);
+  )sql")
+                  .ok());
+  auto q = engine.RegisterQuery(R"sql(
+    SELECT COUNT(L*), S.tagid, D.tagid
+    FROM L, S, D
+    WHERE EXCEPTION_SEQ(L*, S, D)
+    OVER [10 MINUTES FOLLOWING L]
+      AND L.tagtime - L.previous.tagtime <= 1 MINUTES
+  )sql");
+  ASSERT_TRUE(q.ok()) << q.status();
+  std::vector<Tuple> alerts;
+  ASSERT_TRUE(engine.Subscribe(q->output_stream, [&](const Tuple& t) {
+                      alerts.push_back(t);
+                    }).ok());
+  auto push = [&](const std::string& stream, const std::string& tag,
+                  Timestamp ts) {
+    ASSERT_TRUE(engine
+                    .Push(stream,
+                          {Value::String("w"), Value::String(tag),
+                           Value::Time(ts)},
+                          ts)
+                    .ok());
+  };
+  // Clean batch.
+  push("L", "i1", Minutes(0));
+  push("L", "i2", Seconds(30));
+  push("S", "seal", Minutes(2));
+  push("D", "dock", Minutes(3));
+  EXPECT_TRUE(alerts.empty());
+  // Batch that stalls after sealing.
+  push("L", "i3", Minutes(20));
+  push("S", "seal2", Minutes(21));
+  ASSERT_TRUE(engine.AdvanceTime(Minutes(40)).ok());
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].value(0).int_value(), 1);
+  EXPECT_EQ(alerts[0].value(1).string_value(), "seal2");
+}
+
+}  // namespace
+}  // namespace eslev

@@ -1,0 +1,226 @@
+// Star sequences (paper §3.1.2) — the containment scenario of
+// Figure 1 / Examples 4 and 7: SEQ(R1*, R2) MODE CHRONICLE with
+//   R2.tagtime - LAST(R1*).tagtime <= 5 SECONDS   (t0, case follows)
+//   R1.tagtime - R1.previous.tagtime <= 1 SECONDS (t1, intra-case gap)
+
+#include <gtest/gtest.h>
+
+#include "tests/cep/seq_test_util.h"
+
+namespace eslev {
+namespace {
+
+using cep_test::Reading;
+using cep_test::SeqBuilder;
+
+class ContainmentTest : public ::testing::Test {
+ protected:
+  // Example 7's aggregate query: FIRST(R1*).tagtime, COUNT(R1*),
+  // R2.tagid, R2.tagtime.
+  std::unique_ptr<SeqOperator> MakeExample7(SeqBuilder* b) {
+    b->Mode(PairingMode::kChronicle)
+        .StarGate(0, "R1.tagtime - R1.previous.tagtime <= 1 SECONDS")
+        .Pairwise(0, 1, "R2.tagtime - LAST(R1*).tagtime <= 5 SECONDS")
+        .Project({"FIRST(R1*).tagtime", "COUNT(R1*)", "R2.tagid",
+                  "R2.tagtime"},
+                 {{"first_time", TypeId::kTimestamp},
+                  {"cnt", TypeId::kInt64},
+                  {"case_tag", TypeId::kString},
+                  {"case_time", TypeId::kTimestamp}});
+    return b->Build();
+  }
+};
+
+TEST_F(ContainmentTest, SingleCasePacking) {
+  SeqBuilder b({"R1", "R2"}, {true, false});
+  auto op = MakeExample7(&b);
+  CollectOperator out;
+  op->AddSink(&out);
+
+  // Three products 0.5s apart, case read 2s after the last product.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(op->OnTuple(0, Reading(b.schema(), "r1",
+                                       "p" + std::to_string(i),
+                                       i * Milliseconds(500)))
+                    .ok());
+  }
+  ASSERT_TRUE(
+      op->OnTuple(1, Reading(b.schema(), "r2", "case1", Seconds(3))).ok());
+
+  ASSERT_EQ(out.tuples().size(), 1u);
+  const Tuple& e = out.tuples()[0];
+  EXPECT_EQ(e.value(0).time_value(), 0);          // FIRST(R1*).tagtime
+  EXPECT_EQ(e.value(1).int_value(), 3);           // COUNT(R1*)
+  EXPECT_EQ(e.value(2).string_value(), "case1");  // R2.tagid
+  EXPECT_EQ(e.value(3).time_value(), Seconds(3));
+}
+
+TEST_F(ContainmentTest, Figure1bTwoInterleavedCases) {
+  // Products for case2 start before case1 is read (Figure 1(b)): gap
+  // > t1 separates the two product groups; each case reading matches the
+  // earliest unconsumed group (CHRONICLE).
+  SeqBuilder b({"R1", "R2"}, {true, false});
+  auto op = MakeExample7(&b);
+  CollectOperator out;
+  op->AddSink(&out);
+
+  auto prod = [&](const std::string& tag, Timestamp ts) {
+    ASSERT_TRUE(op->OnTuple(0, Reading(b.schema(), "r1", tag, ts)).ok());
+  };
+  // Group 1: p1, p2, p3 at 0, 0.4, 0.8s.
+  prod("p1", Milliseconds(0));
+  prod("p2", Milliseconds(400));
+  prod("p3", Milliseconds(800));
+  // Gap of 2s > t1 -> new group: p4, p5 at 2.8, 3.3s.
+  prod("p4", Milliseconds(2800));
+  prod("p5", Milliseconds(3300));
+  // case1 read at 3.9s: within 5s of group1's last (0.8s).
+  ASSERT_TRUE(op->OnTuple(
+                  1, Reading(b.schema(), "r2", "case1", Milliseconds(3900)))
+                  .ok());
+  // case2 read at 4.5s: matches group2.
+  ASSERT_TRUE(op->OnTuple(
+                  1, Reading(b.schema(), "r2", "case2", Milliseconds(4500)))
+                  .ok());
+
+  ASSERT_EQ(out.tuples().size(), 2u);
+  EXPECT_EQ(out.tuples()[0].value(2).string_value(), "case1");
+  EXPECT_EQ(out.tuples()[0].value(1).int_value(), 3);
+  EXPECT_EQ(out.tuples()[1].value(2).string_value(), "case2");
+  EXPECT_EQ(out.tuples()[1].value(1).int_value(), 2);
+  // All products consumed.
+  EXPECT_EQ(op->history_size(), 0u);
+}
+
+TEST_F(ContainmentTest, StaleGroupDroppedWhenT0Exceeded) {
+  // A case arriving more than 5s after a group's last product does not
+  // match that group (the pairwise t0 constraint fails) but can match a
+  // fresher group.
+  SeqBuilder b({"R1", "R2"}, {true, false});
+  auto op = MakeExample7(&b);
+  CollectOperator out;
+  op->AddSink(&out);
+
+  ASSERT_TRUE(op->OnTuple(0, Reading(b.schema(), "r1", "p1", 0)).ok());
+  ASSERT_TRUE(
+      op->OnTuple(0, Reading(b.schema(), "r1", "p2", Seconds(10))).ok());
+  // case at 12s: group1's last is 0s (12s > 5s, fails); group2's last is
+  // 10s (2s <= 5s, matches).
+  ASSERT_TRUE(
+      op->OnTuple(1, Reading(b.schema(), "r2", "caseX", Seconds(12))).ok());
+  ASSERT_EQ(out.tuples().size(), 1u);
+  EXPECT_EQ(out.tuples()[0].value(0).time_value(), Seconds(10));
+  EXPECT_EQ(out.tuples()[0].value(1).int_value(), 1);
+}
+
+TEST_F(ContainmentTest, MultipleReturnPerProduct) {
+  // Footnote 4: return one row per product in the matched star group.
+  SeqBuilder b({"R1", "R2"}, {true, false});
+  b.Mode(PairingMode::kChronicle)
+      .StarGate(0, "R1.tagtime - R1.previous.tagtime <= 1 SECONDS")
+      .Pairwise(0, 1, "R2.tagtime - LAST(R1*).tagtime <= 5 SECONDS")
+      .Project({"R1.tagid", "R1.tagtime", "R2.tagid", "R2.tagtime"},
+               {{"item", TypeId::kString},
+                {"item_time", TypeId::kTimestamp},
+                {"case_tag", TypeId::kString},
+                {"case_time", TypeId::kTimestamp}})
+      .PerTupleStar(0);
+  auto op = b.Build();
+  CollectOperator out;
+  op->AddSink(&out);
+
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(op->OnTuple(0, Reading(b.schema(), "r1",
+                                       "p" + std::to_string(i),
+                                       i * Milliseconds(300)))
+                    .ok());
+  }
+  ASSERT_TRUE(
+      op->OnTuple(1, Reading(b.schema(), "r2", "caseZ", Seconds(2))).ok());
+  ASSERT_EQ(out.tuples().size(), 3u);
+  EXPECT_EQ(out.tuples()[0].value(0).string_value(), "p0");
+  EXPECT_EQ(out.tuples()[1].value(0).string_value(), "p1");
+  EXPECT_EQ(out.tuples()[2].value(0).string_value(), "p2");
+  for (const auto& t : out.tuples()) {
+    EXPECT_EQ(t.value(2).string_value(), "caseZ");
+  }
+}
+
+TEST_F(ContainmentTest, LongestMatchOnly) {
+  // The paper: "we only generate event on the longest possible star
+  // sequences" — three R1 tuples produce one event with COUNT = 3, not
+  // events for the 1- and 2-product suffixes.
+  SeqBuilder b({"R1", "R2"}, {true, false});
+  auto op = MakeExample7(&b);
+  CollectOperator out;
+  op->AddSink(&out);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(
+        op->OnTuple(0, Reading(b.schema(), "r1", "p", i * Milliseconds(100)))
+            .ok());
+  }
+  ASSERT_TRUE(
+      op->OnTuple(1, Reading(b.schema(), "r2", "c", Seconds(1))).ok());
+  ASSERT_EQ(out.tuples().size(), 1u);
+  EXPECT_EQ(out.tuples()[0].value(1).int_value(), 3);
+}
+
+TEST_F(ContainmentTest, TrailingStarEmitsOnline) {
+  // SEQ(E1*, E2*): one event per E2 arrival (paper §3.1.2).
+  SeqBuilder b({"E1", "E2"}, {true, true});
+  b.Mode(PairingMode::kUnrestricted)
+      .Project({"COUNT(E1*)", "COUNT(E2*)"},
+               {{"n1", TypeId::kInt64}, {"n2", TypeId::kInt64}});
+  auto op = b.Build();
+  CollectOperator out;
+  op->AddSink(&out);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(
+        op->OnTuple(0, Reading(b.schema(), "a", "x", Seconds(i))).ok());
+  }
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(
+        op->OnTuple(1, Reading(b.schema(), "b", "y", Seconds(10 + i))).ok());
+  }
+  ASSERT_EQ(out.tuples().size(), 3u);
+  EXPECT_EQ(out.tuples()[0].value(0).int_value(), 3);
+  EXPECT_EQ(out.tuples()[0].value(1).int_value(), 1);
+  EXPECT_EQ(out.tuples()[2].value(1).int_value(), 3);
+}
+
+TEST_F(ContainmentTest, InnerStarMidSequence) {
+  // SEQ(A*, B, C): a run of A's, then one B, then one C.
+  SeqBuilder b({"A", "B", "C"}, {true, false, false});
+  b.Mode(PairingMode::kChronicle)
+      .Project({"COUNT(A*)", "B.tagtime", "C.tagtime"},
+               {{"na", TypeId::kInt64},
+                {"tb", TypeId::kTimestamp},
+                {"tc", TypeId::kTimestamp}});
+  auto op = b.Build();
+  CollectOperator out;
+  op->AddSink(&out);
+  ASSERT_TRUE(op->OnTuple(0, Reading(b.schema(), "a", "x", Seconds(1))).ok());
+  ASSERT_TRUE(op->OnTuple(0, Reading(b.schema(), "a", "x", Seconds(2))).ok());
+  ASSERT_TRUE(op->OnTuple(1, Reading(b.schema(), "b", "y", Seconds(3))).ok());
+  ASSERT_TRUE(op->OnTuple(2, Reading(b.schema(), "c", "z", Seconds(4))).ok());
+  ASSERT_EQ(out.tuples().size(), 1u);
+  EXPECT_EQ(out.tuples()[0].value(0).int_value(), 2);
+  EXPECT_EQ(out.tuples()[0].value(1).time_value(), Seconds(3));
+}
+
+TEST_F(ContainmentTest, StarGroupNotSplitAcrossEvents) {
+  // Once CHRONICLE consumes a group, its members cannot reappear.
+  SeqBuilder b({"R1", "R2"}, {true, false});
+  auto op = MakeExample7(&b);
+  CollectOperator out;
+  op->AddSink(&out);
+  ASSERT_TRUE(op->OnTuple(0, Reading(b.schema(), "r1", "p1", 0)).ok());
+  ASSERT_TRUE(
+      op->OnTuple(1, Reading(b.schema(), "r2", "c1", Seconds(1))).ok());
+  ASSERT_TRUE(
+      op->OnTuple(1, Reading(b.schema(), "r2", "c2", Seconds(2))).ok());
+  ASSERT_EQ(out.tuples().size(), 1u);  // c2 finds no products
+}
+
+}  // namespace
+}  // namespace eslev

@@ -1,0 +1,92 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+
+namespace eslev {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::ParseError("unexpected token");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsParseError());
+  EXPECT_EQ(s.message(), "unexpected token");
+  EXPECT_EQ(s.ToString(), "ParseError: unexpected token");
+}
+
+TEST(StatusTest, CopyIsCheapAndEqualValued) {
+  Status a = Status::NotFound("stream r1");
+  Status b = a;  // shared state
+  EXPECT_TRUE(b.IsNotFound());
+  EXPECT_EQ(b.message(), "stream r1");
+}
+
+TEST(StatusTest, AllConstructorsMapToPredicates) {
+  EXPECT_TRUE(Status::Invalid("x").IsInvalid());
+  EXPECT_TRUE(Status::BindError("x").IsBindError());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::TypeError("x").IsTypeError());
+  EXPECT_TRUE(Status::NotImplemented("x").IsNotImplemented());
+  EXPECT_TRUE(Status::ExecutionError("x").IsExecutionError());
+  EXPECT_TRUE(Status::IoError("x").IsIoError());
+}
+
+Status Fails() { return Status::Invalid("inner"); }
+Status Propagates() {
+  ESLEV_RETURN_NOT_OK(Fails());
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  Status s = Propagates();
+  EXPECT_TRUE(s.IsInvalid());
+  EXPECT_EQ(s.message(), "inner");
+}
+
+Result<int> MakeInt(bool fail) {
+  if (fail) return Status::OutOfRange("nope");
+  return 42;
+}
+
+Result<int> Doubled(bool fail) {
+  ESLEV_ASSIGN_OR_RETURN(int v, MakeInt(fail));
+  return v * 2;
+}
+
+TEST(ResultTest, ValuePath) {
+  auto r = Doubled(false);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 84);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, ErrorPath) {
+  auto r = Doubled(true);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsOutOfRange());
+}
+
+TEST(ResultTest, ValueOr) {
+  EXPECT_EQ(Result<int>(Status::Invalid("x")).ValueOr(7), 7);
+  EXPECT_EQ(Result<int>(3).ValueOr(7), 3);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> p = std::move(r).ValueUnsafe();
+  EXPECT_EQ(*p, 5);
+}
+
+}  // namespace
+}  // namespace eslev

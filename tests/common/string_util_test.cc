@@ -1,0 +1,94 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace eslev {
+namespace {
+
+TEST(StringUtilTest, CaseConversion) {
+  EXPECT_EQ(AsciiToUpper("select"), "SELECT");
+  EXPECT_EQ(AsciiToLower("SeLeCt"), "select");
+  EXPECT_EQ(AsciiToUpper(""), "");
+}
+
+TEST(StringUtilTest, EqualsIgnoreCase) {
+  EXPECT_TRUE(AsciiEqualsIgnoreCase("SEQ", "seq"));
+  EXPECT_TRUE(AsciiEqualsIgnoreCase("", ""));
+  EXPECT_FALSE(AsciiEqualsIgnoreCase("SEQ", "SEQUEL"));
+  EXPECT_FALSE(AsciiEqualsIgnoreCase("abc", "abd"));
+}
+
+TEST(StringUtilTest, Split) {
+  auto parts = Split("20.57.9000", '.');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "20");
+  EXPECT_EQ(parts[1], "57");
+  EXPECT_EQ(parts[2], "9000");
+
+  auto empties = Split("a..b", '.');
+  ASSERT_EQ(empties.size(), 3u);
+  EXPECT_EQ(empties[1], "");
+
+  auto single = Split("abc", '.');
+  ASSERT_EQ(single.size(), 1u);
+  EXPECT_EQ(single[0], "abc");
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"x"}, ","), "x");
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  hi  "), "hi");
+  EXPECT_EQ(Trim("hi"), "hi");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("\t a b \n"), "a b");
+}
+
+TEST(StringUtilTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("SELECT *", "SELECT"));
+  EXPECT_FALSE(StartsWith("SEL", "SELECT"));
+}
+
+struct LikeCase {
+  const char* text;
+  const char* pattern;
+  bool match;
+};
+
+class LikeMatchTest : public ::testing::TestWithParam<LikeCase> {};
+
+TEST_P(LikeMatchTest, Matches) {
+  EXPECT_EQ(SqlLikeMatch(GetParam().text, GetParam().pattern),
+            GetParam().match)
+      << GetParam().text << " LIKE " << GetParam().pattern;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Patterns, LikeMatchTest,
+    ::testing::Values(
+        // The paper's Example 3 pattern: '20.%.%'
+        LikeCase{"20.57.9000", "20.%.%", true},
+        LikeCase{"21.57.9000", "20.%.%", false},
+        LikeCase{"20.57", "20.%.%", false},  // needs a second '.'
+        LikeCase{"20.57.", "20.%.%", true},  // '%' may match empty
+        LikeCase{"20", "20.%.%", false},
+        LikeCase{"abc", "abc", true},
+        LikeCase{"abc", "a_c", true},
+        LikeCase{"abc", "a_d", false},
+        LikeCase{"abc", "%", true},
+        LikeCase{"", "%", true},
+        LikeCase{"", "", true},
+        LikeCase{"", "_", false},
+        LikeCase{"abcdef", "a%f", true},
+        LikeCase{"abcdef", "a%g", false},
+        LikeCase{"aaa", "%a", true},
+        LikeCase{"mississippi", "%ss%pp%", true},
+        LikeCase{"mississippi", "%ss%xx%", false},
+        LikeCase{"abc", "abc%", true},
+        LikeCase{"abc", "%%%", true}));
+
+}  // namespace
+}  // namespace eslev

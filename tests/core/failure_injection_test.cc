@@ -1,0 +1,119 @@
+// Failure injection: runtime errors inside pipelines must surface as
+// Status through Push/AdvanceTime, and the engine must stay usable.
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+
+namespace eslev {
+namespace {
+
+TEST(FailureInjectionTest, FailingUdfSurfacesThroughPush) {
+  Engine engine;
+  ASSERT_TRUE(
+      engine.ExecuteScript("CREATE STREAM s(tag, t_time);").ok());
+  // A UDF that fails on a specific input.
+  ScalarFunction fn;
+  fn.name = "explode_on_boom";
+  fn.min_args = fn.max_args = 1;
+  fn.return_type = TypeId::kString;
+  fn.fn = [](const std::vector<Value>& args) -> Result<Value> {
+    if (!args[0].is_null() && args[0].string_value() == "boom") {
+      return Status::ExecutionError("injected UDF failure");
+    }
+    return args[0];
+  };
+  ASSERT_TRUE(engine.mutable_registry()->RegisterScalar(fn).ok());
+  auto q = engine.RegisterQuery(
+      "SELECT explode_on_boom(tag) FROM s");
+  ASSERT_TRUE(q.ok()) << q.status();
+  size_t outputs = 0;
+  ASSERT_TRUE(
+      engine.Subscribe(q->output_stream, [&](const Tuple&) { ++outputs; })
+          .ok());
+
+  ASSERT_TRUE(
+      engine.Push("s", {Value::String("ok"), Value::Time(1)}, 1).ok());
+  EXPECT_EQ(outputs, 1u);
+  // The poisoned tuple propagates the error to the caller...
+  Status st = engine.Push("s", {Value::String("boom"), Value::Time(2)}, 2);
+  EXPECT_TRUE(st.IsExecutionError());
+  EXPECT_NE(st.message().find("injected UDF failure"), std::string::npos);
+  // ...and the engine keeps working afterwards.
+  ASSERT_TRUE(
+      engine.Push("s", {Value::String("fine"), Value::Time(3)}, 3).ok());
+  EXPECT_EQ(outputs, 2u);
+}
+
+TEST(FailureInjectionTest, DivisionByZeroInPredicate) {
+  Engine engine;
+  ASSERT_TRUE(engine.ExecuteScript("CREATE STREAM s(v INT, t_time);").ok());
+  auto q = engine.RegisterQuery("SELECT v FROM s WHERE 100 / v > 10");
+  ASSERT_TRUE(q.ok()) << q.status();
+  ASSERT_TRUE(engine.Push("s", {Value::Int(5), Value::Time(1)}, 1).ok());
+  EXPECT_TRUE(
+      engine.Push("s", {Value::Int(0), Value::Time(2)}, 2).IsExecutionError());
+  ASSERT_TRUE(engine.Push("s", {Value::Int(2), Value::Time(3)}, 3).ok());
+}
+
+TEST(FailureInjectionTest, NullsFlowThroughPipelines) {
+  Engine engine;
+  ASSERT_TRUE(
+      engine.ExecuteScript("CREATE STREAM s(tag, v INT, t_time);").ok());
+  auto q = engine.RegisterQuery("SELECT tag, v + 1 FROM s WHERE v > 10");
+  ASSERT_TRUE(q.ok()) << q.status();
+  size_t outputs = 0;
+  ASSERT_TRUE(
+      engine.Subscribe(q->output_stream, [&](const Tuple&) { ++outputs; })
+          .ok());
+  // NULL v: the predicate is UNKNOWN -> filtered, no error.
+  ASSERT_TRUE(engine
+                  .Push("s", {Value::String("a"), Value::Null(),
+                              Value::Time(1)},
+                        1)
+                  .ok());
+  EXPECT_EQ(outputs, 0u);
+  ASSERT_TRUE(engine
+                  .Push("s", {Value::String("b"), Value::Int(20),
+                              Value::Time(2)},
+                        2)
+                  .ok());
+  EXPECT_EQ(outputs, 1u);
+}
+
+TEST(FailureInjectionTest, MalformedEpcInExtractSerial) {
+  Engine engine;
+  ASSERT_TRUE(engine.ExecuteScript("CREATE STREAM s(tid, t_time);").ok());
+  auto q = engine.RegisterQuery(
+      "SELECT tid FROM s WHERE extract_serial(tid) > 10");
+  ASSERT_TRUE(q.ok()) << q.status();
+  // extract_serial errors on malformed EPCs: the error must propagate,
+  // not crash or silently drop.
+  EXPECT_TRUE(engine.Push("s", {Value::String("no-dots"), Value::Time(1)}, 1)
+                  .IsInvalid());
+  // Well-formed tags still work after the failure.
+  ASSERT_TRUE(
+      engine.Push("s", {Value::String("20.1.99"), Value::Time(2)}, 2).ok());
+}
+
+TEST(FailureInjectionTest, SubscribersSeeNoPartialEmissions) {
+  // When a projection fails mid-stream, downstream subscribers must not
+  // observe a partially-built tuple.
+  Engine engine;
+  ASSERT_TRUE(engine.ExecuteScript("CREATE STREAM s(v INT, t_time);").ok());
+  auto q = engine.RegisterQuery("SELECT 100 / v, v FROM s");
+  ASSERT_TRUE(q.ok()) << q.status();
+  std::vector<Tuple> seen;
+  ASSERT_TRUE(engine.Subscribe(q->output_stream, [&](const Tuple& t) {
+                      seen.push_back(t);
+                    }).ok());
+  EXPECT_TRUE(
+      engine.Push("s", {Value::Int(0), Value::Time(1)}, 1).IsExecutionError());
+  EXPECT_TRUE(seen.empty());
+  ASSERT_TRUE(engine.Push("s", {Value::Int(4), Value::Time(2)}, 2).ok());
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].value(0).int_value(), 25);
+}
+
+}  // namespace
+}  // namespace eslev

@@ -1,0 +1,218 @@
+// Capstone integration: a complete RFID-enabled warehouse built from
+// every subsystem at once, mirroring the paper's end-to-end vision —
+// one DSMS serving filtering, temporal events, persistence, snapshots
+// and ALE reporting simultaneously.
+//
+//   raw readings ──dedup(Ex.1)──▶ cleaned ──┬─▶ ALE event cycles
+//   product/case readings ──SEQ(R1*,R2)(Ex.7)──▶ packed events
+//                                            └─▶ location table (Ex.2)
+//   door readings ──NOT EXISTS P&F window (Ex.8)──▶ theft alerts
+//   workflow ops ──EXCEPTION_SEQ (Ex.5)──▶ compliance alerts
+//   + ad-hoc snapshots over retained history (§2.1)
+
+#include <gtest/gtest.h>
+
+#include "ale/event_cycle.h"
+#include "core/engine.h"
+#include "rfid/workloads.h"
+
+namespace eslev {
+namespace {
+
+class WarehouseIntegrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    EngineOptions options;
+    // The lab-workflow trace spans tens of hours (timeout rounds stall
+    // past their 1-hour window); retain enough for the final snapshot.
+    options.default_retention = Hours(200);
+    engine_ = std::make_unique<Engine>(options);
+    ASSERT_TRUE(engine_
+                    ->ExecuteScript(R"sql(
+      CREATE STREAM readings(reader_id, tag_id, read_time);
+      CREATE STREAM cleaned(reader_id, tag_id, read_time);
+      CREATE STREAM R1(readerid, tagid, tagtime);
+      CREATE STREAM R2(readerid, tagid, tagtime);
+      CREATE STREAM door(tagid, tagtype, tagtime);
+      CREATE STREAM A1(staffid, tagid, tagtime);
+      CREATE STREAM A2(staffid, tagid, tagtime);
+      CREATE STREAM A3(staffid, tagid, tagtime);
+      CREATE STREAM tag_locations(readerid, tid, tagtime, loc);
+      CREATE TABLE object_movement(tagid, location, start_time);
+
+      -- Example 1: duplicate elimination.
+      INSERT INTO cleaned
+      SELECT * FROM readings AS r1
+      WHERE NOT EXISTS
+        (SELECT * FROM TABLE( readings OVER
+            (RANGE 1 seconds PRECEDING CURRENT)) AS r2
+         WHERE r2.reader_id = r1.reader_id AND r2.tag_id = r1.tag_id);
+
+      -- Example 2: selective location persistence.
+      INSERT INTO object_movement
+      SELECT tid, loc, tagtime
+      FROM tag_locations WHERE NOT EXISTS
+        (SELECT tagid FROM object_movement
+         WHERE tagid = tid AND location = loc);
+    )sql")
+                    .ok());
+
+    // Example 7: containment events.
+    auto packed = engine_->RegisterQuery(R"sql(
+      SELECT FIRST(R1*).tagtime, COUNT(R1*), R2.tagid, R2.tagtime
+      FROM R1, R2
+      WHERE SEQ(R1*, R2) MODE CHRONICLE
+        AND R2.tagtime - LAST(R1*).tagtime <= 5 SECONDS
+        AND R1.tagtime - R1.previous.tagtime <= 1 SECONDS
+    )sql");
+    ASSERT_TRUE(packed.ok()) << packed.status();
+    ASSERT_TRUE(engine_
+                    ->Subscribe(packed->output_stream,
+                                [this](const Tuple& t) {
+                                  packed_items_ += t.value(1).int_value();
+                                  ++packed_cases_;
+                                })
+                    .ok());
+
+    // Example 8: theft detection.
+    auto theft = engine_->RegisterQuery(R"sql(
+      SELECT * FROM door AS item
+      WHERE item.tagtype = 'item' AND NOT EXISTS
+        (SELECT * FROM door AS person
+           OVER [1 MINUTES PRECEDING AND FOLLOWING item]
+         WHERE person.tagtype = 'person')
+    )sql");
+    ASSERT_TRUE(theft.ok()) << theft.status();
+    ASSERT_TRUE(engine_
+                    ->Subscribe(theft->output_stream,
+                                [this](const Tuple&) { ++theft_alerts_; })
+                    .ok());
+
+    // Example 5: workflow compliance.
+    auto workflow = engine_->RegisterQuery(R"sql(
+      SELECT A1.tagid, A2.tagid, A3.tagid FROM A1, A2, A3
+      WHERE EXCEPTION_SEQ(A1, A2, A3) OVER [1 HOURS FOLLOWING A1]
+    )sql");
+    ASSERT_TRUE(workflow.ok()) << workflow.status();
+    ASSERT_TRUE(engine_
+                    ->Subscribe(workflow->output_stream,
+                                [this](const Tuple&) { ++workflow_alerts_; })
+                    .ok());
+
+    // ALE reporting over the cleaned stream.
+    ale::EcSpec spec;
+    spec.period = Minutes(5);
+    ale::ReportSpec all;
+    all.name = "seen";
+    all.count_only = true;
+    spec.reports.push_back(all);
+    auto proc = ale::EventCycleProcessor::Make(spec, 0);
+    ASSERT_TRUE(proc.ok()) << proc.status();
+    ale_ = std::move(proc).ValueUnsafe();
+    ale::EventCycleProcessor* raw = ale_.get();
+    raw->SetCallback([this](const ale::EcCycleResult& c) {
+      ale_counts_.push_back(c.reports[0].count);
+    });
+    ASSERT_TRUE(engine_
+                    ->Subscribe("cleaned",
+                                [raw](const Tuple& t) {
+                                  (void)raw->OnReading(
+                                      t.value(1).string_value(), t.ts());
+                                })
+                    .ok());
+  }
+
+  std::unique_ptr<Engine> engine_;
+  std::unique_ptr<ale::EventCycleProcessor> ale_;
+  int64_t packed_items_ = 0;
+  size_t packed_cases_ = 0;
+  size_t theft_alerts_ = 0;
+  size_t workflow_alerts_ = 0;
+  std::vector<size_t> ale_counts_;
+};
+
+TEST_F(WarehouseIntegrationTest, AllSubsystemsConcurrently) {
+  // Interleave four scenario traces onto one engine timeline.
+  rfid::DuplicateWorkloadOptions dup_opts;
+  dup_opts.num_distinct = 300;
+  dup_opts.duplicates_per_read = 2;
+  dup_opts.num_tags = 300;  // unique tags: one ALE sighting per tag
+  auto dups = rfid::MakeDuplicateWorkload(dup_opts);
+
+  rfid::PackingWorkloadOptions pack_opts;
+  pack_opts.num_cases = 25;
+  auto packing = rfid::MakePackingWorkload(pack_opts);
+
+  rfid::DoorWorkloadOptions door_opts;
+  door_opts.num_items = 40;
+  door_opts.theft_rate = 0.15;
+  auto doors = rfid::MakeDoorWorkload(door_opts);
+  for (auto& e : doors.events) e.stream = "door";
+
+  rfid::LabWorkflowWorkloadOptions lab_opts;
+  lab_opts.num_rounds = 30;
+  lab_opts.wrong_order_rate = 0.1;
+  lab_opts.wrong_start_rate = 0.1;
+  lab_opts.timeout_rate = 0.1;
+  auto lab = rfid::MakeLabWorkflowWorkload(lab_opts);
+
+  // Merge all traces by timestamp (the engine requires a totally
+  // ordered joint history).
+  std::vector<const rfid::TimedReading*> merged;
+  for (const auto* w :
+       {&dups.events, &packing.events, &doors.events, &lab.events}) {
+    for (const auto& e : *w) merged.push_back(&e);
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const rfid::TimedReading* a,
+                      const rfid::TimedReading* b) {
+                     return a->tuple.ts() < b->tuple.ts();
+                   });
+
+  // Movement events for Example 2, interleaved on the same clock.
+  size_t movements = 0;
+  for (const rfid::TimedReading* e : merged) {
+    ASSERT_TRUE(engine_->PushTuple(e->stream, e->tuple).ok());
+    if (e->stream == "R2" && movements < 10) {
+      // Each packed case gets recorded at the packing station.
+      const Timestamp ts = e->tuple.ts();
+      ASSERT_TRUE(engine_
+                      ->Push("tag_locations",
+                             {Value::String("dock"),
+                              Value::String(
+                                  e->tuple.value(1).string_value()),
+                              Value::Time(ts),
+                              Value::String("packing-station")},
+                             ts)
+                      .ok());
+      ++movements;
+    }
+  }
+  ASSERT_TRUE(engine_->AdvanceTime(engine_->current_time() + Hours(2)).ok());
+  ASSERT_TRUE(ale_->OnTime(engine_->current_time()).ok());
+
+  // Every subsystem produced its expected results, concurrently.
+  EXPECT_EQ(packed_cases_, packing.expected_events);
+  size_t total_products = 0;
+  for (size_t s : packing.case_sizes) total_products += s;
+  EXPECT_EQ(static_cast<size_t>(packed_items_), total_products);
+
+  EXPECT_EQ(theft_alerts_, doors.expected_events);
+  EXPECT_GE(workflow_alerts_, lab.expected_exceptions);
+
+  EXPECT_EQ(engine_->FindTable("object_movement")->num_rows(), movements);
+
+  size_t ale_total = 0;
+  for (size_t c : ale_counts_) ale_total += c;
+  EXPECT_EQ(ale_total, dup_opts.num_distinct);  // distinct cleaned tags
+
+  // Ad-hoc snapshot over the shared history still works afterwards.
+  auto snapshot = engine_->ExecuteSnapshot(
+      "SELECT count(tag_id) FROM cleaned");
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status();
+  EXPECT_EQ((*snapshot)[0].value(0).int_value(),
+            static_cast<int64_t>(dup_opts.num_distinct));
+}
+
+}  // namespace
+}  // namespace eslev

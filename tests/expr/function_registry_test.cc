@@ -1,0 +1,149 @@
+#include "expr/function_registry.h"
+
+#include <gtest/gtest.h>
+
+namespace eslev {
+namespace {
+
+class FunctionRegistryTest : public ::testing::Test {
+ protected:
+  FunctionRegistry reg_;
+
+  Result<Value> Call(const std::string& name, std::vector<Value> args) {
+    auto fn = reg_.FindScalar(name);
+    if (!fn.ok()) return fn.status();
+    return (*fn)->fn(args);
+  }
+};
+
+TEST_F(FunctionRegistryTest, ExtractSerial) {
+  // Example 3: EPC format "company.productcode.serialnumber".
+  EXPECT_EQ(Call("extract_serial", {Value::String("20.17.7042")})->int_value(),
+            7042);
+  EXPECT_TRUE(Call("extract_serial", {Value::String("20.17")})
+                  .status()
+                  .IsInvalid());
+  EXPECT_TRUE(Call("extract_serial", {Value::String("20.17.xyz")})
+                  .status()
+                  .IsInvalid());
+  EXPECT_TRUE(Call("extract_serial", {Value::Int(3)}).status().IsTypeError());
+  EXPECT_TRUE(Call("extract_serial", {Value::Null()})->is_null());
+}
+
+TEST_F(FunctionRegistryTest, ExtractCompanyAndProduct) {
+  EXPECT_EQ(
+      Call("extract_company", {Value::String("20.17.7042")})->string_value(),
+      "20");
+  EXPECT_EQ(
+      Call("extract_product", {Value::String("20.17.7042")})->string_value(),
+      "17");
+}
+
+TEST_F(FunctionRegistryTest, StringFunctions) {
+  EXPECT_EQ(Call("length", {Value::String("abcd")})->int_value(), 4);
+  EXPECT_EQ(Call("lower", {Value::String("TAG")})->string_value(), "tag");
+  EXPECT_EQ(Call("upper", {Value::String("tag")})->string_value(), "TAG");
+  EXPECT_EQ(Call("substr", {Value::String("abcdef"), Value::Int(2),
+                            Value::Int(3)})
+                ->string_value(),
+            "bcd");
+  EXPECT_EQ(Call("substr", {Value::String("abc"), Value::Int(9)})
+                ->string_value(),
+            "");
+  EXPECT_EQ(Call("concat", {Value::String("a"), Value::Int(1)})
+                ->string_value(),
+            "a1");
+}
+
+TEST_F(FunctionRegistryTest, MathAndNullHandling) {
+  EXPECT_EQ(Call("abs", {Value::Int(-5)})->int_value(), 5);
+  EXPECT_DOUBLE_EQ(Call("abs", {Value::Double(-2.5)})->double_value(), 2.5);
+  EXPECT_TRUE(Call("abs", {Value::Null()})->is_null());
+  EXPECT_EQ(Call("coalesce", {Value::Null(), Value::Int(3)})->int_value(), 3);
+  EXPECT_TRUE(Call("coalesce", {Value::Null(), Value::Null()})->is_null());
+}
+
+TEST_F(FunctionRegistryTest, LookupIsCaseInsensitiveAndChecked) {
+  EXPECT_TRUE(reg_.FindScalar("EXTRACT_SERIAL").ok());
+  EXPECT_TRUE(reg_.FindScalar("no_such_fn").status().IsNotFound());
+  EXPECT_TRUE(reg_.FindAggregate("COUNT").ok());
+  EXPECT_TRUE(reg_.FindAggregate("median").status().IsNotFound());
+  EXPECT_TRUE(reg_.IsAggregate("Sum"));
+  EXPECT_FALSE(reg_.IsAggregate("length"));
+}
+
+TEST_F(FunctionRegistryTest, RegisterUdfAndDuplicates) {
+  ScalarFunction f;
+  f.name = "twice";
+  f.min_args = f.max_args = 1;
+  f.fn = [](const std::vector<Value>& args) -> Result<Value> {
+    ESLEV_ASSIGN_OR_RETURN(int64_t v, args[0].AsInt64());
+    return Value::Int(2 * v);
+  };
+  ASSERT_TRUE(reg_.RegisterScalar(f).ok());
+  EXPECT_EQ(Call("twice", {Value::Int(21)})->int_value(), 42);
+  EXPECT_TRUE(reg_.RegisterScalar(f).IsAlreadyExists());
+
+  ScalarFunction clash;
+  clash.name = "count";  // collides with aggregate
+  clash.fn = f.fn;
+  EXPECT_TRUE(reg_.RegisterScalar(clash).IsAlreadyExists());
+}
+
+// ---- aggregates ------------------------------------------------------------
+
+TEST_F(FunctionRegistryTest, CountAccumulateRetract) {
+  auto st = (*reg_.FindAggregate("count"))->make_state();
+  ASSERT_TRUE(st->Accumulate(Value::Int(1)).ok());
+  ASSERT_TRUE(st->Accumulate(Value::Null()).ok());  // NULLs don't count
+  ASSERT_TRUE(st->Accumulate(Value::Int(2)).ok());
+  EXPECT_EQ(st->Finalize().int_value(), 2);
+  ASSERT_TRUE(st->Retract(Value::Int(1)).ok());
+  EXPECT_EQ(st->Finalize().int_value(), 1);
+  st->Reset();
+  EXPECT_EQ(st->Finalize().int_value(), 0);
+}
+
+TEST_F(FunctionRegistryTest, SumIntAndDouble) {
+  auto st = (*reg_.FindAggregate("sum"))->make_state();
+  EXPECT_TRUE(st->Finalize().is_null());  // empty sum is NULL
+  ASSERT_TRUE(st->Accumulate(Value::Int(3)).ok());
+  ASSERT_TRUE(st->Accumulate(Value::Int(4)).ok());
+  EXPECT_EQ(st->Finalize().int_value(), 7);
+  ASSERT_TRUE(st->Accumulate(Value::Double(0.5)).ok());
+  EXPECT_DOUBLE_EQ(st->Finalize().double_value(), 7.5);
+  ASSERT_TRUE(st->Retract(Value::Int(3)).ok());
+  EXPECT_DOUBLE_EQ(st->Finalize().double_value(), 4.5);
+}
+
+TEST_F(FunctionRegistryTest, Avg) {
+  auto st = (*reg_.FindAggregate("avg"))->make_state();
+  ASSERT_TRUE(st->Accumulate(Value::Int(2)).ok());
+  ASSERT_TRUE(st->Accumulate(Value::Int(4)).ok());
+  EXPECT_DOUBLE_EQ(st->Finalize().double_value(), 3.0);
+}
+
+TEST_F(FunctionRegistryTest, MinMax) {
+  auto mn = (*reg_.FindAggregate("min"))->make_state();
+  auto mx = (*reg_.FindAggregate("max"))->make_state();
+  for (int v : {5, 2, 9, 2}) {
+    ASSERT_TRUE(mn->Accumulate(Value::Int(v)).ok());
+    ASSERT_TRUE(mx->Accumulate(Value::Int(v)).ok());
+  }
+  EXPECT_EQ(mn->Finalize().int_value(), 2);
+  EXPECT_EQ(mx->Finalize().int_value(), 9);
+  // Min/max cannot retract; windowed operators must recompute.
+  EXPECT_TRUE(mn->Retract(Value::Int(2)).IsNotImplemented());
+  EXPECT_FALSE((*reg_.FindAggregate("min"))->supports_retract);
+  EXPECT_TRUE((*reg_.FindAggregate("count"))->supports_retract);
+}
+
+TEST_F(FunctionRegistryTest, MinMaxOnStrings) {
+  auto mn = (*reg_.FindAggregate("min"))->make_state();
+  ASSERT_TRUE(mn->Accumulate(Value::String("dock")).ok());
+  ASSERT_TRUE(mn->Accumulate(Value::String("gate")).ok());
+  EXPECT_EQ(mn->Finalize().string_value(), "dock");
+}
+
+}  // namespace
+}  // namespace eslev

@@ -1,0 +1,169 @@
+// SQL-defined UDAs (CREATE AGGREGATE ... INITIALIZE/ITERATE/TERMINATE),
+// end-to-end through the Engine.
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+
+namespace eslev {
+namespace {
+
+class SqlUdaTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(engine_
+                    .ExecuteScript(
+                        "CREATE STREAM vitals(patient, bp INT, taken_time);")
+                    .ok());
+  }
+
+  void Push(const std::string& patient, int64_t bp, Timestamp ts) {
+    ASSERT_TRUE(engine_
+                    .Push("vitals",
+                          {Value::String(patient), Value::Int(bp),
+                           Value::Time(ts)},
+                          ts)
+                    .ok());
+  }
+
+  std::vector<Value> Run(const std::string& query) {
+    auto q = engine_.RegisterQuery(query);
+    EXPECT_TRUE(q.ok()) << q.status();
+    std::vector<Value> out;
+    EXPECT_TRUE(engine_
+                    .Subscribe(q->output_stream,
+                               [&](const Tuple& t) {
+                                 out.push_back(t.value(0));
+                               })
+                    .ok());
+    Push("alice", 120, Seconds(1));
+    Push("alice", 130, Seconds(2));
+    Push("alice", 110, Seconds(3));
+    Push("alice", 140, Seconds(4));
+    return out;
+  }
+
+  Engine engine_;
+};
+
+TEST_F(SqlUdaTest, RunningTotal) {
+  ASSERT_TRUE(engine_
+                  .ExecuteScript(
+                      "CREATE AGGREGATE total AS INITIALIZE next "
+                      "ITERATE state + next;")
+                  .ok());
+  auto out = Run("SELECT total(bp) FROM vitals");
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0].int_value(), 120);
+  EXPECT_EQ(out[3].int_value(), 500);
+}
+
+TEST_F(SqlUdaTest, MeanWithTerminate) {
+  ASSERT_TRUE(engine_
+                  .ExecuteScript(
+                      "CREATE AGGREGATE mean AS INITIALIZE next "
+                      "ITERATE state + next TERMINATE state / n;")
+                  .ok());
+  auto out = Run("SELECT mean(bp) FROM vitals");
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0].int_value(), 120);
+  EXPECT_EQ(out[3].int_value(), 125);  // 500 / 4 (integer division)
+}
+
+TEST_F(SqlUdaTest, LatestValue) {
+  ASSERT_TRUE(engine_
+                  .ExecuteScript(
+                      "CREATE AGGREGATE latest AS INITIALIZE next "
+                      "ITERATE next;")
+                  .ok());
+  auto out = Run("SELECT latest(bp) FROM vitals");
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[3].int_value(), 140);
+}
+
+TEST_F(SqlUdaTest, ExponentialSmoothing) {
+  // state <- 0.75*state + 0.25*next: a realistic sensor-smoothing UDA
+  // (the paper's blood-pressure monitoring scenario).
+  ASSERT_TRUE(engine_
+                  .ExecuteScript(
+                      "CREATE AGGREGATE smooth AS INITIALIZE next "
+                      "ITERATE state * 0.75 + next * 0.25 RETURNS DOUBLE;")
+                  .ok());
+  auto out = Run("SELECT smooth(bp) FROM vitals");
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_DOUBLE_EQ(out[1].double_value(), 120 * 0.75 + 130 * 0.25);
+}
+
+TEST_F(SqlUdaTest, WorksWithGroupByAndWindows) {
+  ASSERT_TRUE(engine_
+                  .ExecuteScript(
+                      "CREATE AGGREGATE total AS INITIALIZE next "
+                      "ITERATE state + next;")
+                  .ok());
+  // Windowed: no retraction -> the operator recomputes per eviction.
+  auto q = engine_.RegisterQuery(
+      "SELECT total(bp) FROM TABLE(vitals OVER "
+      "(RANGE 2 SECONDS PRECEDING CURRENT)) AS v");
+  ASSERT_TRUE(q.ok()) << q.status();
+  std::vector<int64_t> out;
+  ASSERT_TRUE(engine_
+                  .Subscribe(q->output_stream,
+                             [&](const Tuple& t) {
+                               out.push_back(t.value(0).int_value());
+                             })
+                  .ok());
+  Push("alice", 100, Seconds(0));
+  Push("alice", 10, Seconds(1));
+  Push("alice", 1, Seconds(4));  // 100 and 10 evicted
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], 100);
+  EXPECT_EQ(out[1], 110);
+  EXPECT_EQ(out[2], 1);
+}
+
+TEST_F(SqlUdaTest, SnapshotUsage) {
+  EngineOptions options;
+  options.default_retention = Hours(1);
+  Engine engine(options);
+  ASSERT_TRUE(engine
+                  .ExecuteScript(R"sql(
+    CREATE STREAM vitals(patient, bp INT, taken_time);
+    CREATE AGGREGATE total AS INITIALIZE next ITERATE state + next;
+  )sql")
+                  .ok());
+  for (int i = 1; i <= 3; ++i) {
+    ASSERT_TRUE(engine
+                    .Push("vitals",
+                          {Value::String("bob"), Value::Int(i),
+                           Value::Time(Seconds(i))},
+                          Seconds(i))
+                    .ok());
+  }
+  auto rows = engine.ExecuteSnapshot("SELECT total(bp) FROM vitals");
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0].value(0).int_value(), 6);
+}
+
+TEST_F(SqlUdaTest, Errors) {
+  // Duplicate name (collides with the builtin).
+  EXPECT_TRUE(engine_
+                  .ExecuteScript(
+                      "CREATE AGGREGATE count AS INITIALIZE next "
+                      "ITERATE state;")
+                  .IsAlreadyExists());
+  // Unknown identifier in the body.
+  EXPECT_TRUE(engine_
+                  .ExecuteScript(
+                      "CREATE AGGREGATE bad AS INITIALIZE nope "
+                      "ITERATE state;")
+                  .IsBindError());
+  // Parse errors.
+  EXPECT_TRUE(engine_.ExecuteScript("CREATE AGGREGATE x AS ITERATE state;")
+                  .IsParseError());
+  EXPECT_TRUE(engine_.ExecuteScript("CREATE AGGREGATE AS INITIALIZE 1;")
+                  .IsParseError());
+}
+
+}  // namespace
+}  // namespace eslev

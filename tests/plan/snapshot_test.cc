@@ -1,0 +1,144 @@
+// Snapshot executor: multi-source joins, correlated EXISTS, aggregates,
+// ORDER BY and LIMIT — the ad-hoc query surface of §2.1.
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+
+namespace eslev {
+namespace {
+
+class SnapshotTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    EngineOptions options;
+    options.default_retention = Hours(1);
+    engine_ = std::make_unique<Engine>(options);
+    ASSERT_TRUE(engine_
+                    ->ExecuteScript(R"sql(
+      CREATE STREAM sightings(patient, loc, seen_time);
+      CREATE TABLE wards(ward, floor INT);
+    )sql")
+                    .ok());
+    Table* wards = engine_->FindTable("wards");
+    ASSERT_TRUE(
+        wards->Insert({Value::String("icu"), Value::Int(3)}).ok());
+    ASSERT_TRUE(
+        wards->Insert({Value::String("ward-1"), Value::Int(1)}).ok());
+    ASSERT_TRUE(
+        wards->Insert({Value::String("radiology"), Value::Int(0)}).ok());
+
+    Push("alice", "ward-1", Minutes(1));
+    Push("bob", "icu", Minutes(2));
+    Push("alice", "radiology", Minutes(3));
+    Push("carol", "icu", Minutes(4));
+    Push("alice", "icu", Minutes(5));
+  }
+
+  void Push(const std::string& p, const std::string& loc, Timestamp ts) {
+    ASSERT_TRUE(engine_
+                    ->Push("sightings",
+                           {Value::String(p), Value::String(loc),
+                            Value::Time(ts)},
+                           ts)
+                    .ok());
+  }
+
+  std::vector<Tuple> Run(const std::string& sql) {
+    auto r = engine_->ExecuteSnapshot(sql);
+    EXPECT_TRUE(r.ok()) << sql << "\n" << r.status();
+    return r.ok() ? *r : std::vector<Tuple>{};
+  }
+
+  std::unique_ptr<Engine> engine_;
+};
+
+TEST_F(SnapshotTest, OrderByTimestampDescending) {
+  auto rows = Run(
+      "SELECT loc, seen_time FROM sightings WHERE patient = 'alice' "
+      "ORDER BY seen_time DESC");
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].value(0).string_value(), "icu");
+  EXPECT_EQ(rows[1].value(0).string_value(), "radiology");
+  EXPECT_EQ(rows[2].value(0).string_value(), "ward-1");
+}
+
+TEST_F(SnapshotTest, LimitCapsOutput) {
+  auto rows = Run(
+      "SELECT loc FROM sightings WHERE patient = 'alice' "
+      "ORDER BY seen_time DESC LIMIT 1");
+  ASSERT_EQ(rows.size(), 1u);
+  // "Where is Alice right now?" — the paper's physician query.
+  EXPECT_EQ(rows[0].value(0).string_value(), "icu");
+}
+
+TEST_F(SnapshotTest, MultiKeyOrdering) {
+  auto rows = Run("SELECT patient, loc FROM sightings "
+                  "ORDER BY patient ASC, seen_time DESC");
+  ASSERT_EQ(rows.size(), 5u);
+  EXPECT_EQ(rows[0].value(0).string_value(), "alice");
+  EXPECT_EQ(rows[0].value(1).string_value(), "icu");  // alice's latest
+  EXPECT_EQ(rows[3].value(0).string_value(), "bob");
+  EXPECT_EQ(rows[4].value(0).string_value(), "carol");
+}
+
+TEST_F(SnapshotTest, StreamTableJoinSnapshot) {
+  auto rows = Run(
+      "SELECT s.patient, s.loc, w.floor FROM sightings AS s, wards AS w "
+      "WHERE w.ward = s.loc AND s.patient = 'bob'");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].value(2).int_value(), 3);
+}
+
+TEST_F(SnapshotTest, CorrelatedNotExistsLatestSighting) {
+  // Patients' latest sighting: no later sighting of the same patient.
+  auto rows = Run(R"sql(
+    SELECT s1.patient, s1.loc FROM sightings AS s1
+    WHERE NOT EXISTS
+      (SELECT * FROM sightings AS s2
+       WHERE s2.patient = s1.patient AND s2.seen_time > s1.seen_time)
+    ORDER BY patient
+  )sql");
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].value(0).string_value(), "alice");
+  EXPECT_EQ(rows[0].value(1).string_value(), "icu");
+  EXPECT_EQ(rows[1].value(0).string_value(), "bob");
+  EXPECT_EQ(rows[2].value(0).string_value(), "carol");
+}
+
+TEST_F(SnapshotTest, GroupByWithOrderAndLimit) {
+  auto rows = Run(
+      "SELECT loc, count(patient) FROM sightings "
+      "GROUP BY loc ORDER BY count(patient) DESC, loc LIMIT 2");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].value(0).string_value(), "icu");
+  EXPECT_EQ(rows[0].value(1).int_value(), 3);
+}
+
+TEST_F(SnapshotTest, AggregateOverEmptyInput) {
+  auto rows = Run("SELECT count(patient) FROM sightings WHERE loc = 'x'");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].value(0).int_value(), 0);
+}
+
+TEST_F(SnapshotTest, WindowedStreamSource) {
+  // Only sightings from the last 90 seconds of stream time.
+  auto rows = Run(
+      "SELECT patient FROM TABLE(sightings OVER "
+      "(RANGE 90 SECONDS PRECEDING CURRENT)) AS s");
+  ASSERT_EQ(rows.size(), 2u);  // minutes 4 and 5
+}
+
+TEST_F(SnapshotTest, ContinuousQueriesRejectOrderBy) {
+  EXPECT_TRUE(engine_
+                  ->RegisterQuery(
+                      "SELECT patient FROM sightings ORDER BY patient")
+                  .status()
+                  .IsNotImplemented());
+  EXPECT_TRUE(engine_->RegisterQuery("SELECT patient FROM sightings LIMIT 5")
+                  .status()
+                  .IsNotImplemented());
+}
+
+}  // namespace
+}  // namespace eslev

@@ -1,0 +1,71 @@
+#include "rfid/epc.h"
+
+#include <gtest/gtest.h>
+
+namespace eslev {
+namespace rfid {
+namespace {
+
+TEST(EpcTest, ParseAndFormat) {
+  auto epc = ParseEpc("20.17.7042");
+  ASSERT_TRUE(epc.ok());
+  EXPECT_EQ(epc->company, "20");
+  EXPECT_EQ(epc->product, "17");
+  EXPECT_EQ(epc->serial, 7042);
+  EXPECT_EQ(epc->ToString(), "20.17.7042");
+}
+
+TEST(EpcTest, ParseErrors) {
+  EXPECT_TRUE(ParseEpc("20.17").status().IsInvalid());
+  EXPECT_TRUE(ParseEpc("20.17.70.42").status().IsInvalid());
+  EXPECT_TRUE(ParseEpc("20..7042").status().IsInvalid());
+  EXPECT_TRUE(ParseEpc("20.17.abc").status().IsInvalid());
+  EXPECT_TRUE(ParseEpc("").status().IsInvalid());
+}
+
+TEST(AlePatternTest, PaperPattern) {
+  // The ALE-standard example from the paper: 20.*.[5000-9999].
+  auto p = AlePattern::Parse("20.*.[5000-9999]");
+  ASSERT_TRUE(p.ok()) << p.status();
+  EXPECT_EQ(p->ToString(), "20.*.[5000-9999]");
+  EXPECT_TRUE(p->Matches("20.17.7042"));
+  EXPECT_TRUE(p->Matches("20.99.5000"));
+  EXPECT_TRUE(p->Matches("20.99.9999"));
+  EXPECT_FALSE(p->Matches("20.99.4999"));
+  EXPECT_FALSE(p->Matches("20.99.10000"));
+  EXPECT_FALSE(p->Matches("21.17.7042"));
+  EXPECT_FALSE(p->Matches("garbage"));
+}
+
+TEST(AlePatternTest, ExactAndAnyFields) {
+  auto p = AlePattern::Parse("*.17.*");
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p->Matches("99.17.1"));
+  EXPECT_FALSE(p->Matches("99.18.1"));
+
+  auto exact = AlePattern::Parse("20.17.7042");
+  ASSERT_TRUE(exact.ok());
+  EXPECT_TRUE(exact->Matches("20.17.7042"));
+  EXPECT_FALSE(exact->Matches("20.17.7043"));
+}
+
+TEST(AlePatternTest, RangeOnAnyField) {
+  auto p = AlePattern::Parse("[10-30].*.*");
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p->Matches("20.1.1"));
+  EXPECT_FALSE(p->Matches("31.1.1"));
+  // Non-numeric value against a range never matches.
+  EXPECT_FALSE(p->Matches("abc.1.1"));
+}
+
+TEST(AlePatternTest, ParseErrors) {
+  EXPECT_TRUE(AlePattern::Parse("20.*").status().IsInvalid());
+  EXPECT_TRUE(AlePattern::Parse("20.*.[5000]").status().IsInvalid());
+  EXPECT_TRUE(AlePattern::Parse("20.*.[9-5]").status().IsInvalid());
+  EXPECT_TRUE(AlePattern::Parse("20.*.[a-b]").status().IsInvalid());
+  EXPECT_TRUE(AlePattern::Parse("..").status().IsInvalid());
+}
+
+}  // namespace
+}  // namespace rfid
+}  // namespace eslev

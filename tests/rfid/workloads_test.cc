@@ -1,0 +1,225 @@
+// Workload generators: determinism, ordering, and — crucially — that the
+// generated ground truth matches what the actual ESL-EV queries detect.
+
+#include "rfid/workloads.h"
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "rfid/epc.h"
+
+namespace eslev {
+namespace rfid {
+namespace {
+
+template <typename W>
+void ExpectSortedAndDeterministic(const W& a, const W& b) {
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].stream, b.events[i].stream);
+    EXPECT_TRUE(a.events[i].tuple.Equals(b.events[i].tuple));
+    if (i > 0) {
+      EXPECT_GE(a.events[i].tuple.ts(), a.events[i - 1].tuple.ts());
+    }
+  }
+}
+
+TEST(DuplicateWorkloadTest, DeterministicAndSorted) {
+  DuplicateWorkloadOptions options;
+  options.num_distinct = 50;
+  ExpectSortedAndDeterministic(MakeDuplicateWorkload(options),
+                               MakeDuplicateWorkload(options));
+}
+
+TEST(DuplicateWorkloadTest, GroundTruthMatchesEngineOutput) {
+  DuplicateWorkloadOptions options;
+  options.num_distinct = 200;
+  options.duplicates_per_read = 4;
+  auto w = MakeDuplicateWorkload(options);
+  EXPECT_EQ(w.events.size(), 200u * 5u);
+
+  Engine engine;
+  ASSERT_TRUE(engine.ExecuteScript(R"sql(
+    CREATE STREAM readings(reader_id, tag_id, read_time);
+    CREATE STREAM cleaned(reader_id, tag_id, read_time);
+    INSERT INTO cleaned
+    SELECT * FROM readings AS r1
+    WHERE NOT EXISTS
+      (SELECT * FROM TABLE( readings OVER
+          (RANGE 1 seconds PRECEDING CURRENT)) AS r2
+       WHERE r2.reader_id = r1.reader_id AND r2.tag_id = r1.tag_id);
+  )sql")
+                  .ok());
+  size_t cleaned = 0;
+  ASSERT_TRUE(engine.Subscribe("cleaned", [&](const Tuple&) { ++cleaned; })
+                  .ok());
+  for (const auto& e : w.events) {
+    ASSERT_TRUE(engine.PushTuple(e.stream, e.tuple).ok());
+  }
+  EXPECT_EQ(cleaned, w.distinct_readings);
+}
+
+TEST(PackingWorkloadTest, GroundTruthMatchesEngineOutput) {
+  PackingWorkloadOptions options;
+  options.num_cases = 40;
+  auto w = MakePackingWorkload(options);
+  ASSERT_EQ(w.case_sizes.size(), 40u);
+
+  Engine engine;
+  ASSERT_TRUE(engine.ExecuteScript(R"sql(
+    CREATE STREAM R1(readerid, tagid, tagtime);
+    CREATE STREAM R2(readerid, tagid, tagtime);
+  )sql")
+                  .ok());
+  auto q = engine.RegisterQuery(R"sql(
+    SELECT FIRST(R1*).tagtime, COUNT(R1*), R2.tagid, R2.tagtime
+    FROM R1, R2
+    WHERE SEQ(R1*, R2) MODE CHRONICLE
+      AND R2.tagtime - LAST(R1*).tagtime <= 5 SECONDS
+      AND R1.tagtime - R1.previous.tagtime <= 1 SECONDS
+  )sql");
+  ASSERT_TRUE(q.ok()) << q.status();
+  std::vector<int64_t> counts;
+  ASSERT_TRUE(engine.Subscribe(q->output_stream, [&](const Tuple& t) {
+                      counts.push_back(t.value(1).int_value());
+                    }).ok());
+  for (const auto& e : w.events) {
+    ASSERT_TRUE(engine.PushTuple(e.stream, e.tuple).ok());
+  }
+  ASSERT_EQ(counts.size(), w.expected_events);
+  for (size_t i = 0; i < counts.size(); ++i) {
+    EXPECT_EQ(counts[i], static_cast<int64_t>(w.case_sizes[i]))
+        << "case " << i;
+  }
+}
+
+TEST(QualityCheckWorkloadTest, CompleteAndDroppedProducts) {
+  QualityCheckWorkloadOptions options;
+  options.num_products = 100;
+  options.drop_rate = 0.3;
+  auto w = MakeQualityCheckWorkload(options);
+  EXPECT_LT(w.expected_events, 100u);
+  EXPECT_GT(w.expected_events, 0u);
+
+  Engine engine;
+  ASSERT_TRUE(engine.ExecuteScript(R"sql(
+    CREATE STREAM C1(readerid, tagid, tagtime);
+    CREATE STREAM C2(readerid, tagid, tagtime);
+    CREATE STREAM C3(readerid, tagid, tagtime);
+    CREATE STREAM C4(readerid, tagid, tagtime);
+  )sql")
+                  .ok());
+  auto q = engine.RegisterQuery(R"sql(
+    SELECT C4.tagid FROM C1, C2, C3, C4
+    WHERE SEQ(C1, C2, C3, C4)
+      AND C1.tagid=C2.tagid AND C1.tagid=C3.tagid AND C1.tagid=C4.tagid
+  )sql");
+  ASSERT_TRUE(q.ok()) << q.status();
+  size_t events = 0;
+  ASSERT_TRUE(engine.Subscribe(q->output_stream,
+                               [&](const Tuple&) { ++events; })
+                  .ok());
+  for (const auto& e : w.events) {
+    ASSERT_TRUE(engine.PushTuple(e.stream, e.tuple).ok());
+  }
+  EXPECT_EQ(events, w.expected_events);
+}
+
+TEST(LabWorkflowWorkloadTest, ViolationsDetectedByExceptionSeq) {
+  LabWorkflowWorkloadOptions options;
+  options.num_rounds = 100;
+  options.wrong_order_rate = 0.1;
+  options.wrong_start_rate = 0.1;
+  options.timeout_rate = 0.1;
+  auto w = MakeLabWorkflowWorkload(options);
+  EXPECT_GT(w.expected_exceptions, 0u);
+
+  Engine engine;
+  ASSERT_TRUE(engine.ExecuteScript(R"sql(
+    CREATE STREAM A1(staffid, tagid, tagtime);
+    CREATE STREAM A2(staffid, tagid, tagtime);
+    CREATE STREAM A3(staffid, tagid, tagtime);
+  )sql")
+                  .ok());
+  auto q = engine.RegisterQuery(R"sql(
+    SELECT A1.tagid, A2.tagid, A3.tagid
+    FROM A1, A2, A3
+    WHERE EXCEPTION_SEQ(A1, A2, A3) OVER [1 HOURS FOLLOWING A1]
+  )sql");
+  ASSERT_TRUE(q.ok()) << q.status();
+  size_t alerts = 0;
+  ASSERT_TRUE(
+      engine.Subscribe(q->output_stream, [&](const Tuple&) { ++alerts; })
+          .ok());
+  for (const auto& e : w.events) {
+    ASSERT_TRUE(engine.PushTuple(e.stream, e.tuple).ok());
+  }
+  ASSERT_TRUE(engine.AdvanceTime(engine.current_time() + Hours(2)).ok());
+  // Every injected violation raises at least one alert; wrong-order
+  // rounds raise two (abandoned partial + stray tuple).
+  EXPECT_GE(alerts, w.expected_exceptions);
+  // And clean rounds raise none: alerts are bounded by 2 per violation.
+  EXPECT_LE(alerts, 2 * w.expected_exceptions);
+}
+
+TEST(DoorWorkloadTest, TheftsDetected) {
+  DoorWorkloadOptions options;
+  options.num_items = 200;
+  options.theft_rate = 0.1;
+  auto w = MakeDoorWorkload(options);
+  EXPECT_GT(w.expected_events, 0u);
+
+  Engine engine;
+  ASSERT_TRUE(engine.ExecuteScript(R"sql(
+    CREATE STREAM tag_readings(tagid, tagtype, tagtime);
+  )sql")
+                  .ok());
+  auto q = engine.RegisterQuery(R"sql(
+    SELECT * FROM tag_readings AS item
+    WHERE item.tagtype = 'item' AND NOT EXISTS
+      (SELECT * FROM tag_readings AS person
+         OVER [1 MINUTES PRECEDING AND FOLLOWING item]
+       WHERE person.tagtype = 'person')
+  )sql");
+  ASSERT_TRUE(q.ok()) << q.status();
+  size_t alerts = 0;
+  ASSERT_TRUE(
+      engine.Subscribe(q->output_stream, [&](const Tuple&) { ++alerts; })
+          .ok());
+  for (const auto& e : w.events) {
+    ASSERT_TRUE(engine.PushTuple(e.stream, e.tuple).ok());
+  }
+  ASSERT_TRUE(engine.AdvanceTime(engine.current_time() + Minutes(5)).ok());
+  EXPECT_EQ(alerts, w.expected_events);
+}
+
+TEST(EpcWorkloadTest, GroundTruthMatchesQuery) {
+  EpcWorkloadOptions options;
+  options.num_readings = 2000;
+  auto w = MakeEpcWorkload(options);
+  EXPECT_GT(w.expected_matches, 0u);
+  EXPECT_LT(w.expected_matches, 2000u);
+
+  Engine engine;
+  ASSERT_TRUE(
+      engine.ExecuteScript("CREATE STREAM readings(reader_id, tid, read_time);")
+          .ok());
+  auto q = engine.RegisterQuery(R"sql(
+    SELECT count(tid) FROM readings WHERE tid LIKE '20.%.%'
+      AND extract_serial(tid) >= 5000
+      AND extract_serial(tid) <= 9999
+  )sql");
+  ASSERT_TRUE(q.ok()) << q.status();
+  int64_t last_count = 0;
+  ASSERT_TRUE(engine.Subscribe(q->output_stream, [&](const Tuple& t) {
+                      last_count = t.value(0).int_value();
+                    }).ok());
+  for (const auto& e : w.events) {
+    ASSERT_TRUE(engine.PushTuple(e.stream, e.tuple).ok());
+  }
+  EXPECT_EQ(last_count, static_cast<int64_t>(w.expected_matches));
+}
+
+}  // namespace
+}  // namespace rfid
+}  // namespace eslev

@@ -1,0 +1,128 @@
+#include "sql/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace eslev {
+namespace {
+
+std::vector<TokenType> Types(const std::vector<Token>& toks) {
+  std::vector<TokenType> out;
+  for (const auto& t : toks) out.push_back(t.type);
+  return out;
+}
+
+TEST(LexerTest, EmptyInput) {
+  auto toks = Tokenize("");
+  ASSERT_TRUE(toks.ok());
+  ASSERT_EQ(toks->size(), 1u);
+  EXPECT_EQ(toks->back().type, TokenType::kEnd);
+}
+
+TEST(LexerTest, IdentifiersAndKeywordsAreIdentifiers) {
+  auto toks = Tokenize("SELECT tag_id FROM readings");
+  ASSERT_TRUE(toks.ok());
+  ASSERT_EQ(toks->size(), 5u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ((*toks)[i].type, TokenType::kIdentifier);
+  }
+  EXPECT_EQ((*toks)[0].text, "SELECT");
+  EXPECT_EQ((*toks)[1].text, "tag_id");
+}
+
+TEST(LexerTest, NumbersIntFloatAndUnitSuffix) {
+  auto toks = Tokenize("42 1.5 2e3 5 seconds");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].type, TokenType::kInteger);
+  EXPECT_EQ((*toks)[0].int_value, 42);
+  EXPECT_EQ((*toks)[1].type, TokenType::kFloat);
+  EXPECT_DOUBLE_EQ((*toks)[1].float_value, 1.5);
+  EXPECT_EQ((*toks)[2].type, TokenType::kFloat);
+  EXPECT_DOUBLE_EQ((*toks)[2].float_value, 2000.0);
+  EXPECT_EQ((*toks)[3].type, TokenType::kInteger);
+  EXPECT_EQ((*toks)[4].type, TokenType::kIdentifier);
+  EXPECT_EQ((*toks)[4].text, "seconds");
+}
+
+TEST(LexerTest, IntegerDotIdentifierIsNotFloat) {
+  // `R1.previous.tagtime` style paths, and `20.%` patterns live inside
+  // strings, but a bare `1.x` must lex INT DOT IDENT.
+  auto toks = Tokenize("1.x");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].type, TokenType::kInteger);
+  EXPECT_EQ((*toks)[1].type, TokenType::kDot);
+  EXPECT_EQ((*toks)[2].type, TokenType::kIdentifier);
+}
+
+TEST(LexerTest, StringLiteralsWithEscapes) {
+  auto toks = Tokenize("'20.%.%' 'it''s'");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].type, TokenType::kString);
+  EXPECT_EQ((*toks)[0].text, "20.%.%");
+  EXPECT_EQ((*toks)[1].text, "it's");
+}
+
+TEST(LexerTest, UnterminatedStringIsError) {
+  EXPECT_TRUE(Tokenize("'oops").status().IsParseError());
+}
+
+TEST(LexerTest, OperatorsAndPunctuation) {
+  auto toks = Tokenize("( ) [ ] , . ; * + - / % = <> != < <= > >=");
+  ASSERT_TRUE(toks.ok());
+  std::vector<TokenType> expected = {
+      TokenType::kLParen, TokenType::kRParen,  TokenType::kLBracket,
+      TokenType::kRBracket, TokenType::kComma, TokenType::kDot,
+      TokenType::kSemicolon, TokenType::kStar, TokenType::kPlus,
+      TokenType::kMinus,  TokenType::kSlash,   TokenType::kPercent,
+      TokenType::kEq,     TokenType::kNe,      TokenType::kNe,
+      TokenType::kLt,     TokenType::kLe,      TokenType::kGt,
+      TokenType::kGe,     TokenType::kEnd};
+  EXPECT_EQ(Types(*toks), expected);
+}
+
+TEST(LexerTest, UnicodeComparisonOperators) {
+  // The paper's listings use U+2264 / U+2265.
+  auto toks = Tokenize("a ≤ b ≥ c");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[1].type, TokenType::kLe);
+  EXPECT_EQ((*toks)[3].type, TokenType::kGe);
+}
+
+TEST(LexerTest, Comments) {
+  auto toks = Tokenize(
+      "SELECT -- line comment\n tid /* block\ncomment */ FROM r");
+  ASSERT_TRUE(toks.ok());
+  ASSERT_EQ(toks->size(), 5u);
+  EXPECT_EQ((*toks)[1].text, "tid");
+  EXPECT_EQ((*toks)[2].text, "FROM");
+}
+
+TEST(LexerTest, UnterminatedBlockCommentIsError) {
+  EXPECT_TRUE(Tokenize("SELECT /* no end").status().IsParseError());
+}
+
+TEST(LexerTest, LineAndColumnTracking) {
+  auto toks = Tokenize("a\n  b");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].line, 1);
+  EXPECT_EQ((*toks)[0].column, 1);
+  EXPECT_EQ((*toks)[1].line, 2);
+  EXPECT_EQ((*toks)[1].column, 3);
+}
+
+TEST(LexerTest, UnexpectedCharacterIsError) {
+  EXPECT_TRUE(Tokenize("a @ b").status().IsParseError());
+  EXPECT_TRUE(Tokenize("a # b").status().IsParseError());
+}
+
+TEST(LexerTest, BangTokenForNegatedSeqArguments) {
+  auto toks = Tokenize("SEQ(A, !B, C)");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[4].type, TokenType::kBang);
+  // '!=' still lexes as one inequality token.
+  auto ne = Tokenize("a != b");
+  ASSERT_TRUE(ne.ok());
+  EXPECT_EQ((*ne)[1].type, TokenType::kNe);
+}
+
+}  // namespace
+}  // namespace eslev

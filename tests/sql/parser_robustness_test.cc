@@ -1,0 +1,84 @@
+// Parser robustness sweep: pseudo-random token soup must never crash —
+// every input either parses or returns a ParseError/Invalid status.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "sql/parser.h"
+
+namespace eslev {
+namespace {
+
+class ParserRobustnessTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(ParserRobustnessTest, RandomTokenSoupNeverCrashes) {
+  std::mt19937 rng(GetParam());
+  const std::vector<std::string> vocabulary = {
+      "SELECT", "FROM",   "WHERE",  "INSERT", "INTO",  "CREATE",
+      "STREAM", "TABLE",  "SEQ",    "OVER",   "MODE",  "NOT",
+      "EXISTS", "AND",    "OR",     "LIKE",   "GROUP", "BY",
+      "(",      ")",      "[",      "]",      ",",     "*",
+      "=",      "<",      "<=",     ".",      ";",     "'str'",
+      "42",     "1.5",    "tagid",  "r1",     "C1",    "PRECEDING",
+      "FOLLOWING", "SECONDS", "RECENT", "CHRONICLE", "FIRST", "LAST",
+      "COUNT",  "previous", "BETWEEN", "IN", "LIMIT", "ORDER",
+      "AGGREGATE", "INITIALIZE", "ITERATE", "TERMINATE", "RETURNS",
+  };
+  std::uniform_int_distribution<size_t> word(0, vocabulary.size() - 1);
+  std::uniform_int_distribution<size_t> length(1, 40);
+
+  for (int round = 0; round < 200; ++round) {
+    std::string sql;
+    const size_t n = length(rng);
+    for (size_t i = 0; i < n; ++i) {
+      sql += vocabulary[word(rng)];
+      sql += " ";
+    }
+    // Must not crash; the status must be OK or a structured error.
+    auto result = ParseStatement(sql);
+    if (!result.ok()) {
+      EXPECT_TRUE(result.status().IsParseError() ||
+                  result.status().IsInvalid())
+          << sql << " -> " << result.status();
+    }
+    auto script = ParseScript(sql);
+    if (!script.ok()) {
+      EXPECT_TRUE(script.status().IsParseError() ||
+                  script.status().IsInvalid());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserRobustnessTest,
+                         ::testing::Values(101u, 202u, 303u, 404u, 505u));
+
+TEST(ParserRobustnessTest2, DeepNestingDoesNotOverflow) {
+  // Moderately deep parenthesization parses fine.
+  std::string expr = "1";
+  for (int i = 0; i < 200; ++i) expr = "(" + expr + " + 1)";
+  auto r = ParseExpression(expr);
+  EXPECT_TRUE(r.ok()) << r.status();
+}
+
+TEST(ParserRobustnessTest2, HugeIdentifiersAndStrings) {
+  const std::string big(10000, 'x');
+  auto r1 = ParseExpression(big);  // one huge identifier
+  EXPECT_TRUE(r1.ok());
+  auto r2 = ParseExpression("'" + big + "'");
+  EXPECT_TRUE(r2.ok());
+}
+
+TEST(ParserRobustnessTest2, EmbeddedNulAndControlChars) {
+  std::string sql = "SELECT x FROM s";
+  sql.push_back('\0');
+  sql += " WHERE x = 1";
+  auto r = ParseStatement(sql);
+  EXPECT_FALSE(r.ok());  // NUL is not a valid token
+  EXPECT_TRUE(r.status().IsParseError());
+
+  EXPECT_TRUE(ParseStatement("SELECT \x01 FROM s").status().IsParseError());
+}
+
+}  // namespace
+}  // namespace eslev

@@ -1,0 +1,132 @@
+#include "stream/stream.h"
+
+#include <gtest/gtest.h>
+
+#include "exec/basic_ops.h"
+#include "stream/window_buffer.h"
+
+namespace eslev {
+namespace {
+
+SchemaPtr TestSchema() {
+  return Schema::Make(
+      {{"tag", TypeId::kString}, {"ts_col", TypeId::kTimestamp}});
+}
+
+Tuple T(const SchemaPtr& s, const std::string& tag, Timestamp ts) {
+  return *MakeTuple(s, {Value::String(tag), Value::Time(ts)}, ts);
+}
+
+TEST(StreamTest, PushFansOutToOperatorsAndCallbacks) {
+  auto schema = TestSchema();
+  Stream s("readings", schema);
+  CollectOperator sink;
+  s.Subscribe(&sink);
+  int callback_count = 0;
+  s.SubscribeCallback([&](const Tuple&) { ++callback_count; });
+
+  ASSERT_TRUE(s.Push(T(schema, "a", 1)).ok());
+  ASSERT_TRUE(s.Push(T(schema, "b", 2)).ok());
+  EXPECT_EQ(sink.tuples().size(), 2u);
+  EXPECT_EQ(callback_count, 2);
+  EXPECT_EQ(s.tuples_pushed(), 2u);
+}
+
+TEST(StreamTest, PushValidatesArity) {
+  Stream s("readings", TestSchema());
+  Tuple wrong(TestSchema(), {Value::String("a")}, 0);
+  EXPECT_TRUE(s.Push(wrong).IsInvalid());
+}
+
+TEST(StreamTest, SubscriptionOrderIsDeliveryOrder) {
+  auto schema = TestSchema();
+  Stream s("readings", schema);
+  std::vector<int> order;
+  CallbackOperator first([&](const Tuple&) { order.push_back(1); });
+  CallbackOperator second([&](const Tuple&) { order.push_back(2); });
+  s.Subscribe(&first);
+  s.Subscribe(&second);
+  ASSERT_TRUE(s.Push(T(schema, "a", 1)).ok());
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(StreamTest, RetentionKeepsRecentWindow) {
+  auto schema = TestSchema();
+  Stream s("locations", schema);
+  s.SetRetention(Seconds(10));
+  for (int i = 0; i <= 20; ++i) {
+    ASSERT_TRUE(s.Push(T(schema, "t", Seconds(i))).ok());
+  }
+  // Retained: ts in [20s - 10s, 20s].
+  EXPECT_EQ(s.retained().size(), 11u);
+  EXPECT_EQ(s.retained().front().ts(), Seconds(10));
+
+  // Heartbeats trim further without arrivals.
+  ASSERT_TRUE(s.Heartbeat(Seconds(25)).ok());
+  EXPECT_EQ(s.retained().size(), 6u);
+}
+
+TEST(StreamTest, NoRetentionByDefault) {
+  auto schema = TestSchema();
+  Stream s("r", schema);
+  ASSERT_TRUE(s.Push(T(schema, "t", 1)).ok());
+  EXPECT_TRUE(s.retained().empty());
+}
+
+TEST(StreamInsertOperatorTest, ForwardsIntoStream) {
+  auto schema = TestSchema();
+  Stream out("derived", schema);
+  CollectOperator sink;
+  out.Subscribe(&sink);
+  StreamInsertOperator insert(&out);
+  ASSERT_TRUE(insert.OnTuple(0, T(schema, "x", 5)).ok());
+  EXPECT_EQ(sink.tuples().size(), 1u);
+  EXPECT_EQ(out.tuples_pushed(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// WindowBuffer
+// ---------------------------------------------------------------------------
+
+TEST(WindowBufferTest, TimeWindowInclusiveBound) {
+  auto schema = TestSchema();
+  WindowBuffer w(false, Seconds(10));
+  w.Add(T(schema, "a", Seconds(0)));
+  w.Add(T(schema, "b", Seconds(5)));
+  w.Add(T(schema, "c", Seconds(10)));  // 0 is exactly 10s old: kept
+  EXPECT_EQ(w.size(), 3u);
+  w.Add(T(schema, "d", Seconds(11)));  // 0 is now 11s old: evicted
+  EXPECT_EQ(w.size(), 3u);
+  EXPECT_EQ(w.tuples().front().value(0).string_value(), "b");
+}
+
+TEST(WindowBufferTest, HeartbeatEviction) {
+  auto schema = TestSchema();
+  WindowBuffer w(false, Seconds(1));
+  w.Add(T(schema, "a", Seconds(1)));
+  EXPECT_EQ(w.size(), 1u);
+  w.EvictAt(Seconds(3));
+  EXPECT_TRUE(w.empty());
+}
+
+TEST(WindowBufferTest, RowWindow) {
+  auto schema = TestSchema();
+  WindowBuffer w(true, 3);
+  for (int i = 0; i < 5; ++i) w.Add(T(schema, "t", i));
+  EXPECT_EQ(w.size(), 3u);
+  EXPECT_EQ(w.tuples().front().ts(), 2);
+  // Time advance does not evict row windows.
+  w.EvictAt(Seconds(100));
+  EXPECT_EQ(w.size(), 3u);
+}
+
+TEST(WindowBufferTest, Clear) {
+  auto schema = TestSchema();
+  WindowBuffer w(false, Seconds(1));
+  w.Add(T(schema, "a", 0));
+  w.Clear();
+  EXPECT_TRUE(w.empty());
+}
+
+}  // namespace
+}  // namespace eslev

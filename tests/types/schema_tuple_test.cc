@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "types/schema.h"
+#include "types/tuple.h"
+
+namespace eslev {
+namespace {
+
+SchemaPtr ReadingsSchema() {
+  return Schema::Make({{"reader_id", TypeId::kString},
+                       {"tag_id", TypeId::kString},
+                       {"read_time", TypeId::kTimestamp}});
+}
+
+TEST(SchemaTest, FieldLookupIsCaseInsensitive) {
+  auto s = ReadingsSchema();
+  EXPECT_EQ(s->num_fields(), 3u);
+  EXPECT_EQ(s->FindField("tag_id"), 1);
+  EXPECT_EQ(s->FindField("TAG_ID"), 1);
+  EXPECT_EQ(s->FindField("Read_Time"), 2);
+  EXPECT_EQ(s->FindField("missing"), -1);
+  EXPECT_TRUE(s->FieldIndex("missing").status().IsNotFound());
+  EXPECT_EQ(*s->FieldIndex("reader_id"), 0u);
+}
+
+TEST(SchemaTest, ToStringAndEquals) {
+  auto s = ReadingsSchema();
+  EXPECT_EQ(s->ToString(),
+            "reader_id VARCHAR, tag_id VARCHAR, read_time TIMESTAMP");
+  EXPECT_TRUE(s->Equals(*ReadingsSchema()));
+  auto other = Schema::Make({{"x", TypeId::kInt64}});
+  EXPECT_FALSE(s->Equals(*other));
+}
+
+TEST(TupleTest, MakeTupleValidatesArity) {
+  auto s = ReadingsSchema();
+  auto bad = MakeTuple(s, {Value::String("r1")}, 0);
+  EXPECT_TRUE(bad.status().IsInvalid());
+}
+
+TEST(TupleTest, MakeTupleValidatesTypes) {
+  auto s = ReadingsSchema();
+  auto bad = MakeTuple(
+      s, {Value::Int(1), Value::String("t"), Value::Time(0)}, 0);
+  EXPECT_TRUE(bad.status().IsTypeError());
+}
+
+TEST(TupleTest, MakeTupleCoercesIntToTimestampAndDouble) {
+  auto s = Schema::Make({{"ts", TypeId::kTimestamp}, {"d", TypeId::kDouble}});
+  auto t = MakeTuple(s, {Value::Int(5), Value::Int(2)}, 7);
+  ASSERT_TRUE(t.ok()) << t.status();
+  EXPECT_EQ(t->value(0).type(), TypeId::kTimestamp);
+  EXPECT_EQ(t->value(0).time_value(), 5);
+  EXPECT_EQ(t->value(1).type(), TypeId::kDouble);
+  EXPECT_DOUBLE_EQ(t->value(1).double_value(), 2.0);
+}
+
+TEST(TupleTest, NullAllowedAnywhere) {
+  auto s = ReadingsSchema();
+  auto t = MakeTuple(s, {Value::Null(), Value::Null(), Value::Null()}, 3);
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(t->value(0).is_null());
+  EXPECT_EQ(t->ts(), 3);
+}
+
+TEST(TupleTest, ValueByNameAndToString) {
+  auto s = ReadingsSchema();
+  auto t = *MakeTuple(
+      s, {Value::String("r1"), Value::String("tagA"), Value::Time(Seconds(2))},
+      Seconds(2));
+  EXPECT_EQ(t.ValueByName("tag_id")->string_value(), "tagA");
+  EXPECT_EQ(t.ValueByName("TAG_ID")->string_value(), "tagA");
+  EXPECT_TRUE(t.ValueByName("nope").status().IsNotFound());
+  EXPECT_EQ(t.ToString(), "(r1, tagA, 2.000000s)@2.000000s");
+}
+
+TEST(TupleTest, Equals) {
+  auto s = ReadingsSchema();
+  auto a = *MakeTuple(
+      s, {Value::String("r"), Value::String("t"), Value::Time(1)}, 1);
+  auto b = *MakeTuple(
+      s, {Value::String("r"), Value::String("t"), Value::Time(1)}, 1);
+  auto c = *MakeTuple(
+      s, {Value::String("r"), Value::String("t"), Value::Time(1)}, 2);
+  EXPECT_TRUE(a.Equals(b));
+  EXPECT_FALSE(a.Equals(c));
+}
+
+}  // namespace
+}  // namespace eslev

@@ -1,0 +1,108 @@
+#include "types/value.h"
+
+#include <gtest/gtest.h>
+
+namespace eslev {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_EQ(Value::Null().type(), TypeId::kNull);
+  EXPECT_TRUE(Value::Null().is_null());
+
+  Value b = Value::Bool(true);
+  EXPECT_EQ(b.type(), TypeId::kBool);
+  EXPECT_TRUE(b.bool_value());
+
+  Value i = Value::Int(-7);
+  EXPECT_EQ(i.type(), TypeId::kInt64);
+  EXPECT_EQ(i.int_value(), -7);
+
+  Value d = Value::Double(2.5);
+  EXPECT_EQ(d.type(), TypeId::kDouble);
+  EXPECT_DOUBLE_EQ(d.double_value(), 2.5);
+
+  Value s = Value::String("tag42");
+  EXPECT_EQ(s.type(), TypeId::kString);
+  EXPECT_EQ(s.string_value(), "tag42");
+
+  Value t = Value::Time(Seconds(3));
+  EXPECT_EQ(t.type(), TypeId::kTimestamp);
+  EXPECT_EQ(t.time_value(), Seconds(3));
+}
+
+TEST(ValueTest, NumericCoercions) {
+  EXPECT_DOUBLE_EQ(*Value::Int(4).AsDouble(), 4.0);
+  EXPECT_DOUBLE_EQ(*Value::Double(4.5).AsDouble(), 4.5);
+  EXPECT_EQ(*Value::Time(100).AsInt64(), 100);
+  EXPECT_EQ(*Value::Int(100).AsInt64(), 100);
+  EXPECT_EQ(*Value::Double(3.9).AsInt64(), 3);
+  EXPECT_TRUE(Value::String("x").AsDouble().status().IsTypeError());
+  EXPECT_TRUE(Value::Bool(true).AsInt64().status().IsTypeError());
+}
+
+TEST(ValueTest, CompareNumericFamily) {
+  EXPECT_EQ(*Value::Int(1).Compare(Value::Int(2)), -1);
+  EXPECT_EQ(*Value::Int(2).Compare(Value::Int(2)), 0);
+  EXPECT_EQ(*Value::Int(3).Compare(Value::Int(2)), 1);
+  EXPECT_EQ(*Value::Int(2).Compare(Value::Double(2.5)), -1);
+  EXPECT_EQ(*Value::Double(2.5).Compare(Value::Int(2)), 1);
+  EXPECT_EQ(*Value::Time(5).Compare(Value::Int(5)), 0);
+  EXPECT_EQ(*Value::Time(5).Compare(Value::Time(9)), -1);
+}
+
+TEST(ValueTest, CompareStringsAndBools) {
+  EXPECT_EQ(*Value::String("a").Compare(Value::String("b")), -1);
+  EXPECT_EQ(*Value::String("b").Compare(Value::String("b")), 0);
+  EXPECT_EQ(*Value::String("c").Compare(Value::String("b")), 1);
+  EXPECT_EQ(*Value::Bool(false).Compare(Value::Bool(true)), -1);
+}
+
+TEST(ValueTest, CompareNullTotalOrder) {
+  EXPECT_EQ(*Value::Null().Compare(Value::Null()), 0);
+  EXPECT_EQ(*Value::Null().Compare(Value::Int(0)), -1);
+  EXPECT_EQ(*Value::Int(0).Compare(Value::Null()), 1);
+}
+
+TEST(ValueTest, CompareIncompatibleIsTypeError) {
+  EXPECT_TRUE(
+      Value::String("a").Compare(Value::Int(1)).status().IsTypeError());
+  EXPECT_TRUE(
+      Value::Bool(true).Compare(Value::String("t")).status().IsTypeError());
+}
+
+TEST(ValueTest, EqualityIsExact) {
+  EXPECT_EQ(Value::Int(5), Value::Int(5));
+  EXPECT_NE(Value::Int(5), Value::Double(5.0));  // different types
+  EXPECT_EQ(Value::Null(), Value::Null());
+  EXPECT_NE(Value::Time(5), Value::Int(5));
+  EXPECT_EQ(Value::String("x"), Value::String("x"));
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Bool(true).ToString(), "TRUE");
+  EXPECT_EQ(Value::Int(42).ToString(), "42");
+  EXPECT_EQ(Value::String("hi").ToString(), "hi");
+  EXPECT_EQ(Value::Time(Seconds(1)).ToString(), "1.000000s");
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::Int(9).Hash(), Value::Int(9).Hash());
+  EXPECT_EQ(Value::String("rfid").Hash(), Value::String("rfid").Hash());
+  // Timestamp and Int of same magnitude are != so hashes may differ; just
+  // check they're stable.
+  EXPECT_EQ(Value::Time(9).Hash(), Value::Time(9).Hash());
+}
+
+TEST(TypeNameTest, ParseTypeName) {
+  EXPECT_EQ(*ParseTypeName("INT"), TypeId::kInt64);
+  EXPECT_EQ(*ParseTypeName("bigint"), TypeId::kInt64);
+  EXPECT_EQ(*ParseTypeName("Double"), TypeId::kDouble);
+  EXPECT_EQ(*ParseTypeName("VARCHAR"), TypeId::kString);
+  EXPECT_EQ(*ParseTypeName("boolean"), TypeId::kBool);
+  EXPECT_EQ(*ParseTypeName("TIMESTAMP"), TypeId::kTimestamp);
+  EXPECT_TRUE(ParseTypeName("blob").status().IsParseError());
+}
+
+}  // namespace
+}  // namespace eslev
