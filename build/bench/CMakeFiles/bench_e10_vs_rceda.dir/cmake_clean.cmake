@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_vs_rceda.dir/bench_e10_vs_rceda.cc.o"
+  "CMakeFiles/bench_e10_vs_rceda.dir/bench_e10_vs_rceda.cc.o.d"
+  "bench_e10_vs_rceda"
+  "bench_e10_vs_rceda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_vs_rceda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e12_ale.dir/bench_e12_ale.cc.o"
+  "CMakeFiles/bench_e12_ale.dir/bench_e12_ale.cc.o.d"
+  "bench_e12_ale"
+  "bench_e12_ale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e12_ale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

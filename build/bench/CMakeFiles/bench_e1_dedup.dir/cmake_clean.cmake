@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_dedup.dir/bench_e1_dedup.cc.o"
+  "CMakeFiles/bench_e1_dedup.dir/bench_e1_dedup.cc.o.d"
+  "bench_e1_dedup"
+  "bench_e1_dedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_dedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_location_update.dir/bench_e2_location_update.cc.o"
+  "CMakeFiles/bench_e2_location_update.dir/bench_e2_location_update.cc.o.d"
+  "bench_e2_location_update"
+  "bench_e2_location_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_location_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

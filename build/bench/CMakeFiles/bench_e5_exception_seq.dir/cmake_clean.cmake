@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_exception_seq.dir/bench_e5_exception_seq.cc.o"
+  "CMakeFiles/bench_e5_exception_seq.dir/bench_e5_exception_seq.cc.o.d"
+  "bench_e5_exception_seq"
+  "bench_e5_exception_seq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_exception_seq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

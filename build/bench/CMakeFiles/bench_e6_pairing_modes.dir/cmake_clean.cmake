@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_pairing_modes.dir/bench_e6_pairing_modes.cc.o"
+  "CMakeFiles/bench_e6_pairing_modes.dir/bench_e6_pairing_modes.cc.o.d"
+  "bench_e6_pairing_modes"
+  "bench_e6_pairing_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_pairing_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

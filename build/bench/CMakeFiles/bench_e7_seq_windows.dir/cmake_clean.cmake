@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_seq_windows.dir/bench_e7_seq_windows.cc.o"
+  "CMakeFiles/bench_e7_seq_windows.dir/bench_e7_seq_windows.cc.o.d"
+  "bench_e7_seq_windows"
+  "bench_e7_seq_windows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_seq_windows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_theft.dir/bench_e8_theft.cc.o"
+  "CMakeFiles/bench_e8_theft.dir/bench_e8_theft.cc.o.d"
+  "bench_e8_theft"
+  "bench_e8_theft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_theft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_seq_vs_join.dir/bench_e9_seq_vs_join.cc.o"
+  "CMakeFiles/bench_e9_seq_vs_join.dir/bench_e9_seq_vs_join.cc.o.d"
+  "bench_e9_seq_vs_join"
+  "bench_e9_seq_vs_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_seq_vs_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

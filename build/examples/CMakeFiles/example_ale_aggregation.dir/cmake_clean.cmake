@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_ale_aggregation.dir/ale_aggregation.cpp.o"
+  "CMakeFiles/example_ale_aggregation.dir/ale_aggregation.cpp.o.d"
+  "example_ale_aggregation"
+  "example_ale_aggregation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_ale_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_ale_event_cycles.dir/ale_event_cycles.cpp.o"
+  "CMakeFiles/example_ale_event_cycles.dir/ale_event_cycles.cpp.o.d"
+  "example_ale_event_cycles"
+  "example_ale_event_cycles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_ale_event_cycles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

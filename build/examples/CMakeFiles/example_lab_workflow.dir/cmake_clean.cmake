@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_lab_workflow.dir/lab_workflow.cpp.o"
+  "CMakeFiles/example_lab_workflow.dir/lab_workflow.cpp.o.d"
+  "example_lab_workflow"
+  "example_lab_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_lab_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_quality_pipeline.dir/quality_pipeline.cpp.o"
+  "CMakeFiles/example_quality_pipeline.dir/quality_pipeline.cpp.o.d"
+  "example_quality_pipeline"
+  "example_quality_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_quality_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_theft_detection.dir/theft_detection.cpp.o"
+  "CMakeFiles/example_theft_detection.dir/theft_detection.cpp.o.d"
+  "example_theft_detection"
+  "example_theft_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_theft_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

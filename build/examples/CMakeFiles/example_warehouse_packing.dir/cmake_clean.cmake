@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_warehouse_packing.dir/warehouse_packing.cpp.o"
+  "CMakeFiles/example_warehouse_packing.dir/warehouse_packing.cpp.o.d"
+  "example_warehouse_packing"
+  "example_warehouse_packing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_warehouse_packing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_warehouse_packing.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ale/event_cycle.cc" "src/CMakeFiles/eslev.dir/ale/event_cycle.cc.o" "gcc" "src/CMakeFiles/eslev.dir/ale/event_cycle.cc.o.d"
+  "/root/repo/src/baseline/naive_join.cc" "src/CMakeFiles/eslev.dir/baseline/naive_join.cc.o" "gcc" "src/CMakeFiles/eslev.dir/baseline/naive_join.cc.o.d"
+  "/root/repo/src/baseline/rceda.cc" "src/CMakeFiles/eslev.dir/baseline/rceda.cc.o" "gcc" "src/CMakeFiles/eslev.dir/baseline/rceda.cc.o.d"
+  "/root/repo/src/cep/exception_seq_operator.cc" "src/CMakeFiles/eslev.dir/cep/exception_seq_operator.cc.o" "gcc" "src/CMakeFiles/eslev.dir/cep/exception_seq_operator.cc.o.d"
+  "/root/repo/src/cep/pairing_mode.cc" "src/CMakeFiles/eslev.dir/cep/pairing_mode.cc.o" "gcc" "src/CMakeFiles/eslev.dir/cep/pairing_mode.cc.o.d"
+  "/root/repo/src/cep/seq_operator.cc" "src/CMakeFiles/eslev.dir/cep/seq_operator.cc.o" "gcc" "src/CMakeFiles/eslev.dir/cep/seq_operator.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/eslev.dir/common/status.cc.o" "gcc" "src/CMakeFiles/eslev.dir/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/eslev.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/eslev.dir/common/string_util.cc.o.d"
+  "/root/repo/src/common/time.cc" "src/CMakeFiles/eslev.dir/common/time.cc.o" "gcc" "src/CMakeFiles/eslev.dir/common/time.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/CMakeFiles/eslev.dir/core/engine.cc.o" "gcc" "src/CMakeFiles/eslev.dir/core/engine.cc.o.d"
+  "/root/repo/src/exec/aggregate.cc" "src/CMakeFiles/eslev.dir/exec/aggregate.cc.o" "gcc" "src/CMakeFiles/eslev.dir/exec/aggregate.cc.o.d"
+  "/root/repo/src/exec/windowed_not_exists.cc" "src/CMakeFiles/eslev.dir/exec/windowed_not_exists.cc.o" "gcc" "src/CMakeFiles/eslev.dir/exec/windowed_not_exists.cc.o.d"
+  "/root/repo/src/expr/binder.cc" "src/CMakeFiles/eslev.dir/expr/binder.cc.o" "gcc" "src/CMakeFiles/eslev.dir/expr/binder.cc.o.d"
+  "/root/repo/src/expr/bound_expr.cc" "src/CMakeFiles/eslev.dir/expr/bound_expr.cc.o" "gcc" "src/CMakeFiles/eslev.dir/expr/bound_expr.cc.o.d"
+  "/root/repo/src/expr/function_registry.cc" "src/CMakeFiles/eslev.dir/expr/function_registry.cc.o" "gcc" "src/CMakeFiles/eslev.dir/expr/function_registry.cc.o.d"
+  "/root/repo/src/expr/sql_uda.cc" "src/CMakeFiles/eslev.dir/expr/sql_uda.cc.o" "gcc" "src/CMakeFiles/eslev.dir/expr/sql_uda.cc.o.d"
+  "/root/repo/src/plan/planner.cc" "src/CMakeFiles/eslev.dir/plan/planner.cc.o" "gcc" "src/CMakeFiles/eslev.dir/plan/planner.cc.o.d"
+  "/root/repo/src/plan/snapshot_executor.cc" "src/CMakeFiles/eslev.dir/plan/snapshot_executor.cc.o" "gcc" "src/CMakeFiles/eslev.dir/plan/snapshot_executor.cc.o.d"
+  "/root/repo/src/plan/type_inference.cc" "src/CMakeFiles/eslev.dir/plan/type_inference.cc.o" "gcc" "src/CMakeFiles/eslev.dir/plan/type_inference.cc.o.d"
+  "/root/repo/src/rfid/epc.cc" "src/CMakeFiles/eslev.dir/rfid/epc.cc.o" "gcc" "src/CMakeFiles/eslev.dir/rfid/epc.cc.o.d"
+  "/root/repo/src/rfid/trace_io.cc" "src/CMakeFiles/eslev.dir/rfid/trace_io.cc.o" "gcc" "src/CMakeFiles/eslev.dir/rfid/trace_io.cc.o.d"
+  "/root/repo/src/rfid/workloads.cc" "src/CMakeFiles/eslev.dir/rfid/workloads.cc.o" "gcc" "src/CMakeFiles/eslev.dir/rfid/workloads.cc.o.d"
+  "/root/repo/src/sql/ast.cc" "src/CMakeFiles/eslev.dir/sql/ast.cc.o" "gcc" "src/CMakeFiles/eslev.dir/sql/ast.cc.o.d"
+  "/root/repo/src/sql/lexer.cc" "src/CMakeFiles/eslev.dir/sql/lexer.cc.o" "gcc" "src/CMakeFiles/eslev.dir/sql/lexer.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/CMakeFiles/eslev.dir/sql/parser.cc.o" "gcc" "src/CMakeFiles/eslev.dir/sql/parser.cc.o.d"
+  "/root/repo/src/storage/table.cc" "src/CMakeFiles/eslev.dir/storage/table.cc.o" "gcc" "src/CMakeFiles/eslev.dir/storage/table.cc.o.d"
+  "/root/repo/src/stream/stream.cc" "src/CMakeFiles/eslev.dir/stream/stream.cc.o" "gcc" "src/CMakeFiles/eslev.dir/stream/stream.cc.o.d"
+  "/root/repo/src/types/schema.cc" "src/CMakeFiles/eslev.dir/types/schema.cc.o" "gcc" "src/CMakeFiles/eslev.dir/types/schema.cc.o.d"
+  "/root/repo/src/types/tuple.cc" "src/CMakeFiles/eslev.dir/types/tuple.cc.o" "gcc" "src/CMakeFiles/eslev.dir/types/tuple.cc.o.d"
+  "/root/repo/src/types/value.cc" "src/CMakeFiles/eslev.dir/types/value.cc.o" "gcc" "src/CMakeFiles/eslev.dir/types/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

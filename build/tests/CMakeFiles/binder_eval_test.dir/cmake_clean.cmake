@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/binder_eval_test.dir/expr/binder_eval_test.cc.o"
+  "CMakeFiles/binder_eval_test.dir/expr/binder_eval_test.cc.o.d"
+  "binder_eval_test"
+  "binder_eval_test.pdb"
+  "binder_eval_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/binder_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

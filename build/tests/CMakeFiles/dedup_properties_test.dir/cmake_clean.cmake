@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dedup_properties_test.dir/property/dedup_properties_test.cc.o"
+  "CMakeFiles/dedup_properties_test.dir/property/dedup_properties_test.cc.o.d"
+  "dedup_properties_test"
+  "dedup_properties_test.pdb"
+  "dedup_properties_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dedup_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

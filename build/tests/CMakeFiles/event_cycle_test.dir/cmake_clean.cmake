@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/event_cycle_test.dir/ale/event_cycle_test.cc.o"
+  "CMakeFiles/event_cycle_test.dir/ale/event_cycle_test.cc.o.d"
+  "event_cycle_test"
+  "event_cycle_test.pdb"
+  "event_cycle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/event_cycle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exception_partition_properties_test.dir/property/exception_partition_properties_test.cc.o"
+  "CMakeFiles/exception_partition_properties_test.dir/property/exception_partition_properties_test.cc.o.d"
+  "exception_partition_properties_test"
+  "exception_partition_properties_test.pdb"
+  "exception_partition_properties_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exception_partition_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exception_seq_test.dir/cep/exception_seq_test.cc.o"
+  "CMakeFiles/exception_seq_test.dir/cep/exception_seq_test.cc.o.d"
+  "exception_seq_test"
+  "exception_seq_test.pdb"
+  "exception_seq_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exception_seq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exception_star_test.dir/cep/exception_star_test.cc.o"
+  "CMakeFiles/exception_star_test.dir/cep/exception_star_test.cc.o.d"
+  "exception_star_test"
+  "exception_star_test.pdb"
+  "exception_star_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exception_star_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

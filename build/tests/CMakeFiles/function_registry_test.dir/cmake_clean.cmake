@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/function_registry_test.dir/expr/function_registry_test.cc.o"
+  "CMakeFiles/function_registry_test.dir/expr/function_registry_test.cc.o.d"
+  "function_registry_test"
+  "function_registry_test.pdb"
+  "function_registry_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/function_registry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seq_mode_properties_test.dir/property/seq_mode_properties_test.cc.o"
+  "CMakeFiles/seq_mode_properties_test.dir/property/seq_mode_properties_test.cc.o.d"
+  "seq_mode_properties_test"
+  "seq_mode_properties_test.pdb"
+  "seq_mode_properties_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seq_mode_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

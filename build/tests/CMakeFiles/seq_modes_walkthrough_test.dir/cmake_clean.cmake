@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seq_modes_walkthrough_test.dir/cep/seq_modes_walkthrough_test.cc.o"
+  "CMakeFiles/seq_modes_walkthrough_test.dir/cep/seq_modes_walkthrough_test.cc.o.d"
+  "seq_modes_walkthrough_test"
+  "seq_modes_walkthrough_test.pdb"
+  "seq_modes_walkthrough_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seq_modes_walkthrough_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

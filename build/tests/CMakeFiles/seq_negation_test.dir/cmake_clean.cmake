@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seq_negation_test.dir/cep/seq_negation_test.cc.o"
+  "CMakeFiles/seq_negation_test.dir/cep/seq_negation_test.cc.o.d"
+  "seq_negation_test"
+  "seq_negation_test.pdb"
+  "seq_negation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seq_negation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

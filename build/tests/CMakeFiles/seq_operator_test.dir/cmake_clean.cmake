@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seq_operator_test.dir/cep/seq_operator_test.cc.o"
+  "CMakeFiles/seq_operator_test.dir/cep/seq_operator_test.cc.o.d"
+  "seq_operator_test"
+  "seq_operator_test.pdb"
+  "seq_operator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seq_operator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seq_recent_regression_test.dir/cep/seq_recent_regression_test.cc.o"
+  "CMakeFiles/seq_recent_regression_test.dir/cep/seq_recent_regression_test.cc.o.d"
+  "seq_recent_regression_test"
+  "seq_recent_regression_test.pdb"
+  "seq_recent_regression_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seq_recent_regression_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_uda_test.dir/expr/sql_uda_test.cc.o"
+  "CMakeFiles/sql_uda_test.dir/expr/sql_uda_test.cc.o.d"
+  "sql_uda_test"
+  "sql_uda_test.pdb"
+  "sql_uda_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_uda_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

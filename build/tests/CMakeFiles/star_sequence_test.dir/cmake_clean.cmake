@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/star_sequence_test.dir/cep/star_sequence_test.cc.o"
+  "CMakeFiles/star_sequence_test.dir/cep/star_sequence_test.cc.o.d"
+  "star_sequence_test"
+  "star_sequence_test.pdb"
+  "star_sequence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/star_sequence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/windowed_not_exists_test.dir/exec/windowed_not_exists_test.cc.o"
+  "CMakeFiles/windowed_not_exists_test.dir/exec/windowed_not_exists_test.cc.o.d"
+  "windowed_not_exists_test"
+  "windowed_not_exists_test.pdb"
+  "windowed_not_exists_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/windowed_not_exists_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

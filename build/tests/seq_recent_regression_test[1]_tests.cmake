@@ -1,0 +1,3 @@
+add_test([=[SeqRecentRegressionTest.ChainedJoinConditionsBacktrack]=]  /root/repo/build/tests/seq_recent_regression_test [==[--gtest_filter=SeqRecentRegressionTest.ChainedJoinConditionsBacktrack]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[SeqRecentRegressionTest.ChainedJoinConditionsBacktrack]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  seq_recent_regression_test_TESTS SeqRecentRegressionTest.ChainedJoinConditionsBacktrack)

@@ -1,0 +1,3 @@
+add_test([=[WarehouseIntegrationTest.AllSubsystemsConcurrently]=]  /root/repo/build/tests/warehouse_integration_test [==[--gtest_filter=WarehouseIntegrationTest.AllSubsystemsConcurrently]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[WarehouseIntegrationTest.AllSubsystemsConcurrently]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  warehouse_integration_test_TESTS WarehouseIntegrationTest.AllSubsystemsConcurrently)
