@@ -119,4 +119,4 @@ BENCHMARK(BM_EslEvSeqOperator)->Arg(250)->Arg(1000)->Arg(4000);
 }  // namespace
 }  // namespace eslev
 
-BENCHMARK_MAIN();
+ESLEV_BENCH_MAIN()

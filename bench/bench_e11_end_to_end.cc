@@ -128,4 +128,4 @@ BENCHMARK(BM_Example5PerTuple);
 }  // namespace
 }  // namespace eslev
 
-BENCHMARK_MAIN();
+ESLEV_BENCH_MAIN()

@@ -107,4 +107,4 @@ BENCHMARK(BM_AlePipelineWithDedup);
 }  // namespace
 }  // namespace eslev
 
-BENCHMARK_MAIN();
+ESLEV_BENCH_MAIN()

@@ -74,4 +74,4 @@ BENCHMARK(BM_DedupSweepStreamLength)->Arg(1000)->Arg(4000)->Arg(16000);
 }  // namespace
 }  // namespace eslev
 
-BENCHMARK_MAIN();
+ESLEV_BENCH_MAIN()

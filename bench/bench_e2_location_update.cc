@@ -91,4 +91,4 @@ BENCHMARK(BM_LocationUpdateIndexed)->Arg(1)->Arg(10)->Arg(50);
 }  // namespace
 }  // namespace eslev
 
-BENCHMARK_MAIN();
+ESLEV_BENCH_MAIN()

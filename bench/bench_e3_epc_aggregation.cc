@@ -82,4 +82,4 @@ BENCHMARK(BM_EpcWindowedCount)->Arg(1)->Arg(10)->Arg(60);
 }  // namespace
 }  // namespace eslev
 
-BENCHMARK_MAIN();
+ESLEV_BENCH_MAIN()

@@ -101,4 +101,4 @@ BENCHMARK(BM_ContainmentPerItemReturn)->Arg(4)->Arg(16);
 }  // namespace
 }  // namespace eslev
 
-BENCHMARK_MAIN();
+ESLEV_BENCH_MAIN()

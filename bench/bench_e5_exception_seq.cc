@@ -115,4 +115,4 @@ BENCHMARK(BM_ExceptionSeqHeartbeats)->Arg(0)->Arg(1)->Arg(4)->Arg(16);
 }  // namespace
 }  // namespace eslev
 
-BENCHMARK_MAIN();
+ESLEV_BENCH_MAIN()

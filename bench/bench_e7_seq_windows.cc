@@ -89,4 +89,4 @@ BENCHMARK(BM_SeqWindowSweep)->Arg(2)->Arg(5)->Arg(10)->Arg(30)->Arg(120);
 }  // namespace
 }  // namespace eslev
 
-BENCHMARK_MAIN();
+ESLEV_BENCH_MAIN()

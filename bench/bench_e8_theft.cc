@@ -60,4 +60,4 @@ BENCHMARK(BM_TheftSweepRate)->Arg(0)->Arg(5)->Arg(20)->Arg(50);
 }  // namespace
 }  // namespace eslev
 
-BENCHMARK_MAIN();
+ESLEV_BENCH_MAIN()

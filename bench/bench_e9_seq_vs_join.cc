@@ -124,4 +124,4 @@ BENCHMARK(BM_SeqChronicle)->Arg(500)->Arg(2000)->Arg(8000);
 }  // namespace
 }  // namespace eslev
 
-BENCHMARK_MAIN();
+ESLEV_BENCH_MAIN()

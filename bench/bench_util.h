@@ -8,6 +8,7 @@
 
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "core/engine.h"
 #include "rfid/workloads.h"
@@ -33,7 +34,43 @@ inline size_t Feed(Engine* engine, const rfid::Workload& workload) {
   return workload.events.size();
 }
 
+/// \brief Shared benchmark main. When ESLEV_BENCH_JSON_DIR is set (and no
+/// explicit --benchmark_out was given), results are additionally written
+/// as machine-readable JSON to <dir>/BENCH_<binary>.json so CI can
+/// archive the perf trajectory across commits.
+inline int BenchMain(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_arg;
+  std::string fmt_arg;
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_out=", 0) == 0) has_out = true;
+  }
+  const char* dir = std::getenv("ESLEV_BENCH_JSON_DIR");
+  if (dir != nullptr && !has_out) {
+    std::string base = argv[0];
+    base = base.substr(base.find_last_of('/') + 1);
+    out_arg = std::string("--benchmark_out=") + dir + "/BENCH_" + base + ".json";
+    fmt_arg = "--benchmark_out_format=json";
+    args.push_back(out_arg.data());
+    args.push_back(fmt_arg.data());
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
 }  // namespace bench
 }  // namespace eslev
+
+/// \brief Drop-in replacement for BENCHMARK_MAIN() adding BENCH_*.json
+/// emission (see bench::BenchMain).
+#define ESLEV_BENCH_MAIN()                          \
+  int main(int argc, char** argv) {                 \
+    return ::eslev::bench::BenchMain(argc, argv);   \
+  }
 
 #endif  // ESLEV_BENCH_BENCH_UTIL_H_

@@ -37,6 +37,15 @@ Stream* Engine::FindStream(const std::string& name) const {
   return it == streams_.end() ? nullptr : it->second.get();
 }
 
+std::vector<std::string> Engine::StreamNames() const {
+  std::vector<std::string> names;
+  names.reserve(streams_.size());
+  for (const auto& [key, stream] : streams_) {
+    names.push_back(stream->name());
+  }
+  return names;
+}
+
 Table* Engine::FindTable(const std::string& name) const {
   auto it = tables_.find(AsciiToLower(name));
   return it == tables_.end() ? nullptr : it->second.get();

@@ -104,6 +104,8 @@ class Engine : public Catalog {
 
   Stream* FindStream(const std::string& name) const override;
   Table* FindTable(const std::string& name) const override;
+  /// \brief Names of all registered streams (original case, catalog order).
+  std::vector<std::string> StreamNames() const;
   const FunctionRegistry& registry() const override { return registry_; }
   FunctionRegistry* mutable_registry() { return &registry_; }
 

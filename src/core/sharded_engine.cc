@@ -1,0 +1,386 @@
+#include "core/sharded_engine.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace eslev {
+
+namespace {
+
+/// Column names treated as the natural partition key, in priority order
+/// (the paper's queries all correlate on tag identity).
+bool IsTagColumn(const std::string& lower_name) {
+  return lower_name == "tag_id" || lower_name == "tagid" ||
+         lower_name == "tid" || lower_name == "epc" || lower_name == "tag";
+}
+
+size_t DefaultKeyIndex(const SchemaPtr& schema) {
+  for (size_t i = 0; i < schema->num_fields(); ++i) {
+    if (IsTagColumn(AsciiToLower(schema->field(i).name))) return i;
+  }
+  return 0;
+}
+
+}  // namespace
+
+ShardedEngine::ShardedEngine(ShardedEngineOptions options)
+    : options_(options) {
+  if (options_.num_shards == 0) options_.num_shards = 1;
+  shards_.reserve(options_.num_shards);
+  for (size_t i = 0; i < options_.num_shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->engine = std::make_unique<Engine>(options_.engine);
+    shards_.push_back(std::move(shard));
+  }
+  for (auto& shard : shards_) {
+    shard->worker = std::thread([this, s = shard.get()] { WorkerLoop(s); });
+  }
+}
+
+ShardedEngine::~ShardedEngine() {
+  for (auto& shard : shards_) shard->queue.Close();
+  for (auto& shard : shards_) {
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+}
+
+void ShardedEngine::WorkerLoop(Shard* shard) {
+  std::vector<Item> batch;
+  Engine& engine = *shard->engine;
+  while (shard->queue.PopAll(&batch)) {
+    for (Item& item : batch) {
+      switch (item.kind) {
+        case Item::Kind::kTuple: {
+          // Clamp forward to the shard clock (ConcurrentEngine's rule):
+          // queue order is the shard's serialization order.
+          Status st;
+          if (item.tuple.ts() < engine.current_time()) {
+            Tuple clamped = item.tuple;
+            clamped.set_ts(engine.current_time());
+            st = engine.PushTuple(*item.stream, clamped);
+          } else {
+            st = engine.PushTuple(*item.stream, item.tuple);
+          }
+          if (!st.ok()) RecordError(shard, st);
+          break;
+        }
+        case Item::Kind::kHeartbeat: {
+          if (item.ts < engine.current_time()) break;  // stale tick
+          Status st = engine.AdvanceTime(item.ts);
+          if (!st.ok()) RecordError(shard, st);
+          break;
+        }
+        case Item::Kind::kCommand: {
+          Status st = item.command(engine);
+          if (item.done != nullptr) item.done->set_value(st);
+          break;
+        }
+      }
+    }
+    batch.clear();
+  }
+}
+
+void ShardedEngine::RecordError(Shard* shard, const Status& status) {
+  std::lock_guard<std::mutex> lock(shard->err_mu);
+  if (shard->first_error.ok()) shard->first_error = status;
+}
+
+Status ShardedEngine::RunOnShard(size_t shard,
+                                 const std::function<Status(Engine&)>& fn) {
+  std::promise<Status> done;
+  std::future<Status> future = done.get_future();
+  Item item;
+  item.kind = Item::Kind::kCommand;
+  item.command = fn;
+  item.done = &done;
+  shards_[shard]->queue.Push(std::move(item));
+  return future.get();
+}
+
+Status ShardedEngine::RunOnAllShards(
+    const std::function<Status(Engine&)>& fn) {
+  std::vector<std::promise<Status>> done(shards_.size());
+  std::vector<std::future<Status>> futures;
+  futures.reserve(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    futures.push_back(done[i].get_future());
+    Item item;
+    item.kind = Item::Kind::kCommand;
+    item.command = fn;
+    item.done = &done[i];
+    shards_[i]->queue.Push(std::move(item));
+  }
+  Status first = Status::OK();
+  for (auto& f : futures) {
+    Status st = f.get();
+    if (first.ok() && !st.ok()) first = st;
+  }
+  return first;
+}
+
+Status ShardedEngine::RefreshRoutes() {
+  // Read shard 0's catalog on its worker thread; all shards are in
+  // lockstep, so any shard's view is authoritative.
+  std::vector<std::pair<std::string, SchemaPtr>> streams;
+  ESLEV_RETURN_NOT_OK(RunOnShard(0, [&](Engine& engine) {
+    for (const std::string& name : engine.StreamNames()) {
+      streams.emplace_back(name, engine.FindStream(name)->schema());
+    }
+    return Status::OK();
+  }));
+  std::unique_lock<std::shared_mutex> lock(routes_mu_);
+  for (auto& [name, schema] : streams) {
+    const std::string key = AsciiToLower(name);
+    if (routes_.count(key)) continue;
+    StreamRoute route;
+    route.name = name;
+    route.schema = schema;
+    route.key_index = DefaultKeyIndex(schema);
+    routes_.emplace(key, std::move(route));
+  }
+  return Status::OK();
+}
+
+Status ShardedEngine::ExecuteScript(const std::string& sql) {
+  ESLEV_RETURN_NOT_OK(
+      RunOnAllShards([sql](Engine& engine) { return engine.ExecuteScript(sql); }));
+  return RefreshRoutes();
+}
+
+Result<QueryInfo> ShardedEngine::RegisterQuery(const std::string& sql) {
+  std::mutex mu;
+  std::vector<QueryInfo> infos;
+  ESLEV_RETURN_NOT_OK(RunOnAllShards([&, sql](Engine& engine) {
+    ESLEV_ASSIGN_OR_RETURN(QueryInfo info, engine.RegisterQuery(sql));
+    std::lock_guard<std::mutex> lock(mu);
+    infos.push_back(info);
+    return Status::OK();
+  }));
+  for (const QueryInfo& info : infos) {
+    if (info.id != infos[0].id ||
+        info.output_stream != infos[0].output_stream ||
+        info.output_table != infos[0].output_table) {
+      return Status::ExecutionError(
+          "shard engines diverged while registering a query (run all setup "
+          "through ShardedEngine, not on individual shards)");
+    }
+  }
+  ESLEV_RETURN_NOT_OK(RefreshRoutes());
+  return infos[0];
+}
+
+Status ShardedEngine::Subscribe(const std::string& stream,
+                                TupleCallback callback) {
+  const size_t sub_id = callbacks_.size();
+  callbacks_.push_back(std::move(callback));
+  Status st = Status::OK();
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    Shard* shard = shards_[i].get();
+    Status s = RunOnShard(i, [this, shard, i, sub_id, stream](Engine& engine) {
+      return engine.Subscribe(stream, [shard, i, sub_id](const Tuple& t) {
+        std::lock_guard<std::mutex> lock(shard->out_mu);
+        shard->outbox.push_back({t.ts(), shard->out_seq++, i, sub_id, t});
+      });
+    });
+    if (st.ok() && !s.ok()) st = s;
+  }
+  return st;
+}
+
+Status ShardedEngine::SetPartitionKey(const std::string& stream,
+                                      const std::string& column) {
+  std::unique_lock<std::shared_mutex> lock(routes_mu_);
+  auto it = routes_.find(AsciiToLower(stream));
+  if (it == routes_.end()) {
+    return Status::NotFound("stream not found: " + stream);
+  }
+  const SchemaPtr& schema = it->second.schema;
+  for (size_t i = 0; i < schema->num_fields(); ++i) {
+    if (AsciiToLower(schema->field(i).name) == AsciiToLower(column)) {
+      it->second.key_index = i;
+      it->second.single_shard = false;
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("stream '" + stream + "' has no column '" + column +
+                          "'");
+}
+
+Status ShardedEngine::SetSingleShard(const std::string& stream) {
+  std::unique_lock<std::shared_mutex> lock(routes_mu_);
+  auto it = routes_.find(AsciiToLower(stream));
+  if (it == routes_.end()) {
+    return Status::NotFound("stream not found: " + stream);
+  }
+  it->second.single_shard = true;
+  return Status::OK();
+}
+
+Result<std::string> ShardedEngine::Explain(const std::string& sql) {
+  Result<std::string> out = Status::ExecutionError("explain did not run");
+  ESLEV_RETURN_NOT_OK(RunOnShard(0, [&](Engine& engine) {
+    out = engine.Explain(sql);
+    return Status::OK();
+  }));
+  return out;
+}
+
+const ShardedEngine::StreamRoute* ShardedEngine::FindRoute(
+    const std::string& stream) const {
+  auto it = routes_.find(AsciiToLower(stream));
+  return it == routes_.end() ? nullptr : &it->second;
+}
+
+size_t ShardedEngine::ShardOf(const StreamRoute& route,
+                              const Tuple& tuple) const {
+  if (route.single_shard || shards_.size() == 1) return 0;
+  return tuple.value(route.key_index).Hash() % shards_.size();
+}
+
+Status ShardedEngine::Push(const std::string& stream,
+                           std::vector<Value> values, Timestamp ts) {
+  SchemaPtr schema;
+  {
+    std::shared_lock<std::shared_mutex> lock(routes_mu_);
+    const StreamRoute* route = FindRoute(stream);
+    if (route == nullptr) {
+      return Status::NotFound("stream not found: " + stream);
+    }
+    schema = route->schema;
+  }
+  ESLEV_ASSIGN_OR_RETURN(Tuple tuple,
+                         MakeTuple(schema, std::move(values), ts));
+  return PushTuple(stream, tuple);
+}
+
+Status ShardedEngine::PushTuple(const std::string& stream,
+                                const Tuple& tuple) {
+  std::shared_lock<std::shared_mutex> lock(routes_mu_);
+  const StreamRoute* route = FindRoute(stream);
+  if (route == nullptr) {
+    return Status::NotFound("stream not found: " + stream);
+  }
+  if (!route->single_shard && route->key_index >= tuple.size()) {
+    return Status::Invalid("tuple too short for partition key column " +
+                           std::to_string(route->key_index) + " of stream " +
+                           route->name);
+  }
+  const size_t shard = ShardOf(*route, tuple);
+  Item item;
+  item.kind = Item::Kind::kTuple;
+  item.stream = &route->name;  // stable: routes_ nodes are never erased
+  item.tuple = tuple;
+  shards_[shard]->tuples_routed.fetch_add(1, std::memory_order_relaxed);
+  shards_[shard]->queue.Push(std::move(item));
+  return Status::OK();
+}
+
+int ShardedEngine::RegisterProducer() { return watermark_.RegisterProducer(); }
+
+Status ShardedEngine::AdvanceProducer(int id, Timestamp now) {
+  std::optional<Timestamp> low = watermark_.Advance(id, now);
+  if (!low.has_value()) return Status::OK();  // watermark did not move
+  for (auto& shard : shards_) {
+    Item item;
+    item.kind = Item::Kind::kHeartbeat;
+    item.ts = *low;
+    shard->queue.Push(std::move(item));
+  }
+  return Status::OK();
+}
+
+Status ShardedEngine::AdvanceTime(Timestamp now) {
+  int id;
+  {
+    std::lock_guard<std::mutex> lock(implicit_producer_mu_);
+    if (implicit_producer_ < 0) {
+      implicit_producer_ = watermark_.RegisterProducer();
+    }
+    id = implicit_producer_;
+  }
+  return AdvanceProducer(id, now);
+}
+
+Status ShardedEngine::Flush() {
+  for (auto& shard : shards_) shard->queue.WaitIdle();
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->err_mu);
+    if (!shard->first_error.ok()) return shard->first_error;
+  }
+  return Status::OK();
+}
+
+size_t ShardedEngine::DrainOutputs() {
+  std::vector<Emission> merged;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->out_mu);
+    if (merged.empty()) {
+      merged = std::move(shard->outbox);
+    } else {
+      merged.insert(merged.end(),
+                    std::make_move_iterator(shard->outbox.begin()),
+                    std::make_move_iterator(shard->outbox.end()));
+    }
+    shard->outbox.clear();
+  }
+  // Per-shard emission order is already timestamp-nondecreasing; the
+  // global merge orders across shards by time, breaking ties by shard
+  // then per-shard sequence (deterministic for a fixed routing).
+  std::sort(merged.begin(), merged.end(),
+            [](const Emission& a, const Emission& b) {
+              if (a.ts != b.ts) return a.ts < b.ts;
+              if (a.shard != b.shard) return a.shard < b.shard;
+              return a.seq < b.seq;
+            });
+  for (const Emission& e : merged) {
+    callbacks_[e.sub](e.tuple);
+  }
+  return merged.size();
+}
+
+Result<std::vector<Tuple>> ShardedEngine::ExecuteSnapshot(
+    const std::string& sql) {
+  ESLEV_RETURN_NOT_OK(Flush());
+  std::vector<std::vector<Tuple>> per_shard(shards_.size());
+  std::vector<std::promise<Status>> done(shards_.size());
+  std::vector<std::future<Status>> futures;
+  futures.reserve(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    futures.push_back(done[i].get_future());
+    Item item;
+    item.kind = Item::Kind::kCommand;
+    item.command = [&per_shard, i, sql](Engine& engine) {
+      ESLEV_ASSIGN_OR_RETURN(per_shard[i], engine.ExecuteSnapshot(sql));
+      return Status::OK();
+    };
+    item.done = &done[i];
+    shards_[i]->queue.Push(std::move(item));
+  }
+  Status first = Status::OK();
+  for (auto& f : futures) {
+    Status st = f.get();
+    if (first.ok() && !st.ok()) first = st;
+  }
+  ESLEV_RETURN_NOT_OK(first);
+  std::vector<Tuple> merged;
+  for (auto& rows : per_shard) {
+    merged.insert(merged.end(), std::make_move_iterator(rows.begin()),
+                  std::make_move_iterator(rows.end()));
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const Tuple& a, const Tuple& b) { return a.ts() < b.ts(); });
+  return merged;
+}
+
+std::vector<uint64_t> ShardedEngine::shard_tuple_counts() const {
+  std::vector<uint64_t> counts;
+  counts.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    counts.push_back(shard->tuples_routed.load(std::memory_order_relaxed));
+  }
+  return counts;
+}
+
+}  // namespace eslev

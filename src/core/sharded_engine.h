@@ -1,0 +1,209 @@
+// ShardedEngine: hash-partitioned parallel execution of N independent
+// Engine instances (DESIGN.md §8).
+//
+// The paper's RFID queries partition naturally by tag identity: dedup
+// (Example 1) anti-joins on (reader_id, tag_id), SEQ pipelines join on
+// tagid, EPC aggregation groups by EPC fields. ShardedEngine exploits
+// that: every shard runs the full query set over the slice of each
+// stream whose partition-key hash lands on it, on its own thread behind
+// its own MPSC queue. Setup (DDL / RegisterQuery / Subscribe /
+// SetPartitionKey) is broadcast to all shards and must complete before
+// producers start feeding; the data plane (Push / PushTuple /
+// AdvanceProducer / AdvanceTime) is thread-safe.
+//
+// Time is advanced by a low-watermark protocol (watermark.h): producer
+// heartbeats fan out to ALL shards once the minimum producer clock
+// moves, so active expiration (window-expiry-triggered EXCEPTION_SEQ
+// violations) fires even on shards receiving no tuples. Within a shard,
+// tuples are clamped forward to the shard clock exactly as
+// ConcurrentEngine does, keeping each shard's joint history totally
+// ordered no matter how producers interleave.
+//
+// Emission: shard-side subscription callbacks buffer into per-shard
+// outboxes (per-shard order preserved); DrainOutputs() merges the
+// outboxes by timestamp on the caller's thread and invokes user
+// callbacks there — one consumer-safe emission path.
+//
+// Queries whose match conditions cross partitions (e.g. Example 5's
+// EXCEPTION_SEQ over a workflow shared by all tags) must fall back to a
+// single shard: route their source streams with SetSingleShard().
+
+#ifndef ESLEV_CORE_SHARDED_ENGINE_H_
+#define ESLEV_CORE_SHARDED_ENGINE_H_
+
+#include <atomic>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/mpsc_queue.h"
+#include "core/watermark.h"
+
+namespace eslev {
+
+struct ShardedEngineOptions {
+  /// Number of worker-owned Engine instances. 1 degenerates to a
+  /// single-threaded engine behind a queue.
+  size_t num_shards = 4;
+  /// Options applied to every shard engine.
+  EngineOptions engine;
+};
+
+class ShardedEngine {
+ public:
+  explicit ShardedEngine(ShardedEngineOptions options = {});
+  ~ShardedEngine();
+
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  // ---- setup (broadcast; complete before producers push) -----------------
+
+  /// \brief Run a script on every shard (DDL + continuous queries).
+  Status ExecuteScript(const std::string& sql);
+
+  /// \brief Register one continuous query on every shard. The returned
+  /// QueryInfo is identical across shards (engines evolve in lockstep).
+  Result<QueryInfo> RegisterQuery(const std::string& sql);
+
+  /// \brief Subscribe to a stream on every shard; the callback is only
+  /// ever invoked from DrainOutputs(), on the draining thread.
+  Status Subscribe(const std::string& stream, TupleCallback callback);
+
+  /// \brief Override the partition column of a source stream. By default
+  /// the first column named tag_id/tagid/tid/epc/tag partitions the
+  /// stream, falling back to column 0.
+  Status SetPartitionKey(const std::string& stream, const std::string& column);
+
+  /// \brief Route every tuple of `stream` to shard 0 — the fallback for
+  /// queries whose matches cross partition keys (cross-partition SEQ).
+  Status SetSingleShard(const std::string& stream);
+
+  /// \brief Plan a query on shard 0 and describe the pipeline.
+  Result<std::string> Explain(const std::string& sql);
+
+  // ---- data plane (thread-safe) ------------------------------------------
+
+  /// \brief Route a tuple to its shard's queue. Returns immediately;
+  /// pipeline errors surface on Flush().
+  Status Push(const std::string& stream, std::vector<Value> values,
+              Timestamp ts);
+  Status PushTuple(const std::string& stream, const Tuple& tuple);
+
+  /// \brief Register an explicit producer for the watermark protocol.
+  int RegisterProducer();
+
+  /// \brief Report producer `id` reaching `now`; fans a heartbeat to all
+  /// shards when the low watermark advances.
+  Status AdvanceProducer(int id, Timestamp now);
+
+  /// \brief Single-producer convenience: lazily registers one implicit
+  /// producer and advances it.
+  Status AdvanceTime(Timestamp now);
+
+  // ---- consumption --------------------------------------------------------
+
+  /// \brief Wait until every shard queue is drained and idle, then
+  /// return the first sticky pipeline error (if any).
+  Status Flush();
+
+  /// \brief Merge buffered emissions from all shards by (timestamp,
+  /// shard, sequence) and invoke the subscription callbacks on the
+  /// calling thread. Returns the number of tuples delivered.
+  size_t DrainOutputs();
+
+  /// \brief Ad-hoc snapshot: flushes, executes on every shard, and
+  /// gather-merges rows by timestamp. Correct for selection/projection
+  /// over partitioned history; aggregate snapshots see per-shard
+  /// partials and should use single-shard routing.
+  Result<std::vector<Tuple>> ExecuteSnapshot(const std::string& sql);
+
+  // ---- observability -------------------------------------------------------
+
+  size_t num_shards() const { return shards_.size(); }
+  Timestamp low_watermark() const { return watermark_.low_watermark(); }
+  /// \brief Tuples routed to each shard so far (for balance checks).
+  std::vector<uint64_t> shard_tuple_counts() const;
+
+ private:
+  struct Item {
+    enum class Kind { kTuple, kHeartbeat, kCommand };
+    Kind kind = Kind::kTuple;
+    // kTuple: pre-resolved stream name (stable; owned by routes_).
+    const std::string* stream = nullptr;
+    Tuple tuple;
+    // kHeartbeat
+    Timestamp ts = 0;
+    // kCommand: executed on the worker thread with exclusive engine
+    // access; `done` (caller-owned) receives the status.
+    std::function<Status(Engine&)> command;
+    std::promise<Status>* done = nullptr;
+  };
+
+  struct Emission {
+    Timestamp ts;
+    uint64_t seq;
+    size_t shard;
+    size_t sub;
+    Tuple tuple;
+  };
+
+  struct Shard {
+    std::unique_ptr<Engine> engine;
+    MpscQueue<Item> queue;
+    std::thread worker;
+    std::atomic<uint64_t> tuples_routed{0};
+
+    std::mutex out_mu;
+    std::vector<Emission> outbox;
+    uint64_t out_seq = 0;
+
+    std::mutex err_mu;
+    Status first_error = Status::OK();
+  };
+
+  struct StreamRoute {
+    std::string name;      // original-case stream name (stable storage)
+    SchemaPtr schema;
+    size_t key_index = 0;
+    bool single_shard = false;
+  };
+
+  void WorkerLoop(Shard* shard);
+  void RecordError(Shard* shard, const Status& status);
+
+  /// \brief Run `fn` on every shard's worker thread; wait; first error.
+  Status RunOnAllShards(const std::function<Status(Engine&)>& fn);
+  /// \brief Run `fn` on one shard's worker thread and wait.
+  Status RunOnShard(size_t shard, const std::function<Status(Engine&)>& fn);
+
+  /// \brief Re-derive routes for streams created since the last refresh
+  /// (reads shard 0's catalog on its worker thread).
+  Status RefreshRoutes();
+  const StreamRoute* FindRoute(const std::string& stream) const;
+  size_t ShardOf(const StreamRoute& route, const Tuple& tuple) const;
+
+  ShardedEngineOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  mutable std::shared_mutex routes_mu_;
+  std::map<std::string, StreamRoute> routes_;  // lower-case key
+
+  WatermarkTracker watermark_;
+  std::mutex implicit_producer_mu_;
+  int implicit_producer_ = -1;
+
+  // Subscriptions; mutated during setup, read by DrainOutputs.
+  std::vector<TupleCallback> callbacks_;
+};
+
+}  // namespace eslev
+
+#endif  // ESLEV_CORE_SHARDED_ENGINE_H_

@@ -1,0 +1,68 @@
+// WatermarkTracker: low-watermark time advancement for ShardedEngine.
+//
+// Every producer (reader connection, replay thread, periodic clock)
+// reports its local application time; the tracker maintains the minimum
+// over all producers — the low watermark. Only when that minimum moves
+// forward is a heartbeat fanned out to the shards, so no shard's clock
+// can run ahead of a producer that still has older tuples in flight
+// (the CEDR-style discipline that keeps window-expiry-triggered
+// EXCEPTION_SEQ violations correct across shards).
+
+#ifndef ESLEV_CORE_WATERMARK_H_
+#define ESLEV_CORE_WATERMARK_H_
+
+#include <algorithm>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "common/time.h"
+
+namespace eslev {
+
+class WatermarkTracker {
+ public:
+  /// \brief Register a producer; its clock starts at kMinTimestamp, which
+  /// holds the low watermark down until the producer first reports.
+  int RegisterProducer() {
+    std::lock_guard<std::mutex> lock(mu_);
+    producers_.push_back(kMinTimestamp);
+    return static_cast<int>(producers_.size()) - 1;
+  }
+
+  /// \brief Report producer `id` reaching local time `now`. Returns the
+  /// new low watermark when the minimum advanced, nullopt otherwise
+  /// (stale report, unknown id, or another producer still lags).
+  std::optional<Timestamp> Advance(int id, Timestamp now) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (id < 0 || id >= static_cast<int>(producers_.size())) {
+      return std::nullopt;
+    }
+    if (now <= producers_[id]) return std::nullopt;  // stale tick
+    producers_[id] = now;
+    const Timestamp low =
+        *std::min_element(producers_.begin(), producers_.end());
+    if (low <= low_) return std::nullopt;
+    low_ = low;
+    return low;
+  }
+
+  Timestamp low_watermark() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return low_;
+  }
+
+  size_t producer_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return producers_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Timestamp> producers_;
+  Timestamp low_ = kMinTimestamp;
+};
+
+}  // namespace eslev
+
+#endif  // ESLEV_CORE_WATERMARK_H_

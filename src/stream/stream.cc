@@ -21,6 +21,11 @@ Status Stream::Push(const Tuple& tuple) {
 }
 
 Status Stream::Heartbeat(Timestamp now) {
+  // Watermark fan-out (ShardedEngine) can redeliver a tick a shard has
+  // already seen; heartbeats older than the last one are no-ops for every
+  // operator, so skip the fan-out entirely.
+  if (now < last_heartbeat_) return Status::OK();
+  last_heartbeat_ = now;
   TrimRetention(now);
   for (const Subscriber& s : subscribers_) {
     ESLEV_RETURN_NOT_OK(s.op->OnHeartbeat(now));

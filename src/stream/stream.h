@@ -72,6 +72,7 @@ class Stream {
   Duration retention_ = 0;
   std::deque<Tuple> retained_;
   uint64_t tuples_pushed_ = 0;
+  Timestamp last_heartbeat_ = kMinTimestamp;
 };
 
 /// \brief Adapter operator that pushes every received tuple into a Stream

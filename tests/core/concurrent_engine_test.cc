@@ -2,9 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <set>
 #include <thread>
+#include <vector>
 
 namespace eslev {
 namespace {
@@ -129,6 +131,90 @@ TEST(ConcurrentEngineTest, ConcurrentDedupPipeline) {
   EXPECT_EQ(kept_tags.size(), static_cast<size_t>(kThreads * kDistinct));
   EXPECT_GE(cleaned, static_cast<size_t>(kThreads * kDistinct));
   EXPECT_LE(cleaned, static_cast<size_t>(3 * kThreads * kDistinct));
+}
+
+TEST(ConcurrentEngineTest, ClampingStressKeepsJointHistoryOrdered) {
+  // Genuinely concurrent producers with wildly disagreeing clocks: some
+  // run forward, some deliberately run backward. Whatever interleaving
+  // the scheduler picks, every observed tuple timestamp must be
+  // non-decreasing (the clamped joint history is totally ordered) and
+  // nothing may be rejected.
+  ConcurrentEngine engine;
+  ASSERT_TRUE(engine.ExecuteScript("CREATE STREAM s(a, t_time);").ok());
+  std::vector<Timestamp> observed;
+  ASSERT_TRUE(engine
+                  .Subscribe("s",
+                             [&](const Tuple& t) {
+                               // Runs under the ingestion lock.
+                               observed.push_back(t.ts());
+                             })
+                  .ok());
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 400;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        // Even threads count up, odd threads count down.
+        const Timestamp ts = (t % 2 == 0)
+                                 ? Seconds(i) + t * Milliseconds(211)
+                                 : Seconds(kPerThread - i) + t * Milliseconds(211);
+        Status s = engine.Push(
+            "s", {Value::String("v" + std::to_string(t)), Value::Time(ts)},
+            ts);
+        if (!s.ok()) ++failures;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  ASSERT_EQ(observed.size(), static_cast<size_t>(kThreads * kPerThread));
+  EXPECT_TRUE(std::is_sorted(observed.begin(), observed.end()));
+  EXPECT_EQ(engine.engine()->current_time(), observed.back());
+}
+
+TEST(ConcurrentEngineTest, ConcurrentPushesAndHeartbeatsStayMonotonic) {
+  // Pushers race a heartbeat thread; stale heartbeats must be dropped
+  // and the engine clock must never move backward.
+  ConcurrentEngine engine;
+  ASSERT_TRUE(engine.ExecuteScript("CREATE STREAM s(a, t_time);").ok());
+  std::vector<Timestamp> observed;
+  ASSERT_TRUE(engine
+                  .Subscribe("s",
+                             [&](const Tuple& t) { observed.push_back(t.ts()); })
+                  .ok());
+
+  constexpr int kPushers = 4;
+  constexpr int kPerThread = 300;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kPushers; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const Timestamp ts = Seconds(i) + t * Milliseconds(97);
+        if (!engine
+                 .Push("s", {Value::String("x"), Value::Time(ts)}, ts)
+                 .ok()) {
+          ++failures;
+        }
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    for (int i = 0; i < kPerThread; ++i) {
+      // Mix fresh and deliberately stale ticks.
+      if (!engine.AdvanceTime(Seconds(i % 37)).ok()) ++failures;
+    }
+  });
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  ASSERT_EQ(observed.size(), static_cast<size_t>(kPushers * kPerThread));
+  EXPECT_TRUE(std::is_sorted(observed.begin(), observed.end()));
+  EXPECT_GE(engine.engine()->current_time(), observed.back());
 }
 
 }  // namespace

@@ -1,0 +1,187 @@
+// ShardedEngine must produce the same match set as a single Engine on
+// the paper's workloads (DESIGN.md §8): E1 dedup and E6 quality-check
+// SEQ partition by tag, E5's lab workflow is cross-partition and runs
+// via the single-shard fallback (watermark heartbeats still fan out).
+//
+// "Same match set" is byte-identical serialized output after a
+// timestamp-stable sort — tuples with equal timestamps from different
+// partitions have no defined cross-shard order.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/sharded_engine.h"
+#include "rfid/workloads.h"
+
+namespace eslev {
+namespace {
+
+struct Scenario {
+  std::string ddl;
+  std::string query;  // empty: the DDL already contains an INSERT query
+  std::string output_stream;
+  std::vector<std::string> single_shard_streams;
+  Duration final_advance = 0;  // heartbeat past the last event when > 0
+};
+
+std::vector<std::string> SortedOutput(std::vector<std::string> rows) {
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+std::vector<std::string> RunSingle(const Scenario& scenario,
+                                   const rfid::Workload& workload) {
+  Engine engine;
+  EXPECT_TRUE(engine.ExecuteScript(scenario.ddl).ok());
+  std::string out = scenario.output_stream;
+  if (!scenario.query.empty()) {
+    auto q = engine.RegisterQuery(scenario.query);
+    EXPECT_TRUE(q.ok()) << q.status();
+    out = q->output_stream;
+  }
+  std::vector<std::string> rows;
+  EXPECT_TRUE(engine
+                  .Subscribe(out,
+                             [&](const Tuple& t) { rows.push_back(t.ToString()); })
+                  .ok());
+  Timestamp last = kMinTimestamp;
+  for (const auto& e : workload.events) {
+    EXPECT_TRUE(engine.PushTuple(e.stream, e.tuple).ok());
+    last = e.tuple.ts();
+  }
+  if (scenario.final_advance > 0) {
+    EXPECT_TRUE(engine.AdvanceTime(last + scenario.final_advance).ok());
+  }
+  return SortedOutput(std::move(rows));
+}
+
+std::vector<std::string> RunSharded(const Scenario& scenario,
+                                    const rfid::Workload& workload,
+                                    size_t num_shards) {
+  ShardedEngineOptions options;
+  options.num_shards = num_shards;
+  ShardedEngine engine(options);
+  EXPECT_TRUE(engine.ExecuteScript(scenario.ddl).ok());
+  std::string out = scenario.output_stream;
+  if (!scenario.query.empty()) {
+    auto q = engine.RegisterQuery(scenario.query);
+    EXPECT_TRUE(q.ok()) << q.status();
+    out = q->output_stream;
+  }
+  for (const std::string& s : scenario.single_shard_streams) {
+    EXPECT_TRUE(engine.SetSingleShard(s).ok());
+  }
+  std::vector<std::string> rows;
+  EXPECT_TRUE(engine
+                  .Subscribe(out,
+                             [&](const Tuple& t) { rows.push_back(t.ToString()); })
+                  .ok());
+  Timestamp last = kMinTimestamp;
+  for (const auto& e : workload.events) {
+    EXPECT_TRUE(engine.PushTuple(e.stream, e.tuple).ok());
+    last = e.tuple.ts();
+  }
+  if (scenario.final_advance > 0) {
+    EXPECT_TRUE(engine.AdvanceTime(last + scenario.final_advance).ok());
+  }
+  EXPECT_TRUE(engine.Flush().ok());
+  engine.DrainOutputs();
+  return SortedOutput(std::move(rows));
+}
+
+void ExpectEquivalent(const Scenario& scenario,
+                      const rfid::Workload& workload) {
+  const auto reference = RunSingle(scenario, workload);
+  ASSERT_FALSE(reference.empty()) << "scenario produced no output; the "
+                                     "equivalence check would be vacuous";
+  for (size_t shards : {2u, 4u}) {
+    const auto sharded = RunSharded(scenario, workload, shards);
+    ASSERT_EQ(sharded.size(), reference.size()) << "at " << shards << " shards";
+    EXPECT_EQ(sharded, reference) << "at " << shards << " shards";
+  }
+}
+
+TEST(ShardedEquivalenceTest, E1DuplicateElimination) {
+  rfid::DuplicateWorkloadOptions options;
+  options.num_distinct = 400;
+  options.duplicates_per_read = 3;
+  options.inter_arrival = Milliseconds(40);
+  options.num_tags = 120;
+  auto workload = rfid::MakeDuplicateWorkload(options);
+
+  Scenario scenario;
+  scenario.ddl = R"sql(
+    CREATE STREAM readings(reader_id, tag_id, read_time);
+    CREATE STREAM cleaned_readings(reader_id, tag_id, read_time);
+    INSERT INTO cleaned_readings
+    SELECT * FROM readings AS r1
+    WHERE NOT EXISTS
+      (SELECT * FROM TABLE( readings OVER
+          (RANGE 1 seconds PRECEDING CURRENT)) AS r2
+       WHERE r2.reader_id = r1.reader_id
+         AND r2.tag_id = r1.tag_id);
+  )sql";
+  scenario.output_stream = "cleaned_readings";
+  ExpectEquivalent(scenario, workload);
+}
+
+TEST(ShardedEquivalenceTest, E5ExceptionSeqSingleShardFallback) {
+  rfid::LabWorkflowWorkloadOptions options;
+  options.num_rounds = 120;
+  options.wrong_order_rate = 0.1;
+  options.wrong_start_rate = 0.1;
+  options.timeout_rate = 0.1;
+  auto workload = rfid::MakeLabWorkflowWorkload(options);
+
+  Scenario scenario;
+  scenario.ddl = R"sql(
+    CREATE STREAM A1(staffid, tagid, tagtime);
+    CREATE STREAM A2(staffid, tagid, tagtime);
+    CREATE STREAM A3(staffid, tagid, tagtime);
+  )sql";
+  scenario.query = R"sql(
+    SELECT A1.tagid, A2.tagid, A3.tagid
+    FROM A1, A2, A3
+    WHERE EXCEPTION_SEQ(A1, A2, A3)
+    OVER [1 HOURS FOLLOWING A1]
+  )sql";
+  // One workflow spans all tags: cross-partition, so the sequence's
+  // source streams fall back to a single shard. The final heartbeat
+  // exercises watermark-driven active expiration across shards.
+  scenario.single_shard_streams = {"A1", "A2", "A3"};
+  scenario.final_advance = Hours(2);
+  ExpectEquivalent(scenario, workload);
+}
+
+TEST(ShardedEquivalenceTest, E6QualityCheckSeqPartitionedByTag) {
+  rfid::QualityCheckWorkloadOptions options;
+  options.num_products = 150;
+  options.stage_delay = Seconds(2);
+  options.product_interval = Seconds(1);
+  options.drop_rate = 0.1;
+  auto workload = rfid::MakeQualityCheckWorkload(options);
+
+  Scenario scenario;
+  scenario.ddl = R"sql(
+    CREATE STREAM C1(readerid, tagid, tagtime);
+    CREATE STREAM C2(readerid, tagid, tagtime);
+    CREATE STREAM C3(readerid, tagid, tagtime);
+    CREATE STREAM C4(readerid, tagid, tagtime);
+  )sql";
+  scenario.query = R"sql(
+    SELECT C4.tagid, C1.tagtime, C4.tagtime
+    FROM C1, C2, C3, C4
+    WHERE SEQ(C1, C2, C3, C4)
+    OVER [60 SECONDS PRECEDING C4]
+      AND C1.tagid=C2.tagid AND C1.tagid=C3.tagid
+      AND C1.tagid=C4.tagid
+  )sql";
+  ExpectEquivalent(scenario, workload);
+}
+
+}  // namespace
+}  // namespace eslev
