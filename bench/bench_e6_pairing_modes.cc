@@ -75,6 +75,41 @@ size_t PortOf(const std::string& stream) {
   return static_cast<size_t>(stream[1] - '1');
 }
 
+const char* ModeName(PairingMode mode) {
+  switch (mode) {
+    case PairingMode::kUnrestricted: return "unrestricted";
+    case PairingMode::kRecent: return "recent";
+    case PairingMode::kChronicle: return "chronicle";
+    case PairingMode::kConsecutive: return "consecutive";
+  }
+  return "unknown";
+}
+
+// Un-timed replay recording the per-mode retained-history state series
+// into the bench metrics blob (BENCH_*_metrics.json) — E6's state-size
+// evidence comes from the metrics layer, not from the timed loop.
+void RecordStateSeries(PairingMode mode, const rfid::Workload& workload,
+                       const FunctionRegistry& registry) {
+  BindScope scope;
+  auto op = MakeSeq(mode, registry, &scope);
+  const std::string prefix = std::string("e6.") + ModeName(mode) + ".";
+  Histogram* retained =
+      bench::Metrics().GetHistogram(prefix + "retained_history");
+  size_t i = 0;
+  for (const auto& e : workload.events) {
+    bench::CheckOk(op->OnTuple(PortOf(e.stream), e.tuple), "tuple");
+    if (++i % 64 == 0) retained->Observe(op->history_size());
+  }
+  bench::Metrics().GetGauge(prefix + "final_history")
+      ->Set(static_cast<int64_t>(op->history_size()));
+  bench::Metrics().GetGauge(prefix + "tuples_stored")
+      ->Set(static_cast<int64_t>(op->tuples_stored()));
+  bench::Metrics().GetGauge(prefix + "tuples_purged")
+      ->Set(static_cast<int64_t>(op->tuples_purged()));
+  bench::Metrics().GetGauge(prefix + "matches")
+      ->Set(static_cast<int64_t>(op->matches_emitted()));
+}
+
 void RunMode(benchmark::State& state, PairingMode mode) {
   rfid::QualityCheckWorkloadOptions options;
   options.num_products = 2000;
@@ -101,6 +136,7 @@ void RunMode(benchmark::State& state, PairingMode mode) {
                           workload.events.size());
   state.counters["events"] = static_cast<double>(events);
   state.counters["peak_history"] = static_cast<double>(peak_history);
+  RecordStateSeries(mode, workload, registry);
 }
 
 void BM_ModeUnrestricted(benchmark::State& state) {

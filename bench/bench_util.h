@@ -6,10 +6,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "core/engine.h"
 #include "rfid/workloads.h"
 
@@ -34,10 +36,42 @@ inline size_t Feed(Engine* engine, const rfid::Workload& workload) {
   return workload.events.size();
 }
 
+/// \brief Process-wide metrics blob for bench-collected state series
+/// (e.g. E6's per-mode retained-history samples). Benches record into it
+/// outside the timed region; BenchMain serializes it next to the
+/// google-benchmark JSON (which the tool owns and we cannot extend) as
+/// <dir>/BENCH_<binary>_metrics.json — still matching CI's BENCH_*.json
+/// archive glob.
+inline MetricsRegistry& Metrics() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+/// \brief Write the bench metrics blob (if any metric was recorded) as
+/// JSON to `path`.
+inline void WriteMetricsJson(const std::string& path) {
+  const MetricsSnapshot snap = Metrics().Snapshot();
+  if (snap.counters.empty() && snap.gauges.empty() &&
+      snap.histograms.empty()) {
+    return;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench: cannot write metrics json %s\n",
+                 path.c_str());
+    return;
+  }
+  const std::string json = snap.ToJson();
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+}
+
 /// \brief Shared benchmark main. When ESLEV_BENCH_JSON_DIR is set (and no
 /// explicit --benchmark_out was given), results are additionally written
 /// as machine-readable JSON to <dir>/BENCH_<binary>.json so CI can
-/// archive the perf trajectory across commits.
+/// archive the perf trajectory across commits; any bench-recorded
+/// metrics (bench::Metrics()) land in <dir>/BENCH_<binary>_metrics.json.
 inline int BenchMain(int argc, char** argv) {
   std::vector<char*> args(argv, argv + argc);
   std::string out_arg;
@@ -60,6 +94,11 @@ inline int BenchMain(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  if (dir != nullptr) {
+    std::string base = argv[0];
+    base = base.substr(base.find_last_of('/') + 1);
+    WriteMetricsJson(std::string(dir) + "/BENCH_" + base + "_metrics.json");
+  }
   return 0;
 }
 

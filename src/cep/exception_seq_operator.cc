@@ -157,9 +157,11 @@ void ExceptionSeqOperator::ArmDeadline() {
   }
 }
 
-Status ExceptionSeqOperator::CheckExpiry(Timestamp now) {
+Status ExceptionSeqOperator::CheckExpiry(Timestamp now, bool from_heartbeat) {
   if (!deadline_ || now <= *deadline_) return Status::OK();
   // Window expired with the partial incomplete (scenario 3).
+  ++window_expirations_;
+  if (from_heartbeat) ++active_expirations_;
   const size_t level = partial_.size();
   ESLEV_RETURN_NOT_OK(Terminal(level, nullptr, 0));
   partial_.clear();
@@ -167,9 +169,24 @@ Status ExceptionSeqOperator::CheckExpiry(Timestamp now) {
   return Status::OK();
 }
 
+void ExceptionSeqOperator::AppendStats(OperatorStatList* out) const {
+  out->push_back({"partial_level", static_cast<int64_t>(partial_.size())});
+  out->push_back(
+      {"level_transitions", static_cast<int64_t>(level_transitions_)});
+  out->push_back(
+      {"window_expirations", static_cast<int64_t>(window_expirations_)});
+  out->push_back(
+      {"active_expirations", static_cast<int64_t>(active_expirations_)});
+  out->push_back(
+      {"exceptions_emitted", static_cast<int64_t>(exceptions_emitted_)});
+  out->push_back(
+      {"sequences_completed", static_cast<int64_t>(sequences_completed_)});
+}
+
 Status ExceptionSeqOperator::AppendPosition(size_t pos, const Tuple& tuple) {
   (void)pos;
   partial_.push_back({tuple});
+  ++level_transitions_;
   ArmDeadline();
   if (partial_.size() == n_) {
     ESLEV_RETURN_NOT_OK(Terminal(n_, nullptr, 0));
@@ -189,7 +206,7 @@ Status ExceptionSeqOperator::StartOrLevelZero(size_t pos, const Tuple& tuple) {
   return Terminal(0, &tuple, pos);
 }
 
-Status ExceptionSeqOperator::OnTuple(size_t port, const Tuple& tuple) {
+Status ExceptionSeqOperator::ProcessTuple(size_t port, const Tuple& tuple) {
   if (port >= n_) {
     return Status::ExecutionError("EXCEPTION_SEQ port out of range");
   }
@@ -235,6 +252,7 @@ Status ExceptionSeqOperator::OnTuple(size_t port, const Tuple& tuple) {
       ESLEV_ASSIGN_OR_RETURN(bool ok, PairwiseOkWithPartial(port, tuple));
       if (ok) {
         partial_.push_back({tuple});
+        ++level_transitions_;
         ArmDeadline();
       } else {
         return StartOrLevelZero(port, tuple);
@@ -247,8 +265,8 @@ Status ExceptionSeqOperator::OnTuple(size_t port, const Tuple& tuple) {
   return StartOrLevelZero(port, tuple);
 }
 
-Status ExceptionSeqOperator::OnHeartbeat(Timestamp now) {
-  ESLEV_RETURN_NOT_OK(CheckExpiry(now));
+Status ExceptionSeqOperator::ProcessHeartbeat(Timestamp now) {
+  ESLEV_RETURN_NOT_OK(CheckExpiry(now, /*from_heartbeat=*/true));
   return EmitHeartbeat(now);
 }
 

@@ -45,15 +45,26 @@ class ExceptionSeqOperator : public Operator {
       ExceptionSeqConfig config);
 
   /// \brief Port == position index.
-  Status OnTuple(size_t port, const Tuple& tuple) override;
+  Status ProcessTuple(size_t port, const Tuple& tuple) override;
 
   /// \brief Active expiration: emits window-expiry exceptions even when
   /// no tuples arrive.
-  Status OnHeartbeat(Timestamp now) override;
+  Status ProcessHeartbeat(Timestamp now) override;
 
   uint64_t exceptions_emitted() const { return exceptions_emitted_; }
   uint64_t sequences_completed() const { return sequences_completed_; }
   size_t partial_level() const { return partial_.size(); }
+
+  /// \brief Upward completion-level transitions (a partial advancing to
+  /// the next position, including star-group openings after a replace).
+  uint64_t level_transitions() const { return level_transitions_; }
+  /// \brief Window-expiry terminals (scenario 3), however detected.
+  uint64_t window_expirations() const { return window_expirations_; }
+  /// \brief Window-expiry terminals detected by a heartbeat rather than
+  /// an arrival — the paper's *active expiration* path.
+  uint64_t active_expirations() const { return active_expirations_; }
+
+  void AppendStats(OperatorStatList* out) const override;
 
  private:
   explicit ExceptionSeqOperator(ExceptionSeqConfig config);
@@ -69,7 +80,7 @@ class ExceptionSeqOperator : public Operator {
 
   // Window deadline for the current partial, if armed.
   void ArmDeadline();
-  Status CheckExpiry(Timestamp now);
+  Status CheckExpiry(Timestamp now, bool from_heartbeat = false);
 
   Status StartOrLevelZero(size_t pos, const Tuple& tuple);
   Status AppendPosition(size_t pos, const Tuple& tuple);
@@ -81,6 +92,9 @@ class ExceptionSeqOperator : public Operator {
   std::optional<Timestamp> deadline_;
   uint64_t exceptions_emitted_ = 0;
   uint64_t sequences_completed_ = 0;
+  uint64_t level_transitions_ = 0;
+  uint64_t window_expirations_ = 0;
+  uint64_t active_expirations_ = 0;
   RowScratch scratch_;
 };
 

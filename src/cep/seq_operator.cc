@@ -191,7 +191,7 @@ bool SeqOperator::WindowOk(size_t pos, const Entry& entry,
   return true;
 }
 
-Status SeqOperator::OnTuple(size_t port, const Tuple& tuple) {
+Status SeqOperator::ProcessTuple(size_t port, const Tuple& tuple) {
   if (port >= n_) {
     return Status::ExecutionError("SEQ port out of range");
   }
@@ -249,8 +249,31 @@ Status SeqOperator::OnTuple(size_t port, const Tuple& tuple) {
   return Status::OK();
 }
 
+size_t SeqOperator::open_star_length() const {
+  size_t total = 0;
+  for (const auto& dq : history_) {
+    for (const auto& e : dq) {
+      if (e.open) total += e.tuples.size();
+    }
+  }
+  for (const auto& e : run_) {
+    if (e.open) total += e.tuples.size();
+  }
+  return total;
+}
+
+void SeqOperator::AppendStats(OperatorStatList* out) const {
+  out->push_back({"retained_history", static_cast<int64_t>(history_size())});
+  out->push_back({"tuples_stored", static_cast<int64_t>(tuples_stored_)});
+  out->push_back({"tuples_purged", static_cast<int64_t>(tuples_purged_)});
+  out->push_back({"matches", static_cast<int64_t>(matches_emitted_)});
+  out->push_back(
+      {"open_star_length", static_cast<int64_t>(open_star_length())});
+}
+
 Status SeqOperator::StoreArrival(size_t pos, const Tuple& tuple,
                                  uint64_t seq) {
+  ++tuples_stored_;
   auto& dq = history_[pos];
   if (config_.positions[pos].star) {
     if (!dq.empty() && dq.back().open) {
@@ -418,10 +441,14 @@ Status SeqOperator::MatchChronicle(const Entry& trigger) {
   // positions contributed no tuple and are not consumed.
   for (size_t pos = 0; pos + 1 < n_; ++pos) {
     if (config_.positions[pos].negated) continue;
+    tuples_purged_ += history_[pos][pick[pos]].tuples.size();
     history_[pos].erase(history_[pos].begin() + pick[pos]);
   }
   if (last_is_star_ && !history_[n_ - 1].empty()) {
     // A consumed trailing group cannot participate again.
+    for (const Entry& e : history_[n_ - 1]) {
+      tuples_purged_ += e.tuples.size();
+    }
     history_[n_ - 1].clear();
   }
   return Status::OK();
@@ -433,13 +460,18 @@ Status SeqOperator::MatchChronicle(const Entry& trigger) {
 
 Status SeqOperator::HandleConsecutive(size_t pos, const Tuple& tuple,
                                       uint64_t seq) {
-  auto start_new_run = [&]() {
+  auto purge_run = [&]() {
+    for (const Entry& e : run_) tuples_purged_ += e.tuples.size();
     run_.clear();
+  };
+  auto start_new_run = [&]() {
+    purge_run();
     if (pos == 0) {
       Entry e;
       e.tuples.push_back(tuple);
       e.first_seq = e.last_seq = seq;
       e.open = config_.positions[0].star;
+      ++tuples_stored_;
       run_.push_back(std::move(e));
     }
   };
@@ -447,7 +479,7 @@ Status SeqOperator::HandleConsecutive(size_t pos, const Tuple& tuple,
   if (config_.positions[pos].negated) {
     // The forbidden event occurred on the joint history: any active run
     // is no longer a run of adjacent tuples.
-    run_.clear();
+    purge_run();
     return Status::OK();
   }
 
@@ -465,6 +497,7 @@ Status SeqOperator::HandleConsecutive(size_t pos, const Tuple& tuple,
     if (same_group) {
       run_[cur].tuples.push_back(tuple);
       run_[cur].last_seq = seq;
+      ++tuples_stored_;
       if (cur == n_ - 1) {
         // Trailing star completes on every arrival.
         std::vector<const Entry*> chosen(n_);
@@ -498,13 +531,14 @@ Status SeqOperator::HandleConsecutive(size_t pos, const Tuple& tuple,
       start_new_run();
       return Status::OK();
     }
+    ++tuples_stored_;
     run_.push_back(std::move(cand));
     if (pos == n_ - 1) {
       std::vector<const Entry*> chosen(n_);
       for (size_t i = 0; i < n_; ++i) chosen[i] = &run_[i];
       ESLEV_RETURN_NOT_OK(EmitMatch(chosen));
       if (!config_.positions[pos].star) {
-        run_.clear();  // completed; trailing star keeps accumulating
+        purge_run();  // completed; trailing star keeps accumulating
       }
     }
     return Status::OK();
@@ -576,6 +610,7 @@ void SeqOperator::EvictByWindow(Timestamp now) {
   for (auto& dq : history_) {
     while (!dq.empty() && !dq.front().open &&
            dq.front().last_ts() < now - w.length) {
+      tuples_purged_ += dq.front().tuples.size();
       dq.pop_front();
     }
   }
@@ -630,12 +665,16 @@ void SeqOperator::PurgeRecent() {
   for (size_t pos = 0; pos + 1 < n_; ++pos) {
     auto& dq = history_[pos];
     std::deque<Entry> next;
+    size_t dropped = 0;
+    for (const Entry& e : dq) dropped += e.tuples.size();
     for (size_t idx : keep[pos]) next.push_back(std::move(dq[idx]));
+    for (const Entry& e : next) dropped -= e.tuples.size();
+    tuples_purged_ += dropped;
     dq = std::move(next);
   }
 }
 
-Status SeqOperator::OnHeartbeat(Timestamp now) {
+Status SeqOperator::ProcessHeartbeat(Timestamp now) {
   EvictByWindow(now);
   return EmitHeartbeat(now);
 }

@@ -46,14 +46,26 @@ class SeqOperator : public Operator {
   static Result<std::unique_ptr<SeqOperator>> Make(SeqOperatorConfig config);
 
   /// \brief Port == position index.
-  Status OnTuple(size_t port, const Tuple& tuple) override;
-  Status OnHeartbeat(Timestamp now) override;
+  Status ProcessTuple(size_t port, const Tuple& tuple) override;
+  Status ProcessHeartbeat(Timestamp now) override;
 
   /// \brief Total tuples retained across all positions — the state-size
   /// metric behind the paper's purging claims (bench E6).
   size_t history_size() const;
 
   uint64_t matches_emitted() const { return matches_emitted_; }
+
+  /// \brief Tuples ever admitted to the joint history (final-position
+  /// triggers are never stored and do not count).
+  uint64_t tuples_stored() const { return tuples_stored_; }
+  /// \brief Tuples removed from the history by any purge path: window
+  /// eviction, RECENT pruning, CHRONICLE consumption, or CONSECUTIVE run
+  /// resets. Invariant: tuples_stored() - tuples_purged() == history_size().
+  uint64_t tuples_purged() const { return tuples_purged_; }
+  /// \brief Tuples in still-open (accumulating) star groups.
+  size_t open_star_length() const;
+
+  void AppendStats(OperatorStatList* out) const override;
 
  private:
   // A history entry: one tuple for plain positions, a group for stars.
@@ -123,6 +135,8 @@ class SeqOperator : public Operator {
   std::vector<Entry> run_;
   uint64_t arrival_seq_ = 0;
   uint64_t matches_emitted_ = 0;
+  uint64_t tuples_stored_ = 0;
+  uint64_t tuples_purged_ = 0;
   RowScratch scratch_;
 };
 

@@ -1,0 +1,137 @@
+// MetricsRegistry: lock-cheap engine observability (DESIGN.md §9).
+//
+// The hot path — operators counting tuples, the CEP core tracking
+// retained joint-tuple history — touches only relaxed atomics; the
+// registry mutex is taken at metric registration and snapshot time,
+// never per tuple. Instrumentation is compiled-in unconditionally and
+// near-zero-cost when nobody reads it: an uncontended relaxed fetch_add
+// on a cache-resident counter.
+//
+// Three exposure paths (ISSUE 2):
+//   * Engine::Metrics() / ShardedEngine::Metrics() -> MetricsSnapshot
+//   * MetricsRegistry::ToJson() -> BENCH_*_metrics.json via bench_util.h
+//   * EXPLAIN ANALYZE <query> -> per-operator counters in plan text
+
+#ifndef ESLEV_COMMON_METRICS_H_
+#define ESLEV_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace eslev {
+
+/// \brief Monotone event count (tuples in, purges, probes, ...).
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// \brief Instantaneous level (retained history size, queue depth, lag).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t max = 0;
+  /// bucket_counts[i] counts observations v with v < 2^i (cumulative-free,
+  /// i.e. per-bucket; bucket 0 holds v == 0, the last bucket overflows).
+  std::vector<uint64_t> bucket_counts;
+
+  double mean() const { return count == 0 ? 0.0 : double(sum) / double(count); }
+};
+
+/// \brief Power-of-two bucketed distribution (reorder distance, batch
+/// sizes). Relaxed atomics only; `max` is a relaxed CAS loop, still
+/// lock-free.
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 32;
+
+  void Observe(uint64_t v) {
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    uint64_t prev = max_.load(std::memory_order_relaxed);
+    while (v > prev &&
+           !max_.compare_exchange_weak(prev, v, std::memory_order_relaxed)) {
+    }
+    buckets_[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+
+  HistogramSnapshot Snapshot() const;
+
+  /// bucket 0: v == 0; bucket i >= 1: 2^(i-1) <= v < 2^i; last bucket
+  /// absorbs the tail.
+  static size_t BucketIndex(uint64_t v);
+
+ private:
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
+  std::atomic<uint64_t> buckets_[kBuckets] = {};
+};
+
+/// \brief Point-in-time copy of every metric, safe to merge/serialize
+/// off the hot path.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  /// \brief Fold `other` in under `prefix` (e.g. "shard0."); same-name
+  /// counters add, gauges add (they are sums of per-shard levels),
+  /// histograms merge bucket-wise.
+  void Merge(const std::string& prefix, const MetricsSnapshot& other);
+
+  /// \brief Stable, sorted-key JSON object:
+  /// {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,max,
+  /// buckets:[...]}}}
+  std::string ToJson() const;
+};
+
+/// \brief Named metric directory. Get* registers on first use and
+/// returns a stable pointer (metrics are never deleted), so callers
+/// cache the pointer once and hit only the atomic afterwards.
+class MetricsRegistry {
+ public:
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  MetricsSnapshot Snapshot() const;
+  std::string ToJson() const { return Snapshot().ToJson(); }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace eslev
+
+#endif  // ESLEV_COMMON_METRICS_H_

@@ -82,6 +82,10 @@ Status Engine::ExecuteStatement(const Statement& stmt) {
       (void)info;
       return Status::OK();
     }
+    case StatementKind::kExplain:
+      return Status::Invalid(
+          "EXPLAIN produces text; use Engine::Explain instead of "
+          "ExecuteScript");
   }
   return Status::Invalid("unknown statement kind");
 }
@@ -97,6 +101,7 @@ Result<QueryInfo> Engine::RegisterParsed(const Statement& stmt) {
 
   QueryInfo info;
   info.id = next_query_id_++;
+  planned.query_id = info.id;
 
   if (planned.target_is_table) {
     info.output_table = planned.target;
@@ -139,15 +144,68 @@ Result<std::vector<Tuple>> Engine::ExecuteSnapshot(const std::string& sql) {
 
 Result<std::string> Engine::Explain(const std::string& sql) {
   ESLEV_ASSIGN_OR_RETURN(StatementPtr stmt, ParseStatement(sql));
+  if (stmt->kind == StatementKind::kExplain) {
+    const auto& explain = static_cast<const ExplainStmt&>(*stmt);
+    return ExplainParsed(*explain.inner, explain.analyze);
+  }
   if (stmt->kind != StatementKind::kInsert &&
       stmt->kind != StatementKind::kSelect) {
     return Status::Invalid("EXPLAIN applies to SELECT / INSERT statements");
   }
+  return ExplainParsed(*stmt, /*analyze=*/false);
+}
+
+namespace {
+
+// One "[tuples_in=.. tuples_out=.. ...]" annotation per plan step.
+std::string OperatorCounters(const Operator& op) {
+  std::string out = "  [tuples_in=" + std::to_string(op.tuples_in()) +
+                    " tuples_out=" + std::to_string(op.tuples_emitted()) +
+                    " heartbeats=" + std::to_string(op.heartbeats_in());
+  OperatorStatList extras;
+  op.AppendStats(&extras);
+  for (const auto& [name, value] : extras) {
+    out += " " + name + "=" + std::to_string(value);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace
+
+Result<std::string> Engine::ExplainParsed(const Statement& stmt,
+                                          bool analyze) {
   Planner planner(this);
-  ESLEV_ASSIGN_OR_RETURN(PlannedQuery planned, planner.Plan(*stmt));
+  ESLEV_ASSIGN_OR_RETURN(PlannedQuery planned, planner.Plan(stmt));
+
+  const PlannedQuery* live = nullptr;
+  if (analyze) {
+    // EXPLAIN ANALYZE reports the live counters of the registered query
+    // with this exact plan (plan text is deterministic for the same
+    // statement). First registration wins when duplicates exist.
+    for (const PlannedQuery& q : queries_) {
+      if (q.notes == planned.notes) {
+        live = &q;
+        break;
+      }
+    }
+    if (live == nullptr) {
+      return Status::NotFound(
+          "EXPLAIN ANALYZE: no registered query matches this plan; "
+          "register the query first");
+    }
+  }
+
+  const PlannedQuery& shown = live != nullptr ? *live : planned;
   std::string out;
-  for (const std::string& note : planned.notes) {
-    out += note;
+  if (live != nullptr) {
+    out += "Query " + std::to_string(shown.query_id) + " (analyzed)\n";
+  }
+  for (size_t i = 0; i < shown.notes.size(); ++i) {
+    out += shown.notes[i];
+    if (live != nullptr && shown.note_ops[i] != nullptr) {
+      out += OperatorCounters(*shown.note_ops[i]);
+    }
     out += "\n";
   }
   out += "Output: (" + planned.output_schema->ToString() + ")";
@@ -156,6 +214,38 @@ Result<std::string> Engine::Explain(const std::string& sql) {
     out += planned.target;
   }
   return out;
+}
+
+MetricsSnapshot Engine::Metrics() const {
+  MetricsSnapshot snap;
+  snap.gauges["engine.clock"] = static_cast<int64_t>(clock_);
+  for (const auto& [key, stream] : streams_) {
+    const std::string prefix = "stream." + key + ".";
+    snap.counters[prefix + "tuples_in"] = stream->tuples_pushed();
+    snap.counters[prefix + "heartbeats"] = stream->heartbeats_delivered();
+    snap.gauges[prefix + "retained"] =
+        static_cast<int64_t>(stream->retained_count());
+  }
+  for (const PlannedQuery& q : queries_) {
+    size_t op_index = 0;
+    for (size_t i = 0; i < q.note_ops.size(); ++i) {
+      const Operator* op = q.note_ops[i];
+      if (op == nullptr) continue;
+      std::string label = op->label().empty() ? "op" : op->label();
+      const std::string prefix = "query" + std::to_string(q.query_id) +
+                                 ".op" + std::to_string(op_index++) + "." +
+                                 label + ".";
+      snap.counters[prefix + "tuples_in"] = op->tuples_in();
+      snap.counters[prefix + "tuples_out"] = op->tuples_emitted();
+      snap.counters[prefix + "heartbeats"] = op->heartbeats_in();
+      OperatorStatList extras;
+      op->AppendStats(&extras);
+      for (const auto& [name, value] : extras) {
+        snap.gauges[prefix + name] = value;
+      }
+    }
+  }
+  return snap;
 }
 
 Status Engine::Subscribe(const std::string& stream, TupleCallback callback) {

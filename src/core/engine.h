@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "plan/catalog.h"
 #include "plan/planner.h"
 #include "sql/parser.h"
@@ -81,7 +82,17 @@ class Engine : public Catalog {
 
   /// \brief Plan a query without registering it and describe the
   /// resulting pipeline (one step per line, plus the output schema).
+  /// Accepts a bare SELECT/INSERT or an `EXPLAIN [ANALYZE] <query>`
+  /// statement; with ANALYZE, the plan lines of the matching
+  /// *registered* query are annotated with its live counters.
   Result<std::string> Explain(const std::string& sql);
+
+  /// \brief Point-in-time snapshot of every engine metric: per-stream
+  /// traffic, per-operator tuple counts and operator-specific state
+  /// gauges (retained history, window buffers, ...), and the engine
+  /// clock. Keys: `stream.<name>.*` and `query<id>.op<k>.<label>.*`
+  /// (DESIGN.md §9).
+  MetricsSnapshot Metrics() const;
 
   /// \brief Receive every tuple appearing on `stream`.
   Status Subscribe(const std::string& stream, TupleCallback callback);
@@ -112,6 +123,7 @@ class Engine : public Catalog {
  private:
   Status ExecuteStatement(const Statement& stmt);
   Result<QueryInfo> RegisterParsed(const Statement& stmt);
+  Result<std::string> ExplainParsed(const Statement& stmt, bool analyze);
 
   EngineOptions options_;
   FunctionRegistry registry_;

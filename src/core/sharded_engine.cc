@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/string_util.h"
+#include "sql/parser.h"
 
 namespace eslev {
 
@@ -219,12 +220,36 @@ Status ShardedEngine::SetSingleShard(const std::string& stream) {
 }
 
 Result<std::string> ShardedEngine::Explain(const std::string& sql) {
-  Result<std::string> out = Status::ExecutionError("explain did not run");
-  ESLEV_RETURN_NOT_OK(RunOnShard(0, [&](Engine& engine) {
-    out = engine.Explain(sql);
-    return Status::OK();
-  }));
-  return out;
+  // EXPLAIN ANALYZE shows every shard's counters; plain EXPLAIN plans
+  // once on shard 0 (all shards hold identical plans).
+  bool analyze = false;
+  {
+    auto stmt = ParseStatement(sql);
+    if (stmt.ok() && (*stmt)->kind == StatementKind::kExplain) {
+      analyze = static_cast<const ExplainStmt&>(**stmt).analyze;
+    }
+  }
+  if (!analyze) {
+    Result<std::string> out = Status::ExecutionError("explain did not run");
+    ESLEV_RETURN_NOT_OK(RunOnShard(0, [&](Engine& engine) {
+      out = engine.Explain(sql);
+      return Status::OK();
+    }));
+    return out;
+  }
+  std::string combined;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    Result<std::string> out = Status::ExecutionError("explain did not run");
+    ESLEV_RETURN_NOT_OK(RunOnShard(i, [&](Engine& engine) {
+      out = engine.Explain(sql);
+      return Status::OK();
+    }));
+    ESLEV_RETURN_NOT_OK(out.status());
+    combined += "-- shard " + std::to_string(i) + " --\n";
+    combined += *out;
+    if (i + 1 < shards_.size()) combined += "\n";
+  }
+  return combined;
 }
 
 const ShardedEngine::StreamRoute* ShardedEngine::FindRoute(
@@ -327,14 +352,23 @@ size_t ShardedEngine::DrainOutputs() {
   }
   // Per-shard emission order is already timestamp-nondecreasing; the
   // global merge orders across shards by time, breaking ties by shard
-  // then per-shard sequence (deterministic for a fixed routing).
-  std::sort(merged.begin(), merged.end(),
-            [](const Emission& a, const Emission& b) {
-              if (a.ts != b.ts) return a.ts < b.ts;
-              if (a.shard != b.shard) return a.shard < b.shard;
-              return a.seq < b.seq;
-            });
-  for (const Emission& e : merged) {
+  // then per-shard sequence (deterministic for a fixed routing). Sorting
+  // an index permutation keeps the pre-merge position visible, so the
+  // reorder distance (|sorted position - arrival position|) can be
+  // recorded per emission.
+  std::vector<size_t> order(merged.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t ia, size_t ib) {
+    const Emission& a = merged[ia];
+    const Emission& b = merged[ib];
+    if (a.ts != b.ts) return a.ts < b.ts;
+    if (a.shard != b.shard) return a.shard < b.shard;
+    return a.seq < b.seq;
+  });
+  for (size_t i = 0; i < order.size(); ++i) {
+    const size_t from = order[i];
+    drain_reorder_distance_.Observe(from > i ? from - i : i - from);
+    const Emission& e = merged[from];
     callbacks_[e.sub](e.tuple);
   }
   return merged.size();
@@ -381,6 +415,48 @@ std::vector<uint64_t> ShardedEngine::shard_tuple_counts() const {
     counts.push_back(shard->tuples_routed.load(std::memory_order_relaxed));
   }
   return counts;
+}
+
+Result<std::vector<Timestamp>> ShardedEngine::shard_clocks() {
+  std::vector<Timestamp> clocks(shards_.size(), kMinTimestamp);
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    ESLEV_RETURN_NOT_OK(RunOnShard(i, [&clocks, i](Engine& engine) {
+      clocks[i] = engine.current_time();
+      return Status::OK();
+    }));
+  }
+  return clocks;
+}
+
+Result<MetricsSnapshot> ShardedEngine::Metrics() {
+  MetricsSnapshot snap;
+  // Per-shard engine metrics, read on each worker thread (serialized
+  // against that shard's processing).
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    MetricsSnapshot shard_snap;
+    ESLEV_RETURN_NOT_OK(RunOnShard(i, [&shard_snap](Engine& engine) {
+      shard_snap = engine.Metrics();
+      return Status::OK();
+    }));
+    snap.Merge("shard" + std::to_string(i) + ".", shard_snap);
+  }
+  // Sharded-runtime gauges.
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    const std::string prefix = "sharded.shard" + std::to_string(i) + ".";
+    snap.gauges[prefix + "queue_depth"] =
+        static_cast<int64_t>(shards_[i]->queue.ApproxSize());
+    snap.counters[prefix + "tuples_routed"] =
+        shards_[i]->tuples_routed.load(std::memory_order_relaxed);
+  }
+  snap.gauges["sharded.watermark.low"] =
+      static_cast<int64_t>(watermark_.low_watermark());
+  snap.gauges["sharded.watermark.max_producer"] =
+      static_cast<int64_t>(watermark_.max_producer_clock());
+  snap.gauges["sharded.watermark.lag"] =
+      static_cast<int64_t>(watermark_lag());
+  snap.histograms["sharded.drain.reorder_distance"] =
+      drain_reorder_distance_.Snapshot();
+  return snap;
 }
 
 }  // namespace eslev

@@ -86,7 +86,10 @@ class ShardedEngine {
   /// queries whose matches cross partition keys (cross-partition SEQ).
   Status SetSingleShard(const std::string& stream);
 
-  /// \brief Plan a query on shard 0 and describe the pipeline.
+  /// \brief Plan a query on shard 0 and describe the pipeline. For
+  /// `EXPLAIN ANALYZE` the output carries one annotated section per
+  /// shard (each shard runs its own copy of every query, so the live
+  /// counters differ).
   Result<std::string> Explain(const std::string& sql);
 
   // ---- data plane (thread-safe) ------------------------------------------
@@ -129,8 +132,24 @@ class ShardedEngine {
 
   size_t num_shards() const { return shards_.size(); }
   Timestamp low_watermark() const { return watermark_.low_watermark(); }
+  /// \brief How far the fanned-out low watermark trails the fastest
+  /// producer clock (0 when no producer registered yet).
+  Duration watermark_lag() const {
+    const Timestamp max_clock = watermark_.max_producer_clock();
+    const Timestamp low = watermark_.low_watermark();
+    return max_clock > low ? max_clock - low : 0;
+  }
   /// \brief Tuples routed to each shard so far (for balance checks).
   std::vector<uint64_t> shard_tuple_counts() const;
+  /// \brief Each shard engine's current time, read on its worker thread
+  /// (so the read is serialized against processing).
+  Result<std::vector<Timestamp>> shard_clocks();
+
+  /// \brief Merged snapshot: every shard engine's metrics under a
+  /// `shard<i>.` prefix, plus sharded-runtime gauges (per-shard queue
+  /// depth and routed-tuple counts, watermark low/max/lag) and the
+  /// drain-merge reorder-distance histogram (DESIGN.md §9).
+  Result<MetricsSnapshot> Metrics();
 
  private:
   struct Item {
@@ -199,6 +218,11 @@ class ShardedEngine {
   WatermarkTracker watermark_;
   std::mutex implicit_producer_mu_;
   int implicit_producer_ = -1;
+
+  /// How far tuples move during the drain-merge sort: 0 means per-shard
+  /// order was already globally ordered; large values mean heavy
+  /// cross-shard interleaving at equal-or-close timestamps.
+  Histogram drain_reorder_distance_;
 
   // Subscriptions; mutated during setup, read by DrainOutputs.
   std::vector<TupleCallback> callbacks_;

@@ -52,6 +52,15 @@ class WatermarkTracker {
     return low_;
   }
 
+  /// \brief Fastest producer clock — `max_producer_clock() -
+  /// low_watermark()` is the watermark lag: how far the slowest producer
+  /// (and therefore every shard's time) trails the freshest input.
+  Timestamp max_producer_clock() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (producers_.empty()) return kMinTimestamp;
+    return *std::max_element(producers_.begin(), producers_.end());
+  }
+
   size_t producer_count() const {
     std::lock_guard<std::mutex> lock(mu_);
     return producers_.size();

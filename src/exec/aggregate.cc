@@ -124,7 +124,7 @@ Status AggregateOperator::EvictExpired(Timestamp now) {
   return Status::OK();
 }
 
-Status AggregateOperator::OnTuple(size_t, const Tuple& tuple) {
+Status AggregateOperator::ProcessTuple(size_t, const Tuple& tuple) {
   if (buffer_) {
     ESLEV_RETURN_NOT_OK(EvictExpired(tuple.ts()));
     if (buffer_->row_based()) {
@@ -190,7 +190,7 @@ Status AggregateOperator::OnTuple(size_t, const Tuple& tuple) {
   return Emit(t);
 }
 
-Status AggregateOperator::OnHeartbeat(Timestamp now) {
+Status AggregateOperator::ProcessHeartbeat(Timestamp now) {
   ESLEV_RETURN_NOT_OK(EvictExpired(now));
   return EmitHeartbeat(now);
 }

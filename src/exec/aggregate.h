@@ -46,10 +46,16 @@ class AggregateOperator : public Operator {
                     std::vector<BoundExprPtr> projection, BoundExprPtr having,
                     SchemaPtr out_schema, std::optional<WindowSpec> window);
 
-  Status OnTuple(size_t, const Tuple& tuple) override;
-  Status OnHeartbeat(Timestamp now) override;
+  Status ProcessTuple(size_t, const Tuple& tuple) override;
+  Status ProcessHeartbeat(Timestamp now) override;
 
   size_t num_groups() const { return groups_.size(); }
+
+  void AppendStats(OperatorStatList* out) const override {
+    out->push_back({"groups", static_cast<int64_t>(groups_.size())});
+    out->push_back({"window_buffer",
+                    static_cast<int64_t>(buffer_ ? buffer_->size() : 0)});
+  }
 
  private:
   struct Group {

@@ -20,7 +20,7 @@ class FilterOperator : public Operator {
   explicit FilterOperator(BoundExprPtr predicate)
       : predicate_(std::move(predicate)), scratch_(1) {}
 
-  Status OnTuple(size_t, const Tuple& tuple) override {
+  Status ProcessTuple(size_t, const Tuple& tuple) override {
     scratch_.SetTuple(0, &tuple);
     ESLEV_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*predicate_, scratch_.Row()));
     if (pass) return Emit(tuple);
@@ -41,7 +41,7 @@ class ProjectOperator : public Operator {
         out_schema_(std::move(out_schema)),
         scratch_(1) {}
 
-  Status OnTuple(size_t, const Tuple& tuple) override {
+  Status ProcessTuple(size_t, const Tuple& tuple) override {
     scratch_.SetTuple(0, &tuple);
     std::vector<Value> values;
     values.reserve(exprs_.size());
@@ -67,7 +67,7 @@ class CallbackOperator : public Operator {
   explicit CallbackOperator(std::function<void(const Tuple&)> fn)
       : fn_(std::move(fn)) {}
 
-  Status OnTuple(size_t, const Tuple& tuple) override {
+  Status ProcessTuple(size_t, const Tuple& tuple) override {
     fn_(tuple);
     return Status::OK();
   }
@@ -79,7 +79,7 @@ class CallbackOperator : public Operator {
 /// \brief Test/bench helper that records everything it receives.
 class CollectOperator : public Operator {
  public:
-  Status OnTuple(size_t, const Tuple& tuple) override {
+  Status ProcessTuple(size_t, const Tuple& tuple) override {
     tuples_.push_back(tuple);
     return Status::OK();
   }

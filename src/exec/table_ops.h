@@ -27,7 +27,7 @@ class TableInsertOperator : public Operator {
   TableInsertOperator(Table* table, std::vector<BoundExprPtr> exprs)
       : table_(table), exprs_(std::move(exprs)), scratch_(1) {}
 
-  Status OnTuple(size_t, const Tuple& tuple) override {
+  Status ProcessTuple(size_t, const Tuple& tuple) override {
     if (exprs_.empty()) {
       ESLEV_RETURN_NOT_OK(table_->InsertTuple(tuple));
       return Emit(tuple);
@@ -72,10 +72,18 @@ class TableNotExistsOperator : public Operator {
     return Status::OK();
   }
 
-  Status OnTuple(size_t, const Tuple& tuple) override {
+  Status ProcessTuple(size_t, const Tuple& tuple) override {
     ESLEV_ASSIGN_OR_RETURN(bool exists, Exists(tuple));
     if (!exists) return Emit(tuple);
     return Status::OK();
+  }
+
+  /// \brief Table rows evaluated across all NOT EXISTS probes.
+  uint64_t probe_comparisons() const { return probe_comparisons_; }
+
+  void AppendStats(OperatorStatList* out) const override {
+    out->push_back(
+        {"probe_comparisons", static_cast<int64_t>(probe_comparisons_)});
   }
 
  private:
@@ -84,6 +92,7 @@ class TableNotExistsOperator : public Operator {
     bool found = false;
     auto check = [&](const Tuple& row) {
       if (found) return;
+      ++probe_comparisons_;
       scratch_.SetTuple(0, &row);
       auto r = EvalPredicate(*predicate_, scratch_.Row());
       if (r.ok() && *r) found = true;
@@ -102,6 +111,7 @@ class TableNotExistsOperator : public Operator {
   BoundExprPtr predicate_;
   std::string probe_column_;
   BoundExprPtr probe_expr_;
+  uint64_t probe_comparisons_ = 0;
   RowScratch scratch_;
 };
 
@@ -128,7 +138,7 @@ class StreamTableJoinOperator : public Operator {
     return Status::OK();
   }
 
-  Status OnTuple(size_t, const Tuple& tuple) override {
+  Status ProcessTuple(size_t, const Tuple& tuple) override {
     scratch_.SetTuple(1, &tuple);
     Status status;
     auto visit = [&](const Tuple& row) {

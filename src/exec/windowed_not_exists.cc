@@ -18,14 +18,22 @@ WindowedNotExistsOperator::WindowedNotExistsOperator(
       buffer_(window.row_based, window.length),
       scratch_(2) {}
 
+void WindowedNotExistsOperator::AppendStats(OperatorStatList* out) const {
+  out->push_back({"window_buffer", static_cast<int64_t>(buffer_.size())});
+  out->push_back({"pending", static_cast<int64_t>(pending_.size())});
+  out->push_back(
+      {"probe_comparisons", static_cast<int64_t>(probe_comparisons_)});
+}
+
 Result<bool> WindowedNotExistsOperator::Matches(const Tuple& inner,
                                                 const Tuple& outer) {
+  ++probe_comparisons_;
   scratch_.SetTuple(0, &inner);
   scratch_.SetTuple(1, &outer);
   return EvalPredicate(*inner_predicate_, scratch_.Row());
 }
 
-Status WindowedNotExistsOperator::OnTuple(size_t port, const Tuple& tuple) {
+Status WindowedNotExistsOperator::ProcessTuple(size_t port, const Tuple& tuple) {
   if (same_stream_) {
     ESLEV_RETURN_NOT_OK(ProcessOuter(tuple));
     return ProcessInner(tuple);
@@ -85,7 +93,7 @@ Status WindowedNotExistsOperator::FlushPending(Timestamp now) {
   return Status::OK();
 }
 
-Status WindowedNotExistsOperator::OnHeartbeat(Timestamp now) {
+Status WindowedNotExistsOperator::ProcessHeartbeat(Timestamp now) {
   buffer_.EvictAt(now);
   ESLEV_RETURN_NOT_OK(FlushPending(now));
   return EmitHeartbeat(now);

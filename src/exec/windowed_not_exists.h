@@ -40,13 +40,18 @@ class WindowedNotExistsOperator : public Operator {
                             bool same_stream,
                             BoundExprPtr outer_predicate = nullptr);
 
-  Status OnTuple(size_t port, const Tuple& tuple) override;
-  Status OnHeartbeat(Timestamp now) override;
+  Status ProcessTuple(size_t port, const Tuple& tuple) override;
+  Status ProcessHeartbeat(Timestamp now) override;
 
   /// \brief Number of outer tuples currently held for their FOLLOWING
   /// window to close (observability for tests/benches).
   size_t pending_count() const { return pending_.size(); }
   size_t buffered_count() const { return buffer_.size(); }
+  /// \brief Inner tuples compared against an outer tuple's NOT EXISTS
+  /// probe (PRECEDING-side scans plus FOLLOWING-side pending checks).
+  uint64_t probe_comparisons() const { return probe_comparisons_; }
+
+  void AppendStats(OperatorStatList* out) const override;
 
  private:
   struct Pending {
@@ -67,6 +72,7 @@ class WindowedNotExistsOperator : public Operator {
   bool has_following_;
   WindowBuffer buffer_;           // inner history for the PRECEDING side
   std::deque<Pending> pending_;   // outer tuples awaiting FOLLOWING close
+  uint64_t probe_comparisons_ = 0;
   RowScratch scratch_;
 };
 

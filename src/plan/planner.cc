@@ -387,11 +387,11 @@ Result<PlannedQuery> Planner::PlanStreamPipeline(
     }
     chain_tail = raw;
     pq.operators.push_back(std::move(op));
-    pq.notes.push_back(std::move(note));
+    pq.AddNote(std::move(note), raw);
     return raw;
   };
-  pq.notes.push_back("Source: stream " + ref.name +
-                     (ref.alias == ref.name ? "" : " AS " + ref.alias));
+  pq.AddNote("Source: stream " + ref.name +
+             (ref.alias == ref.name ? "" : " AS " + ref.alias));
 
   BindScope outer_scope;
   outer_scope.AddEntry({ref.alias, stream->schema(), 0, false});
@@ -702,9 +702,9 @@ Result<PlannedQuery> Planner::PlanStreamTableJoin(
       ESLEV_RETURN_NOT_OK(op->SetProbe(probe->column, std::move(pe)));
     }
   }
-  pq.notes.push_back("Source: stream " + stream_ref->name);
-  pq.notes.push_back("StreamTableJoin: context retrieval vs table " +
-                     table_ref->name);
+  pq.AddNote("Source: stream " + stream_ref->name);
+  pq.AddNote("StreamTableJoin: context retrieval vs table " + table_ref->name,
+             op.get());
   pq.subscriptions.push_back({stream, op.get(), 1});
   pq.tail = op.get();
   pq.operators.push_back(std::move(op));
@@ -717,7 +717,7 @@ Result<PlannedQuery> Planner::PlanStreamTableJoin(
           t, std::vector<BoundExprPtr>{});
       pq.tail->AddSink(insert.get(), 0);
       pq.tail = insert.get();
-      pq.notes.push_back("TableInsert: INTO " + target);
+      pq.AddNote("TableInsert: INTO " + target, insert.get());
       pq.operators.push_back(std::move(insert));
     } else if (catalog_->FindStream(target) == nullptr) {
       return Status::NotFound("INSERT target not found: " + target);
@@ -974,14 +974,13 @@ Result<PlannedQuery> Planner::PlanSeqQuery(
   pq.output_schema = proj.schema;
   Operator* op_raw = nullptr;
 
-  pq.notes.push_back(std::string("Source: streams of ") +
-                     seq->ToString());
-  pq.notes.push_back(
+  pq.AddNote(std::string("Source: streams of ") + seq->ToString());
+  const std::string seq_note =
       std::string(seq->seq_kind == SeqKind::kSeq ? "SeqOperator: "
                                                  : "ExceptionSeqOperator: ") +
       seq->ToString() + ", " + std::to_string(pairwise.size()) +
       " pairwise constraint(s), " + std::to_string(final_checks.size()) +
-      " final check(s)");
+      " final check(s)";
   if (seq->seq_kind == SeqKind::kSeq) {
     SeqOperatorConfig config;
     config.positions = std::move(positions);
@@ -1032,6 +1031,7 @@ Result<PlannedQuery> Planner::PlanSeqQuery(
     pq.operators.push_back(std::move(op));
   }
 
+  pq.AddNote(seq_note, op_raw);
   for (size_t i = 0; i < streams.size(); ++i) {
     pq.subscriptions.push_back({streams[i], op_raw, i});
   }
@@ -1049,7 +1049,7 @@ Result<PlannedQuery> Planner::PlanSeqQuery(
           table, std::vector<BoundExprPtr>{});
       pq.tail->AddSink(insert.get(), 0);
       pq.tail = insert.get();
-      pq.notes.push_back("TableInsert: INTO " + target);
+      pq.AddNote("TableInsert: INTO " + target, insert.get());
       pq.operators.push_back(std::move(insert));
     } else if (Stream* out = catalog_->FindStream(target)) {
       if (pq.output_schema->num_fields() != out->schema()->num_fields()) {

@@ -46,11 +46,28 @@ struct PlannedQuery {
 
   /// Human-readable plan steps, in execution order (EXPLAIN output).
   std::vector<std::string> notes;
+  /// The operator each note describes, aligned with `notes` (nullptr for
+  /// purely descriptive lines like "Source: ..."). EXPLAIN ANALYZE joins
+  /// live counters onto the plan text through this mapping.
+  std::vector<Operator*> note_ops;
 
   /// INSERT target name; empty for bare SELECTs. When the target is a
   /// table the pipeline already ends in a TableInsertOperator.
   std::string target;
   bool target_is_table = false;
+
+  /// Assigned by the Engine at registration (0 = not registered).
+  int query_id = 0;
+
+  /// \brief Record a plan step. When `op` is given, the note's prefix
+  /// (text before the first ':') becomes the operator's metrics label.
+  void AddNote(std::string note, Operator* op = nullptr) {
+    if (op != nullptr && op->label().empty()) {
+      op->set_label(note.substr(0, note.find(':')));
+    }
+    notes.push_back(std::move(note));
+    note_ops.push_back(op);
+  }
 };
 
 class Planner {

@@ -282,6 +282,7 @@ enum class StatementKind : int {
   kCreateAggregate,
   kInsert,
   kSelect,
+  kExplain,
 };
 
 struct Statement {
@@ -363,6 +364,25 @@ struct SelectStatement : Statement {
   std::string ToString() const override { return select->ToString(); }
 
   std::unique_ptr<SelectStmt> select;
+};
+
+/// \brief EXPLAIN [ANALYZE] <SELECT | INSERT ... SELECT>. Plain EXPLAIN
+/// describes the would-be pipeline without registering it; EXPLAIN
+/// ANALYZE additionally locates an already-registered query with the
+/// same plan and annotates each step with its live counters (DESIGN.md
+/// §9).
+struct ExplainStmt : Statement {
+  ExplainStmt(bool a, StatementPtr i)
+      : Statement(StatementKind::kExplain),
+        analyze(a),
+        inner(std::move(i)) {}
+  std::string ToString() const override {
+    return std::string("EXPLAIN ") + (analyze ? "ANALYZE " : "") +
+           inner->ToString();
+  }
+
+  bool analyze;
+  StatementPtr inner;  // kSelect or kInsert
 };
 
 }  // namespace eslev

@@ -142,8 +142,18 @@ class Parser {
       ESLEV_ASSIGN_OR_RETURN(auto select, ParseSelect());
       return StatementPtr(new SelectStatement(std::move(select)));
     }
-    return Error("expected CREATE, STREAM, TABLE, INSERT or SELECT, found " +
-                 Peek().Describe());
+    if (MatchKeyword("EXPLAIN")) {
+      const bool analyze = MatchKeyword("ANALYZE");
+      ESLEV_ASSIGN_OR_RETURN(StatementPtr inner, ParseOneStatement());
+      if (inner->kind != StatementKind::kSelect &&
+          inner->kind != StatementKind::kInsert) {
+        return Error("EXPLAIN applies to SELECT / INSERT statements");
+      }
+      return StatementPtr(new ExplainStmt(analyze, std::move(inner)));
+    }
+    return Error(
+        "expected CREATE, STREAM, TABLE, INSERT, SELECT or EXPLAIN, found " +
+        Peek().Describe());
   }
 
   Result<StatementPtr> ParseCreate() {

@@ -26,6 +26,7 @@ Status Stream::Heartbeat(Timestamp now) {
   // operator, so skip the fan-out entirely.
   if (now < last_heartbeat_) return Status::OK();
   last_heartbeat_ = now;
+  ++heartbeats_delivered_;
   TrimRetention(now);
   for (const Subscriber& s : subscribers_) {
     ESLEV_RETURN_NOT_OK(s.op->OnHeartbeat(now));

@@ -55,6 +55,8 @@ class Stream {
   Status Heartbeat(Timestamp now);
 
   uint64_t tuples_pushed() const { return tuples_pushed_; }
+  uint64_t heartbeats_delivered() const { return heartbeats_delivered_; }
+  size_t retained_count() const { return retained_.size(); }
 
  private:
   void Retain(const Tuple& tuple);
@@ -72,6 +74,7 @@ class Stream {
   Duration retention_ = 0;
   std::deque<Tuple> retained_;
   uint64_t tuples_pushed_ = 0;
+  uint64_t heartbeats_delivered_ = 0;
   Timestamp last_heartbeat_ = kMinTimestamp;
 };
 
@@ -81,11 +84,12 @@ class StreamInsertOperator : public Operator {
  public:
   explicit StreamInsertOperator(Stream* stream) : stream_(stream) {}
 
-  Status OnTuple(size_t, const Tuple& tuple) override {
+ protected:
+  Status ProcessTuple(size_t, const Tuple& tuple) override {
     return stream_->Push(tuple);
   }
 
-  Status OnHeartbeat(Timestamp now) override {
+  Status ProcessHeartbeat(Timestamp now) override {
     return stream_->Heartbeat(now);
   }
 

@@ -1,0 +1,111 @@
+// Metrics correctness on the §3.1.1 worked example: the retained
+// joint-tuple-history gauge per pairing mode must reproduce the paper's
+// purge story — UNRESTRICTED retains the most, CONSECUTIVE the least —
+// and the stored/purged counters must reconcile exactly with the live
+// history size (tuples_stored - tuples_purged == history_size).
+
+#include <gtest/gtest.h>
+
+#include "tests/cep/seq_test_util.h"
+
+namespace eslev {
+namespace {
+
+using cep_test::Reading;
+using cep_test::SeqBuilder;
+
+class SeqMetricsWalkthroughTest : public ::testing::Test {
+ protected:
+  // Feeds the §3.1.1 history into a SEQ(C1, C2, C3, C4) operator:
+  // [t1:C1, t2:C1, t3:C2, t4:C3, t5:C3, t6:C2, t7:C4].
+  void Feed(SeqOperator* op, const SchemaPtr& schema) {
+    auto push = [&](size_t port, Timestamp t) {
+      ASSERT_TRUE(op->OnTuple(port, Reading(schema, "r", "x", t)).ok());
+    };
+    push(0, Seconds(1));
+    push(0, Seconds(2));
+    push(1, Seconds(3));
+    push(2, Seconds(4));
+    push(2, Seconds(5));
+    push(1, Seconds(6));
+    push(3, Seconds(7));
+  }
+
+  std::unique_ptr<SeqOperator> Run(PairingMode mode) {
+    SeqBuilder b({"C1", "C2", "C3", "C4"});
+    auto op = b.Mode(mode).Build();
+    Feed(op.get(), b.schema());
+    return op;
+  }
+
+  static int64_t Stat(const SeqOperator& op, const std::string& name) {
+    OperatorStatList stats;
+    op.AppendStats(&stats);
+    for (const auto& [key, value] : stats) {
+      if (key == name) return value;
+    }
+    ADD_FAILURE() << "missing stat " << name;
+    return -1;
+  }
+};
+
+TEST_F(SeqMetricsWalkthroughTest, RetainedHistoryPerMode) {
+  // UNRESTRICTED keeps every non-trigger tuple (t1..t6).
+  EXPECT_EQ(Run(PairingMode::kUnrestricted)->history_size(), 6u);
+  // RECENT purges aggressively: one C3 (t5), two C2 (t3 for the retained
+  // earlier bound, t6 as most recent), one C1 (t2).
+  EXPECT_EQ(Run(PairingMode::kRecent)->history_size(), 4u);
+  // CHRONICLE consumed (t1, t3, t4, t7); t2, t5, t6 remain.
+  EXPECT_EQ(Run(PairingMode::kChronicle)->history_size(), 3u);
+  // CONSECUTIVE retains only the current adjacent run — none here.
+  EXPECT_EQ(Run(PairingMode::kConsecutive)->history_size(), 0u);
+}
+
+TEST_F(SeqMetricsWalkthroughTest, StoredMinusPurgedEqualsRetained) {
+  for (PairingMode mode :
+       {PairingMode::kUnrestricted, PairingMode::kRecent,
+        PairingMode::kChronicle, PairingMode::kConsecutive}) {
+    auto op = Run(mode);
+    EXPECT_EQ(op->tuples_in(), 7u) << "mode " << static_cast<int>(mode);
+    EXPECT_EQ(op->tuples_stored() - op->tuples_purged(), op->history_size())
+        << "mode " << static_cast<int>(mode);
+  }
+}
+
+TEST_F(SeqMetricsWalkthroughTest, AppendStatsExposesTheGauges) {
+  auto op = Run(PairingMode::kRecent);
+  EXPECT_EQ(Stat(*op, "retained_history"), 4);
+  EXPECT_EQ(Stat(*op, "matches"), 1);
+  EXPECT_EQ(Stat(*op, "open_star_length"), 0);
+  EXPECT_EQ(Stat(*op, "tuples_stored") - Stat(*op, "tuples_purged"), 4);
+}
+
+TEST_F(SeqMetricsWalkthroughTest, WindowEvictionCountsAsPurged) {
+  SeqBuilder b({"C1", "C2", "C3", "C4"});
+  auto op = b.Mode(PairingMode::kUnrestricted)
+                .Window(Seconds(3), WindowDirection::kPreceding, 3)
+                .Build();
+  Feed(op.get(), b.schema());
+  // The 3s window anchored at C4 (t7) evicts t1..t3; heartbeats keep
+  // evicting as time moves on.
+  EXPECT_EQ(op->tuples_stored() - op->tuples_purged(), op->history_size());
+  ASSERT_TRUE(op->OnHeartbeat(Seconds(60)).ok());
+  EXPECT_EQ(op->history_size(), 0u);
+  EXPECT_EQ(op->tuples_stored(), op->tuples_purged());
+}
+
+TEST_F(SeqMetricsWalkthroughTest, DeliveryCountersAtTheDispatchBoundary) {
+  SeqBuilder b({"C1", "C2", "C3", "C4"});
+  auto op = b.Mode(PairingMode::kUnrestricted).Build();
+  CollectOperator out;
+  op->AddSink(&out);
+  Feed(op.get(), b.schema());
+  ASSERT_TRUE(op->OnHeartbeat(Seconds(8)).ok());
+  EXPECT_EQ(op->tuples_in(), 7u);
+  EXPECT_EQ(op->tuples_emitted(), 4u);  // the four UNRESTRICTED events
+  EXPECT_EQ(op->heartbeats_in(), 1u);
+  EXPECT_EQ(out.tuples().size(), 4u);
+}
+
+}  // namespace
+}  // namespace eslev

@@ -1,0 +1,167 @@
+// Star-argument edge cases (paper §3.1.2): star aggregates on
+// single-element and maximal-length runs, `previous` gates that always
+// fail (every element becomes its own group), and trailing-star online
+// emission interacting with window expiry mid-run.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "tests/cep/seq_test_util.h"
+
+namespace eslev {
+namespace {
+
+using cep_test::Reading;
+using cep_test::SeqBuilder;
+
+// Example 7's aggregate projection over SEQ(R1*, R2) MODE CHRONICLE.
+std::unique_ptr<SeqOperator> MakeExample7(SeqBuilder* b,
+                                          const std::string& gate) {
+  b->Mode(PairingMode::kChronicle)
+      .StarGate(0, gate)
+      .Pairwise(0, 1, "R2.tagtime - LAST(R1*).tagtime <= 5 SECONDS")
+      .Project({"FIRST(R1*).tagtime", "LAST(R1*).tagtime", "COUNT(R1*)",
+                "R2.tagid"},
+               {{"first_time", TypeId::kTimestamp},
+                {"last_time", TypeId::kTimestamp},
+                {"cnt", TypeId::kInt64},
+                {"case_tag", TypeId::kString}});
+  return b->Build();
+}
+
+constexpr char kGapGate[] = "R1.tagtime - R1.previous.tagtime <= 1 SECONDS";
+
+TEST(StarEdgeCasesTest, SingleElementRunFirstEqualsLast) {
+  SeqBuilder b({"R1", "R2"}, {true, false});
+  auto op = MakeExample7(&b, kGapGate);
+  CollectOperator out;
+  op->AddSink(&out);
+  ASSERT_TRUE(
+      op->OnTuple(0, Reading(b.schema(), "r1", "p1", Seconds(1))).ok());
+  ASSERT_TRUE(
+      op->OnTuple(1, Reading(b.schema(), "r2", "c1", Seconds(2))).ok());
+  ASSERT_EQ(out.tuples().size(), 1u);
+  const Tuple& e = out.tuples()[0];
+  EXPECT_EQ(e.value(0).time_value(), Seconds(1));  // FIRST
+  EXPECT_EQ(e.value(1).time_value(), Seconds(1));  // LAST == FIRST
+  EXPECT_EQ(e.value(2).int_value(), 1);            // COUNT
+}
+
+TEST(StarEdgeCasesTest, MaximalLengthRunAggregates) {
+  SeqBuilder b({"R1", "R2"}, {true, false});
+  auto op = MakeExample7(&b, kGapGate);
+  CollectOperator out;
+  op->AddSink(&out);
+  // 50 products 100ms apart: every `previous` gap passes the 1s gate, so
+  // the whole run is one group and longest-match reports all of it.
+  constexpr int kRun = 50;
+  for (int i = 0; i < kRun; ++i) {
+    ASSERT_TRUE(op->OnTuple(0, Reading(b.schema(), "r1",
+                                       "p" + std::to_string(i),
+                                       i * Milliseconds(100)))
+                    .ok());
+  }
+  ASSERT_TRUE(op->OnTuple(1, Reading(b.schema(), "r2", "case",
+                                     kRun * Milliseconds(100)))
+                  .ok());
+  ASSERT_EQ(out.tuples().size(), 1u);
+  const Tuple& e = out.tuples()[0];
+  EXPECT_EQ(e.value(0).time_value(), 0);
+  EXPECT_EQ(e.value(1).time_value(), (kRun - 1) * Milliseconds(100));
+  EXPECT_EQ(e.value(2).int_value(), kRun);
+}
+
+TEST(StarEdgeCasesTest, AlwaysFailingGateYieldsSingletonGroups) {
+  SeqBuilder b({"R1", "R2"}, {true, false});
+  // Products arrive strictly increasing, so this gate fails for every
+  // second element: each product is its own group (the first element of
+  // a group has no `previous`, so the gate cannot reject it).
+  auto op = MakeExample7(&b, "R1.tagtime - R1.previous.tagtime <= 0 SECONDS");
+  CollectOperator out;
+  op->AddSink(&out);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(op->OnTuple(0, Reading(b.schema(), "r1",
+                                       "p" + std::to_string(i), Seconds(i)))
+                    .ok());
+  }
+  // Each case consumes the earliest surviving singleton (CHRONICLE).
+  ASSERT_TRUE(
+      op->OnTuple(1, Reading(b.schema(), "r2", "c1", Seconds(4))).ok());
+  ASSERT_TRUE(
+      op->OnTuple(1, Reading(b.schema(), "r2", "c2", Seconds(5))).ok());
+  ASSERT_EQ(out.tuples().size(), 2u);
+  EXPECT_EQ(out.tuples()[0].value(2).int_value(), 1);
+  EXPECT_EQ(out.tuples()[0].value(0).time_value(), Seconds(0));
+  EXPECT_EQ(out.tuples()[1].value(2).int_value(), 1);
+  EXPECT_EQ(out.tuples()[1].value(0).time_value(), Seconds(1));
+}
+
+TEST(StarEdgeCasesTest, TrailingStarOnlineEmissionGrowsPerArrival) {
+  // SEQ(E1*, E2*): one event per E2 arrival, COUNT(E2*) growing online.
+  SeqBuilder b({"E1", "E2"}, {true, true});
+  b.Mode(PairingMode::kUnrestricted)
+      .Project({"FIRST(E1*).tagtime", "COUNT(E1*)", "COUNT(E2*)"},
+               {{"f1", TypeId::kTimestamp},
+                {"n1", TypeId::kInt64},
+                {"n2", TypeId::kInt64}});
+  auto op = b.Build();
+  CollectOperator out;
+  op->AddSink(&out);
+  ASSERT_TRUE(op->OnTuple(0, Reading(b.schema(), "a", "x", Seconds(0))).ok());
+  ASSERT_TRUE(op->OnTuple(0, Reading(b.schema(), "a", "x", Seconds(1))).ok());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(
+        op->OnTuple(1, Reading(b.schema(), "b", "y", Seconds(2 + i))).ok());
+    ASSERT_EQ(out.tuples().size(), static_cast<size_t>(i + 1));
+    EXPECT_EQ(out.tuples().back().value(1).int_value(), 2);
+    EXPECT_EQ(out.tuples().back().value(2).int_value(), i + 1);
+  }
+}
+
+TEST(StarEdgeCasesTest, WindowExpiryMidRunCutsTheStarPrefix) {
+  // SEQ(E1*, E2) with a 5s window PRECEDING E2: once the E1 group falls
+  // out of the window, later E2 arrivals no longer see it.
+  SeqBuilder b({"E1", "E2"}, {true, false});
+  b.Mode(PairingMode::kUnrestricted)
+      .Window(Seconds(5), WindowDirection::kPreceding, 1)
+      .Project({"COUNT(E1*)"}, {{"n1", TypeId::kInt64}});
+  auto op = b.Build();
+  CollectOperator out;
+  op->AddSink(&out);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(
+        op->OnTuple(0, Reading(b.schema(), "a", "x", Seconds(i))).ok());
+  }
+  // First trigger inside the window: the full run matches.
+  ASSERT_TRUE(op->OnTuple(1, Reading(b.schema(), "b", "y", Seconds(4))).ok());
+  ASSERT_EQ(out.tuples().size(), 1u);
+  EXPECT_EQ(out.tuples()[0].value(0).int_value(), 3);
+  // Second trigger far outside: the group expired mid-run, no event.
+  ASSERT_TRUE(op->OnTuple(1, Reading(b.schema(), "b", "y", Seconds(60))).ok());
+  EXPECT_EQ(out.tuples().size(), 1u);
+  // The expired group was purged, and the accounting reconciles.
+  EXPECT_EQ(op->tuples_stored() - op->tuples_purged(), op->history_size());
+}
+
+TEST(StarEdgeCasesTest, OpenGroupSurvivesHeartbeatEviction) {
+  // Window eviction only drops closed groups: a still-accumulating star
+  // group must survive a heartbeat far in the future (it may yet extend),
+  // and open_star_length reports its size.
+  SeqBuilder b({"R1", "R2"}, {true, false});
+  b.Mode(PairingMode::kChronicle)
+      .Window(Seconds(5), WindowDirection::kPreceding, 1)
+      .StarGate(0, kGapGate)
+      .Project({"COUNT(R1*)"}, {{"cnt", TypeId::kInt64}});
+  auto op = b.Build();
+  CollectOperator out;
+  op->AddSink(&out);
+  ASSERT_TRUE(op->OnTuple(0, Reading(b.schema(), "r1", "p", Seconds(1))).ok());
+  ASSERT_TRUE(op->OnTuple(0, Reading(b.schema(), "r1", "p", Seconds(2))).ok());
+  EXPECT_EQ(op->open_star_length(), 2u);
+  ASSERT_TRUE(op->OnHeartbeat(Seconds(100)).ok());
+  EXPECT_EQ(op->history_size(), 2u) << "open group must not be evicted";
+}
+
+}  // namespace
+}  // namespace eslev

@@ -1,0 +1,149 @@
+// MetricsRegistry unit tests: counter/gauge/histogram semantics,
+// power-of-two bucketing, concurrent increments (the hot path is relaxed
+// atomics only), snapshot merging, and JSON serialization.
+
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace eslev {
+namespace {
+
+TEST(CounterTest, IncrementAndRead) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge g;
+  g.Set(10);
+  g.Add(-3);
+  EXPECT_EQ(g.value(), 7);
+  g.Set(-5);
+  EXPECT_EQ(g.value(), -5);
+}
+
+TEST(HistogramTest, BucketIndex) {
+  EXPECT_EQ(Histogram::BucketIndex(0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(1), 1u);
+  EXPECT_EQ(Histogram::BucketIndex(2), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(4), 3u);
+  EXPECT_EQ(Histogram::BucketIndex(7), 3u);
+  EXPECT_EQ(Histogram::BucketIndex(8), 4u);
+  EXPECT_EQ(Histogram::BucketIndex(1023), 10u);
+  EXPECT_EQ(Histogram::BucketIndex(1024), 11u);
+  // The last bucket absorbs the tail.
+  EXPECT_EQ(Histogram::BucketIndex(~uint64_t{0}), Histogram::kBuckets - 1);
+}
+
+TEST(HistogramTest, ObserveTracksCountSumMax) {
+  Histogram h;
+  h.Observe(0);
+  h.Observe(3);
+  h.Observe(9);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 12u);
+  EXPECT_EQ(h.max(), 9u);
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_DOUBLE_EQ(snap.mean(), 4.0);
+  ASSERT_EQ(snap.bucket_counts.size(), Histogram::kBuckets);
+  EXPECT_EQ(snap.bucket_counts[0], 1u);                           // v == 0
+  EXPECT_EQ(snap.bucket_counts[Histogram::BucketIndex(3)], 1u);   // v == 3
+  EXPECT_EQ(snap.bucket_counts[Histogram::BucketIndex(9)], 1u);   // v == 9
+}
+
+TEST(MetricsRegistryTest, GetReturnsStablePointers) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("tuples_in");
+  Counter* b = registry.GetCounter("tuples_in");
+  EXPECT_EQ(a, b);
+  a->Increment(5);
+  EXPECT_EQ(registry.GetCounter("tuples_in")->value(), 5u);
+  EXPECT_NE(static_cast<void*>(registry.GetGauge("tuples_in")),
+            static_cast<void*>(a));  // separate namespaces per kind
+}
+
+TEST(MetricsRegistryTest, ConcurrentIncrementsAreLossless) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("hot");
+  Histogram* h = registry.GetHistogram("dist");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      for (int i = 0; i < kPerThread; ++i) {
+        c->Increment();
+        h->Observe(static_cast<uint64_t>(t));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c->value(), uint64_t{kThreads} * kPerThread);
+  EXPECT_EQ(h->count(), uint64_t{kThreads} * kPerThread);
+  EXPECT_EQ(h->max(), uint64_t{kThreads - 1});
+}
+
+TEST(MetricsSnapshotTest, MergeAddsAndPrefixes) {
+  MetricsSnapshot a;
+  a.counters["x"] = 1;
+  a.gauges["g"] = 10;
+
+  MetricsSnapshot b;
+  b.counters["x"] = 2;
+  b.gauges["g"] = 5;
+  Histogram h;
+  h.Observe(4);
+  b.histograms["d"] = h.Snapshot();
+
+  MetricsSnapshot merged;
+  merged.Merge("s0.", a);
+  merged.Merge("s0.", b);  // same prefix: values add
+  merged.Merge("s1.", b);
+  EXPECT_EQ(merged.counters["s0.x"], 3u);
+  EXPECT_EQ(merged.gauges["s0.g"], 15);
+  EXPECT_EQ(merged.counters["s1.x"], 2u);
+  EXPECT_EQ(merged.histograms["s1.d"].count, 1u);
+  // Bucket-wise histogram merge.
+  merged.Merge("s1.", b);
+  EXPECT_EQ(merged.histograms["s1.d"].count, 2u);
+  EXPECT_EQ(merged.histograms["s1.d"].sum, 8u);
+  EXPECT_EQ(merged.histograms["s1.d"].bucket_counts[Histogram::BucketIndex(4)],
+            2u);
+}
+
+TEST(MetricsRegistryTest, ToJsonIsWellFormedAndSorted) {
+  MetricsRegistry registry;
+  registry.GetCounter("b.count")->Increment(2);
+  registry.GetCounter("a.count")->Increment(1);
+  registry.GetGauge("lag")->Set(-7);
+  registry.GetHistogram("dist")->Observe(3);
+  const std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"counters\":{\"a.count\":1,\"b.count\":2}"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"lag\":-7"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"dist\":{\"count\":1,\"sum\":3,\"max\":3"),
+            std::string::npos)
+      << json;
+  // Balanced braces, no trailing garbage.
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(MetricsRegistryTest, EmptyRegistryJson) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.ToJson(),
+            "{\"counters\":{},\"gauges\":{},\"histograms\":{}}");
+}
+
+}  // namespace
+}  // namespace eslev

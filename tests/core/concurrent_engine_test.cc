@@ -176,6 +176,40 @@ TEST(ConcurrentEngineTest, ClampingStressKeepsJointHistoryOrdered) {
   EXPECT_EQ(engine.engine()->current_time(), observed.back());
 }
 
+TEST(ConcurrentEngineTest, RacingStaleAdvanceTimeNeverMovesClockBackward) {
+  // Heartbeat-only race: several time sources with drifting, partly
+  // stale clocks. Stale ticks must be dropped silently (no error, no
+  // regression) and the final clock must equal the global maximum tick.
+  ConcurrentEngine engine;
+  ASSERT_TRUE(engine.ExecuteScript("CREATE STREAM s(a, t_time);").ok());
+
+  constexpr int kThreads = 6;
+  constexpr int kPerThread = 500;
+  std::atomic<int> failures{0};
+  Timestamp max_tick = kMinTimestamp;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kPerThread; ++i) {
+      // Precompute the same sawtooth each thread will send, to know the
+      // global maximum without racing on it.
+      const Timestamp ts = Seconds(i % 211) + t * Milliseconds(13);
+      max_tick = std::max(max_tick, ts);
+    }
+  }
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const Timestamp ts = Seconds(i % 211) + t * Milliseconds(13);
+        if (!engine.AdvanceTime(ts).ok()) ++failures;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(engine.engine()->current_time(), max_tick);
+}
+
 TEST(ConcurrentEngineTest, ConcurrentPushesAndHeartbeatsStayMonotonic) {
   // Pushers race a heartbeat thread; stale heartbeats must be dropped
   // and the engine clock must never move backward.

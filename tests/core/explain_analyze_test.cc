@@ -1,0 +1,142 @@
+// EXPLAIN ANALYZE and Engine::Metrics() over the §3.1.1 walkthrough:
+// four registered SEQ(C1, C2, C3, C4) queries (one per pairing mode) fed
+// the paper's joint history must report per-operator counters and
+// per-mode retained-history gauges matching the purge semantics —
+// UNRESTRICTED 6, RECENT 4, CHRONICLE 3, CONSECUTIVE 0.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/engine.h"
+
+namespace eslev {
+namespace {
+
+class ExplainAnalyzeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(engine_
+                    .ExecuteScript(R"sql(
+      CREATE STREAM C1(readerid, tagid, tagtime);
+      CREATE STREAM C2(readerid, tagid, tagtime);
+      CREATE STREAM C3(readerid, tagid, tagtime);
+      CREATE STREAM C4(readerid, tagid, tagtime);
+    )sql")
+                    .ok());
+  }
+
+  static std::string ModeQuery(const std::string& mode_clause) {
+    return "SELECT C1.tagtime, C4.tagtime FROM C1, C2, C3, C4 "
+           "WHERE SEQ(C1, C2, C3, C4)" +
+           mode_clause;
+  }
+
+  void RegisterAllModes() {
+    for (const char* clause :
+         {"", " MODE RECENT", " MODE CHRONICLE", " MODE CONSECUTIVE"}) {
+      auto q = engine_.RegisterQuery(ModeQuery(clause));
+      ASSERT_TRUE(q.ok()) << q.status();
+    }
+  }
+
+  // The §3.1.1 history [t1:C1, t2:C1, t3:C2, t4:C3, t5:C3, t6:C2, t7:C4].
+  void FeedWalkthrough() {
+    auto push = [&](const std::string& stream, int sec) {
+      ASSERT_TRUE(engine_
+                      .Push(stream,
+                            {Value::String("r"), Value::String("x"),
+                             Value::Time(Seconds(sec))},
+                            Seconds(sec))
+                      .ok());
+    };
+    push("C1", 1);
+    push("C1", 2);
+    push("C2", 3);
+    push("C3", 4);
+    push("C3", 5);
+    push("C2", 6);
+    push("C4", 7);
+  }
+
+  std::string Analyze(const std::string& sql) {
+    auto r = engine_.Explain("EXPLAIN ANALYZE " + sql);
+    EXPECT_TRUE(r.ok()) << r.status();
+    return r.ok() ? *r : "";
+  }
+
+  Engine engine_;
+};
+
+TEST_F(ExplainAnalyzeTest, ReportsPerModeRetainedHistory) {
+  RegisterAllModes();
+  FeedWalkthrough();
+  struct Expect {
+    const char* clause;
+    int retained;
+    int matches;
+  };
+  for (const Expect& e : {Expect{"", 6, 4}, Expect{" MODE RECENT", 4, 1},
+                          Expect{" MODE CHRONICLE", 3, 1},
+                          Expect{" MODE CONSECUTIVE", 0, 0}}) {
+    const std::string text = Analyze(ModeQuery(e.clause));
+    EXPECT_NE(text.find("(analyzed)"), std::string::npos) << text;
+    EXPECT_NE(text.find("tuples_in=7"), std::string::npos) << text;
+    EXPECT_NE(text.find("retained_history=" + std::to_string(e.retained)),
+              std::string::npos)
+        << e.clause << ": " << text;
+    EXPECT_NE(text.find("matches=" + std::to_string(e.matches)),
+              std::string::npos)
+        << e.clause << ": " << text;
+    EXPECT_NE(text.find("tuples_out=" + std::to_string(e.matches)),
+              std::string::npos)
+        << e.clause << ": " << text;
+  }
+}
+
+TEST_F(ExplainAnalyzeTest, PlainExplainHasNoCounters) {
+  RegisterAllModes();
+  FeedWalkthrough();
+  auto r = engine_.Explain("EXPLAIN " + ModeQuery(" MODE RECENT"));
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->find("tuples_in="), std::string::npos) << *r;
+  EXPECT_EQ(r->find("(analyzed)"), std::string::npos) << *r;
+}
+
+TEST_F(ExplainAnalyzeTest, UnregisteredQueryIsNotFound) {
+  // Nothing registered: the plan matches no live pipeline.
+  auto r = engine_.Explain("EXPLAIN ANALYZE " + ModeQuery(" MODE RECENT"));
+  EXPECT_TRUE(r.status().IsNotFound()) << r.status();
+}
+
+TEST_F(ExplainAnalyzeTest, ExplainInScriptIsRejected) {
+  EXPECT_TRUE(engine_.ExecuteScript("EXPLAIN ANALYZE SELECT * FROM C1")
+                  .IsInvalid());
+}
+
+TEST_F(ExplainAnalyzeTest, MetricsSnapshotCoversStreamsAndOperators) {
+  RegisterAllModes();
+  FeedWalkthrough();
+  const MetricsSnapshot snap = engine_.Metrics();
+  EXPECT_EQ(snap.counters.at("stream.c1.tuples_in"), 2u);
+  EXPECT_EQ(snap.counters.at("stream.c2.tuples_in"), 2u);
+  EXPECT_EQ(snap.counters.at("stream.c4.tuples_in"), 1u);
+  // One SeqOperator per registered query; query 1 is UNRESTRICTED.
+  EXPECT_EQ(snap.counters.at("query1.op0.SeqOperator.tuples_in"), 7u);
+  EXPECT_EQ(snap.gauges.at("query1.op0.SeqOperator.retained_history"), 6);
+  EXPECT_EQ(snap.gauges.at("query2.op0.SeqOperator.retained_history"), 4);
+  EXPECT_EQ(snap.gauges.at("query3.op0.SeqOperator.retained_history"), 3);
+  EXPECT_EQ(snap.gauges.at("query4.op0.SeqOperator.retained_history"), 0);
+  // Purge accounting reconciles per mode: stored - purged == retained.
+  for (int q = 1; q <= 4; ++q) {
+    const std::string p = "query" + std::to_string(q) + ".op0.SeqOperator.";
+    EXPECT_EQ(snap.gauges.at(p + "tuples_stored") -
+                  snap.gauges.at(p + "tuples_purged"),
+              snap.gauges.at(p + "retained_history"))
+        << p;
+  }
+  EXPECT_GE(snap.gauges.at("engine.clock"), Seconds(7));
+}
+
+}  // namespace
+}  // namespace eslev

@@ -1,0 +1,224 @@
+// Watermark-monotonicity regression for ShardedEngine: racing producers
+// with stale clocks must never move the low watermark (or any shard's
+// time) backward, and the watermark-lag gauge must account exactly for
+// the gap between the fastest producer and the fanned-out low watermark.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/sharded_engine.h"
+
+namespace eslev {
+namespace {
+
+ShardedEngineOptions TwoShards() {
+  ShardedEngineOptions options;
+  options.num_shards = 2;
+  return options;
+}
+
+TEST(ShardedEngineWatermarkTest, RacingStaleProducersNeverMoveTimeBackward) {
+  ShardedEngineOptions options;
+  options.num_shards = 4;
+  ShardedEngine engine(options);
+  ASSERT_TRUE(engine.ExecuteScript("CREATE STREAM s(a, t_time);").ok());
+
+  constexpr int kProducers = 4;
+  constexpr int kTicks = 400;
+  std::vector<int> ids;
+  for (int p = 0; p < kProducers; ++p) ids.push_back(engine.RegisterProducer());
+
+  std::atomic<bool> done{false};
+  std::atomic<int> failures{0};
+  // Monitor thread: the low watermark must be nondecreasing while the
+  // producers race (low_watermark() is mutex-guarded, safe to poll).
+  std::thread monitor([&] {
+    Timestamp prev = kMinTimestamp;
+    while (!done.load(std::memory_order_acquire)) {
+      const Timestamp low = engine.low_watermark();
+      if (low < prev) ++failures;
+      prev = low;
+    }
+  });
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kTicks; ++i) {
+        // Sawtooth clocks: every fourth tick is deliberately stale.
+        const Timestamp ts = (i % 4 == 3) ? Seconds(i / 2) : Seconds(i);
+        if (!engine.AdvanceProducer(ids[p], ts + p * Milliseconds(31)).ok()) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (auto& th : producers) th.join();
+  done.store(true, std::memory_order_release);
+  monitor.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  ASSERT_TRUE(engine.Flush().ok());
+  // The last fresh tick is i = kTicks - 2 (kTicks - 1 is a stale
+  // sawtooth step), so producer p peaked at Seconds(kTicks - 2) + p*31ms
+  // and the slowest (p = 0) pins the low watermark.
+  const Timestamp peak = Seconds(kTicks - 2);
+  EXPECT_EQ(engine.low_watermark(), peak);
+  EXPECT_EQ(engine.watermark_lag(), (kProducers - 1) * Milliseconds(31));
+
+  // No shard's clock trails the fanned-out watermark, none ran ahead of
+  // the fastest producer.
+  auto clocks = engine.shard_clocks();
+  ASSERT_TRUE(clocks.ok()) << clocks.status();
+  for (Timestamp c : *clocks) {
+    EXPECT_GE(c, engine.low_watermark());
+    EXPECT_LE(c, peak + (kProducers - 1) * Milliseconds(31));
+  }
+}
+
+TEST(ShardedEngineWatermarkTest, LagIsMaxProducerMinusLowWatermark) {
+  ShardedEngine engine(TwoShards());
+  ASSERT_TRUE(engine.ExecuteScript("CREATE STREAM s(a, t_time);").ok());
+  const int fast = engine.RegisterProducer();
+  const int slow = engine.RegisterProducer();
+  EXPECT_EQ(engine.watermark_lag(), 0);  // nobody reported yet
+  ASSERT_TRUE(engine.AdvanceProducer(fast, Seconds(100)).ok());
+  // The slow producer has not reported: low watermark is still pinned at
+  // kMinTimestamp and the lag is measured against it conservatively.
+  ASSERT_TRUE(engine.AdvanceProducer(slow, Seconds(10)).ok());
+  ASSERT_TRUE(engine.Flush().ok());
+  EXPECT_EQ(engine.low_watermark(), Seconds(10));
+  EXPECT_EQ(engine.watermark_lag(), Seconds(90));
+  // A stale report changes nothing.
+  ASSERT_TRUE(engine.AdvanceProducer(slow, Seconds(5)).ok());
+  EXPECT_EQ(engine.low_watermark(), Seconds(10));
+  // Catching up closes the gap.
+  ASSERT_TRUE(engine.AdvanceProducer(slow, Seconds(100)).ok());
+  ASSERT_TRUE(engine.Flush().ok());
+  EXPECT_EQ(engine.low_watermark(), Seconds(100));
+  EXPECT_EQ(engine.watermark_lag(), 0);
+}
+
+TEST(ShardedEngineWatermarkTest, MetricsExposeWatermarkAndShardState) {
+  ShardedEngine engine(TwoShards());
+  ASSERT_TRUE(engine.ExecuteScript(
+                        "CREATE STREAM readings(reader_id, tag_id, t_time);")
+                  .ok());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(engine
+                    .Push("readings",
+                          {Value::String("r"), Value::String("t" + std::to_string(i)),
+                           Value::Time(Seconds(i))},
+                          Seconds(i))
+                    .ok());
+  }
+  ASSERT_TRUE(engine.AdvanceTime(Seconds(30)).ok());
+  ASSERT_TRUE(engine.Flush().ok());
+
+  auto metrics = engine.Metrics();
+  ASSERT_TRUE(metrics.ok()) << metrics.status();
+  const MetricsSnapshot& snap = *metrics;
+  EXPECT_EQ(snap.gauges.at("sharded.watermark.low"), Seconds(30));
+  EXPECT_EQ(snap.gauges.at("sharded.watermark.lag"), 0);
+  // Routed-tuple counters cover every push across the shards.
+  uint64_t routed = 0;
+  for (size_t i = 0; i < engine.num_shards(); ++i) {
+    routed += snap.counters.at("sharded.shard" + std::to_string(i) +
+                               ".tuples_routed");
+  }
+  EXPECT_EQ(routed, 20u);
+  // Per-shard engine metrics are merged under shard<i>. prefixes, and
+  // the per-shard stream tuples_in counters add up to the routed total.
+  uint64_t stream_in = 0;
+  for (size_t i = 0; i < engine.num_shards(); ++i) {
+    stream_in += snap.counters.at("shard" + std::to_string(i) +
+                                  ".stream.readings.tuples_in");
+  }
+  EXPECT_EQ(stream_in, 20u);
+}
+
+TEST(ShardedEngineWatermarkTest, ExplainAnalyzeShowsEveryShard) {
+  ShardedEngine engine(TwoShards());
+  ASSERT_TRUE(engine.ExecuteScript(
+                        "CREATE STREAM readings(reader_id, tag_id, t_time);")
+                  .ok());
+  const std::string query =
+      "SELECT count(tag_id) FROM readings";
+  ASSERT_TRUE(engine.RegisterQuery(query).ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(engine
+                    .Push("readings",
+                          {Value::String("r"), Value::String("t" + std::to_string(i)),
+                           Value::Time(Seconds(i))},
+                          Seconds(i))
+                    .ok());
+  }
+  ASSERT_TRUE(engine.Flush().ok());
+
+  // Plain EXPLAIN: one (shard 0) plan, no counters.
+  auto plain = engine.Explain("EXPLAIN " + query);
+  ASSERT_TRUE(plain.ok()) << plain.status();
+  EXPECT_EQ(plain->find("-- shard"), std::string::npos) << *plain;
+  EXPECT_EQ(plain->find("tuples_in="), std::string::npos) << *plain;
+
+  // EXPLAIN ANALYZE: one annotated section per shard, and the per-shard
+  // tuples_in counters across sections must cover every routed tuple.
+  auto analyzed = engine.Explain("EXPLAIN ANALYZE " + query);
+  ASSERT_TRUE(analyzed.ok()) << analyzed.status();
+  EXPECT_NE(analyzed->find("-- shard 0 --"), std::string::npos) << *analyzed;
+  EXPECT_NE(analyzed->find("-- shard 1 --"), std::string::npos) << *analyzed;
+  uint64_t total_in = 0;
+  size_t pos = 0;
+  while ((pos = analyzed->find("tuples_in=", pos)) != std::string::npos) {
+    pos += 10;
+    total_in += std::strtoull(analyzed->c_str() + pos, nullptr, 10);
+  }
+  EXPECT_EQ(total_in, 10u) << *analyzed;
+}
+
+TEST(ShardedEngineWatermarkTest, DrainMergeRecordsReorderDistance) {
+  ShardedEngine engine(TwoShards());
+  ASSERT_TRUE(engine.ExecuteScript(R"sql(
+    CREATE STREAM readings(reader_id, tag_id, t_time);
+    CREATE STREAM echoed(reader_id, tag_id, t_time);
+    INSERT INTO echoed SELECT * FROM readings;
+  )sql")
+                  .ok());
+  size_t delivered = 0;
+  Timestamp prev = kMinTimestamp;
+  bool ordered = true;
+  ASSERT_TRUE(engine
+                  .Subscribe("echoed",
+                             [&](const Tuple& t) {
+                               ++delivered;
+                               if (t.ts() < prev) ordered = false;
+                               prev = t.ts();
+                             })
+                  .ok());
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(engine
+                    .Push("readings",
+                          {Value::String("r"), Value::String("t" + std::to_string(i)),
+                           Value::Time(Seconds(i))},
+                          Seconds(i))
+                    .ok());
+  }
+  ASSERT_TRUE(engine.Flush().ok());
+  EXPECT_EQ(engine.DrainOutputs(), 50u);
+  EXPECT_EQ(delivered, 50u);
+  EXPECT_TRUE(ordered) << "drain merge must deliver in timestamp order";
+
+  auto metrics = engine.Metrics();
+  ASSERT_TRUE(metrics.ok()) << metrics.status();
+  const HistogramSnapshot& h =
+      metrics->histograms.at("sharded.drain.reorder_distance");
+  EXPECT_EQ(h.count, 50u);  // one observation per delivered tuple
+}
+
+}  // namespace
+}  // namespace eslev
