@@ -1,0 +1,258 @@
+// E14 — durability subsystem costs (DESIGN.md §10).
+//
+// The paper's engine has no persistence story; E14 measures what our
+// checkpoint/WAL layer adds so deployments can budget it: (a) checkpoint
+// and restore latency plus on-disk size as retained state grows (an
+// Example-2 movement log accumulates rows linearly with the trace —
+// the dominant snapshot cost in practice, since windowed operator
+// history is bounded), (b) the per-tuple overhead of front-of-engine
+// WAL appends at different group-commit thresholds, and (c) WAL replay
+// throughput during crash recovery, per pairing mode — replay re-runs
+// the windowed SEQ operator over the suffix, so the mode's history
+// retention policy is the variable that matters (the window bounds
+// UNRESTRICTED exactly as in E6).
+//
+// Checkpoint sizes land in the bench metrics blob
+// (BENCH_bench_e14_recovery_metrics.json) alongside the timing JSON.
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/engine.h"
+#include "recovery/checkpoint.h"
+#include "rfid/workloads.h"
+
+namespace eslev {
+namespace {
+
+std::string BenchDir(const std::string& name) {
+  const std::string dir =
+      std::filesystem::temp_directory_path().string() + "/eslev_e14_" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+uint64_t CheckpointFileBytes(const std::string& dir) {
+  std::error_code ec;
+  const auto size =
+      std::filesystem::file_size(dir + "/" + kCheckpointFileName, ec);
+  return ec ? 0 : static_cast<uint64_t>(size);
+}
+
+// Example 1 + Example 2 combined: dedup into a persistent movement
+// log. The log table is the state that grows with the trace, so it is
+// what dominates checkpoint size and restore time.
+constexpr const char* kMovementDdl = R"sql(
+  CREATE STREAM readings(reader_id, tag_id, read_time);
+  CREATE STREAM cleaned_readings(reader_id, tag_id, read_time);
+  CREATE TABLE movement_log(reader_id, tag_id, read_time);
+  INSERT INTO cleaned_readings
+  SELECT * FROM readings AS r1
+  WHERE NOT EXISTS
+    (SELECT * FROM TABLE( readings OVER
+        (RANGE 1 seconds PRECEDING CURRENT)) AS r2
+     WHERE r2.reader_id = r1.reader_id
+       AND r2.tag_id = r1.tag_id);
+  INSERT INTO movement_log SELECT * FROM cleaned_readings;
+)sql";
+
+rfid::Workload DedupWorkload(size_t num_distinct) {
+  rfid::DuplicateWorkloadOptions options;
+  options.num_distinct = num_distinct;
+  return rfid::MakeDuplicateWorkload(options);
+}
+
+constexpr const char* kQualityDdl = R"sql(
+  CREATE STREAM C1(readerid, tagid, tagtime);
+  CREATE STREAM C2(readerid, tagid, tagtime);
+  CREATE STREAM C3(readerid, tagid, tagtime);
+  CREATE STREAM C4(readerid, tagid, tagtime);
+)sql";
+
+const char* ModeClause(int64_t mode) {
+  switch (mode) {
+    case 1: return " MODE RECENT";
+    case 2: return " MODE CHRONICLE";
+    case 3: return " MODE CONSECUTIVE";
+    default: return "";
+  }
+}
+
+const char* ModeName(int64_t mode) {
+  switch (mode) {
+    case 1: return "recent";
+    case 2: return "chronicle";
+    case 3: return "consecutive";
+    default: return "unrestricted";
+  }
+}
+
+// Windowed exactly like E6: the window keeps UNRESTRICTED bounded and
+// makes the four modes comparable.
+std::string SeqQuery(int64_t mode) {
+  return std::string(
+             "SELECT C4.tagid, C1.tagtime, C4.tagtime FROM C1, C2, C3, C4 "
+             "WHERE SEQ(C1, C2, C3, C4) OVER [30 SECONDS PRECEDING C4]") +
+         ModeClause(mode) +
+         " AND C1.tagid=C2.tagid AND C1.tagid=C3.tagid AND C1.tagid=C4.tagid";
+}
+
+rfid::Workload QualityWorkload(size_t num_products) {
+  rfid::QualityCheckWorkloadOptions options;
+  options.num_products = num_products;
+  options.num_stages = 4;
+  return rfid::MakeQualityCheckWorkload(options);
+}
+
+// (a) Checkpoint latency/size vs retained state (movement-log rows).
+void BM_E14CheckpointLatency(benchmark::State& state) {
+  const size_t num_distinct = static_cast<size_t>(state.range(0));
+  auto workload = DedupWorkload(num_distinct);
+  Engine engine;
+  bench::CheckOk(engine.ExecuteScript(kMovementDdl), "ddl");
+  size_t cleaned = 0;
+  bench::CheckOk(engine.Subscribe("cleaned_readings",
+                                  [&](const Tuple&) { ++cleaned; }),
+                 "subscribe");
+  bench::Feed(&engine, workload);
+  const std::string dir = BenchDir("ckpt_" + std::to_string(num_distinct));
+
+  uint64_t bytes = 0;
+  for (auto _ : state) {
+    bench::CheckOk(engine.Checkpoint(dir), "checkpoint");
+    bytes = CheckpointFileBytes(dir);
+  }
+  if (cleaned == 0 || bytes == 0) {
+    state.SkipWithError("checkpointed a broken pipeline");
+    return;
+  }
+  state.counters["ckpt_bytes"] = static_cast<double>(bytes);
+  state.counters["log_rows"] = static_cast<double>(cleaned);
+  bench::Metrics()
+      .GetGauge("e14.checkpoint_bytes.rows_" + std::to_string(num_distinct))
+      ->Set(static_cast<int64_t>(bytes));
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_E14CheckpointLatency)->Arg(500)->Arg(2000)->Arg(8000)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// Restore is the other half of the recovery-time budget.
+void BM_E14RestoreLatency(benchmark::State& state) {
+  const size_t num_distinct = static_cast<size_t>(state.range(0));
+  auto workload = DedupWorkload(num_distinct);
+  const std::string dir = BenchDir("restore_" + std::to_string(num_distinct));
+  {
+    Engine engine;
+    bench::CheckOk(engine.ExecuteScript(kMovementDdl), "ddl");
+    bench::Feed(&engine, workload);
+    bench::CheckOk(engine.Checkpoint(dir), "checkpoint");
+  }
+  for (auto _ : state) {
+    state.PauseTiming();
+    Engine engine;
+    bench::CheckOk(engine.ExecuteScript(kMovementDdl), "ddl");
+    state.ResumeTiming();
+    bench::CheckOk(engine.Restore(dir), "restore");
+  }
+  state.counters["ckpt_bytes"] =
+      static_cast<double>(CheckpointFileBytes(dir));
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_E14RestoreLatency)->Arg(500)->Arg(2000)->Arg(8000)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// (b) WAL append overhead on the hot path: the same trace fed with the
+// log disabled (baseline), group-committed, and flushed per append
+// (threshold 0 — every tuple durable before the engine sees it).
+void BM_E14WalAppendOverhead(benchmark::State& state) {
+  const int64_t threshold = state.range(0);  // -1: WAL disabled
+  auto workload = DedupWorkload(2000);
+  const std::string dir = BenchDir("wal_append");
+  size_t cleaned = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::filesystem::remove(dir + "/" + kWalFileName);
+    Engine engine;
+    bench::CheckOk(engine.ExecuteScript(kMovementDdl), "ddl");
+    cleaned = 0;
+    bench::CheckOk(engine.Subscribe("cleaned_readings",
+                                    [&](const Tuple&) { ++cleaned; }),
+                   "subscribe");
+    if (threshold >= 0) {
+      WalOptions options;
+      options.group_commit_bytes = static_cast<size_t>(threshold);
+      bench::CheckOk(engine.EnableWal(dir + "/" + kWalFileName, options),
+                     "wal");
+    }
+    state.ResumeTiming();
+    bench::Feed(&engine, workload);
+  }
+  if (cleaned == 0 || cleaned > workload.events.size()) {
+    state.SkipWithError("implausible dedup output under WAL");
+    return;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          workload.events.size());
+  state.counters["group_commit_bytes"] = static_cast<double>(threshold);
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_E14WalAppendOverhead)
+    ->Arg(-1)->Arg(0)->Arg(4096)->Arg(1 << 16)->UseRealTime();
+
+// (c) Crash-recovery replay throughput per pairing mode: checkpoint
+// early, crash late, measure RecoverFrom re-running the WAL suffix.
+void BM_E14WalReplayThroughput(benchmark::State& state) {
+  const int64_t mode = state.range(0);
+  auto workload = QualityWorkload(2000);
+  const size_t ckpt_at = workload.events.size() / 10;
+  const std::string dir = BenchDir(std::string("replay_") + ModeName(mode));
+  {
+    Engine engine;
+    bench::CheckOk(engine.ExecuteScript(kQualityDdl), "ddl");
+    bench::CheckOk(engine.RegisterQuery(SeqQuery(mode)).status(), "query");
+    WalOptions options;
+    options.group_commit_bytes = 1 << 16;
+    bench::CheckOk(engine.EnableWal(dir + "/" + kWalFileName, options), "wal");
+    for (size_t i = 0; i < workload.events.size(); ++i) {
+      if (i == ckpt_at) bench::CheckOk(engine.Checkpoint(dir), "checkpoint");
+      bench::CheckOk(
+          engine.PushTuple(workload.events[i].stream, workload.events[i].tuple),
+          "push");
+    }
+  }  // crash: the WAL holds the 90% suffix
+
+  uint64_t replayed = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Engine engine;
+    bench::CheckOk(engine.ExecuteScript(kQualityDdl), "ddl");
+    bench::CheckOk(engine.RegisterQuery(SeqQuery(mode)).status(), "query");
+    state.ResumeTiming();
+    bench::CheckOk(engine.RecoverFrom(dir), "recover");
+    state.PauseTiming();
+    const MetricsSnapshot metrics = engine.Metrics();
+    replayed = metrics.counters.at("recovery.wal_records_replayed");
+    state.ResumeTiming();
+  }
+  if (replayed == 0) {
+    state.SkipWithError("no WAL records replayed");
+    return;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(replayed));
+  state.counters["replayed"] = static_cast<double>(replayed);
+  state.counters["mode"] = static_cast<double>(mode);
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_E14WalReplayThroughput)
+    ->Arg(0)->Arg(1)->Arg(2)->Arg(3)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+}  // namespace eslev
+
+ESLEV_BENCH_MAIN()

@@ -270,4 +270,54 @@ Status ExceptionSeqOperator::ProcessHeartbeat(Timestamp now) {
   return EmitHeartbeat(now);
 }
 
+Status ExceptionSeqOperator::SaveState(BinaryEncoder* enc) const {
+  enc->PutU64(exceptions_emitted_);
+  enc->PutU64(sequences_completed_);
+  enc->PutU64(level_transitions_);
+  enc->PutU64(window_expirations_);
+  enc->PutU64(active_expirations_);
+  enc->PutBool(deadline_.has_value());
+  if (deadline_) enc->PutI64(*deadline_);
+  enc->PutU32(static_cast<uint32_t>(partial_.size()));
+  for (const std::vector<Tuple>& group : partial_) {
+    enc->PutU32(static_cast<uint32_t>(group.size()));
+    for (const Tuple& t : group) enc->PutTuple(t);
+  }
+  return Status::OK();
+}
+
+Status ExceptionSeqOperator::RestoreState(BinaryDecoder* dec) {
+  ESLEV_ASSIGN_OR_RETURN(exceptions_emitted_, dec->GetU64());
+  ESLEV_ASSIGN_OR_RETURN(sequences_completed_, dec->GetU64());
+  ESLEV_ASSIGN_OR_RETURN(level_transitions_, dec->GetU64());
+  ESLEV_ASSIGN_OR_RETURN(window_expirations_, dec->GetU64());
+  ESLEV_ASSIGN_OR_RETURN(active_expirations_, dec->GetU64());
+  ESLEV_ASSIGN_OR_RETURN(bool has_deadline, dec->GetBool());
+  deadline_.reset();
+  if (has_deadline) {
+    ESLEV_ASSIGN_OR_RETURN(Timestamp d, dec->GetI64());
+    deadline_ = d;
+  }
+  ESLEV_ASSIGN_OR_RETURN(uint32_t level, dec->GetU32());
+  if (level > n_) {
+    return Status::IoError(
+        "EXCEPTION_SEQ checkpoint: partial level exceeds position count");
+  }
+  partial_.clear();
+  for (uint32_t i = 0; i < level; ++i) {
+    ESLEV_ASSIGN_OR_RETURN(uint32_t ntuples, dec->GetU32());
+    if (ntuples == 0) {
+      return Status::IoError("EXCEPTION_SEQ checkpoint: empty position group");
+    }
+    std::vector<Tuple> group;
+    group.reserve(ntuples);
+    for (uint32_t j = 0; j < ntuples; ++j) {
+      ESLEV_ASSIGN_OR_RETURN(Tuple t, dec->GetTuple());
+      group.push_back(std::move(t));
+    }
+    partial_.push_back(std::move(group));
+  }
+  return Status::OK();
+}
+
 }  // namespace eslev

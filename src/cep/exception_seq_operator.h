@@ -66,6 +66,12 @@ class ExceptionSeqOperator : public Operator {
 
   void AppendStats(OperatorStatList* out) const override;
 
+  /// \brief Checkpoint the partial sequence, its anchored window
+  /// deadline, and the terminal-event counters, so active expiration
+  /// still fires at the right time after a restore.
+  Status SaveState(BinaryEncoder* enc) const override;
+  Status RestoreState(BinaryDecoder* dec) override;
+
  private:
   explicit ExceptionSeqOperator(ExceptionSeqConfig config);
 

@@ -679,4 +679,74 @@ Status SeqOperator::ProcessHeartbeat(Timestamp now) {
   return EmitHeartbeat(now);
 }
 
+Status SeqOperator::SaveState(BinaryEncoder* enc) const {
+  const auto put_entry = [enc](const Entry& e) {
+    enc->PutU32(static_cast<uint32_t>(e.tuples.size()));
+    for (const Tuple& t : e.tuples) enc->PutTuple(t);
+    enc->PutU64(e.first_seq);
+    enc->PutU64(e.last_seq);
+    enc->PutBool(e.open);
+  };
+  enc->PutU64(arrival_seq_);
+  enc->PutU64(matches_emitted_);
+  enc->PutU64(tuples_stored_);
+  enc->PutU64(tuples_purged_);
+  enc->PutU32(static_cast<uint32_t>(history_.size()));
+  for (const std::deque<Entry>& position : history_) {
+    enc->PutU32(static_cast<uint32_t>(position.size()));
+    for (const Entry& e : position) put_entry(e);
+  }
+  enc->PutU32(static_cast<uint32_t>(run_.size()));
+  for (const Entry& e : run_) put_entry(e);
+  return Status::OK();
+}
+
+Status SeqOperator::RestoreState(BinaryDecoder* dec) {
+  const auto get_entry = [dec](Entry* e) -> Status {
+    ESLEV_ASSIGN_OR_RETURN(uint32_t ntuples, dec->GetU32());
+    if (ntuples == 0) {
+      return Status::IoError("SEQ checkpoint: empty history entry");
+    }
+    e->tuples.reserve(ntuples);
+    for (uint32_t i = 0; i < ntuples; ++i) {
+      ESLEV_ASSIGN_OR_RETURN(Tuple t, dec->GetTuple());
+      e->tuples.push_back(std::move(t));
+    }
+    ESLEV_ASSIGN_OR_RETURN(e->first_seq, dec->GetU64());
+    ESLEV_ASSIGN_OR_RETURN(e->last_seq, dec->GetU64());
+    ESLEV_ASSIGN_OR_RETURN(e->open, dec->GetBool());
+    return Status::OK();
+  };
+  ESLEV_ASSIGN_OR_RETURN(arrival_seq_, dec->GetU64());
+  ESLEV_ASSIGN_OR_RETURN(matches_emitted_, dec->GetU64());
+  ESLEV_ASSIGN_OR_RETURN(tuples_stored_, dec->GetU64());
+  ESLEV_ASSIGN_OR_RETURN(tuples_purged_, dec->GetU64());
+  ESLEV_ASSIGN_OR_RETURN(uint32_t npos, dec->GetU32());
+  if (npos != n_) {
+    return Status::IoError("SEQ checkpoint: position count mismatch (file " +
+                           std::to_string(npos) + ", plan " +
+                           std::to_string(n_) + ")");
+  }
+  for (std::deque<Entry>& position : history_) {
+    position.clear();
+    ESLEV_ASSIGN_OR_RETURN(uint32_t nentries, dec->GetU32());
+    for (uint32_t i = 0; i < nentries; ++i) {
+      Entry e;
+      ESLEV_RETURN_NOT_OK(get_entry(&e));
+      position.push_back(std::move(e));
+    }
+  }
+  run_.clear();
+  ESLEV_ASSIGN_OR_RETURN(uint32_t nrun, dec->GetU32());
+  if (nrun > n_) {
+    return Status::IoError("SEQ checkpoint: run longer than position count");
+  }
+  for (uint32_t i = 0; i < nrun; ++i) {
+    Entry e;
+    ESLEV_RETURN_NOT_OK(get_entry(&e));
+    run_.push_back(std::move(e));
+  }
+  return Status::OK();
+}
+
 }  // namespace eslev

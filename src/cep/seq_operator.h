@@ -67,6 +67,11 @@ class SeqOperator : public Operator {
 
   void AppendStats(OperatorStatList* out) const override;
 
+  /// \brief Checkpoint the joint-tuple history (all pairing modes), the
+  /// CONSECUTIVE run, and the arrival/match/purge counters.
+  Status SaveState(BinaryEncoder* enc) const override;
+  Status RestoreState(BinaryDecoder* dec) override;
+
  private:
   // A history entry: one tuple for plain positions, a group for stars.
   struct Entry {

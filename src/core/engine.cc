@@ -245,6 +245,24 @@ MetricsSnapshot Engine::Metrics() const {
       }
     }
   }
+  // Durability (DESIGN.md §10).
+  snap.counters["recovery.checkpoints"] = checkpoints_taken_;
+  snap.gauges["recovery.last_checkpoint_bytes"] =
+      static_cast<int64_t>(last_checkpoint_bytes_);
+  snap.gauges["recovery.last_checkpoint_duration_us"] =
+      last_checkpoint_duration_us_;
+  snap.counters["recovery.wal_records_replayed"] = wal_records_replayed_;
+  snap.counters["recovery_truncated_frames"] = recovery_truncated_frames_;
+  uint64_t suppressed = 0;
+  for (const auto& [key, stream] : streams_) {
+    suppressed += stream->callbacks_suppressed();
+  }
+  snap.counters["recovery.duplicates_suppressed"] = suppressed;
+  if (wal_ != nullptr) {
+    snap.counters["wal.records_appended"] = wal_->records_appended();
+    snap.counters["wal.group_commits"] = wal_->group_commits();
+    snap.counters["wal.bytes_written"] = wal_->bytes_written();
+  }
   return snap;
 }
 
@@ -273,6 +291,11 @@ Status Engine::PushTuple(const std::string& stream, const Tuple& tuple) {
         " is before the engine clock " + FormatTimestamp(clock_) +
         " (the joint tuple history is totally ordered)");
   }
+  // Write-ahead: the input is durable before any of its effects.
+  if (wal_ != nullptr && !replaying_) {
+    ESLEV_ASSIGN_OR_RETURN(uint64_t lsn, wal_->AppendTuple(s->name(), tuple));
+    (void)lsn;
+  }
   clock_ = std::max(clock_, tuple.ts());
   return s->Push(tuple);
 }
@@ -280,6 +303,10 @@ Status Engine::PushTuple(const std::string& stream, const Tuple& tuple) {
 Status Engine::AdvanceTime(Timestamp now) {
   if (options_.enforce_monotonic_time && now < clock_) {
     return Status::OutOfRange("time cannot move backwards");
+  }
+  if (wal_ != nullptr && !replaying_) {
+    ESLEV_ASSIGN_OR_RETURN(uint64_t lsn, wal_->AppendHeartbeat("", now));
+    (void)lsn;
   }
   clock_ = std::max(clock_, now);
   for (auto& [key, stream] : streams_) {

@@ -32,6 +32,7 @@
 #include "common/metrics.h"
 #include "plan/catalog.h"
 #include "plan/planner.h"
+#include "recovery/wal.h"
 #include "sql/parser.h"
 
 namespace eslev {
@@ -44,6 +45,33 @@ struct EngineOptions {
   /// history is totally ordered). When false, out-of-order tuples are
   /// accepted and processed in arrival order.
   bool enforce_monotonic_time = true;
+};
+
+/// \brief Controls duplicate suppression during WAL replay (DESIGN.md
+/// §10). The checkpoint records each stream's lifetime push count, which
+/// doubles as the last-emitted sequence number of every derived stream.
+struct ReplayOptions {
+  /// false (default): user callbacks stay muted for the whole replay —
+  /// correct for synchronous consumers, which had already observed every
+  /// replayed emission before the crash. true: callbacks fire for every
+  /// replayed tuple (at-least-once consumers).
+  bool deliver_callbacks = false;
+  /// Per-stream override (name, case-insensitive): callbacks fire only
+  /// for emissions with sequence number > the given value. Lets a
+  /// consumer that durably acknowledged N emissions receive exactly the
+  /// lost tail. Takes precedence over `deliver_callbacks`.
+  std::map<std::string, uint64_t> deliver_after;
+};
+
+/// \brief Outcome of a WAL replay.
+struct ReplayStats {
+  uint64_t records_replayed = 0;
+  /// Records at or below the checkpoint's covered LSN (already folded
+  /// into the restored state).
+  uint64_t records_skipped = 0;
+  /// The WAL ended in a torn frame (crash mid-append) that was dropped.
+  bool torn_tail = false;
+  uint64_t last_lsn = 0;
 };
 
 /// \brief Handle to a registered continuous query.
@@ -111,6 +139,42 @@ class Engine : public Catalog {
 
   Timestamp current_time() const { return clock_; }
 
+  // ---- durability (DESIGN.md §10) ----------------------------------------
+
+  /// \brief Write a versioned checkpoint of all engine state — stream
+  /// counters/retention, table contents, and every stateful operator —
+  /// to `<dir>/engine.ckpt` (atomic replace). When a WAL is enabled it
+  /// is flushed first and then truncated to the records the checkpoint
+  /// does not cover.
+  Status Checkpoint(const std::string& dir);
+
+  /// \brief Load the checkpoint in `dir` into this engine. The caller
+  /// must first rebuild an identical topology (same DDL and query
+  /// registrations in the same order); Restore validates names, schemas,
+  /// and per-query operator shapes against the file *before* mutating
+  /// anything, so a mismatched or corrupt checkpoint leaves the engine
+  /// untouched.
+  Status Restore(const std::string& dir);
+
+  /// \brief Start logging every Push/AdvanceTime to `path` ahead of
+  /// processing. If the file already holds records (pre-crash WAL), new
+  /// appends continue after the last intact one; a torn tail is
+  /// truncated (counted in `recovery_truncated_frames`).
+  Status EnableWal(const std::string& path, WalOptions options = {});
+
+  /// \brief Re-drive the engine from the WAL at `path`, skipping records
+  /// already covered by the restored checkpoint and suppressing
+  /// already-delivered emissions per `options`.
+  Result<ReplayStats> ReplayWal(const std::string& path,
+                                const ReplayOptions& options = {});
+
+  /// \brief Crash recovery in one call: Restore(dir), replay
+  /// `<dir>/wal.log`, and re-enable the WAL for new appends.
+  Status RecoverFrom(const std::string& dir,
+                     const ReplayOptions& options = {});
+
+  WalWriter* wal() const { return wal_.get(); }
+
   // ---- catalog -----------------------------------------------------------
 
   Stream* FindStream(const std::string& name) const override;
@@ -125,6 +189,11 @@ class Engine : public Catalog {
   Result<QueryInfo> RegisterParsed(const Statement& stmt);
   Result<std::string> ExplainParsed(const Statement& stmt, bool analyze);
 
+  /// Re-drive already-read WAL records through the pipelines with
+  /// duplicate suppression armed (engine_checkpoint.cc).
+  Result<ReplayStats> ReplayRecords(const std::vector<WalRecord>& records,
+                                    const ReplayOptions& options);
+
   EngineOptions options_;
   FunctionRegistry registry_;
   std::map<std::string, std::unique_ptr<Stream>> streams_;  // lower-case key
@@ -134,6 +203,16 @@ class Engine : public Catalog {
   std::vector<std::unique_ptr<Operator>> sinks_;
   Timestamp clock_ = kMinTimestamp;
   int next_query_id_ = 1;
+
+  // Durability state (core/engine_checkpoint.cc).
+  std::unique_ptr<WalWriter> wal_;
+  bool replaying_ = false;            // suppress WAL appends during replay
+  uint64_t restored_wal_lsn_ = 0;     // last LSN covered by restored ckpt
+  uint64_t checkpoints_taken_ = 0;
+  uint64_t last_checkpoint_bytes_ = 0;
+  int64_t last_checkpoint_duration_us_ = 0;
+  uint64_t wal_records_replayed_ = 0;
+  uint64_t recovery_truncated_frames_ = 0;
 };
 
 }  // namespace eslev

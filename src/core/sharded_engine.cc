@@ -282,6 +282,11 @@ Status ShardedEngine::Push(const std::string& stream,
 
 Status ShardedEngine::PushTuple(const std::string& stream,
                                 const Tuple& tuple) {
+  return RouteTuple(stream, tuple, /*log_to_wal=*/true);
+}
+
+Status ShardedEngine::RouteTuple(const std::string& stream, const Tuple& tuple,
+                                 bool log_to_wal) {
   std::shared_lock<std::shared_mutex> lock(routes_mu_);
   const StreamRoute* route = FindRoute(stream);
   if (route == nullptr) {
@@ -298,8 +303,27 @@ Status ShardedEngine::PushTuple(const std::string& stream,
   item.stream = &route->name;  // stable: routes_ nodes are never erased
   item.tuple = tuple;
   shards_[shard]->tuples_routed.fetch_add(1, std::memory_order_relaxed);
-  shards_[shard]->queue.Push(std::move(item));
+  if (log_to_wal && wal_enabled_.load(std::memory_order_acquire)) {
+    // Append + enqueue under one mutex: the WAL's total order is then a
+    // linearization consistent with the shard's queue order, so replaying
+    // the log front to back reproduces the identical per-shard history.
+    std::lock_guard<std::mutex> wal_lock(wal_mu_);
+    ESLEV_ASSIGN_OR_RETURN(uint64_t lsn, wal_->AppendTuple(route->name, tuple));
+    (void)lsn;
+    shards_[shard]->queue.Push(std::move(item));
+  } else {
+    shards_[shard]->queue.Push(std::move(item));
+  }
   return Status::OK();
+}
+
+void ShardedEngine::FanHeartbeat(Timestamp now) {
+  for (auto& shard : shards_) {
+    Item item;
+    item.kind = Item::Kind::kHeartbeat;
+    item.ts = now;
+    shard->queue.Push(std::move(item));
+  }
 }
 
 int ShardedEngine::RegisterProducer() { return watermark_.RegisterProducer(); }
@@ -307,11 +331,16 @@ int ShardedEngine::RegisterProducer() { return watermark_.RegisterProducer(); }
 Status ShardedEngine::AdvanceProducer(int id, Timestamp now) {
   std::optional<Timestamp> low = watermark_.Advance(id, now);
   if (!low.has_value()) return Status::OK();  // watermark did not move
-  for (auto& shard : shards_) {
-    Item item;
-    item.kind = Item::Kind::kHeartbeat;
-    item.ts = *low;
-    shard->queue.Push(std::move(item));
+  if (wal_enabled_.load(std::memory_order_acquire)) {
+    // Heartbeats drive active expiration, so they must be replayable:
+    // log an engine-wide heartbeat (empty stream name) ordered with the
+    // tuple appends, then fan out under the same lock.
+    std::lock_guard<std::mutex> wal_lock(wal_mu_);
+    ESLEV_ASSIGN_OR_RETURN(uint64_t lsn, wal_->AppendHeartbeat("", *low));
+    (void)lsn;
+    FanHeartbeat(*low);
+  } else {
+    FanHeartbeat(*low);
   }
   return Status::OK();
 }
@@ -456,6 +485,25 @@ Result<MetricsSnapshot> ShardedEngine::Metrics() {
       static_cast<int64_t>(watermark_lag());
   snap.histograms["sharded.drain.reorder_distance"] =
       drain_reorder_distance_.Snapshot();
+  // Front-end durability counters (DESIGN.md §10).
+  snap.counters["sharded.recovery.checkpoints"] =
+      checkpoints_taken_.load(std::memory_order_relaxed);
+  snap.counters["sharded.recovery.wal_records_replayed"] =
+      wal_records_replayed_.load(std::memory_order_relaxed);
+  snap.counters["sharded.recovery_truncated_frames"] =
+      recovery_truncated_frames_.load(std::memory_order_relaxed);
+  snap.counters["sharded.recovery.replay_outputs_discarded"] =
+      replay_outputs_discarded_.load(std::memory_order_relaxed);
+  snap.gauges["sharded.recovery.last_checkpoint_bytes"] = static_cast<int64_t>(
+      last_checkpoint_bytes_.load(std::memory_order_relaxed));
+  snap.gauges["sharded.recovery.last_checkpoint_duration_us"] =
+      last_checkpoint_duration_us_.load(std::memory_order_relaxed);
+  if (wal_enabled_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> wal_lock(wal_mu_);
+    snap.counters["sharded.wal.records_appended"] = wal_->records_appended();
+    snap.counters["sharded.wal.group_commits"] = wal_->group_commits();
+    snap.counters["sharded.wal.bytes_written"] = wal_->bytes_written();
+  }
   return snap;
 }
 

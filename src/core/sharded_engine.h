@@ -111,6 +111,43 @@ class ShardedEngine {
   /// producer and advances it.
   Status AdvanceTime(Timestamp now);
 
+  // ---- durability (DESIGN.md §10) ----------------------------------------
+
+  /// \brief Coordinated checkpoint: fan the current low watermark to all
+  /// shards (so expiration state is aligned at the cut), quiesce every
+  /// shard queue, write `<dir>/shard<i>/engine.ckpt` per shard, then the
+  /// `<dir>/MANIFEST`. With the front-end WAL enabled the append mutex is
+  /// held for the whole checkpoint, so concurrent producers serialize
+  /// entirely before or after the cut and the WAL is truncated to exactly
+  /// the records the checkpoint does not cover. Without a WAL the caller
+  /// must pause producers around the call.
+  Status Checkpoint(const std::string& dir);
+
+  /// \brief Load a coordinated checkpoint into this engine. The caller
+  /// rebuilds the identical topology on every shard first (same
+  /// ExecuteScript/RegisterQuery sequence through ShardedEngine). The
+  /// manifest and the existence of every shard checkpoint file are
+  /// validated before any shard is touched — a manifest naming a missing
+  /// shard file fails cleanly with no partial restore.
+  Status Restore(const std::string& dir);
+
+  /// \brief Start logging every routed tuple and fanned heartbeat to a
+  /// front-end WAL at `path`, ahead of enqueueing. The append mutex is
+  /// held across append + enqueue, so WAL order equals each shard's
+  /// queue order and replay reproduces identical per-shard histories.
+  /// Call during setup, before producers start pushing.
+  Status EnableWal(const std::string& path, WalOptions options = {});
+
+  /// \brief Crash recovery: Restore(dir), replay `<dir>/wal.log` through
+  /// the normal routing (skipping records the checkpoint covers), then
+  /// re-enable the WAL for new appends. Emissions regenerated during
+  /// replay are discarded instead of delivered unless
+  /// `options.deliver_callbacks` is set; per-stream `deliver_after` is
+  /// not supported at the sharded level (per-shard outbox sequence
+  /// numbers are not a global consumer position).
+  Status RecoverFrom(const std::string& dir,
+                     const ReplayOptions& options = {});
+
   // ---- consumption --------------------------------------------------------
 
   /// \brief Wait until every shard queue is drained and idle, then
@@ -198,6 +235,14 @@ class ShardedEngine {
   void WorkerLoop(Shard* shard);
   void RecordError(Shard* shard, const Status& status);
 
+  /// \brief Resolve the route and enqueue onto the owning shard, logging
+  /// to the front-end WAL first when enabled and `log_to_wal` is set
+  /// (replay passes false: replayed records are already on disk).
+  Status RouteTuple(const std::string& stream, const Tuple& tuple,
+                    bool log_to_wal);
+  /// \brief Enqueue a heartbeat item on every shard.
+  void FanHeartbeat(Timestamp now);
+
   /// \brief Run `fn` on every shard's worker thread; wait; first error.
   Status RunOnAllShards(const std::function<Status(Engine&)>& fn);
   /// \brief Run `fn` on one shard's worker thread and wait.
@@ -226,6 +271,22 @@ class ShardedEngine {
 
   // Subscriptions; mutated during setup, read by DrainOutputs.
   std::vector<TupleCallback> callbacks_;
+
+  // Front-end durability (sharded_engine_checkpoint.cc). `wal_mu_` is
+  // held across WAL append + queue push so the log's total order is a
+  // linearization of every shard's queue order; Checkpoint holds it for
+  // the whole cut. `wal_enabled_` gates the mutex so the no-WAL hot path
+  // stays lock-free.
+  std::atomic<bool> wal_enabled_{false};
+  std::mutex wal_mu_;
+  std::unique_ptr<WalWriter> wal_;
+  uint64_t restored_wal_lsn_ = 0;
+  std::atomic<uint64_t> checkpoints_taken_{0};
+  std::atomic<uint64_t> last_checkpoint_bytes_{0};
+  std::atomic<int64_t> last_checkpoint_duration_us_{0};
+  std::atomic<uint64_t> wal_records_replayed_{0};
+  std::atomic<uint64_t> recovery_truncated_frames_{0};
+  std::atomic<uint64_t> replay_outputs_discarded_{0};
 };
 
 }  // namespace eslev

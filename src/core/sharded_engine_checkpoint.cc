@@ -1,0 +1,244 @@
+// ShardedEngine durability: coordinated checkpoint/restore and the
+// front-end WAL (DESIGN.md §10).
+//
+// Checkpoint layout under `dir`:
+//   MANIFEST            num_shards, low-watermark cut, covered WAL LSN,
+//                       shard directory names (recovery/checkpoint.h)
+//   shard<i>/engine.ckpt  per-shard Engine checkpoint, i == shard id
+//   wal.log             front-end WAL (when enabled)
+//
+// Consistency: the front-end WAL is appended under `wal_mu_` together
+// with the queue push, so the log's order is a linearization consistent
+// with every shard's queue order. Checkpoint holds the same mutex for
+// the whole cut: producers serialize entirely before or after it, the
+// current low watermark is fanned to every shard (aligning active
+// expiration at the cut), the queues drain, each shard engine writes its
+// checkpoint on its own worker thread, and finally the WAL is truncated
+// to the uncovered suffix. Replay re-routes the suffix through the same
+// hash partitioning, which reproduces identical per-shard histories.
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <system_error>
+
+#include "core/sharded_engine.h"
+#include "recovery/checkpoint.h"
+
+namespace eslev {
+
+namespace {
+
+std::string ShardDirName(size_t shard) {
+  return "shard" + std::to_string(shard);
+}
+
+}  // namespace
+
+Status ShardedEngine::Checkpoint(const std::string& dir) {
+  const auto start = std::chrono::steady_clock::now();
+  // The cut: producers block on this mutex (WAL path) or must be paused
+  // by the caller (no WAL) while the shards drain and snapshot.
+  std::lock_guard<std::mutex> wal_lock(wal_mu_);
+
+  // Quiesce barrier: align every shard at the current low watermark via
+  // the existing heartbeat fan-out, then wait for the queues to empty.
+  const Timestamp low = watermark_.low_watermark();
+  if (low != kMinTimestamp) FanHeartbeat(low);
+  for (auto& shard : shards_) shard->queue.WaitIdle();
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> err_lock(shard->err_mu);
+    if (!shard->first_error.ok()) return shard->first_error;
+  }
+
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IoError("cannot create checkpoint dir " + dir + ": " +
+                           ec.message());
+  }
+
+  uint64_t wal_last_lsn = 0;
+  if (wal_ != nullptr) {
+    ESLEV_RETURN_NOT_OK(wal_->Flush());
+    wal_last_lsn = wal_->next_lsn() - 1;
+  }
+
+  // Each shard engine checkpoints on its own worker thread (exclusive
+  // engine access); all shards snapshot the same quiesced cut.
+  ShardedManifest manifest;
+  manifest.num_shards = static_cast<uint32_t>(shards_.size());
+  manifest.low_watermark = low;
+  manifest.wal_last_lsn = wal_last_lsn;
+  std::vector<std::promise<Status>> done(shards_.size());
+  std::vector<std::future<Status>> futures;
+  futures.reserve(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    manifest.shard_dirs.push_back(ShardDirName(i));
+    const std::string shard_dir = dir + "/" + ShardDirName(i);
+    futures.push_back(done[i].get_future());
+    Item item;
+    item.kind = Item::Kind::kCommand;
+    item.command = [shard_dir](Engine& engine) {
+      return engine.Checkpoint(shard_dir);
+    };
+    item.done = &done[i];
+    shards_[i]->queue.Push(std::move(item));
+  }
+  Status first = Status::OK();
+  for (auto& f : futures) {
+    Status st = f.get();
+    if (first.ok() && !st.ok()) first = st;
+  }
+  ESLEV_RETURN_NOT_OK(first);
+
+  ESLEV_RETURN_NOT_OK(WriteManifest(dir, manifest));
+  // The manifest is durable; everything at or below wal_last_lsn is
+  // covered by the shard checkpoints and can be dropped.
+  if (wal_ != nullptr) {
+    ESLEV_RETURN_NOT_OK(wal_->TruncateBefore(wal_last_lsn + 1));
+  }
+
+  uint64_t bytes = 0;
+  const auto add_size = [&bytes](const std::string& path) {
+    std::error_code size_ec;
+    const auto size = std::filesystem::file_size(path, size_ec);
+    if (!size_ec) bytes += static_cast<uint64_t>(size);
+  };
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    add_size(dir + "/" + ShardDirName(i) + "/" + kCheckpointFileName);
+  }
+  add_size(dir + "/" + kManifestFileName);
+  checkpoints_taken_.fetch_add(1, std::memory_order_relaxed);
+  last_checkpoint_bytes_.store(bytes, std::memory_order_relaxed);
+  last_checkpoint_duration_us_.store(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count(),
+      std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status ShardedEngine::Restore(const std::string& dir) {
+  ESLEV_ASSIGN_OR_RETURN(ShardedManifest manifest, ReadManifest(dir));
+  if (manifest.num_shards != shards_.size()) {
+    return Status::IoError(
+        "checkpoint was taken with " + std::to_string(manifest.num_shards) +
+        " shards but this engine has " + std::to_string(shards_.size()));
+  }
+  // Validate every shard checkpoint exists before touching any shard:
+  // a manifest naming a missing file must not partially restore.
+  for (const std::string& shard_dir : manifest.shard_dirs) {
+    const std::string path =
+        dir + "/" + shard_dir + "/" + kCheckpointFileName;
+    std::error_code ec;
+    if (!std::filesystem::exists(path, ec) || ec) {
+      return Status::IoError("manifest names missing shard checkpoint: " +
+                             path);
+    }
+  }
+  ESLEV_RETURN_NOT_OK(Flush());
+
+  std::vector<std::promise<Status>> done(shards_.size());
+  std::vector<std::future<Status>> futures;
+  futures.reserve(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    const std::string shard_dir = dir + "/" + manifest.shard_dirs[i];
+    futures.push_back(done[i].get_future());
+    Item item;
+    item.kind = Item::Kind::kCommand;
+    item.command = [shard_dir](Engine& engine) {
+      return engine.Restore(shard_dir);
+    };
+    item.done = &done[i];
+    shards_[i]->queue.Push(std::move(item));
+  }
+  Status first = Status::OK();
+  for (auto& f : futures) {
+    Status st = f.get();
+    if (first.ok() && !st.ok()) first = st;
+  }
+  ESLEV_RETURN_NOT_OK(first);
+  restored_wal_lsn_ = manifest.wal_last_lsn;
+  return Status::OK();
+}
+
+Status ShardedEngine::EnableWal(const std::string& path, WalOptions options) {
+  std::lock_guard<std::mutex> wal_lock(wal_mu_);
+  if (wal_ != nullptr) {
+    return Status::Invalid("WAL already enabled at " + wal_->path());
+  }
+  ESLEV_ASSIGN_OR_RETURN(WalReadResult read, ReadWal(path));
+  if (read.torn_tail) {
+    recovery_truncated_frames_.fetch_add(1, std::memory_order_relaxed);
+  }
+  const uint64_t last_lsn =
+      std::max(read.records.empty() ? uint64_t{0} : read.records.back().lsn,
+               restored_wal_lsn_);
+  options.truncate_to_bytes = read.valid_bytes;
+  ESLEV_ASSIGN_OR_RETURN(wal_, WalWriter::Open(path, last_lsn + 1, options));
+  wal_enabled_.store(true, std::memory_order_release);
+  return Status::OK();
+}
+
+Status ShardedEngine::RecoverFrom(const std::string& dir,
+                                  const ReplayOptions& options) {
+  if (wal_enabled_.load(std::memory_order_acquire)) {
+    return Status::Invalid("WAL already enabled before RecoverFrom");
+  }
+  if (!options.deliver_after.empty()) {
+    return Status::Invalid(
+        "per-stream deliver_after is not supported by ShardedEngine (per-"
+        "shard outbox sequences are not a global consumer position); use "
+        "deliver_callbacks");
+  }
+  ESLEV_RETURN_NOT_OK(Restore(dir));
+
+  const std::string wal_path = dir + "/" + kWalFileName;
+  ESLEV_ASSIGN_OR_RETURN(WalReadResult read, ReadWal(wal_path));
+  if (read.torn_tail) {
+    recovery_truncated_frames_.fetch_add(1, std::memory_order_relaxed);
+  }
+  uint64_t replayed = 0;
+  uint64_t last_lsn = restored_wal_lsn_;
+  for (const WalRecord& record : read.records) {
+    last_lsn = std::max(last_lsn, record.lsn);
+    if (record.lsn <= restored_wal_lsn_) continue;
+    if (record.kind == WalRecordKind::kTuple) {
+      ESLEV_RETURN_NOT_OK(
+          RouteTuple(record.stream, *record.tuple, /*log_to_wal=*/false));
+    } else if (record.stream.empty()) {
+      FanHeartbeat(record.ts);
+    } else {
+      return Status::IoError(
+          "sharded WAL contains a per-stream heartbeat for '" +
+          record.stream + "' (not written by ShardedEngine)");
+    }
+    ++replayed;
+  }
+  ESLEV_RETURN_NOT_OK(Flush());
+  wal_records_replayed_.fetch_add(replayed, std::memory_order_relaxed);
+
+  // Replay regenerated the shard-side emissions into the outboxes; a
+  // synchronous consumer already drained them before the crash, so the
+  // default is to discard rather than re-deliver.
+  if (!options.deliver_callbacks) {
+    uint64_t discarded = 0;
+    for (auto& shard : shards_) {
+      std::lock_guard<std::mutex> out_lock(shard->out_mu);
+      discarded += shard->outbox.size();
+      shard->outbox.clear();
+    }
+    replay_outputs_discarded_.fetch_add(discarded, std::memory_order_relaxed);
+  }
+
+  std::lock_guard<std::mutex> wal_lock(wal_mu_);
+  WalOptions wal_options;
+  wal_options.truncate_to_bytes = read.valid_bytes;
+  ESLEV_ASSIGN_OR_RETURN(wal_,
+                         WalWriter::Open(wal_path, last_lsn + 1, wal_options));
+  wal_enabled_.store(true, std::memory_order_release);
+  return Status::OK();
+}
+
+}  // namespace eslev

@@ -195,4 +195,74 @@ Status AggregateOperator::ProcessHeartbeat(Timestamp now) {
   return EmitHeartbeat(now);
 }
 
+Status AggregateOperator::SaveState(BinaryEncoder* enc) const {
+  enc->PutBool(buffer_ != nullptr);
+  if (buffer_) {
+    enc->PutU32(static_cast<uint32_t>(buffer_->size()));
+    for (const Tuple& t : buffer_->tuples()) enc->PutTuple(t);
+  }
+  enc->PutU32(static_cast<uint32_t>(groups_.size()));
+  for (const auto& [key, group] : groups_) {
+    enc->PutU32(static_cast<uint32_t>(key.size()));
+    for (const std::string& part : key) enc->PutString(part);
+    enc->PutU32(static_cast<uint32_t>(group.states.size()));
+    for (const auto& state : group.states) {
+      ESLEV_ASSIGN_OR_RETURN(std::vector<Value> saved, state->SaveState());
+      enc->PutU32(static_cast<uint32_t>(saved.size()));
+      for (const Value& v : saved) enc->PutValue(v);
+    }
+  }
+  return Status::OK();
+}
+
+Status AggregateOperator::RestoreState(BinaryDecoder* dec) {
+  ESLEV_ASSIGN_OR_RETURN(bool has_buffer, dec->GetBool());
+  if (has_buffer != (buffer_ != nullptr)) {
+    return Status::IoError(
+        "aggregate checkpoint: window configuration mismatch");
+  }
+  if (buffer_) {
+    ESLEV_ASSIGN_OR_RETURN(uint32_t n, dec->GetU32());
+    std::deque<Tuple> tuples;
+    for (uint32_t i = 0; i < n; ++i) {
+      ESLEV_ASSIGN_OR_RETURN(Tuple t, dec->GetTuple());
+      tuples.push_back(std::move(t));
+    }
+    buffer_->Assign(std::move(tuples));
+  }
+  ESLEV_ASSIGN_OR_RETURN(uint32_t ngroups, dec->GetU32());
+  std::map<GroupKey, Group> groups;
+  for (uint32_t g = 0; g < ngroups; ++g) {
+    ESLEV_ASSIGN_OR_RETURN(uint32_t nparts, dec->GetU32());
+    GroupKey key;
+    key.reserve(nparts);
+    for (uint32_t i = 0; i < nparts; ++i) {
+      ESLEV_ASSIGN_OR_RETURN(std::string part, dec->GetString());
+      key.push_back(std::move(part));
+    }
+    ESLEV_ASSIGN_OR_RETURN(uint32_t nstates, dec->GetU32());
+    if (nstates != aggs_.size()) {
+      return Status::IoError(
+          "aggregate checkpoint: accumulator count mismatch");
+    }
+    Group group;
+    group.states.reserve(nstates);
+    for (uint32_t i = 0; i < nstates; ++i) {
+      ESLEV_ASSIGN_OR_RETURN(uint32_t nvals, dec->GetU32());
+      std::vector<Value> values;
+      values.reserve(nvals);
+      for (uint32_t j = 0; j < nvals; ++j) {
+        ESLEV_ASSIGN_OR_RETURN(Value v, dec->GetValue());
+        values.push_back(std::move(v));
+      }
+      auto state = aggs_[i].fn->make_state();
+      ESLEV_RETURN_NOT_OK(state->RestoreState(values));
+      group.states.push_back(std::move(state));
+    }
+    groups.emplace(std::move(key), std::move(group));
+  }
+  groups_ = std::move(groups);
+  return Status::OK();
+}
+
 }  // namespace eslev

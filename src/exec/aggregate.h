@@ -57,6 +57,12 @@ class AggregateOperator : public Operator {
                     static_cast<int64_t>(buffer_ ? buffer_->size() : 0)});
   }
 
+  /// \brief Checkpoint the window buffer and every group's accumulators
+  /// (via AggregateState::SaveState). Fails if an aggregate's state is
+  /// not checkpointable (custom C++ UDA without Save/RestoreState).
+  Status SaveState(BinaryEncoder* enc) const override;
+  Status RestoreState(BinaryDecoder* dec) override;
+
  private:
   struct Group {
     std::vector<std::unique_ptr<AggregateState>> states;

@@ -99,4 +99,36 @@ Status WindowedNotExistsOperator::ProcessHeartbeat(Timestamp now) {
   return EmitHeartbeat(now);
 }
 
+Status WindowedNotExistsOperator::SaveState(BinaryEncoder* enc) const {
+  enc->PutU64(probe_comparisons_);
+  enc->PutU32(static_cast<uint32_t>(buffer_.size()));
+  for (const Tuple& t : buffer_.tuples()) enc->PutTuple(t);
+  enc->PutU32(static_cast<uint32_t>(pending_.size()));
+  for (const Pending& p : pending_) {
+    enc->PutTuple(p.outer);
+    enc->PutI64(p.deadline);
+  }
+  return Status::OK();
+}
+
+Status WindowedNotExistsOperator::RestoreState(BinaryDecoder* dec) {
+  ESLEV_ASSIGN_OR_RETURN(probe_comparisons_, dec->GetU64());
+  ESLEV_ASSIGN_OR_RETURN(uint32_t nbuffered, dec->GetU32());
+  std::deque<Tuple> buffered;
+  for (uint32_t i = 0; i < nbuffered; ++i) {
+    ESLEV_ASSIGN_OR_RETURN(Tuple t, dec->GetTuple());
+    buffered.push_back(std::move(t));
+  }
+  buffer_.Assign(std::move(buffered));
+  pending_.clear();
+  ESLEV_ASSIGN_OR_RETURN(uint32_t npending, dec->GetU32());
+  for (uint32_t i = 0; i < npending; ++i) {
+    Pending p;
+    ESLEV_ASSIGN_OR_RETURN(p.outer, dec->GetTuple());
+    ESLEV_ASSIGN_OR_RETURN(p.deadline, dec->GetI64());
+    pending_.push_back(std::move(p));
+  }
+  return Status::OK();
+}
+
 }  // namespace eslev

@@ -53,6 +53,11 @@ class WindowedNotExistsOperator : public Operator {
 
   void AppendStats(OperatorStatList* out) const override;
 
+  /// \brief Checkpoint the inner window buffer, the pending outer tuples
+  /// with their FOLLOWING deadlines, and the probe counter.
+  Status SaveState(BinaryEncoder* enc) const override;
+  Status RestoreState(BinaryDecoder* dec) override;
+
  private:
   struct Pending {
     Tuple outer;

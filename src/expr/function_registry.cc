@@ -120,6 +120,17 @@ Result<Value> Concat(const std::vector<Value>& args) {
 
 // ---- built-in aggregates ---------------------------------------------------
 
+// Checkpointing helper: verify the Value vector restored for an aggregate
+// accumulator has the expected shape.
+Status CheckSavedShape(const std::vector<Value>& values, size_t n,
+                       const char* what) {
+  if (values.size() != n) {
+    return Status::IoError(std::string(what) +
+                           ": bad checkpointed accumulator arity");
+  }
+  return Status::OK();
+}
+
 class CountState : public AggregateState {
  public:
   Status Accumulate(const Value& v) override {
@@ -132,6 +143,15 @@ class CountState : public AggregateState {
   }
   Value Finalize() const override { return Value::Int(count_); }
   void Reset() override { count_ = 0; }
+
+  Result<std::vector<Value>> SaveState() const override {
+    return std::vector<Value>{Value::Int(count_)};
+  }
+  Status RestoreState(const std::vector<Value>& values) override {
+    ESLEV_RETURN_NOT_OK(CheckSavedShape(values, 1, "COUNT"));
+    ESLEV_ASSIGN_OR_RETURN(count_, values[0].AsInt64());
+    return Status::OK();
+  }
 
  private:
   int64_t count_ = 0;
@@ -151,6 +171,22 @@ class SumState : public AggregateState {
     dsum_ = 0;
     count_ = 0;
     is_double_ = false;
+  }
+
+  Result<std::vector<Value>> SaveState() const override {
+    return std::vector<Value>{Value::Int(isum_), Value::Double(dsum_),
+                              Value::Int(count_), Value::Bool(is_double_)};
+  }
+  Status RestoreState(const std::vector<Value>& values) override {
+    ESLEV_RETURN_NOT_OK(CheckSavedShape(values, 4, "SUM/AVG"));
+    ESLEV_ASSIGN_OR_RETURN(isum_, values[0].AsInt64());
+    ESLEV_ASSIGN_OR_RETURN(dsum_, values[1].AsDouble());
+    ESLEV_ASSIGN_OR_RETURN(count_, values[2].AsInt64());
+    if (values[3].type() != TypeId::kBool) {
+      return Status::IoError("SUM/AVG: bad is_double flag");
+    }
+    is_double_ = values[3].bool_value();
+    return Status::OK();
   }
 
  protected:
@@ -196,6 +232,15 @@ class MinMaxState : public AggregateState {
   }
   Value Finalize() const override { return best_; }
   void Reset() override { best_ = Value::Null(); }
+
+  Result<std::vector<Value>> SaveState() const override {
+    return std::vector<Value>{best_};
+  }
+  Status RestoreState(const std::vector<Value>& values) override {
+    ESLEV_RETURN_NOT_OK(CheckSavedShape(values, 1, "MIN/MAX"));
+    best_ = values[0];
+    return Status::OK();
+  }
 
  private:
   bool is_min_;

@@ -46,6 +46,19 @@ class AggregateState {
   }
   virtual Value Finalize() const = 0;
   virtual void Reset() = 0;
+
+  /// \brief Export the accumulator as plain Values for checkpointing
+  /// (DESIGN.md §10). All built-ins and SQL UDAs implement this; a custom
+  /// UDA that does not cannot be checkpointed (the engine reports it).
+  virtual Result<std::vector<Value>> SaveState() const {
+    return Status::NotImplemented("aggregate state is not checkpointable");
+  }
+
+  /// \brief Reload an accumulator exported by SaveState on a fresh state.
+  virtual Status RestoreState(const std::vector<Value>& values) {
+    (void)values;
+    return Status::NotImplemented("aggregate state is not checkpointable");
+  }
 };
 
 struct AggregateFunction {

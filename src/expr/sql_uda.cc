@@ -48,6 +48,18 @@ class SqlUdaState : public AggregateState {
     count_ = 0;
   }
 
+  Result<std::vector<Value>> SaveState() const override {
+    return std::vector<Value>{state_, Value::Int(count_)};
+  }
+  Status RestoreState(const std::vector<Value>& values) override {
+    if (values.size() != 2) {
+      return Status::IoError("SQL UDA: bad checkpointed accumulator arity");
+    }
+    state_ = values[0];
+    ESLEV_ASSIGN_OR_RETURN(count_, values[1].AsInt64());
+    return Status::OK();
+  }
+
  private:
   std::shared_ptr<const UdaProgram> program_;
   Value state_;

@@ -1,0 +1,81 @@
+#include "recovery/checkpoint.h"
+
+#include "recovery/codec.h"
+
+namespace eslev {
+
+std::string EncodeCheckpointHeader() {
+  BinaryEncoder enc;
+  enc.PutU32(kCheckpointMagic);
+  enc.PutU32(kCheckpointVersion);
+  return enc.TakeBuffer();
+}
+
+Status ValidateCheckpointHeader(const std::string& payload,
+                                const std::string& what) {
+  BinaryDecoder dec(payload);
+  ESLEV_ASSIGN_OR_RETURN(uint32_t magic, dec.GetU32());
+  if (magic != kCheckpointMagic) {
+    return Status::IoError(what + ": bad magic (not a checkpoint file)");
+  }
+  ESLEV_ASSIGN_OR_RETURN(uint32_t version, dec.GetU32());
+  if (version != kCheckpointVersion) {
+    return Status::IoError(what + ": version mismatch (file v" +
+                           std::to_string(version) + ", engine v" +
+                           std::to_string(kCheckpointVersion) + ")");
+  }
+  return Status::OK();
+}
+
+std::string ShardedManifest::Encode() const {
+  std::string out;
+  AppendFrame(EncodeCheckpointHeader(), &out);
+  BinaryEncoder body;
+  body.PutU32(num_shards);
+  body.PutI64(low_watermark);
+  body.PutU64(wal_last_lsn);
+  body.PutU32(static_cast<uint32_t>(shard_dirs.size()));
+  for (const std::string& dir : shard_dirs) {
+    body.PutString(dir);
+  }
+  AppendFrame(body.buffer(), &out);
+  return out;
+}
+
+Result<ShardedManifest> ShardedManifest::Decode(const std::string& bytes) {
+  ESLEV_ASSIGN_OR_RETURN(FrameScanResult frames,
+                         ScanFrames(bytes.data(), bytes.size()));
+  if (frames.torn_tail || frames.payloads.size() != 2) {
+    return Status::IoError("manifest: malformed (expected 2 intact frames)");
+  }
+  ESLEV_RETURN_NOT_OK(ValidateCheckpointHeader(frames.payloads[0], "manifest"));
+  BinaryDecoder dec(frames.payloads[1]);
+  ShardedManifest m;
+  ESLEV_ASSIGN_OR_RETURN(m.num_shards, dec.GetU32());
+  ESLEV_ASSIGN_OR_RETURN(m.low_watermark, dec.GetI64());
+  ESLEV_ASSIGN_OR_RETURN(m.wal_last_lsn, dec.GetU64());
+  ESLEV_ASSIGN_OR_RETURN(uint32_t ndirs, dec.GetU32());
+  if (ndirs != m.num_shards) {
+    return Status::IoError("manifest: shard dir count mismatch");
+  }
+  for (uint32_t i = 0; i < ndirs; ++i) {
+    ESLEV_ASSIGN_OR_RETURN(std::string dir, dec.GetString());
+    m.shard_dirs.push_back(std::move(dir));
+  }
+  if (!dec.AtEnd()) {
+    return Status::IoError("manifest: trailing bytes");
+  }
+  return m;
+}
+
+Status WriteManifest(const std::string& dir, const ShardedManifest& manifest) {
+  return WriteFileAtomic(dir + "/" + kManifestFileName, manifest.Encode());
+}
+
+Result<ShardedManifest> ReadManifest(const std::string& dir) {
+  ESLEV_ASSIGN_OR_RETURN(std::string bytes,
+                         ReadFileAll(dir + "/" + kManifestFileName));
+  return ShardedManifest::Decode(bytes);
+}
+
+}  // namespace eslev

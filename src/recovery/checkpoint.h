@@ -1,0 +1,61 @@
+// Shared checkpoint constants and the sharded-checkpoint manifest
+// (DESIGN.md §10). The per-engine checkpoint file itself is written by
+// Engine::Checkpoint (core/engine_checkpoint.cc); this header fixes the
+// on-disk names, magic, and version so every layer agrees.
+
+#ifndef ESLEV_RECOVERY_CHECKPOINT_H_
+#define ESLEV_RECOVERY_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/time.h"
+
+namespace eslev {
+
+/// First frame of every checkpoint/manifest file ("VLSE" little-endian).
+constexpr uint32_t kCheckpointMagic = 0x45534C56u;
+/// Bumped on any incompatible layout change; Restore rejects mismatches.
+constexpr uint32_t kCheckpointVersion = 1;
+
+/// File names inside a checkpoint directory.
+constexpr const char* kCheckpointFileName = "engine.ckpt";
+constexpr const char* kWalFileName = "wal.log";
+constexpr const char* kManifestFileName = "MANIFEST";
+
+/// \brief Top-level record of a coordinated ShardedEngine checkpoint:
+/// which shard subdirectories exist and at what consistent cut (low
+/// watermark) they were taken.
+struct ShardedManifest {
+  uint32_t num_shards = 0;
+  Timestamp low_watermark = 0;
+  /// LSN of the last front-end WAL record covered by this checkpoint;
+  /// replay skips records with lsn <= this.
+  uint64_t wal_last_lsn = 0;
+  /// Relative directory names, one per shard, index == shard id.
+  std::vector<std::string> shard_dirs;
+
+  /// CRC-framed bytes (magic + version header frame, then body frame).
+  std::string Encode() const;
+  static Result<ShardedManifest> Decode(const std::string& bytes);
+};
+
+/// \brief Write `manifest` to `<dir>/MANIFEST` atomically.
+Status WriteManifest(const std::string& dir, const ShardedManifest& manifest);
+
+/// \brief Read and validate `<dir>/MANIFEST`.
+Result<ShardedManifest> ReadManifest(const std::string& dir);
+
+/// \brief Encode the standard header payload shared by checkpoint files
+/// and the manifest: [u32 magic][u32 version]. Decoding validates both
+/// and returns a descriptive Status on mismatch (the version-mismatch
+/// fault-injection path).
+std::string EncodeCheckpointHeader();
+Status ValidateCheckpointHeader(const std::string& payload,
+                                const std::string& what);
+
+}  // namespace eslev
+
+#endif  // ESLEV_RECOVERY_CHECKPOINT_H_

@@ -1,0 +1,343 @@
+#include "recovery/codec.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace eslev {
+
+namespace {
+
+// Lazily built table for the reflected IEEE CRC-32.
+const uint32_t* Crc32Table() {
+  static uint32_t table[256];
+  static bool built = [] {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      table[i] = c;
+    }
+    return true;
+  }();
+  (void)built;
+  return table;
+}
+
+// Schema back-reference markers (frozen by the golden-format test).
+constexpr uint8_t kSchemaInline = 0;
+constexpr uint8_t kSchemaRef = 1;
+constexpr uint8_t kSchemaNull = 2;
+
+// Frames cannot plausibly exceed this; larger length fields are garbage
+// (protects the scanner from allocating gigabytes off a corrupt header).
+constexpr uint32_t kMaxFrameLen = 1u << 30;
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t len) {
+  const uint32_t* table = Crc32Table();
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint32_t c = 0xFFFFFFFFu;
+  for (size_t i = 0; i < len; ++i) {
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+void BinaryEncoder::PutU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void BinaryEncoder::PutU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void BinaryEncoder::PutDouble(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+void BinaryEncoder::PutString(const std::string& s) {
+  PutU32(static_cast<uint32_t>(s.size()));
+  buf_.append(s);
+}
+
+void BinaryEncoder::PutValue(const Value& v) {
+  PutU8(static_cast<uint8_t>(v.type()));
+  switch (v.type()) {
+    case TypeId::kNull:
+      break;
+    case TypeId::kBool:
+      PutBool(v.bool_value());
+      break;
+    case TypeId::kInt64:
+      PutI64(v.int_value());
+      break;
+    case TypeId::kDouble:
+      PutDouble(v.double_value());
+      break;
+    case TypeId::kString:
+      PutString(v.string_value());
+      break;
+    case TypeId::kTimestamp:
+      PutI64(v.time_value());
+      break;
+  }
+}
+
+void BinaryEncoder::PutSchema(const SchemaPtr& schema) {
+  if (schema == nullptr) {
+    PutU8(kSchemaNull);
+    return;
+  }
+  auto it = schema_ids_.find(schema.get());
+  if (it != schema_ids_.end()) {
+    PutU8(kSchemaRef);
+    PutU32(it->second);
+    return;
+  }
+  const uint32_t id = static_cast<uint32_t>(schema_ids_.size());
+  schema_ids_.emplace(schema.get(), id);
+  PutU8(kSchemaInline);
+  PutU32(static_cast<uint32_t>(schema->num_fields()));
+  for (const Field& f : schema->fields()) {
+    PutString(f.name);
+    PutU8(static_cast<uint8_t>(f.type));
+  }
+}
+
+void BinaryEncoder::PutTuple(const Tuple& tuple) {
+  PutSchema(tuple.schema());
+  PutI64(tuple.ts());
+  PutU32(static_cast<uint32_t>(tuple.size()));
+  for (const Value& v : tuple.values()) {
+    PutValue(v);
+  }
+}
+
+Status BinaryDecoder::Need(size_t n) const {
+  if (size_ - pos_ < n) {
+    return Status::IoError("decode past end of buffer (want " +
+                           std::to_string(n) + " bytes, have " +
+                           std::to_string(size_ - pos_) + ")");
+  }
+  return Status::OK();
+}
+
+Result<uint8_t> BinaryDecoder::GetU8() {
+  ESLEV_RETURN_NOT_OK(Need(1));
+  return static_cast<uint8_t>(data_[pos_++]);
+}
+
+Result<bool> BinaryDecoder::GetBool() {
+  ESLEV_ASSIGN_OR_RETURN(uint8_t v, GetU8());
+  if (v > 1) return Status::IoError("bad bool byte");
+  return v == 1;
+}
+
+Result<uint32_t> BinaryDecoder::GetU32() {
+  ESLEV_RETURN_NOT_OK(Need(4));
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+Result<uint64_t> BinaryDecoder::GetU64() {
+  ESLEV_RETURN_NOT_OK(Need(8));
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+Result<int64_t> BinaryDecoder::GetI64() {
+  ESLEV_ASSIGN_OR_RETURN(uint64_t v, GetU64());
+  return static_cast<int64_t>(v);
+}
+
+Result<double> BinaryDecoder::GetDouble() {
+  ESLEV_ASSIGN_OR_RETURN(uint64_t bits, GetU64());
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+Result<std::string> BinaryDecoder::GetString() {
+  ESLEV_ASSIGN_OR_RETURN(uint32_t len, GetU32());
+  ESLEV_RETURN_NOT_OK(Need(len));
+  std::string s(data_ + pos_, len);
+  pos_ += len;
+  return s;
+}
+
+Result<Value> BinaryDecoder::GetValue() {
+  ESLEV_ASSIGN_OR_RETURN(uint8_t tag, GetU8());
+  switch (static_cast<TypeId>(tag)) {
+    case TypeId::kNull:
+      return Value::Null();
+    case TypeId::kBool: {
+      ESLEV_ASSIGN_OR_RETURN(bool v, GetBool());
+      return Value::Bool(v);
+    }
+    case TypeId::kInt64: {
+      ESLEV_ASSIGN_OR_RETURN(int64_t v, GetI64());
+      return Value::Int(v);
+    }
+    case TypeId::kDouble: {
+      ESLEV_ASSIGN_OR_RETURN(double v, GetDouble());
+      return Value::Double(v);
+    }
+    case TypeId::kString: {
+      ESLEV_ASSIGN_OR_RETURN(std::string v, GetString());
+      return Value::String(std::move(v));
+    }
+    case TypeId::kTimestamp: {
+      ESLEV_ASSIGN_OR_RETURN(int64_t v, GetI64());
+      return Value::Time(v);
+    }
+  }
+  return Status::IoError("bad value type tag " + std::to_string(tag));
+}
+
+Result<SchemaPtr> BinaryDecoder::GetSchema() {
+  ESLEV_ASSIGN_OR_RETURN(uint8_t marker, GetU8());
+  switch (marker) {
+    case kSchemaNull:
+      return SchemaPtr(nullptr);
+    case kSchemaRef: {
+      ESLEV_ASSIGN_OR_RETURN(uint32_t id, GetU32());
+      if (id >= schemas_.size()) {
+        return Status::IoError("schema back-reference out of range");
+      }
+      return schemas_[id];
+    }
+    case kSchemaInline: {
+      ESLEV_ASSIGN_OR_RETURN(uint32_t nfields, GetU32());
+      std::vector<Field> fields;
+      fields.reserve(nfields);
+      for (uint32_t i = 0; i < nfields; ++i) {
+        Field f;
+        ESLEV_ASSIGN_OR_RETURN(f.name, GetString());
+        ESLEV_ASSIGN_OR_RETURN(uint8_t type, GetU8());
+        if (type > static_cast<uint8_t>(TypeId::kTimestamp)) {
+          return Status::IoError("bad field type tag");
+        }
+        f.type = static_cast<TypeId>(type);
+        fields.push_back(std::move(f));
+      }
+      SchemaPtr schema = Schema::Make(std::move(fields));
+      schemas_.push_back(schema);
+      return schema;
+    }
+    default:
+      return Status::IoError("bad schema marker " + std::to_string(marker));
+  }
+}
+
+Result<Tuple> BinaryDecoder::GetTuple() {
+  ESLEV_ASSIGN_OR_RETURN(SchemaPtr schema, GetSchema());
+  ESLEV_ASSIGN_OR_RETURN(int64_t ts, GetI64());
+  ESLEV_ASSIGN_OR_RETURN(uint32_t arity, GetU32());
+  std::vector<Value> values;
+  values.reserve(arity);
+  for (uint32_t i = 0; i < arity; ++i) {
+    ESLEV_ASSIGN_OR_RETURN(Value v, GetValue());
+    values.push_back(std::move(v));
+  }
+  // Direct construction: the values were serialized from a valid tuple,
+  // and re-validation (MakeTuple) could coerce and break byte-identity.
+  return Tuple(std::move(schema), std::move(values), ts);
+}
+
+void AppendFrame(const std::string& payload, std::string* out) {
+  BinaryEncoder header;
+  header.PutU32(static_cast<uint32_t>(payload.size()));
+  header.PutU32(Crc32(payload));
+  out->append(header.buffer());
+  out->append(payload);
+}
+
+Result<FrameScanResult> ScanFrames(const char* data, size_t size) {
+  FrameScanResult result;
+  size_t pos = 0;
+  while (pos < size) {
+    if (size - pos < 8) {
+      result.torn_tail = true;  // partial frame header
+      break;
+    }
+    BinaryDecoder header(data + pos, 8);
+    const uint32_t len = *header.GetU32();
+    const uint32_t crc = *header.GetU32();
+    if (len > kMaxFrameLen || size - pos - 8 < len) {
+      result.torn_tail = true;  // payload shorter than declared
+      break;
+    }
+    const char* payload = data + pos + 8;
+    if (Crc32(payload, len) != crc) {
+      if (pos + 8 + len == size) {
+        result.torn_tail = true;  // torn final frame (partial overwrite)
+        break;
+      }
+      return Status::IoError(
+          "frame CRC mismatch at offset " + std::to_string(pos) +
+          " with data following (mid-file corruption)");
+    }
+    result.payloads.emplace_back(payload, len);
+    pos += 8 + len;
+    result.valid_bytes = pos;
+  }
+  return result;
+}
+
+Status WriteFileAtomic(const std::string& path, const std::string& contents) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open for writing: " + tmp);
+  }
+  const size_t written = std::fwrite(contents.data(), 1, contents.size(), f);
+  const bool flushed = std::fflush(f) == 0;
+  std::fclose(f);
+  if (written != contents.size() || !flushed) {
+    std::remove(tmp.c_str());
+    return Status::IoError("write failed: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("rename failed: " + tmp + " -> " + path);
+  }
+  return Status::OK();
+}
+
+Result<std::string> ReadFileAll(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  std::string out;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out.append(buf, n);
+  }
+  const bool bad = std::ferror(f) != 0;
+  std::fclose(f);
+  if (bad) return Status::IoError("read failed: " + path);
+  return out;
+}
+
+}  // namespace eslev

@@ -1,0 +1,172 @@
+#include "recovery/wal.h"
+
+#include <filesystem>
+#include <system_error>
+
+namespace eslev {
+
+namespace {
+
+std::string EncodeRecordFrame(const WalRecord& record) {
+  BinaryEncoder enc;
+  enc.PutU8(static_cast<uint8_t>(record.kind));
+  enc.PutU64(record.lsn);
+  enc.PutString(record.stream);
+  switch (record.kind) {
+    case WalRecordKind::kTuple:
+      enc.PutTuple(*record.tuple);
+      break;
+    case WalRecordKind::kHeartbeat:
+      enc.PutI64(record.ts);
+      break;
+  }
+  std::string frame;
+  AppendFrame(enc.buffer(), &frame);
+  return frame;
+}
+
+Result<WalRecord> DecodeRecord(const std::string& payload) {
+  BinaryDecoder dec(payload);
+  WalRecord record;
+  ESLEV_ASSIGN_OR_RETURN(uint8_t kind, dec.GetU8());
+  if (kind != static_cast<uint8_t>(WalRecordKind::kTuple) &&
+      kind != static_cast<uint8_t>(WalRecordKind::kHeartbeat)) {
+    return Status::IoError("bad WAL record kind " + std::to_string(kind));
+  }
+  record.kind = static_cast<WalRecordKind>(kind);
+  ESLEV_ASSIGN_OR_RETURN(record.lsn, dec.GetU64());
+  ESLEV_ASSIGN_OR_RETURN(record.stream, dec.GetString());
+  if (record.kind == WalRecordKind::kTuple) {
+    ESLEV_ASSIGN_OR_RETURN(Tuple t, dec.GetTuple());
+    record.tuple = std::move(t);
+  } else {
+    ESLEV_ASSIGN_OR_RETURN(record.ts, dec.GetI64());
+  }
+  if (!dec.AtEnd()) {
+    return Status::IoError("trailing bytes in WAL record payload");
+  }
+  return record;
+}
+
+}  // namespace
+
+Result<WalReadResult> ReadWal(const std::string& path) {
+  WalReadResult result;
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec)) {
+    return result;
+  }
+  ESLEV_ASSIGN_OR_RETURN(std::string bytes, ReadFileAll(path));
+  ESLEV_ASSIGN_OR_RETURN(FrameScanResult frames,
+                         ScanFrames(bytes.data(), bytes.size()));
+  result.valid_bytes = frames.valid_bytes;
+  result.torn_tail = frames.torn_tail;
+  result.records.reserve(frames.payloads.size());
+  uint64_t prev_lsn = 0;
+  for (const std::string& payload : frames.payloads) {
+    ESLEV_ASSIGN_OR_RETURN(WalRecord record, DecodeRecord(payload));
+    if (record.lsn <= prev_lsn && !result.records.empty()) {
+      return Status::IoError("WAL LSNs not strictly increasing at lsn " +
+                             std::to_string(record.lsn));
+    }
+    prev_lsn = record.lsn;
+    result.records.push_back(std::move(record));
+  }
+  return result;
+}
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Open(const std::string& path,
+                                                   uint64_t next_lsn,
+                                                   const WalOptions& options) {
+  if (options.truncate_to_bytes.has_value()) {
+    std::error_code ec;
+    if (std::filesystem::exists(path, ec)) {
+      std::filesystem::resize_file(path, *options.truncate_to_bytes, ec);
+      if (ec) {
+        return Status::IoError("cannot truncate WAL " + path + ": " +
+                               ec.message());
+      }
+    }
+  }
+  std::unique_ptr<WalWriter> writer(new WalWriter(path, next_lsn, options));
+  ESLEV_RETURN_NOT_OK(writer->ReopenForAppend());
+  return writer;
+}
+
+WalWriter::~WalWriter() {
+  Flush().ok();  // best effort; a torn tail here is what recovery tolerates
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status WalWriter::ReopenForAppend() {
+  file_ = std::fopen(path_.c_str(), "ab");
+  if (file_ == nullptr) {
+    return Status::IoError("cannot open WAL for append: " + path_);
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> WalWriter::AppendRecord(const WalRecord& record) {
+  pending_ += EncodeRecordFrame(record);
+  ++records_appended_;
+  const uint64_t lsn = record.lsn;
+  next_lsn_ = lsn + 1;
+  if (pending_.size() >= options_.group_commit_bytes) {
+    ESLEV_RETURN_NOT_OK(Flush());
+  }
+  return lsn;
+}
+
+Result<uint64_t> WalWriter::AppendTuple(const std::string& stream,
+                                        const Tuple& tuple) {
+  WalRecord record;
+  record.kind = WalRecordKind::kTuple;
+  record.lsn = next_lsn_;
+  record.stream = stream;
+  record.tuple = tuple;
+  return AppendRecord(record);
+}
+
+Result<uint64_t> WalWriter::AppendHeartbeat(const std::string& stream,
+                                            Timestamp ts) {
+  WalRecord record;
+  record.kind = WalRecordKind::kHeartbeat;
+  record.lsn = next_lsn_;
+  record.stream = stream;
+  record.ts = ts;
+  return AppendRecord(record);
+}
+
+Status WalWriter::Flush() {
+  if (pending_.empty()) return Status::OK();
+  if (file_ == nullptr) {
+    return Status::IoError("WAL writer has no open file: " + path_);
+  }
+  const size_t n = std::fwrite(pending_.data(), 1, pending_.size(), file_);
+  if (n != pending_.size() || std::fflush(file_) != 0) {
+    return Status::IoError("WAL group commit failed: " + path_);
+  }
+  bytes_written_ += pending_.size();
+  ++group_commits_;
+  pending_.clear();
+  return Status::OK();
+}
+
+Status WalWriter::TruncateBefore(uint64_t lsn) {
+  ESLEV_RETURN_NOT_OK(Flush());
+  ESLEV_ASSIGN_OR_RETURN(WalReadResult read, ReadWal(path_));
+  std::string kept;
+  for (const WalRecord& record : read.records) {
+    if (record.lsn >= lsn) {
+      kept += EncodeRecordFrame(record);
+    }
+  }
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  ESLEV_RETURN_NOT_OK(WriteFileAtomic(path_, kept));
+  return ReopenForAppend();
+}
+
+}  // namespace eslev

@@ -1,0 +1,127 @@
+// Event write-ahead log (DESIGN.md §10): an append-only sequence of
+// CRC32-framed records, one per input tuple or heartbeat, in arrival
+// order. Appends are buffered and flushed in group commits; a crash can
+// tear at most the buffered suffix, which the frame scanner recognizes
+// as a torn tail and discards.
+//
+// Each record is one frame (recovery/codec.h) whose payload is:
+//
+//   [u8 kind][u64 lsn][string stream]
+//   kind == kTuple:     [tuple]        (schema inline, self-contained)
+//   kind == kHeartbeat: [i64 ts]
+//
+// LSNs are assigned by the writer, strictly increasing, and never reused:
+// after a checkpoint at LSN n, replay skips records with lsn <= n.
+
+#ifndef ESLEV_RECOVERY_WAL_H_
+#define ESLEV_RECOVERY_WAL_H_
+
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/time.h"
+#include "recovery/codec.h"
+#include "types/tuple.h"
+
+namespace eslev {
+
+enum class WalRecordKind : uint8_t {
+  kTuple = 1,
+  kHeartbeat = 2,
+};
+
+/// \brief One logged input event.
+struct WalRecord {
+  WalRecordKind kind = WalRecordKind::kTuple;
+  uint64_t lsn = 0;
+  std::string stream;               // empty for engine-wide heartbeats
+  std::optional<Tuple> tuple;       // set iff kind == kTuple
+  Timestamp ts = 0;                 // set iff kind == kHeartbeat
+};
+
+struct WalOptions {
+  /// Appends accumulate in memory and hit the file once this many bytes
+  /// are pending (one group commit). 0 flushes on every append.
+  size_t group_commit_bytes = 16 * 1024;
+  /// When set, the existing file is truncated to this length before the
+  /// writer opens it for append — used after a torn-tail scan so stale
+  /// bytes past the tear can never be misread as frames later.
+  std::optional<size_t> truncate_to_bytes;
+};
+
+/// \brief Result of reading a WAL file front to back.
+struct WalReadResult {
+  std::vector<WalRecord> records;
+  /// Byte offset just past the last good frame (== file size when clean).
+  size_t valid_bytes = 0;
+  /// True when the file ends in a torn frame (crash mid-append).
+  bool torn_tail = false;
+};
+
+/// \brief Read every intact record of `path`. A missing file yields an
+/// empty clean result (a WAL that was never written is a valid WAL).
+/// Mid-file corruption — a bad frame with data after it — is an IoError.
+Result<WalReadResult> ReadWal(const std::string& path);
+
+/// \brief Buffered appender. Not thread-safe; callers serialize (the
+/// engines hold their own mutex around append + enqueue so WAL order
+/// matches processing order).
+class WalWriter {
+ public:
+  /// Opens `path` for append (creating it if absent), honoring
+  /// `options.truncate_to_bytes` first. `next_lsn` is the LSN the next
+  /// appended record receives; recovery passes last-read LSN + 1.
+  static Result<std::unique_ptr<WalWriter>> Open(const std::string& path,
+                                                 uint64_t next_lsn,
+                                                 const WalOptions& options = {});
+
+  ~WalWriter();  // best-effort flush
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// \brief Log an input tuple; returns the LSN it was assigned.
+  Result<uint64_t> AppendTuple(const std::string& stream, const Tuple& tuple);
+  /// \brief Log a time advancement; returns the LSN it was assigned.
+  Result<uint64_t> AppendHeartbeat(const std::string& stream, Timestamp ts);
+
+  /// \brief Force the pending group commit to the file.
+  Status Flush();
+
+  /// \brief Drop records with lsn < `lsn` by atomically rewriting the
+  /// file (checkpoint-driven truncation). Flushes first.
+  Status TruncateBefore(uint64_t lsn);
+
+  const std::string& path() const { return path_; }
+  uint64_t next_lsn() const { return next_lsn_; }
+
+  // Counters for MetricsRegistry ("wal." family).
+  uint64_t records_appended() const { return records_appended_; }
+  uint64_t group_commits() const { return group_commits_; }
+  uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  WalWriter(std::string path, uint64_t next_lsn, WalOptions options)
+      : path_(std::move(path)), next_lsn_(next_lsn), options_(options) {}
+
+  Result<uint64_t> AppendRecord(const WalRecord& record);
+  Status ReopenForAppend();
+
+  std::string path_;
+  uint64_t next_lsn_;
+  WalOptions options_;
+  std::FILE* file_ = nullptr;
+  std::string pending_;  // encoded frames awaiting group commit
+
+  uint64_t records_appended_ = 0;
+  uint64_t group_commits_ = 0;
+  uint64_t bytes_written_ = 0;
+};
+
+}  // namespace eslev
+
+#endif  // ESLEV_RECOVERY_WAL_H_

@@ -4,10 +4,15 @@
 #include <fstream>
 #include <sstream>
 
+#include "recovery/codec.h"
+
 namespace eslev {
 namespace rfid {
 
 namespace {
+
+constexpr char kBinaryTraceMagic[] = "ESLEV-TRACE";
+constexpr uint32_t kBinaryTraceVersion = 1;
 
 bool NeedsQuoting(const std::string& s) {
   return s.find_first_of(",\"\n") != std::string::npos;
@@ -175,6 +180,77 @@ Result<Workload> LoadTraceCsv(
     ESLEV_ASSIGN_OR_RETURN(Tuple tuple,
                            MakeTuple(schema, std::move(values), ts));
     workload.events.push_back({stream, std::move(tuple)});
+  }
+  return workload;
+}
+
+Status SaveTraceBinary(const Workload& workload, const std::string& path) {
+  BinaryEncoder header;
+  header.PutString(kBinaryTraceMagic);
+  header.PutU32(kBinaryTraceVersion);
+  header.PutU64(workload.events.size());
+
+  // One encoder for the whole body: each stream's schema is written
+  // inline once and back-referenced by every later event.
+  BinaryEncoder body;
+  for (const TimedReading& e : workload.events) {
+    body.PutString(e.stream);
+    body.PutTuple(e.tuple);
+  }
+
+  std::string file;
+  AppendFrame(header.buffer(), &file);
+  AppendFrame(body.buffer(), &file);
+  return WriteFileAtomic(path, file);
+}
+
+Result<Workload> LoadTraceBinary(
+    const std::string& path,
+    const std::map<std::string, SchemaPtr>& schemas) {
+  ESLEV_ASSIGN_OR_RETURN(std::string bytes, ReadFileAll(path));
+  ESLEV_ASSIGN_OR_RETURN(FrameScanResult frames,
+                         ScanFrames(bytes.data(), bytes.size()));
+  if (frames.torn_tail || frames.payloads.size() != 2) {
+    return Status::IoError("binary trace is truncated or malformed: " + path);
+  }
+
+  BinaryDecoder header(frames.payloads[0]);
+  ESLEV_ASSIGN_OR_RETURN(std::string magic, header.GetString());
+  if (magic != kBinaryTraceMagic) {
+    return Status::IoError("not a binary trace file: " + path);
+  }
+  ESLEV_ASSIGN_OR_RETURN(uint32_t version, header.GetU32());
+  if (version != kBinaryTraceVersion) {
+    return Status::IoError("unsupported binary trace version " +
+                           std::to_string(version) + ": " + path);
+  }
+  ESLEV_ASSIGN_OR_RETURN(uint64_t count, header.GetU64());
+
+  Workload workload;
+  workload.events.reserve(count);
+  BinaryDecoder body(frames.payloads[1]);
+  for (uint64_t i = 0; i < count; ++i) {
+    ESLEV_ASSIGN_OR_RETURN(std::string stream, body.GetString());
+    ESLEV_ASSIGN_OR_RETURN(Tuple decoded, body.GetTuple());
+    auto it = schemas.find(stream);
+    if (it == schemas.end()) {
+      return Status::NotFound("event " + std::to_string(i) +
+                              ": unknown stream " + stream);
+    }
+    if (decoded.values().size() != it->second->num_fields()) {
+      return Status::IoError("event " + std::to_string(i) +
+                             ": arity mismatch for stream " + stream);
+    }
+    // Re-bind to the catalog schema so replayed tuples are
+    // indistinguishable from freshly generated ones.
+    std::vector<Value> values(decoded.values().begin(),
+                              decoded.values().end());
+    ESLEV_ASSIGN_OR_RETURN(
+        Tuple tuple, MakeTuple(it->second, std::move(values), decoded.ts()));
+    workload.events.push_back({std::move(stream), std::move(tuple)});
+  }
+  if (!body.AtEnd()) {
+    return Status::IoError("binary trace has trailing bytes: " + path);
   }
   return workload;
 }

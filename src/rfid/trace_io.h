@@ -1,11 +1,19 @@
-// Trace persistence: save generated workloads to CSV and replay them —
-// the substitute for recorded production reader logs (DESIGN.md,
-// Substitutions). The format is one event per line:
+// Trace persistence: save generated workloads to CSV or a compact
+// binary format and replay them — the substitute for recorded
+// production reader logs (DESIGN.md, Substitutions).
+//
+// CSV is one event per line:
 //
 //   stream,timestamp_us,v1,v2,...
 //
 // Values are rendered per the stream's schema; strings are quoted only
 // when they contain a comma or quote (doubled-quote escaping).
+//
+// The binary format reuses the recovery codec (recovery/codec.h):
+// CRC-framed, fixed little-endian scalars, and schema back-references
+// so each stream's schema is written once per file. Two frames:
+// a header (magic string, version, event count) and a body holding
+// every event as [string stream][tuple].
 
 #ifndef ESLEV_RFID_TRACE_IO_H_
 #define ESLEV_RFID_TRACE_IO_H_
@@ -26,6 +34,18 @@ Status SaveTraceCsv(const Workload& workload, const std::string& path);
 /// \brief Read a trace; each stream's values are parsed against its
 /// schema from `schemas` (NotFound for an unknown stream name).
 Result<Workload> LoadTraceCsv(
+    const std::string& path,
+    const std::map<std::string, SchemaPtr>& schemas);
+
+/// \brief Write a workload trace in the binary format (atomic replace;
+/// ground-truth metadata is not persisted). IoError on filesystem
+/// failures.
+Status SaveTraceBinary(const Workload& workload, const std::string& path);
+
+/// \brief Read a binary trace. Decoded tuples are re-bound to the
+/// catalog schema from `schemas` (NotFound for an unknown stream,
+/// IoError for corruption, version or arity mismatch).
+Result<Workload> LoadTraceBinary(
     const std::string& path,
     const std::map<std::string, SchemaPtr>& schemas);
 

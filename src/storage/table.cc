@@ -92,6 +92,46 @@ bool Table::HasIndex(const std::string& column) const {
   return col >= 0 && static_cast<size_t>(col) == *indexed_column_;
 }
 
+Status Table::SaveState(BinaryEncoder* enc) const {
+  enc->PutBool(indexed_column_.has_value());
+  if (indexed_column_) {
+    enc->PutU32(static_cast<uint32_t>(*indexed_column_));
+  }
+  enc->PutU32(static_cast<uint32_t>(rows_.size()));
+  for (const Tuple& row : rows_) {
+    enc->PutTuple(row);
+  }
+  return Status::OK();
+}
+
+Status Table::RestoreState(BinaryDecoder* dec) {
+  ESLEV_ASSIGN_OR_RETURN(bool has_index, dec->GetBool());
+  std::optional<size_t> indexed_column;
+  if (has_index) {
+    ESLEV_ASSIGN_OR_RETURN(uint32_t col, dec->GetU32());
+    if (col >= schema_->num_fields()) {
+      return Status::IoError("table '" + name_ +
+                             "': indexed column out of range");
+    }
+    indexed_column = col;
+  }
+  ESLEV_ASSIGN_OR_RETURN(uint32_t n, dec->GetU32());
+  std::vector<Tuple> rows;
+  rows.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    ESLEV_ASSIGN_OR_RETURN(Tuple row, dec->GetTuple());
+    if (row.size() != schema_->num_fields()) {
+      return Status::IoError("table '" + name_ +
+                             "': checkpointed row arity mismatch");
+    }
+    rows.push_back(std::move(row));
+  }
+  rows_ = std::move(rows);
+  indexed_column_ = indexed_column;
+  ReindexAll();
+  return Status::OK();
+}
+
 void Table::ReindexAll() {
   index_.clear();
   if (!indexed_column_) return;

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "recovery/codec.h"
 #include "types/schema.h"
 #include "types/tuple.h"
 
@@ -59,6 +60,12 @@ class Table {
   Status CreateIndex(const std::string& column);
 
   bool HasIndex(const std::string& column) const;
+
+  /// \brief Serialize rows + index configuration (checkpoint). The hash
+  /// index itself is rebuilt on restore, not persisted.
+  Status SaveState(BinaryEncoder* enc) const;
+  /// \brief Restore state saved by SaveState (schema must already match).
+  Status RestoreState(BinaryDecoder* dec);
 
  private:
   void ReindexAll();

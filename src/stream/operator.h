@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "recovery/codec.h"
 #include "types/tuple.h"
 
 namespace eslev {
@@ -76,6 +77,35 @@ class Operator {
   /// \brief Append operator-specific stats (retained history, window
   /// buffer size, probe counts, ...). Base: none.
   virtual void AppendStats(OperatorStatList* out) const { (void)out; }
+
+  /// \brief Serialize all mutable state into `enc` for a checkpoint
+  /// (DESIGN.md §10). Stateless operators — the default — write nothing.
+  /// The universal in/out/heartbeat counters are captured separately by
+  /// the engine; implementations serialize only subclass state.
+  virtual Status SaveState(BinaryEncoder* enc) const {
+    (void)enc;
+    return Status::OK();
+  }
+
+  /// \brief Restore state previously written by SaveState. Called on a
+  /// freshly planned operator with identical configuration; must consume
+  /// the decoder exactly. The stateless default expects an empty blob.
+  virtual Status RestoreState(BinaryDecoder* dec) {
+    if (!dec->AtEnd()) {
+      return Status::IoError("checkpoint carries state for stateless operator '" +
+                             label_ + "'");
+    }
+    return Status::OK();
+  }
+
+  /// \brief Reload the dispatch-boundary counters captured at checkpoint
+  /// time, so post-restore metrics continue instead of restarting at 0.
+  void RestoreCounters(uint64_t tuples_in, uint64_t tuples_out,
+                       uint64_t heartbeats_in) {
+    tuples_in_.store(tuples_in, std::memory_order_relaxed);
+    tuples_out_.store(tuples_out, std::memory_order_relaxed);
+    heartbeats_in_.store(heartbeats_in, std::memory_order_relaxed);
+  }
 
  protected:
   /// \brief Subclass hook for tuple processing.

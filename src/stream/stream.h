@@ -58,6 +58,19 @@ class Stream {
   uint64_t heartbeats_delivered() const { return heartbeats_delivered_; }
   size_t retained_count() const { return retained_.size(); }
 
+  /// \brief Suppress user callbacks until more than `seq` tuples have been
+  /// pushed over this stream's lifetime. Crash recovery sets this on
+  /// derived streams before WAL replay so consumers do not re-observe
+  /// emissions already delivered before the crash (DESIGN.md §10).
+  /// Operator fan-out is NOT suppressed — downstream state must rebuild.
+  void set_deliver_after_seq(uint64_t seq) { deliver_after_seq_ = seq; }
+  uint64_t callbacks_suppressed() const { return callbacks_suppressed_; }
+
+  /// \brief Serialize counters, retention clock, and retained suffix.
+  Status SaveState(BinaryEncoder* enc) const;
+  /// \brief Restore state saved by SaveState (schema must already match).
+  Status RestoreState(BinaryDecoder* dec);
+
  private:
   void Retain(const Tuple& tuple);
   void TrimRetention(Timestamp now);
@@ -76,6 +89,8 @@ class Stream {
   uint64_t tuples_pushed_ = 0;
   uint64_t heartbeats_delivered_ = 0;
   Timestamp last_heartbeat_ = kMinTimestamp;
+  uint64_t deliver_after_seq_ = 0;
+  uint64_t callbacks_suppressed_ = 0;
 };
 
 /// \brief Adapter operator that pushes every received tuple into a Stream

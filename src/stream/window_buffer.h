@@ -41,6 +41,10 @@ class WindowBuffer {
     }
   }
 
+  /// \brief Replace the contents wholesale (checkpoint restore). Bypasses
+  /// eviction: the tuples were already within the window when saved.
+  void Assign(std::deque<Tuple> tuples) { tuples_ = std::move(tuples); }
+
   const std::deque<Tuple>& tuples() const { return tuples_; }
   size_t size() const { return tuples_.size(); }
   bool empty() const { return tuples_.empty(); }

@@ -1,0 +1,338 @@
+// Kill-replay differential sweep (DESIGN.md §10 acceptance): on seeded
+// random traces, crash the engine at a random point (after a checkpoint
+// taken at another random point), recover from checkpoint + WAL suffix,
+// feed the remaining trace, and require the concatenation of pre-crash
+// and post-recovery emissions to be byte-identical to an uninterrupted
+// run — across all four pairing modes, windowed SEQ, the trailing-star
+// extension, EXCEPTION_SEQ deadline anchors, and ShardedEngine at
+// 1/2/4 shards.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/sharded_engine.h"
+#include "recovery/checkpoint.h"
+
+namespace eslev {
+namespace {
+
+struct Event {
+  std::string stream;
+  std::string tag;
+  Timestamp ts;
+};
+
+std::vector<Event> MakeTrace(uint32_t seed, size_t num_events,
+                             const std::vector<std::string>& streams,
+                             int num_tags) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<size_t> pick_stream(0, streams.size() - 1);
+  std::uniform_int_distribution<int> pick_tag(0, num_tags - 1);
+  std::uniform_int_distribution<Duration> step(Milliseconds(50), Seconds(2));
+  std::vector<Event> events;
+  Timestamp now = Seconds(1);
+  for (size_t i = 0; i < num_events; ++i) {
+    events.push_back({streams[pick_stream(rng)],
+                      "tag" + std::to_string(pick_tag(rng)), now});
+    now += step(rng);
+  }
+  return events;
+}
+
+struct Scenario {
+  std::string ddl;
+  std::string query;
+  std::vector<std::string> streams;
+  // How far past the last event the closing heartbeat advances —
+  // EXCEPTION_SEQ scenarios need it beyond the FOLLOWING window so
+  // checkpointed deadlines fire after recovery.
+  Duration tail_advance = Minutes(10);
+};
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "recovery_diff_" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+void PushEvent(Engine& engine, const Event& e) {
+  ASSERT_TRUE(engine
+                  .Push(e.stream,
+                        {Value::String("r"), Value::String(e.tag),
+                         Value::Time(e.ts)},
+                        e.ts)
+                  .ok());
+}
+
+std::vector<std::string> RunUninterrupted(const Scenario& scenario,
+                                          const std::vector<Event>& events) {
+  Engine engine;
+  EXPECT_TRUE(engine.ExecuteScript(scenario.ddl).ok());
+  auto q = engine.RegisterQuery(scenario.query);
+  EXPECT_TRUE(q.ok()) << q.status();
+  std::vector<std::string> rows;
+  EXPECT_TRUE(
+      engine
+          .Subscribe(q->output_stream,
+                     [&](const Tuple& t) { rows.push_back(t.ToString()); })
+          .ok());
+  for (const Event& e : events) PushEvent(engine, e);
+  EXPECT_TRUE(engine.AdvanceTime(events.back().ts + scenario.tail_advance).ok());
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+// Run the same trace with a checkpoint at `ckpt_at` and a crash at
+// `kill_at` (engine destroyed, only the WAL and checkpoint survive),
+// then recover into a fresh engine and feed the tail. Returns the
+// concatenation of pre-crash and post-recovery emissions, sorted.
+std::vector<std::string> RunKilled(const Scenario& scenario,
+                                   const std::vector<Event>& events,
+                                   size_t ckpt_at, size_t kill_at,
+                                   const std::string& dir) {
+  WalOptions wal_options;
+  wal_options.group_commit_bytes = 0;  // every append durable at the kill
+  std::vector<std::string> rows;
+  {
+    Engine a;
+    EXPECT_TRUE(a.ExecuteScript(scenario.ddl).ok());
+    auto qa = a.RegisterQuery(scenario.query);
+    EXPECT_TRUE(qa.ok()) << qa.status();
+    EXPECT_TRUE(
+        a.Subscribe(qa->output_stream,
+                    [&](const Tuple& t) { rows.push_back(t.ToString()); })
+            .ok());
+    EXPECT_TRUE(a.EnableWal(dir + "/" + kWalFileName, wal_options).ok());
+    for (size_t i = 0; i < ckpt_at; ++i) PushEvent(a, events[i]);
+    EXPECT_TRUE(a.Checkpoint(dir).ok());
+    for (size_t i = ckpt_at; i < kill_at; ++i) PushEvent(a, events[i]);
+  }  // crash: nothing after this line sees engine A
+
+  Engine b;
+  EXPECT_TRUE(b.ExecuteScript(scenario.ddl).ok());
+  auto qb = b.RegisterQuery(scenario.query);
+  EXPECT_TRUE(qb.ok()) << qb.status();
+  EXPECT_TRUE(
+      b.Subscribe(qb->output_stream,
+                  [&](const Tuple& t) { rows.push_back(t.ToString()); })
+          .ok());
+  Status recovered = b.RecoverFrom(dir);
+  EXPECT_TRUE(recovered.ok()) << recovered;
+  for (size_t i = kill_at; i < events.size(); ++i) PushEvent(b, events[i]);
+  EXPECT_TRUE(b.AdvanceTime(events.back().ts + scenario.tail_advance).ok());
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+void ExpectKillReplayEquivalence(const Scenario& scenario, uint32_t seed,
+                                 size_t num_events, int num_tags,
+                                 const std::string& tag) {
+  const auto events = MakeTrace(seed, num_events, scenario.streams, num_tags);
+  const auto reference = RunUninterrupted(scenario, events);
+  std::mt19937 rng(seed * 2654435761u + 1);
+  for (int round = 0; round < 3; ++round) {
+    const size_t ckpt_at =
+        std::uniform_int_distribution<size_t>(0, num_events - 1)(rng);
+    const size_t kill_at =
+        std::uniform_int_distribution<size_t>(ckpt_at, num_events)(rng);
+    const std::string dir =
+        FreshDir(tag + "_s" + std::to_string(seed) + "_r" +
+                 std::to_string(round));
+    const auto killed = RunKilled(scenario, events, ckpt_at, kill_at, dir);
+    EXPECT_EQ(killed, reference)
+        << tag << " seed " << seed << " ckpt_at " << ckpt_at << " kill_at "
+        << kill_at;
+    std::filesystem::remove_all(dir);
+  }
+}
+
+constexpr char kSeqDdl[] = R"sql(
+  CREATE STREAM C1(readerid, tagid, tagtime);
+  CREATE STREAM C2(readerid, tagid, tagtime);
+  CREATE STREAM C3(readerid, tagid, tagtime);
+)sql";
+
+Scenario SeqScenario(const std::string& mode_clause,
+                     const std::string& window_clause) {
+  Scenario s;
+  s.ddl = kSeqDdl;
+  s.query = "SELECT C3.tagid, C1.tagtime, C3.tagtime FROM C1, C2, C3 "
+            "WHERE SEQ(C1, C2, C3)" +
+            window_clause + mode_clause +
+            " AND C1.tagid=C2.tagid AND C1.tagid=C3.tagid";
+  s.streams = {"C1", "C2", "C3"};
+  return s;
+}
+
+class RecoveryDifferentialTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(RecoveryDifferentialTest, SeqAcrossAllPairingModes) {
+  const uint32_t seed = GetParam();
+  int i = 0;
+  for (const char* mode :
+       {"", " MODE RECENT", " MODE CHRONICLE", " MODE CONSECUTIVE"}) {
+    ExpectKillReplayEquivalence(SeqScenario(mode, ""), seed ^ 0x9e3779b9u, 160,
+                                4, "mode" + std::to_string(i++));
+  }
+}
+
+TEST_P(RecoveryDifferentialTest, WindowedSeq) {
+  ExpectKillReplayEquivalence(
+      SeqScenario(" MODE CHRONICLE", " OVER [30 SECONDS PRECEDING C3]"),
+      GetParam() + 7, 160, 4, "windowed");
+}
+
+TEST_P(RecoveryDifferentialTest, TrailingStarGroups) {
+  Scenario s;
+  s.ddl = R"sql(
+    CREATE STREAM R1(readerid, tagid, tagtime);
+    CREATE STREAM R2(readerid, tagid, tagtime);
+  )sql";
+  s.query = R"sql(
+    SELECT FIRST(R1*).tagtime, COUNT(R1*), R2.tagid, R2.tagtime
+    FROM R1, R2
+    WHERE SEQ(R1*, R2) MODE CHRONICLE
+      AND R2.tagtime - LAST(R1*).tagtime <= 5 SECONDS
+      AND R1.tagtime - R1.previous.tagtime <= 1 SECONDS
+  )sql";
+  s.streams = {"R1", "R2"};
+  ExpectKillReplayEquivalence(s, GetParam() + 101, 140, 3, "star");
+}
+
+TEST_P(RecoveryDifferentialTest, ExceptionSeqDeadlinesSurviveTheCrash) {
+  // Anchored 10-minute deadlines: many are open at the kill point, so
+  // recovery must reconstruct them from the checkpoint (and WAL-replayed
+  // heartbeats) for the tail heartbeat to fire the same violations.
+  Scenario s;
+  s.ddl = kSeqDdl;
+  s.query = "SELECT C1.tagid, C1.tagtime FROM C1, C2, C3 "
+            "WHERE EXCEPTION_SEQ(C1, C2, C3) OVER [10 MINUTES FOLLOWING C1] "
+            "AND C1.tagid=C2.tagid AND C1.tagid=C3.tagid";
+  s.streams = {"C1", "C2", "C3"};
+  s.tail_advance = Minutes(30);  // beyond every open deadline
+  ExpectKillReplayEquivalence(s, GetParam() + 211, 140, 4, "exception");
+}
+
+// ---- sharded: coordinated checkpoint + front-end WAL --------------------
+
+std::vector<std::string> RunShardedUninterrupted(
+    const Scenario& scenario, const std::vector<Event>& events,
+    size_t num_shards) {
+  ShardedEngineOptions options;
+  options.num_shards = num_shards;
+  ShardedEngine engine(options);
+  EXPECT_TRUE(engine.ExecuteScript(scenario.ddl).ok());
+  auto q = engine.RegisterQuery(scenario.query);
+  EXPECT_TRUE(q.ok()) << q.status();
+  std::vector<std::string> rows;
+  EXPECT_TRUE(
+      engine
+          .Subscribe(q->output_stream,
+                     [&](const Tuple& t) { rows.push_back(t.ToString()); })
+          .ok());
+  for (const Event& e : events) {
+    EXPECT_TRUE(engine
+                    .Push(e.stream,
+                          {Value::String("r"), Value::String(e.tag),
+                           Value::Time(e.ts)},
+                          e.ts)
+                    .ok());
+  }
+  EXPECT_TRUE(engine.AdvanceTime(events.back().ts + scenario.tail_advance).ok());
+  EXPECT_TRUE(engine.Flush().ok());
+  engine.DrainOutputs();
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+std::vector<std::string> RunShardedKilled(const Scenario& scenario,
+                                          const std::vector<Event>& events,
+                                          size_t num_shards, size_t ckpt_at,
+                                          size_t kill_at,
+                                          const std::string& dir) {
+  ShardedEngineOptions options;
+  options.num_shards = num_shards;
+  WalOptions wal_options;
+  wal_options.group_commit_bytes = 0;
+  std::vector<std::string> rows;
+  auto push = [](ShardedEngine& engine, const Event& e) {
+    ASSERT_TRUE(engine
+                    .Push(e.stream,
+                          {Value::String("r"), Value::String(e.tag),
+                           Value::Time(e.ts)},
+                          e.ts)
+                    .ok());
+  };
+  {
+    ShardedEngine a(options);
+    EXPECT_TRUE(a.ExecuteScript(scenario.ddl).ok());
+    auto qa = a.RegisterQuery(scenario.query);
+    EXPECT_TRUE(qa.ok()) << qa.status();
+    EXPECT_TRUE(
+        a.Subscribe(qa->output_stream,
+                    [&](const Tuple& t) { rows.push_back(t.ToString()); })
+            .ok());
+    EXPECT_TRUE(a.EnableWal(dir + "/" + kWalFileName, wal_options).ok());
+    for (size_t i = 0; i < ckpt_at; ++i) push(a, events[i]);
+    EXPECT_TRUE(a.Checkpoint(dir).ok());
+    for (size_t i = ckpt_at; i < kill_at; ++i) push(a, events[i]);
+    // The consumer drained everything delivered so far; the crash loses
+    // only in-flight state, which recovery must regenerate.
+    EXPECT_TRUE(a.Flush().ok());
+    a.DrainOutputs();
+  }  // crash
+
+  ShardedEngine b(options);
+  EXPECT_TRUE(b.ExecuteScript(scenario.ddl).ok());
+  auto qb = b.RegisterQuery(scenario.query);
+  EXPECT_TRUE(qb.ok()) << qb.status();
+  EXPECT_TRUE(
+      b.Subscribe(qb->output_stream,
+                  [&](const Tuple& t) { rows.push_back(t.ToString()); })
+          .ok());
+  Status recovered = b.RecoverFrom(dir);
+  EXPECT_TRUE(recovered.ok()) << recovered;
+  for (size_t i = kill_at; i < events.size(); ++i) push(b, events[i]);
+  EXPECT_TRUE(b.AdvanceTime(events.back().ts + scenario.tail_advance).ok());
+  EXPECT_TRUE(b.Flush().ok());
+  b.DrainOutputs();
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+TEST_P(RecoveryDifferentialTest, ShardedKillReplayAt124Shards) {
+  const uint32_t seed = GetParam();
+  const Scenario scenario = SeqScenario(" MODE CHRONICLE", "");
+  const auto events = MakeTrace(seed + 53, 160, scenario.streams, 4);
+  std::mt19937 rng(seed * 40503u + 3);
+  for (size_t shards : {1u, 2u, 4u}) {
+    const auto reference =
+        RunShardedUninterrupted(scenario, events, shards);
+    const size_t ckpt_at =
+        std::uniform_int_distribution<size_t>(0, events.size() - 1)(rng);
+    const size_t kill_at =
+        std::uniform_int_distribution<size_t>(ckpt_at, events.size())(rng);
+    const std::string dir =
+        FreshDir("sharded_s" + std::to_string(seed) + "_n" +
+                 std::to_string(shards));
+    const auto killed = RunShardedKilled(scenario, events, shards, ckpt_at,
+                                         kill_at, dir);
+    EXPECT_EQ(killed, reference)
+        << shards << " shards, seed " << seed << " ckpt_at " << ckpt_at
+        << " kill_at " << kill_at;
+    std::filesystem::remove_all(dir);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RecoveryDifferentialTest,
+                         ::testing::Values(1u, 2u, 3u));
+
+}  // namespace
+}  // namespace eslev

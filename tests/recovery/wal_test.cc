@@ -1,0 +1,229 @@
+// Event WAL unit tests (recovery/wal.h): append/read round-trips, LSN
+// assignment, group commit, checkpoint-driven truncation, and the
+// fault-injection cases — torn final frame, mid-file corruption.
+
+#include "recovery/wal.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace eslev {
+namespace {
+
+class WalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "wal_test_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".log";
+    std::remove(path_.c_str());
+    schema_ = Schema::Make({{"reader_id", TypeId::kString},
+                            {"tag_id", TypeId::kString},
+                            {"read_time", TypeId::kTimestamp}});
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  Tuple MakeReading(const std::string& tag, Timestamp ts) const {
+    return Tuple(schema_,
+                 {Value::String("r1"), Value::String(tag), Value::Time(ts)},
+                 ts);
+  }
+
+  std::string path_;
+  SchemaPtr schema_;
+};
+
+TEST_F(WalTest, MissingFileReadsAsEmptyCleanLog) {
+  auto read = ReadWal(path_);
+  ASSERT_TRUE(read.ok()) << read.status();
+  EXPECT_TRUE(read->records.empty());
+  EXPECT_EQ(read->valid_bytes, 0u);
+  EXPECT_FALSE(read->torn_tail);
+}
+
+TEST_F(WalTest, AppendFlushReadRoundTrip) {
+  auto writer = WalWriter::Open(path_, 1);
+  ASSERT_TRUE(writer.ok()) << writer.status();
+  EXPECT_EQ(*(*writer)->AppendTuple("readings", MakeReading("t1", 10)), 1u);
+  EXPECT_EQ(*(*writer)->AppendHeartbeat("", 20), 2u);
+  EXPECT_EQ(*(*writer)->AppendTuple("readings", MakeReading("t2", 30)), 3u);
+  ASSERT_TRUE((*writer)->Flush().ok());
+  EXPECT_EQ((*writer)->records_appended(), 3u);
+  EXPECT_EQ((*writer)->next_lsn(), 4u);
+
+  auto read = ReadWal(path_);
+  ASSERT_TRUE(read.ok()) << read.status();
+  EXPECT_FALSE(read->torn_tail);
+  ASSERT_EQ(read->records.size(), 3u);
+  EXPECT_EQ(read->records[0].kind, WalRecordKind::kTuple);
+  EXPECT_EQ(read->records[0].lsn, 1u);
+  EXPECT_EQ(read->records[0].stream, "readings");
+  ASSERT_TRUE(read->records[0].tuple.has_value());
+  EXPECT_EQ(read->records[0].tuple->ToString(),
+            MakeReading("t1", 10).ToString());
+  EXPECT_EQ(read->records[1].kind, WalRecordKind::kHeartbeat);
+  EXPECT_EQ(read->records[1].stream, "");
+  EXPECT_EQ(read->records[1].ts, 20);
+  EXPECT_EQ(read->records[2].lsn, 3u);
+}
+
+TEST_F(WalTest, GroupCommitBuffersUntilThreshold) {
+  WalOptions options;
+  options.group_commit_bytes = 1 << 20;  // nothing auto-flushes below 1 MiB
+  auto writer = WalWriter::Open(path_, 1, options);
+  ASSERT_TRUE(writer.ok()) << writer.status();
+  ASSERT_TRUE((*writer)->AppendTuple("readings", MakeReading("t1", 10)).ok());
+  // Not flushed yet: a reader sees an empty (or shorter) file.
+  auto before = ReadWal(path_);
+  ASSERT_TRUE(before.ok());
+  EXPECT_TRUE(before->records.empty());
+  ASSERT_TRUE((*writer)->Flush().ok());
+  EXPECT_EQ((*writer)->group_commits(), 1u);
+  auto after = ReadWal(path_);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->records.size(), 1u);
+  EXPECT_GT((*writer)->bytes_written(), 0u);
+}
+
+TEST_F(WalTest, ZeroThresholdFlushesEveryAppend) {
+  WalOptions options;
+  options.group_commit_bytes = 0;
+  auto writer = WalWriter::Open(path_, 1, options);
+  ASSERT_TRUE(writer.ok()) << writer.status();
+  ASSERT_TRUE((*writer)->AppendTuple("readings", MakeReading("t1", 10)).ok());
+  auto read = ReadWal(path_);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->records.size(), 1u);
+}
+
+TEST_F(WalTest, ReopenContinuesLsnSequence) {
+  {
+    auto writer = WalWriter::Open(path_, 1);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->AppendTuple("readings", MakeReading("t1", 10)).ok());
+    ASSERT_TRUE((*writer)->Flush().ok());
+  }
+  auto read = ReadWal(path_);
+  ASSERT_TRUE(read.ok());
+  ASSERT_EQ(read->records.size(), 1u);
+  auto writer = WalWriter::Open(path_, read->records.back().lsn + 1);
+  ASSERT_TRUE(writer.ok());
+  EXPECT_EQ(*(*writer)->AppendTuple("readings", MakeReading("t2", 20)), 2u);
+  ASSERT_TRUE((*writer)->Flush().ok());
+  auto again = ReadWal(path_);
+  ASSERT_TRUE(again.ok());
+  ASSERT_EQ(again->records.size(), 2u);
+  EXPECT_EQ(again->records[1].lsn, 2u);
+}
+
+TEST_F(WalTest, TruncateBeforeDropsCoveredPrefix) {
+  auto writer = WalWriter::Open(path_, 1);
+  ASSERT_TRUE(writer.ok());
+  for (int i = 1; i <= 5; ++i) {
+    ASSERT_TRUE(
+        (*writer)->AppendTuple("readings", MakeReading("t", i * 10)).ok());
+  }
+  ASSERT_TRUE((*writer)->TruncateBefore(4).ok());
+  // Records 4 and 5 survive; the writer still appends at LSN 6.
+  auto read = ReadWal(path_);
+  ASSERT_TRUE(read.ok());
+  ASSERT_EQ(read->records.size(), 2u);
+  EXPECT_EQ(read->records[0].lsn, 4u);
+  EXPECT_EQ(read->records[1].lsn, 5u);
+  EXPECT_EQ(*(*writer)->AppendTuple("readings", MakeReading("t6", 60)), 6u);
+  ASSERT_TRUE((*writer)->Flush().ok());
+  auto after = ReadWal(path_);
+  ASSERT_TRUE(after.ok());
+  ASSERT_EQ(after->records.size(), 3u);
+  EXPECT_EQ(after->records.back().lsn, 6u);
+}
+
+TEST_F(WalTest, TornFinalFrameIsToleratedAndReported) {
+  {
+    auto writer = WalWriter::Open(path_, 1);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->AppendTuple("readings", MakeReading("t1", 10)).ok());
+    ASSERT_TRUE((*writer)->AppendTuple("readings", MakeReading("t2", 20)).ok());
+    ASSERT_TRUE((*writer)->Flush().ok());
+  }
+  // Crash mid-append: chop bytes off the end of the file.
+  auto bytes = ReadFileAll(path_);
+  ASSERT_TRUE(bytes.ok());
+  ASSERT_TRUE(
+      WriteFileAtomic(path_, bytes->substr(0, bytes->size() - 7)).ok());
+  auto read = ReadWal(path_);
+  ASSERT_TRUE(read.ok()) << read.status();
+  EXPECT_TRUE(read->torn_tail);
+  ASSERT_EQ(read->records.size(), 1u);
+  EXPECT_EQ(read->records[0].lsn, 1u);
+  EXPECT_LT(read->valid_bytes, bytes->size());
+
+  // Reopening with truncate_to_bytes drops the tear for good; the next
+  // append produces a clean log again.
+  WalOptions options;
+  options.truncate_to_bytes = read->valid_bytes;
+  auto writer = WalWriter::Open(path_, 2, options);
+  ASSERT_TRUE(writer.ok()) << writer.status();
+  ASSERT_TRUE((*writer)->AppendTuple("readings", MakeReading("t3", 30)).ok());
+  ASSERT_TRUE((*writer)->Flush().ok());
+  auto again = ReadWal(path_);
+  ASSERT_TRUE(again.ok()) << again.status();
+  EXPECT_FALSE(again->torn_tail);
+  ASSERT_EQ(again->records.size(), 2u);
+  EXPECT_EQ(again->records[1].lsn, 2u);
+}
+
+TEST_F(WalTest, MidFileCorruptionIsAnError) {
+  {
+    auto writer = WalWriter::Open(path_, 1);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->AppendTuple("readings", MakeReading("t1", 10)).ok());
+    ASSERT_TRUE((*writer)->AppendTuple("readings", MakeReading("t2", 20)).ok());
+    ASSERT_TRUE((*writer)->Flush().ok());
+  }
+  auto bytes = ReadFileAll(path_);
+  ASSERT_TRUE(bytes.ok());
+  std::string corrupted = *bytes;
+  corrupted[10] ^= 0x01;  // inside the first record, with data after it
+  ASSERT_TRUE(WriteFileAtomic(path_, corrupted).ok());
+  EXPECT_TRUE(ReadWal(path_).status().IsIoError());
+}
+
+TEST_F(WalTest, NonMonotonicLsnsAreRejected) {
+  // Two separate writers both starting at LSN 1 produce a log whose
+  // second record repeats the LSN — the reader must refuse it.
+  {
+    auto writer = WalWriter::Open(path_, 1);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->AppendTuple("readings", MakeReading("t1", 10)).ok());
+    ASSERT_TRUE((*writer)->Flush().ok());
+  }
+  {
+    auto writer = WalWriter::Open(path_, 1);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->AppendTuple("readings", MakeReading("t2", 20)).ok());
+    ASSERT_TRUE((*writer)->Flush().ok());
+  }
+  EXPECT_TRUE(ReadWal(path_).status().IsIoError());
+}
+
+TEST_F(WalTest, DestructorFlushesPending) {
+  {
+    WalOptions options;
+    options.group_commit_bytes = 1 << 20;
+    auto writer = WalWriter::Open(path_, 1, options);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->AppendTuple("readings", MakeReading("t1", 10)).ok());
+  }  // destructor: best-effort flush
+  auto read = ReadWal(path_);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->records.size(), 1u);
+}
+
+}  // namespace
+}  // namespace eslev

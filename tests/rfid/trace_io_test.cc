@@ -114,6 +114,83 @@ TEST_F(TraceIoTest, Errors) {
       LoadTraceCsv(path_, {{"s", int_schema}}).status().IsIoError());
 }
 
+TEST_F(TraceIoTest, BinaryRoundTripPackingWorkload) {
+  PackingWorkloadOptions options;
+  options.num_cases = 20;
+  auto original = MakePackingWorkload(options);
+
+  ASSERT_TRUE(SaveTraceBinary(original, path_).ok());
+
+  std::map<std::string, SchemaPtr> schemas = {{"R1", ReaderSchema()},
+                                              {"R2", ReaderSchema()}};
+  auto loaded = LoadTraceBinary(path_, schemas);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->events.size(), original.events.size());
+  for (size_t i = 0; i < original.events.size(); ++i) {
+    EXPECT_EQ(loaded->events[i].stream, original.events[i].stream);
+    EXPECT_TRUE(loaded->events[i].tuple.Equals(original.events[i].tuple))
+        << "event " << i;
+    // Re-bound to the catalog schema, not a decoded copy.
+    EXPECT_EQ(loaded->events[i].tuple.schema().get(),
+              schemas.at(loaded->events[i].stream).get());
+  }
+}
+
+TEST_F(TraceIoTest, BinaryWritesEachSchemaOnce) {
+  DuplicateWorkloadOptions options;
+  options.num_distinct = 200;
+  auto workload = MakeDuplicateWorkload(options);
+  ASSERT_TRUE(SaveTraceBinary(workload, path_).ok());
+  // Schema back-referencing: the field name "read_time" appears in the
+  // inline definition of the readings schema and nowhere else, no
+  // matter how many events share it.
+  std::ifstream in(path_, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  size_t occurrences = 0;
+  for (size_t at = bytes.find("read_time"); at != std::string::npos;
+       at = bytes.find("read_time", at + 1)) {
+    ++occurrences;
+  }
+  EXPECT_EQ(occurrences, 1u);
+}
+
+TEST_F(TraceIoTest, BinaryErrors) {
+  EXPECT_TRUE(
+      LoadTraceBinary("/nonexistent/dir/x.bin", {}).status().IsIoError());
+
+  Workload w;
+  w.events.push_back({"s",
+                      Tuple(Schema::Make({{"v", TypeId::kInt64}}),
+                            {Value::Int(1)}, 5)});
+  ASSERT_TRUE(SaveTraceBinary(w, path_).ok());
+
+  // Unknown stream.
+  EXPECT_TRUE(LoadTraceBinary(path_, {}).status().IsNotFound());
+
+  // Arity mismatch against the catalog schema.
+  auto two = Schema::Make({{"a", TypeId::kInt64}, {"b", TypeId::kInt64}});
+  EXPECT_TRUE(LoadTraceBinary(path_, {{"s", two}}).status().IsIoError());
+
+  // Truncated file.
+  {
+    std::ifstream in(path_, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    std::ofstream out(path_, std::ios::trunc | std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() - 4));
+  }
+  auto one = Schema::Make({{"v", TypeId::kInt64}});
+  EXPECT_TRUE(LoadTraceBinary(path_, {{"s", one}}).status().IsIoError());
+
+  // Not a trace file at all.
+  {
+    std::ofstream out(path_, std::ios::trunc | std::ios::binary);
+    out << "definitely not frames";
+  }
+  EXPECT_TRUE(LoadTraceBinary(path_, {{"s", one}}).status().IsIoError());
+}
+
 }  // namespace
 }  // namespace rfid
 }  // namespace eslev
