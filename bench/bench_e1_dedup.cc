@@ -47,8 +47,8 @@ void BM_DedupSweepDupFactor(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           workload.events.size());
   state.counters["dup_factor"] = static_cast<double>(state.range(0));
-  state.counters["kept_fraction"] =
-      static_cast<double>(cleaned) / workload.events.size();
+  state.counters["kept_fraction"] = static_cast<double>(cleaned) /
+                                    static_cast<double>(workload.events.size());
 }
 BENCHMARK(BM_DedupSweepDupFactor)->Arg(0)->Arg(1)->Arg(3)->Arg(7)->Arg(15);
 

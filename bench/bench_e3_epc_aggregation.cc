@@ -48,7 +48,7 @@ void BM_EpcAggregation(benchmark::State& state) {
                           workload.events.size());
   state.counters["selectivity_pct"] =
       100.0 * static_cast<double>(workload.expected_matches) /
-      workload.events.size();
+      static_cast<double>(workload.events.size());
 }
 BENCHMARK(BM_EpcAggregation)->Arg(100)->Arg(1000)->Arg(4999)->Arg(7000);
 

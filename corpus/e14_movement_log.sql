@@ -1,0 +1,15 @@
+-- Recovery/end-to-end pipeline (bench_e14_recovery, bench_e11): dedup
+-- into a derived stream, then archive movements into a table.
+CREATE STREAM readings(reader_id, tag_id, read_time);
+CREATE STREAM cleaned_readings(reader_id, tag_id, read_time);
+CREATE TABLE movement_log(reader_id, tag_id, read_time);
+
+INSERT INTO cleaned_readings
+SELECT * FROM readings AS r1
+WHERE NOT EXISTS
+  (SELECT * FROM TABLE( readings OVER
+      (RANGE 1 seconds PRECEDING CURRENT)) AS r2
+   WHERE r2.reader_id = r1.reader_id
+     AND r2.tag_id = r1.tag_id);
+
+INSERT INTO movement_log SELECT * FROM cleaned_readings;

@@ -1,0 +1,12 @@
+-- Example 1 (ICDE'07 §2.2): duplicate elimination with a windowed
+-- NOT EXISTS self-anti-join. Bench: bench_e1_dedup.
+CREATE STREAM readings(reader_id, tag_id, read_time);
+CREATE STREAM cleaned_readings(reader_id, tag_id, read_time);
+
+INSERT INTO cleaned_readings
+SELECT * FROM readings AS r1
+WHERE NOT EXISTS
+  (SELECT * FROM TABLE( readings OVER
+      (RANGE 1 seconds PRECEDING CURRENT)) AS r2
+   WHERE r2.reader_id = r1.reader_id
+     AND r2.tag_id = r1.tag_id);

@@ -1,0 +1,11 @@
+-- Example 2 (ICDE'07 §2.2): object location updates — append to the
+-- movement table only when the object actually moved. Bench:
+-- bench_e2_location_update.
+CREATE STREAM tag_locations(readerid, tid, tagtime, loc);
+CREATE TABLE object_movement(tagid, location, start_time);
+
+INSERT INTO object_movement
+SELECT tid, loc, tagtime
+FROM tag_locations WHERE NOT EXISTS
+  (SELECT tagid FROM object_movement
+   WHERE tagid = tid AND location = loc);

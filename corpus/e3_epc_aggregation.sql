@@ -1,0 +1,13 @@
+-- Example 3 (ICDE'07 §2.3): EPC-pattern aggregation, unwindowed and
+-- windowed forms. Bench: bench_e3_epc_aggregation; example:
+-- ale_aggregation.
+CREATE STREAM readings(reader_id, tid, read_time);
+
+SELECT count(tid) FROM readings WHERE tid LIKE '20.%.%';
+
+SELECT count(tid) FROM readings
+WHERE tid LIKE '20.%.%' AND extract_serial(tid) >= 5000;
+
+SELECT count(tid) FROM TABLE(readings OVER
+    (RANGE 60 SECONDS PRECEDING CURRENT)) AS r
+WHERE tid LIKE '20.%.%';

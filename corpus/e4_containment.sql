@@ -1,0 +1,17 @@
+-- Example 4/5 (ICDE'07 §3): containment via SEQ with a star buffer in
+-- CHRONICLE mode. Benches: bench_e4_containment, bench_e10_vs_rceda;
+-- example: warehouse_packing.
+CREATE STREAM R1(readerid, tagid, tagtime);
+CREATE STREAM R2(readerid, tagid, tagtime);
+
+SELECT FIRST(R1*).tagtime, COUNT(R1*), R2.tagid, R2.tagtime
+FROM R1, R2
+WHERE SEQ(R1*, R2) MODE CHRONICLE
+  AND R2.tagtime - LAST(R1*).tagtime <= 5 SECONDS
+  AND R1.tagtime - R1.previous.tagtime <= 1 SECONDS;
+
+SELECT R1.tagid, R1.tagtime, R2.tagid, R2.tagtime
+FROM R1, R2
+WHERE SEQ(R1*, R2) MODE CHRONICLE
+  AND R2.tagtime - LAST(R1*).tagtime <= 5 SECONDS
+  AND R1.tagtime - R1.previous.tagtime <= 1 SECONDS;

@@ -1,0 +1,11 @@
+-- Example 7 (ICDE'07 §3.3): lab-workflow compliance via EXCEPTION_SEQ
+-- with a FOLLOWING window. Benches: bench_e5_exception_seq,
+-- bench_e11_end_to_end; example: lab_workflow.
+CREATE STREAM A1(staffid, tagid, tagtime);
+CREATE STREAM A2(staffid, tagid, tagtime);
+CREATE STREAM A3(staffid, tagid, tagtime);
+
+SELECT A1.tagid, A2.tagid, A3.tagid
+FROM A1, A2, A3
+WHERE EXCEPTION_SEQ(A1, A2, A3)
+OVER [1 HOURS FOLLOWING A1];

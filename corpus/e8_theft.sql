@@ -1,0 +1,9 @@
+-- Example 8 (ICDE'07 §2.2): theft detection — an item leaves with no
+-- person nearby. Bench: bench_e8_theft; example: theft_detection.
+CREATE STREAM tag_readings(tagid, tagtype, tagtime);
+
+SELECT * FROM tag_readings AS item
+WHERE item.tagtype = 'item' AND NOT EXISTS
+  (SELECT * FROM tag_readings AS person
+     OVER [1 MINUTES PRECEDING AND FOLLOWING item]
+   WHERE person.tagtype = 'person');

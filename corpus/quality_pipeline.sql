@@ -1,0 +1,22 @@
+-- Example 6 (ICDE'07 §3.2): four-stage quality pipeline — SEQ over
+-- C1..C4 with per-product tag joins and a PRECEDING window. Benches:
+-- bench_e6_pairing_modes, bench_e7_seq_windows; example:
+-- quality_pipeline.
+CREATE STREAM C1(readerid, tagid, tagtime);
+CREATE STREAM C2(readerid, tagid, tagtime);
+CREATE STREAM C3(readerid, tagid, tagtime);
+CREATE STREAM C4(readerid, tagid, tagtime);
+
+SELECT C4.tagid, C1.tagtime, C4.tagtime
+FROM C1, C2, C3, C4
+WHERE SEQ(C1, C2, C3, C4)
+OVER [30 MINUTES PRECEDING C4]
+  AND C1.tagid=C2.tagid AND C1.tagid=C3.tagid
+  AND C1.tagid=C4.tagid;
+
+SELECT C4.tagid, C1.tagtime, C4.tagtime
+FROM C1, C2, C3, C4
+WHERE SEQ(C1, C2, C3, C4)
+OVER [30 MINUTES PRECEDING C4] MODE RECENT
+  AND C1.tagid=C2.tagid AND C1.tagid=C3.tagid
+  AND C1.tagid=C4.tagid;

@@ -1,0 +1,140 @@
+#include "analysis/analyzer.h"
+
+#include <algorithm>
+
+#include "sql/parser.h"
+
+namespace eslev {
+
+// ---------------------------------------------------------------------------
+// Walkers
+// ---------------------------------------------------------------------------
+
+void ForEachExprIn(const Expr& expr,
+                   const std::function<void(const Expr&)>& fn) {
+  fn(expr);
+  switch (expr.kind) {
+    case ExprKind::kFuncCall:
+      for (const ExprPtr& a : static_cast<const FuncCallExpr&>(expr).args) {
+        ForEachExprIn(*a, fn);
+      }
+      break;
+    case ExprKind::kUnary:
+      ForEachExprIn(*static_cast<const UnaryExpr&>(expr).operand, fn);
+      break;
+    case ExprKind::kBinary: {
+      const auto& b = static_cast<const BinaryExpr&>(expr);
+      ForEachExprIn(*b.lhs, fn);
+      ForEachExprIn(*b.rhs, fn);
+      break;
+    }
+    case ExprKind::kExists:
+      ForEachExpr(*static_cast<const ExistsExpr&>(expr).subquery, fn);
+      break;
+    default:
+      break;  // leaves: literal, column ref, star agg, SEQ
+  }
+}
+
+void ForEachExpr(const SelectStmt& select,
+                 const std::function<void(const Expr&)>& fn) {
+  for (const SelectItem& item : select.items) {
+    if (item.expr != nullptr) ForEachExprIn(*item.expr, fn);
+  }
+  if (select.where != nullptr) ForEachExprIn(*select.where, fn);
+  for (const ExprPtr& g : select.group_by) ForEachExprIn(*g, fn);
+  if (select.having != nullptr) ForEachExprIn(*select.having, fn);
+  for (const OrderKey& k : select.order_by) ForEachExprIn(*k.expr, fn);
+}
+
+void ForEachSelect(const SelectStmt& select,
+                   const std::function<void(const SelectStmt&)>& fn) {
+  fn(select);
+  ForEachExpr(select, [&fn](const Expr& e) {
+    if (e.kind == ExprKind::kExists) {
+      // ForEachExpr already recursed into the subquery's expressions;
+      // here we only surface the subquery statement itself.
+      fn(*static_cast<const ExistsExpr&>(e).subquery);
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// QueryAnalyzer
+// ---------------------------------------------------------------------------
+
+QueryAnalyzer::QueryAnalyzer(const Catalog* catalog) : catalog_(catalog) {
+  RegisterBuiltinLintRules(this);
+}
+
+Result<std::vector<Diagnostic>> QueryAnalyzer::Analyze(
+    const Statement& stmt) const {
+  if (stmt.kind == StatementKind::kExplain) {
+    return Analyze(*static_cast<const ExplainStmt&>(stmt).inner);
+  }
+
+  std::vector<Diagnostic> out;
+  LintContext ctx;
+  ctx.catalog = catalog_;
+  ctx.statement = &stmt;
+  switch (stmt.kind) {
+    case StatementKind::kSelect:
+      ctx.select = static_cast<const SelectStatement&>(stmt).select.get();
+      break;
+    case StatementKind::kInsert: {
+      const auto& insert = static_cast<const InsertStmt&>(stmt);
+      ctx.select = insert.select.get();
+      ctx.insert_target = insert.target;
+      break;
+    }
+    default:
+      return out;  // DDL carries no lintable query shape
+  }
+
+  FlattenConjuncts(ctx.select->where.get(), &ctx.conjuncts);
+  if (ctx.select->where != nullptr) {
+    ForEachExprIn(*ctx.select->where, [&ctx](const Expr& e) {
+      if (e.kind == ExprKind::kSeq) {
+        ctx.seqs.push_back(static_cast<const SeqExpr*>(&e));
+      }
+    });
+  }
+
+  // Plan the statement so rules can inspect the physical pipeline. A
+  // planner rejection becomes a diagnostic rather than a lint failure:
+  // AST-level rules still run (and usually explain *why* planning died).
+  Planner planner(catalog_);
+  Result<PlannedQuery> planned = planner.Plan(stmt);
+  if (planned.ok()) {
+    ctx.plan = &*planned;
+  } else {
+    ctx.plan_status = planned.status();
+  }
+
+  for (const LintRule& rule : rules_) {
+    rule(ctx, &out);
+  }
+
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     if (a.span.offset != b.span.offset) {
+                       return a.span.offset < b.span.offset;
+                     }
+                     return a.rule < b.rule;
+                   });
+  return out;
+}
+
+Result<std::vector<Diagnostic>> QueryAnalyzer::AnalyzeSql(
+    const std::string& sql) const {
+  ESLEV_ASSIGN_OR_RETURN(auto statements, ParseScript(sql));
+  std::vector<Diagnostic> out;
+  for (const StatementPtr& stmt : statements) {
+    ESLEV_ASSIGN_OR_RETURN(std::vector<Diagnostic> diags, Analyze(*stmt));
+    out.insert(out.end(), std::make_move_iterator(diags.begin()),
+               std::make_move_iterator(diags.end()));
+  }
+  return out;
+}
+
+}  // namespace eslev

@@ -1,0 +1,47 @@
+// Diagnostic: one finding of the static query analyzer (DESIGN.md §11).
+//
+// A diagnostic carries a machine-readable rule id, a severity, a
+// human-readable message, the source span of the offending construct,
+// and an optional fix hint. `DiagnosticsToJson` renders a batch in the
+// stable JSON shape emitted by `EXPLAIN LINT` and the eslev_lint tool.
+
+#ifndef ESLEV_ANALYSIS_DIAGNOSTIC_H_
+#define ESLEV_ANALYSIS_DIAGNOSTIC_H_
+
+#include <string>
+#include <vector>
+
+#include "sql/source_span.h"
+
+namespace eslev {
+
+enum class Severity : int {
+  kInfo = 0,
+  kWarning,  // likely-unintended query shape; the engine still runs it
+  kError,    // the query cannot behave as written (never matches, always
+             // fails, or retains unbounded state)
+};
+
+const char* SeverityToString(Severity s);
+
+struct Diagnostic {
+  Severity severity = Severity::kWarning;
+  std::string rule;     // stable kebab-case id, e.g. "unbounded-retention"
+  std::string message;  // one sentence; no trailing period needed
+  SourceSpan span;      // where in the SQL text; may be invalid
+  std::string hint;     // optional suggested fix
+
+  std::string ToString() const;  // "error[rule] message (line L, column C)"
+};
+
+/// \brief Render diagnostics as
+/// `{"diagnostics":[{...}],"errors":N,"warnings":N}`. Spans serialize as
+/// line/column/offset/length; invalid spans serialize with line 0.
+std::string DiagnosticsToJson(const std::vector<Diagnostic>& diagnostics);
+
+/// \brief Count of diagnostics at exactly `severity`.
+size_t CountSeverity(const std::vector<Diagnostic>& diagnostics, Severity s);
+
+}  // namespace eslev
+
+#endif  // ESLEV_ANALYSIS_DIAGNOSTIC_H_

@@ -1,0 +1,584 @@
+// Built-in lint rules (DESIGN.md §11). Each rule is a free function over
+// the LintContext; RegisterBuiltinLintRules wires them in a fixed order.
+// Rules stay silent when they cannot decide — lint must never produce a
+// false *error* on a query the engine runs correctly, so every
+// heuristic finding is a warning and only provable defects are errors.
+
+#include <initializer_list>
+#include <map>
+#include <numeric>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "common/string_util.h"
+#include "expr/binder.h"
+#include "expr/bound_expr.h"
+#include "plan/partitioning.h"
+#include "plan/type_inference.h"
+
+namespace eslev {
+
+namespace {
+
+Diagnostic Make(Severity severity, std::string rule, std::string message,
+                SourceSpan span, std::string hint = "") {
+  Diagnostic d;
+  d.severity = severity;
+  d.rule = std::move(rule);
+  d.message = std::move(message);
+  d.span = span;
+  d.hint = std::move(hint);
+  return d;
+}
+
+/// The pairing mode the planner will actually run: SEQ defaults to
+/// UNRESTRICTED, EXCEPTION_SEQ / CLEVEL_SEQ track one consecutive run.
+PairingMode EffectiveMode(const SeqExpr& seq) {
+  if (seq.mode_explicit) return seq.mode;
+  return seq.seq_kind == SeqKind::kSeq ? PairingMode::kUnrestricted
+                                       : PairingMode::kConsecutive;
+}
+
+bool ContainsAnyKind(const Expr& expr, std::initializer_list<ExprKind> kinds) {
+  bool found = false;
+  ForEachExprIn(expr, [&](const Expr& e) {
+    for (const ExprKind k : kinds) {
+      if (e.kind == k) found = true;
+    }
+  });
+  return found;
+}
+
+// ---------------------------------------------------------------------------
+// unbounded-retention
+// ---------------------------------------------------------------------------
+
+void UnboundedRetentionRule(const LintContext& ctx,
+                            std::vector<Diagnostic>* out) {
+  for (const SeqExpr* seq : ctx.seqs) {
+    if (seq->window.has_value()) continue;
+    const PairingMode mode = EffectiveMode(*seq);
+    if (mode == PairingMode::kUnrestricted) {
+      out->push_back(Make(
+          Severity::kError, "unbounded-retention",
+          std::string(SeqKindToString(seq->seq_kind)) +
+              " pairs in UNRESTRICTED mode with no OVER window: every tuple "
+              "of every argument stream is retained forever",
+          seq->span,
+          "add an OVER [n unit PRECEDING|FOLLOWING anchor] window, or a MODE "
+          "clause that licenses purging (RECENT, CHRONICLE or CONSECUTIVE)"));
+      continue;  // the star buffers below are subsumed by this error
+    }
+    if (mode == PairingMode::kChronicle) {
+      out->push_back(Make(
+          Severity::kWarning, "unbounded-retention",
+          "CHRONICLE pairing consumes tuples only when they match; unmatched "
+          "tuples are retained forever without an OVER window",
+          seq->span,
+          "add an OVER [...] window to bound unmatched-tuple retention"));
+      for (const SeqArg& arg : seq->args) {
+        if (!arg.star) continue;
+        out->push_back(Make(
+            Severity::kWarning, "unbounded-retention",
+            "star buffer of '" + arg.stream +
+                "*' accumulates until a later position closes the group; "
+                "without an OVER window an open group grows with the input",
+            arg.span, "add an OVER [...] window to bound the star group"));
+      }
+    }
+    // RECENT and CONSECUTIVE purge superseded history on every arrival;
+    // no window is needed for bounded state.
+  }
+}
+
+// ---------------------------------------------------------------------------
+// unsatisfiable-window
+// ---------------------------------------------------------------------------
+
+void UnsatisfiableWindowRule(const LintContext& ctx,
+                             std::vector<Diagnostic>* out) {
+  for (const SeqExpr* seq : ctx.seqs) {
+    if (!seq->window.has_value()) continue;
+    const WindowSpec& w = *seq->window;
+    if (w.length <= 0) {
+      out->push_back(Make(
+          Severity::kError, "unsatisfiable-window",
+          "SEQ window length is zero: the window covers a single instant "
+          "and can never admit a sequence that spans time",
+          w.span, "use a positive window length"));
+      continue;
+    }
+    // Resolve the anchor position. An empty anchor defaults to the
+    // position that makes the window non-vacuous (last for PRECEDING,
+    // first for FOLLOWING) — the same rule the planner applies.
+    int anchor = -1;
+    if (w.anchor.empty()) {
+      anchor = w.direction == WindowDirection::kFollowing
+                   ? 0
+                   : static_cast<int>(seq->args.size()) - 1;
+    } else {
+      for (size_t i = 0; i < seq->args.size(); ++i) {
+        if (AsciiEqualsIgnoreCase(seq->args[i].stream, w.anchor)) {
+          anchor = static_cast<int>(i);
+          break;
+        }
+      }
+    }
+    if (anchor < 0) {
+      out->push_back(Make(
+          Severity::kError, "unsatisfiable-window",
+          "window anchor '" + w.anchor + "' does not name a SEQ argument",
+          w.span, "anchor the window at one of the SEQ argument aliases"));
+      continue;
+    }
+    const int last = static_cast<int>(seq->args.size()) - 1;
+    if (w.direction == WindowDirection::kPreceding && anchor == 0) {
+      out->push_back(Make(
+          Severity::kWarning, "unsatisfiable-window",
+          "PRECEDING window anchored at the first SEQ argument '" +
+              seq->args[0].stream +
+              "' bounds no other position — nothing in the sequence precedes "
+              "it, so the window neither constrains matches nor licenses "
+              "purging",
+          w.span,
+          "anchor the window at a later argument, or use FOLLOWING"));
+    } else if (w.direction == WindowDirection::kFollowing && anchor == last) {
+      out->push_back(Make(
+          Severity::kWarning, "unsatisfiable-window",
+          "FOLLOWING window anchored at the last SEQ argument '" +
+              seq->args[static_cast<size_t>(last)].stream +
+              "' bounds no other position — nothing in the sequence follows "
+              "it, so the window neither constrains matches nor licenses "
+              "purging",
+          w.span,
+          "anchor the window at an earlier argument, or use PRECEDING"));
+    }
+  }
+
+  // Zero-length windows on FROM references (dedup anti-joins, stream
+  // windows): the window still admits simultaneous tuples, so this is a
+  // warning rather than an error.
+  ForEachSelect(*ctx.select, [out](const SelectStmt& sel) {
+    for (const TableRef& ref : sel.from) {
+      if (ref.window.has_value() && ref.window->length <= 0) {
+        out->push_back(Make(
+            Severity::kWarning, "unsatisfiable-window",
+            "window on '" + ref.name +
+                "' has length zero: it covers a single instant and only ever "
+                "admits simultaneous tuples",
+            ref.window->span, "use a positive window length"));
+      }
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// star-aggregate-misuse
+// ---------------------------------------------------------------------------
+
+void StarAggregateMisuseRule(const LintContext& ctx,
+                             std::vector<Diagnostic>* out) {
+  // Lower-cased SEQ argument alias -> starred?
+  std::map<std::string, bool> args;
+  for (const SeqExpr* seq : ctx.seqs) {
+    for (const SeqArg& arg : seq->args) {
+      args[AsciiToLower(arg.stream)] = arg.star;
+    }
+  }
+  const auto check = [&](const std::string& construct,
+                         const std::string& alias, const SourceSpan& span) {
+    if (ctx.seqs.empty()) {
+      out->push_back(Make(
+          Severity::kError, "star-aggregate-misuse",
+          construct + " requires a starred SEQ argument, but this query has "
+                      "no SEQ operator",
+          span, "use SEQ(..., " + alias + "*, ...) in the WHERE clause"));
+      return;
+    }
+    const auto it = args.find(AsciiToLower(alias));
+    if (it == args.end()) {
+      out->push_back(Make(Severity::kError, "star-aggregate-misuse",
+                          construct + " references '" + alias +
+                              "', which is not a SEQ argument",
+                          span,
+                          "apply it to one of the SEQ argument aliases"));
+      return;
+    }
+    if (!it->second) {
+      out->push_back(Make(
+          Severity::kError, "star-aggregate-misuse",
+          construct + " references '" + alias +
+              "', which is a SEQ argument but not starred — only starred "
+              "arguments accumulate a group to aggregate over",
+          span, "write '" + alias + "*' in the SEQ argument list"));
+    }
+  };
+  ForEachExpr(*ctx.select, [&](const Expr& e) {
+    if (e.kind == ExprKind::kStarAgg) {
+      const auto& agg = static_cast<const StarAggExpr&>(e);
+      check(std::string(StarAggFnToString(agg.fn)) + "(" + agg.stream + "*)",
+            agg.stream, e.span);
+    } else if (e.kind == ExprKind::kColumnRef) {
+      const auto& ref = static_cast<const ColumnRefExpr&>(e);
+      if (ref.previous) {
+        check("'" + ref.qualifier + ".previous." + ref.column + "'",
+              ref.qualifier, e.span);
+      }
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// dead-predicate
+// ---------------------------------------------------------------------------
+
+/// Constant-folds a literal-only conjunct by binding it against an empty
+/// scope and evaluating it with an empty row — the exact runtime
+/// semantics, so whatever the fold says, execution would agree.
+Result<Value> FoldConstant(const Expr& expr, const FunctionRegistry& registry) {
+  BindScope empty;
+  Binder binder(&empty, &registry);
+  ESLEV_ASSIGN_OR_RETURN(BoundExprPtr bound, binder.Bind(expr));
+  EvalRow row;
+  return bound->Eval(row);
+}
+
+int TypeFamily(TypeId t) {
+  switch (t) {
+    case TypeId::kBool:
+      return 0;
+    case TypeId::kString:
+      return 1;
+    case TypeId::kInt64:
+    case TypeId::kDouble:
+    case TypeId::kTimestamp:
+      return 2;  // mutually comparable numeric family
+    case TypeId::kNull:
+      break;
+  }
+  return -1;  // unknown: stay silent
+}
+
+/// Scope for best-effort type checks: the select's own FROM entries,
+/// plus the enclosing query's entries at depth 1 for subqueries.
+BindScope ScopeFor(const SelectStmt& select, const Catalog& catalog,
+                   const SelectStmt* outer) {
+  BindScope scope;
+  const auto add = [&scope, &catalog](const SelectStmt& s, int depth) {
+    for (const TableRef& ref : s.from) {
+      SchemaPtr schema;
+      if (const Stream* stream = catalog.FindStream(ref.name)) {
+        schema = stream->schema();
+      } else if (const Table* table = catalog.FindTable(ref.name)) {
+        schema = table->schema();
+      }
+      if (schema == nullptr) continue;
+      ScopeEntry entry;
+      entry.alias = ref.alias;
+      entry.schema = std::move(schema);
+      entry.depth = depth;
+      scope.AddEntry(std::move(entry));
+    }
+  };
+  add(select, 0);
+  if (outer != nullptr && outer != &select) add(*outer, 1);
+  return scope;
+}
+
+void DeadPredicateRule(const LintContext& ctx, std::vector<Diagnostic>* out) {
+  const FunctionRegistry& registry = ctx.catalog->registry();
+  ForEachSelect(*ctx.select, [&](const SelectStmt& sel) {
+    std::vector<const Expr*> conjuncts;
+    FlattenConjuncts(sel.where.get(), &conjuncts);
+    BindScope scope = ScopeFor(sel, *ctx.catalog, ctx.select);
+    for (const Expr* c : conjuncts) {
+      if (!ContainsAnyKind(*c, {ExprKind::kColumnRef, ExprKind::kStarAgg,
+                                ExprKind::kExists, ExprKind::kSeq})) {
+        // Literal-only conjunct: fold it.
+        Result<Value> v = FoldConstant(*c, registry);
+        if (!v.ok()) {
+          if (v.status().code() == StatusCode::kTypeError) {
+            out->push_back(Make(Severity::kError, "dead-predicate",
+                                "conjunct always fails with a type error: " +
+                                    v.status().message(),
+                                c->span, "fix the mismatched operand types"));
+          }
+          continue;  // unknown function etc.: not our finding
+        }
+        if (v->is_null()) {
+          out->push_back(Make(
+              Severity::kError, "dead-predicate",
+              "conjunct is constant NULL: WHERE rejects UNKNOWN, so no "
+              "tuple ever passes",
+              c->span, "remove the conjunct or fix the expression"));
+        } else if (v->type() != TypeId::kBool) {
+          out->push_back(Make(Severity::kError, "dead-predicate",
+                              "conjunct is a constant " +
+                                  std::string(TypeIdToString(v->type())) +
+                                  ": WHERE requires a boolean",
+                              c->span, "compare the value to something"));
+        } else if (!v->bool_value()) {
+          out->push_back(
+              Make(Severity::kError, "dead-predicate",
+                   "conjunct is constant FALSE: the query can never emit",
+                   c->span, "remove the conjunct or fix the comparison"));
+        }
+        continue;
+      }
+      // Best-effort type coherence on plain column/literal comparisons.
+      if (c->kind != ExprKind::kBinary) continue;
+      const auto& b = static_cast<const BinaryExpr&>(*c);
+      switch (b.op) {
+        case BinaryOp::kEq:
+        case BinaryOp::kNe:
+        case BinaryOp::kLt:
+        case BinaryOp::kLe:
+        case BinaryOp::kGt:
+        case BinaryOp::kGe:
+          break;
+        default:
+          continue;
+      }
+      // Function results are inferred heuristically; comparing through
+      // them would risk false positives, so restrict the check to
+      // column/literal/arithmetic operands.
+      if (ContainsAnyKind(*c, {ExprKind::kFuncCall, ExprKind::kStarAgg,
+                               ExprKind::kExists, ExprKind::kSeq})) {
+        continue;
+      }
+      const Result<TypeId> lt = InferExprType(*b.lhs, scope, registry);
+      const Result<TypeId> rt = InferExprType(*b.rhs, scope, registry);
+      if (!lt.ok() || !rt.ok()) continue;
+      const int lf = TypeFamily(*lt);
+      const int rf = TypeFamily(*rt);
+      if (lf < 0 || rf < 0 || lf == rf) continue;
+      out->push_back(Make(
+          Severity::kWarning, "dead-predicate",
+          std::string("comparison of ") + TypeIdToString(*lt) + " with " +
+              TypeIdToString(*rt) +
+              " always raises a type error at runtime, which rejects the "
+              "tuple",
+          c->span,
+          "ESL-EV compares only within a type family (numeric/timestamp, "
+          "string, boolean); cast or fix one operand"));
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// shard-fallback
+// ---------------------------------------------------------------------------
+
+/// One partition-relevant FROM position: its alias and the lower-cased
+/// name of the column the stream hash-partitions on by default.
+struct PartitionPos {
+  std::string alias;
+  std::string key;  // lower-cased partition column name
+};
+
+/// Resolve every FROM entry (or SEQ argument) that maps to a stream.
+/// Returns false when any entry is unresolvable (unknown alias/stream):
+/// the rule then stays silent rather than guessing.
+bool ResolvePositions(const std::vector<const TableRef*>& refs,
+                      const Catalog& catalog,
+                      std::vector<PartitionPos>* out) {
+  for (const TableRef* ref : refs) {
+    const Stream* stream = catalog.FindStream(ref->name);
+    if (stream == nullptr) return false;
+    const SchemaPtr& schema = stream->schema();
+    PartitionPos pos;
+    pos.alias = AsciiToLower(ref->alias);
+    pos.key =
+        AsciiToLower(schema->field(DefaultPartitionKeyIndex(schema)).name);
+    out->push_back(std::move(pos));
+  }
+  return true;
+}
+
+/// Union-find over positions, linked by `a.key_a = b.key_b` conjuncts on
+/// the respective partition keys. Returns true when all positions end up
+/// in one component.
+bool KeyLinked(const std::vector<PartitionPos>& positions,
+               const std::vector<const Expr*>& conjuncts) {
+  if (positions.size() < 2) return true;
+  std::vector<size_t> root(positions.size());
+  std::iota(root.begin(), root.end(), size_t{0});
+  const std::function<size_t(size_t)> find = [&](size_t i) {
+    while (root[i] != i) i = root[i] = root[root[i]];
+    return i;
+  };
+  const auto index_of = [&positions](const std::string& alias) -> int {
+    const std::string lower = AsciiToLower(alias);
+    for (size_t i = 0; i < positions.size(); ++i) {
+      if (positions[i].alias == lower) return static_cast<int>(i);
+    }
+    return -1;
+  };
+  for (const Expr* c : conjuncts) {
+    if (c->kind != ExprKind::kBinary) continue;
+    const auto& b = static_cast<const BinaryExpr&>(*c);
+    if (b.op != BinaryOp::kEq) continue;
+    if (b.lhs->kind != ExprKind::kColumnRef ||
+        b.rhs->kind != ExprKind::kColumnRef) {
+      continue;
+    }
+    const auto& l = static_cast<const ColumnRefExpr&>(*b.lhs);
+    const auto& r = static_cast<const ColumnRefExpr&>(*b.rhs);
+    if (l.previous || r.previous) continue;
+    const int li = index_of(l.qualifier);
+    const int ri = index_of(r.qualifier);
+    if (li < 0 || ri < 0 || li == ri) continue;
+    if (AsciiToLower(l.column) != positions[static_cast<size_t>(li)].key ||
+        AsciiToLower(r.column) != positions[static_cast<size_t>(ri)].key) {
+      continue;
+    }
+    root[find(static_cast<size_t>(li))] = find(static_cast<size_t>(ri));
+  }
+  const size_t first = find(0);
+  for (size_t i = 1; i < positions.size(); ++i) {
+    if (find(i) != first) return false;
+  }
+  return true;
+}
+
+void ShardFallbackRule(const LintContext& ctx, std::vector<Diagnostic>* out) {
+  const auto warn = [&](const std::string& what, const SourceSpan& span) {
+    out->push_back(Make(
+        Severity::kWarning, "shard-fallback",
+        what + " — matches can pair tuples with different partition keys, "
+               "so ShardedEngine must route the source streams to a single "
+               "shard (SetSingleShard), forfeiting parallelism",
+        span,
+        "join every position on the partition key (e.g. a.tagid = b.tagid), "
+        "or accept single-shard routing"));
+  };
+
+  // SEQ queries: every non-negated position must be key-linked.
+  if (ctx.seqs.size() == 1 && !ctx.select->from.empty()) {
+    const SeqExpr& seq = *ctx.seqs[0];
+    std::vector<const TableRef*> refs;
+    for (const SeqArg& arg : seq.args) {
+      if (arg.negated) continue;  // carries no tuple
+      const TableRef* found = nullptr;
+      for (const TableRef& ref : ctx.select->from) {
+        if (AsciiEqualsIgnoreCase(ref.alias, arg.stream)) {
+          found = &ref;
+          break;
+        }
+      }
+      if (found == nullptr) return;  // unknown alias: planner reports it
+      refs.push_back(found);
+    }
+    std::vector<PartitionPos> positions;
+    if (!ResolvePositions(refs, *ctx.catalog, &positions)) return;
+    if (!KeyLinked(positions, ctx.conjuncts)) {
+      warn("SEQ positions are not pairwise joined on their partition keys",
+           seq.span);
+    }
+    return;
+  }
+  if (!ctx.seqs.empty()) return;  // multi-SEQ shapes: undecided
+
+  // Multi-stream joins (windowed self-joins, Example 8 shapes).
+  std::vector<const TableRef*> stream_refs;
+  for (const TableRef& ref : ctx.select->from) {
+    if (ctx.catalog->FindStream(ref.name) != nullptr) {
+      stream_refs.push_back(&ref);
+    }
+  }
+  if (stream_refs.size() >= 2) {
+    std::vector<PartitionPos> positions;
+    if (ResolvePositions(stream_refs, *ctx.catalog, &positions) &&
+        !KeyLinked(positions, ctx.conjuncts)) {
+      warn("joined streams are not equated on their partition keys",
+           ctx.statement->span);
+    }
+    return;
+  }
+
+  // Correlated [NOT] EXISTS against a stream: the subquery must
+  // correlate with the outer stream on the partition key, or the
+  // anti-join sees only the local shard's slice.
+  if (stream_refs.size() != 1 || ctx.select->where == nullptr) return;
+  const TableRef* outer_ref = stream_refs[0];
+  ForEachExprIn(*ctx.select->where, [&](const Expr& e) {
+    if (e.kind != ExprKind::kExists) return;
+    const auto& exists = static_cast<const ExistsExpr&>(e);
+    const SelectStmt& sub = *exists.subquery;
+    if (sub.from.size() != 1) return;
+    if (ctx.catalog->FindStream(sub.from[0].name) == nullptr) return;
+    std::vector<PartitionPos> positions;
+    if (!ResolvePositions({outer_ref, &sub.from[0]}, *ctx.catalog,
+                          &positions)) {
+      return;
+    }
+    std::vector<const Expr*> sub_conjuncts;
+    FlattenConjuncts(sub.where.get(), &sub_conjuncts);
+    if (!KeyLinked(positions, sub_conjuncts)) {
+      warn("the EXISTS subquery does not correlate with '" +
+               outer_ref->alias + "' on the partition key",
+           e.span);
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// durability-hazard
+// ---------------------------------------------------------------------------
+
+void DurabilityHazardRule(const LintContext& ctx,
+                          std::vector<Diagnostic>* out) {
+  if (!ctx.insert_target.empty() &&
+      ctx.catalog->FindTable(ctx.insert_target) != nullptr) {
+    out->push_back(Make(
+        Severity::kWarning, "durability-hazard",
+        "INSERT INTO table '" + ctx.insert_target +
+            "' accumulates every emitted row; checkpoints serialize whole "
+            "tables, so checkpoint size and time grow with total input "
+            "(DESIGN.md §10)",
+        ctx.statement->span,
+        "bound the table (periodic deletes) or target a stream so retention "
+        "windows purge history"));
+  }
+  if (!ctx.select->group_by.empty() && ctx.seqs.empty() &&
+      !ctx.select->from.empty()) {
+    const TableRef& src = ctx.select->from[0];
+    if (!src.window.has_value() &&
+        ctx.catalog->FindStream(src.name) != nullptr) {
+      out->push_back(Make(
+          Severity::kWarning, "durability-hazard",
+          "GROUP BY over the unwindowed stream '" + src.name +
+              "' keeps one aggregate state per distinct key forever; "
+              "checkpoint size grows with key cardinality",
+          src.span,
+          "window the stream reference (OVER (RANGE n unit PRECEDING "
+          "CURRENT)) so idle groups expire"));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// plan-error
+// ---------------------------------------------------------------------------
+
+void PlanErrorRule(const LintContext& ctx, std::vector<Diagnostic>* out) {
+  if (ctx.plan != nullptr) return;
+  out->push_back(Make(Severity::kError, "plan-error",
+                      "the planner rejected this statement: " +
+                          ctx.plan_status.message(),
+                      ctx.statement->span));
+}
+
+}  // namespace
+
+void RegisterBuiltinLintRules(QueryAnalyzer* analyzer) {
+  analyzer->AddRule(UnboundedRetentionRule);
+  analyzer->AddRule(UnsatisfiableWindowRule);
+  analyzer->AddRule(StarAggregateMisuseRule);
+  analyzer->AddRule(DeadPredicateRule);
+  analyzer->AddRule(ShardFallbackRule);
+  analyzer->AddRule(DurabilityHazardRule);
+  analyzer->AddRule(PlanErrorRule);
+}
+
+}  // namespace eslev

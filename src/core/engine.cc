@@ -1,5 +1,6 @@
 #include "core/engine.h"
 
+#include "analysis/analyzer.h"
 #include "common/string_util.h"
 #include "expr/sql_uda.h"
 #include "plan/snapshot_executor.h"
@@ -146,13 +147,25 @@ Result<std::string> Engine::Explain(const std::string& sql) {
   ESLEV_ASSIGN_OR_RETURN(StatementPtr stmt, ParseStatement(sql));
   if (stmt->kind == StatementKind::kExplain) {
     const auto& explain = static_cast<const ExplainStmt&>(*stmt);
-    return ExplainParsed(*explain.inner, explain.analyze);
+    if (explain.mode == ExplainMode::kLint) {
+      QueryAnalyzer analyzer(this);
+      ESLEV_ASSIGN_OR_RETURN(std::vector<Diagnostic> diags,
+                             analyzer.Analyze(*explain.inner));
+      return DiagnosticsToJson(diags);
+    }
+    return ExplainParsed(*explain.inner,
+                         explain.mode == ExplainMode::kAnalyze);
   }
   if (stmt->kind != StatementKind::kInsert &&
       stmt->kind != StatementKind::kSelect) {
     return Status::Invalid("EXPLAIN applies to SELECT / INSERT statements");
   }
   return ExplainParsed(*stmt, /*analyze=*/false);
+}
+
+Result<std::vector<Diagnostic>> Engine::Lint(const std::string& sql) const {
+  QueryAnalyzer analyzer(this);
+  return analyzer.AnalyzeSql(sql);
 }
 
 namespace {

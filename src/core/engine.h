@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/diagnostic.h"
 #include "common/metrics.h"
 #include "plan/catalog.h"
 #include "plan/planner.h"
@@ -110,10 +111,17 @@ class Engine : public Catalog {
 
   /// \brief Plan a query without registering it and describe the
   /// resulting pipeline (one step per line, plus the output schema).
-  /// Accepts a bare SELECT/INSERT or an `EXPLAIN [ANALYZE] <query>`
+  /// Accepts a bare SELECT/INSERT or an `EXPLAIN [ANALYZE|LINT] <query>`
   /// statement; with ANALYZE, the plan lines of the matching
-  /// *registered* query are annotated with its live counters.
+  /// *registered* query are annotated with its live counters; with LINT,
+  /// the static analyzer's diagnostics come back as JSON (DESIGN.md §11).
   Result<std::string> Explain(const std::string& sql);
+
+  /// \brief Run the static query analyzer over `sql` — one statement or
+  /// a whole script (DDL statements lint clean) — without registering or
+  /// executing anything. Diagnostics arrive in source order; use
+  /// DiagnosticsToJson for the `EXPLAIN LINT` wire shape.
+  Result<std::vector<Diagnostic>> Lint(const std::string& sql) const;
 
   /// \brief Point-in-time snapshot of every engine metric: per-stream
   /// traffic, per-operator tuple counts and operator-specific state

@@ -3,27 +3,10 @@
 #include <algorithm>
 
 #include "common/string_util.h"
+#include "plan/partitioning.h"
 #include "sql/parser.h"
 
 namespace eslev {
-
-namespace {
-
-/// Column names treated as the natural partition key, in priority order
-/// (the paper's queries all correlate on tag identity).
-bool IsTagColumn(const std::string& lower_name) {
-  return lower_name == "tag_id" || lower_name == "tagid" ||
-         lower_name == "tid" || lower_name == "epc" || lower_name == "tag";
-}
-
-size_t DefaultKeyIndex(const SchemaPtr& schema) {
-  for (size_t i = 0; i < schema->num_fields(); ++i) {
-    if (IsTagColumn(AsciiToLower(schema->field(i).name))) return i;
-  }
-  return 0;
-}
-
-}  // namespace
 
 ShardedEngine::ShardedEngine(ShardedEngineOptions options)
     : options_(options) {
@@ -138,7 +121,7 @@ Status ShardedEngine::RefreshRoutes() {
     StreamRoute route;
     route.name = name;
     route.schema = schema;
-    route.key_index = DefaultKeyIndex(schema);
+    route.key_index = DefaultPartitionKeyIndex(schema);
     routes_.emplace(key, std::move(route));
   }
   return Status::OK();
@@ -220,13 +203,15 @@ Status ShardedEngine::SetSingleShard(const std::string& stream) {
 }
 
 Result<std::string> ShardedEngine::Explain(const std::string& sql) {
-  // EXPLAIN ANALYZE shows every shard's counters; plain EXPLAIN plans
-  // once on shard 0 (all shards hold identical plans).
+  // EXPLAIN ANALYZE shows every shard's counters; plain EXPLAIN and
+  // EXPLAIN LINT run once on shard 0 (all shards hold identical plans
+  // and catalogs, so the lint verdict is shard-independent).
   bool analyze = false;
   {
     auto stmt = ParseStatement(sql);
     if (stmt.ok() && (*stmt)->kind == StatementKind::kExplain) {
-      analyze = static_cast<const ExplainStmt&>(**stmt).analyze;
+      analyze = static_cast<const ExplainStmt&>(**stmt).mode ==
+                ExplainMode::kAnalyze;
     }
   }
   if (!analyze) {

@@ -1,0 +1,19 @@
+#include "plan/partitioning.h"
+
+#include "common/string_util.h"
+
+namespace eslev {
+
+bool IsTagColumn(const std::string& lower_name) {
+  return lower_name == "tag_id" || lower_name == "tagid" ||
+         lower_name == "tid" || lower_name == "epc" || lower_name == "tag";
+}
+
+size_t DefaultPartitionKeyIndex(const SchemaPtr& schema) {
+  for (size_t i = 0; i < schema->num_fields(); ++i) {
+    if (IsTagColumn(AsciiToLower(schema->field(i).name))) return i;
+  }
+  return 0;
+}
+
+}  // namespace eslev

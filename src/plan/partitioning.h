@@ -1,0 +1,25 @@
+// Partition-key heuristic shared by ShardedEngine (routing) and the
+// static analyzer (shard-fallback lint rule). The paper's RFID queries
+// all correlate on tag identity, so a stream's natural partition key is
+// its first tag-identity column, falling back to column 0.
+
+#ifndef ESLEV_PLAN_PARTITIONING_H_
+#define ESLEV_PLAN_PARTITIONING_H_
+
+#include <string>
+
+#include "types/schema.h"
+
+namespace eslev {
+
+/// \brief True when `lower_name` (already lower-cased) names a
+/// tag-identity column, in priority order.
+bool IsTagColumn(const std::string& lower_name);
+
+/// \brief The column index a stream with `schema` partitions on by
+/// default: the first tag-identity column, else 0.
+size_t DefaultPartitionKeyIndex(const SchemaPtr& schema);
+
+}  // namespace eslev
+
+#endif  // ESLEV_PLAN_PARTITIONING_H_

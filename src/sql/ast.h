@@ -22,6 +22,7 @@
 
 #include "cep/pairing_mode.h"
 #include "common/time.h"
+#include "sql/source_span.h"
 #include "types/schema.h"
 #include "types/value.h"
 
@@ -50,6 +51,7 @@ struct WindowSpec {
   int64_t length = 0;       // rows, or microseconds
   WindowDirection direction = WindowDirection::kPreceding;
   std::string anchor;
+  SourceSpan span;          // the bracketed window text
 
   std::string ToString() const;
 };
@@ -81,6 +83,9 @@ struct Expr {
   virtual std::string ToString() const = 0;
 
   const ExprKind kind;
+  /// Source range of this expression; invalid (line 0) for synthesized
+  /// nodes that have no surface syntax.
+  SourceSpan span;
 };
 
 /// \brief A constant. Interval literals like `5 SECONDS` become
@@ -216,6 +221,7 @@ struct SeqArg {
   std::string stream;
   bool star = false;
   bool negated = false;
+  SourceSpan span;
 };
 
 /// \brief SEQ(...) / EXCEPTION_SEQ(...) / CLEVEL_SEQ(...) with optional
@@ -254,6 +260,7 @@ struct TableRef {
   std::string name;
   std::string alias;   // defaults to name
   std::optional<WindowSpec> window;
+  SourceSpan span;
 
   std::string ToString() const;
 };
@@ -291,6 +298,7 @@ struct Statement {
   virtual std::string ToString() const = 0;
 
   const StatementKind kind;
+  SourceSpan span;  // the full statement text (excluding ';')
 };
 
 using StatementPtr = std::unique_ptr<Statement>;
@@ -366,22 +374,30 @@ struct SelectStatement : Statement {
   std::unique_ptr<SelectStmt> select;
 };
 
-/// \brief EXPLAIN [ANALYZE] <SELECT | INSERT ... SELECT>. Plain EXPLAIN
-/// describes the would-be pipeline without registering it; EXPLAIN
-/// ANALYZE additionally locates an already-registered query with the
-/// same plan and annotates each step with its live counters (DESIGN.md
-/// §9).
+/// \brief How an EXPLAIN statement inspects its inner query.
+enum class ExplainMode : int {
+  kPlan = 0,  // describe the would-be pipeline
+  kAnalyze,   // annotate the matching registered query's live counters
+  kLint,      // run the static analyzer; output is JSON (DESIGN.md §11)
+};
+
+/// \brief EXPLAIN [ANALYZE | LINT] <SELECT | INSERT ... SELECT>. Plain
+/// EXPLAIN describes the would-be pipeline without registering it;
+/// EXPLAIN ANALYZE additionally locates an already-registered query with
+/// the same plan and annotates each step with its live counters
+/// (DESIGN.md §9); EXPLAIN LINT reports static-analysis diagnostics as
+/// JSON (DESIGN.md §11).
 struct ExplainStmt : Statement {
-  ExplainStmt(bool a, StatementPtr i)
-      : Statement(StatementKind::kExplain),
-        analyze(a),
-        inner(std::move(i)) {}
+  ExplainStmt(ExplainMode m, StatementPtr i)
+      : Statement(StatementKind::kExplain), mode(m), inner(std::move(i)) {}
   std::string ToString() const override {
-    return std::string("EXPLAIN ") + (analyze ? "ANALYZE " : "") +
-           inner->ToString();
+    std::string out = "EXPLAIN ";
+    if (mode == ExplainMode::kAnalyze) out += "ANALYZE ";
+    if (mode == ExplainMode::kLint) out += "LINT ";
+    return out + inner->ToString();
   }
 
-  bool analyze;
+  ExplainMode mode;
   StatementPtr inner;  // kSelect or kInsert
 };
 

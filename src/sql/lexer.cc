@@ -88,6 +88,7 @@ class Lexer {
         return out;
       }
       ESLEV_RETURN_NOT_OK(LexOne(&tok));
+      tok.length = pos_ - tok.offset;
       out.push_back(std::move(tok));
     }
   }

@@ -102,6 +102,18 @@ class Parser {
     return Advance().text;
   }
 
+  /// \brief Source span covering every token consumed since the caller
+  /// recorded `start_idx` (i.e. tokens [start_idx, pos_)).
+  SourceSpan SpanFrom(size_t start_idx) const {
+    const size_t max_idx = tokens_.size() - 1;
+    const Token& first = tokens_[start_idx < max_idx ? start_idx : max_idx];
+    const size_t last_idx = pos_ > start_idx ? pos_ - 1 : start_idx;
+    const Token& last = tokens_[last_idx < max_idx ? last_idx : max_idx];
+    SourceSpan span = first.span();
+    span.length = last.offset + last.length - first.offset;
+    return span;
+  }
+
   // True for keywords that terminate an alias-less table/column position.
   bool CheckReservedClauseKeyword() const {
     static const char* kClauseKeywords[] = {
@@ -119,6 +131,13 @@ class Parser {
   // ---- statements ---------------------------------------------------------
 
   Result<StatementPtr> ParseOneStatement() {
+    const size_t start = pos_;
+    ESLEV_ASSIGN_OR_RETURN(StatementPtr stmt, ParseOneStatementImpl());
+    stmt->span = SpanFrom(start);
+    return stmt;
+  }
+
+  Result<StatementPtr> ParseOneStatementImpl() {
     if (CheckKeyword("CREATE")) {
       Advance();
       if (CheckKeyword("STREAM") || CheckKeyword("TABLE")) {
@@ -143,13 +162,18 @@ class Parser {
       return StatementPtr(new SelectStatement(std::move(select)));
     }
     if (MatchKeyword("EXPLAIN")) {
-      const bool analyze = MatchKeyword("ANALYZE");
+      ExplainMode mode = ExplainMode::kPlan;
+      if (MatchKeyword("ANALYZE")) {
+        mode = ExplainMode::kAnalyze;
+      } else if (MatchKeyword("LINT")) {
+        mode = ExplainMode::kLint;
+      }
       ESLEV_ASSIGN_OR_RETURN(StatementPtr inner, ParseOneStatement());
       if (inner->kind != StatementKind::kSelect &&
           inner->kind != StatementKind::kInsert) {
         return Error("EXPLAIN applies to SELECT / INSERT statements");
       }
-      return StatementPtr(new ExplainStmt(analyze, std::move(inner)));
+      return StatementPtr(new ExplainStmt(mode, std::move(inner)));
     }
     return Error(
         "expected CREATE, STREAM, TABLE, INSERT, SELECT or EXPLAIN, found " +
@@ -308,15 +332,19 @@ class Parser {
   // `TABLE( stream OVER ( window ) ) [AS] alias`, or
   // `name [AS alias] [OVER [window]]`.
   Result<TableRef> ParseTableRef() {
+    const size_t start = pos_;
     TableRef ref;
     if (CheckKeyword("TABLE") && Peek(1).type == TokenType::kLParen) {
       Advance();  // TABLE
       Advance();  // (
       ESLEV_ASSIGN_OR_RETURN(ref.name, ExpectIdentifier("TABLE()"));
-      if (MatchKeyword("OVER")) {
+      if (CheckKeyword("OVER")) {
+        const size_t window_start = pos_;
+        Advance();  // OVER
         ESLEV_RETURN_NOT_OK(Expect(TokenType::kLParen, "OVER window"));
         ESLEV_ASSIGN_OR_RETURN(
             ref.window, ParseWindowBody(TokenType::kRParen, "window"));
+        ref.window->span = SpanFrom(window_start);
       }
       ESLEV_RETURN_NOT_OK(Expect(TokenType::kRParen, "TABLE()"));
     } else {
@@ -333,7 +361,9 @@ class Parser {
 
     // Trailing window on the reference itself (Example 8):
     // `tag_readings AS item OVER [1 MINUTES PRECEDING AND FOLLOWING person]`
-    if (MatchKeyword("OVER")) {
+    if (CheckKeyword("OVER")) {
+      const size_t window_start = pos_;
+      Advance();  // OVER
       TokenType close;
       if (Match(TokenType::kLBracket)) {
         close = TokenType::kRBracket;
@@ -343,7 +373,9 @@ class Parser {
         return Error("expected '[' or '(' after OVER");
       }
       ESLEV_ASSIGN_OR_RETURN(ref.window, ParseWindowBody(close, "window"));
+      ref.window->span = SpanFrom(window_start);
     }
+    ref.span = SpanFrom(start);
     return ref;
   }
 
@@ -412,48 +444,58 @@ class Parser {
   Result<ExprPtr> ParseExpr() { return ParseOr(); }
 
   Result<ExprPtr> ParseOr() {
+    const size_t start = pos_;
     ESLEV_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
     while (MatchKeyword("OR")) {
       ESLEV_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
       lhs = std::make_unique<BinaryExpr>(BinaryOp::kOr, std::move(lhs),
                                          std::move(rhs));
+      lhs->span = SpanFrom(start);
     }
     return lhs;
   }
 
   Result<ExprPtr> ParseAnd() {
+    const size_t start = pos_;
     ESLEV_ASSIGN_OR_RETURN(ExprPtr lhs, ParseNot());
     while (MatchKeyword("AND")) {
       ESLEV_ASSIGN_OR_RETURN(ExprPtr rhs, ParseNot());
       lhs = std::make_unique<BinaryExpr>(BinaryOp::kAnd, std::move(lhs),
                                          std::move(rhs));
+      lhs->span = SpanFrom(start);
     }
     return lhs;
   }
 
   Result<ExprPtr> ParseNot() {
+    const size_t start = pos_;
     if (CheckKeyword("NOT")) {
       if (CheckKeyword("EXISTS", 1)) {
         Advance();  // NOT
         Advance();  // EXISTS
-        return ParseExistsBody(/*negated=*/true);
+        return ParseExistsBody(/*negated=*/true, start);
       }
       Advance();
       ESLEV_ASSIGN_OR_RETURN(ExprPtr e, ParseNot());
-      return ExprPtr(new UnaryExpr(UnaryOp::kNot, std::move(e)));
+      ExprPtr out(new UnaryExpr(UnaryOp::kNot, std::move(e)));
+      out->span = SpanFrom(start);
+      return out;
     }
-    if (MatchKeyword("EXISTS")) return ParseExistsBody(/*negated=*/false);
+    if (MatchKeyword("EXISTS")) return ParseExistsBody(/*negated=*/false, start);
     return ParseComparison();
   }
 
-  Result<ExprPtr> ParseExistsBody(bool negated) {
+  Result<ExprPtr> ParseExistsBody(bool negated, size_t start) {
     ESLEV_RETURN_NOT_OK(Expect(TokenType::kLParen, "EXISTS"));
     ESLEV_ASSIGN_OR_RETURN(auto sub, ParseSelect());
     ESLEV_RETURN_NOT_OK(Expect(TokenType::kRParen, "EXISTS"));
-    return ExprPtr(new ExistsExpr(negated, std::move(sub)));
+    ExprPtr out(new ExistsExpr(negated, std::move(sub)));
+    out->span = SpanFrom(start);
+    return out;
   }
 
   Result<ExprPtr> ParseComparison() {
+    const size_t start = pos_;
     ESLEV_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
 
     // BETWEEN a AND b  /  NOT BETWEEN a AND b
@@ -477,18 +519,27 @@ class Parser {
       ESLEV_ASSIGN_OR_RETURN(ExprPtr lhs2, CloneExpr(*lhs));
       ExprPtr ge(new BinaryExpr(BinaryOp::kGe, std::move(lhs), std::move(lo)));
       ExprPtr le(new BinaryExpr(BinaryOp::kLe, std::move(lhs2), std::move(hi)));
+      // BETWEEN splits into two conjuncts downstream, so each half gets
+      // the full construct's span.
+      ge->span = SpanFrom(start);
+      le->span = ge->span;
       ExprPtr both(
           new BinaryExpr(BinaryOp::kAnd, std::move(ge), std::move(le)));
+      both->span = SpanFrom(start);
       if (negate) {
-        return ExprPtr(new UnaryExpr(UnaryOp::kNot, std::move(both)));
+        ExprPtr out(new UnaryExpr(UnaryOp::kNot, std::move(both)));
+        out->span = SpanFrom(start);
+        return out;
       }
       return both;
     }
     if (MatchKeyword("LIKE")) {
       ESLEV_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
-      return ExprPtr(new BinaryExpr(
+      ExprPtr out(new BinaryExpr(
           negate ? BinaryOp::kNotLike : BinaryOp::kLike, std::move(lhs),
           std::move(rhs)));
+      out->span = SpanFrom(start);
+      return out;
     }
     if (MatchKeyword("IN")) {
       ESLEV_RETURN_NOT_OK(Expect(TokenType::kLParen, "IN list"));
@@ -498,6 +549,7 @@ class Parser {
         ESLEV_ASSIGN_OR_RETURN(ExprPtr lhs_clone, CloneExpr(*lhs));
         ExprPtr eq(new BinaryExpr(BinaryOp::kEq, std::move(lhs_clone),
                                   std::move(item)));
+        eq->span = SpanFrom(start);
         if (disjunction) {
           disjunction = ExprPtr(new BinaryExpr(
               BinaryOp::kOr, std::move(disjunction), std::move(eq)));
@@ -508,8 +560,11 @@ class Parser {
         break;
       }
       ESLEV_RETURN_NOT_OK(Expect(TokenType::kRParen, "IN list"));
+      disjunction->span = SpanFrom(start);
       if (negate) {
-        return ExprPtr(new UnaryExpr(UnaryOp::kNot, std::move(disjunction)));
+        ExprPtr out(new UnaryExpr(UnaryOp::kNot, std::move(disjunction)));
+        out->span = SpanFrom(start);
+        return out;
       }
       return disjunction;
     }
@@ -542,10 +597,13 @@ class Parser {
     }
     Advance();
     ESLEV_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
-    return ExprPtr(new BinaryExpr(op, std::move(lhs), std::move(rhs)));
+    ExprPtr out(new BinaryExpr(op, std::move(lhs), std::move(rhs)));
+    out->span = SpanFrom(start);
+    return out;
   }
 
   Result<ExprPtr> ParseAdditive() {
+    const size_t start = pos_;
     ESLEV_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative());
     while (true) {
       BinaryOp op;
@@ -558,10 +616,12 @@ class Parser {
       }
       ESLEV_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
       lhs = std::make_unique<BinaryExpr>(op, std::move(lhs), std::move(rhs));
+      lhs->span = SpanFrom(start);
     }
   }
 
   Result<ExprPtr> ParseMultiplicative() {
+    const size_t start = pos_;
     ESLEV_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
     while (true) {
       BinaryOp op;
@@ -576,19 +636,24 @@ class Parser {
       }
       ESLEV_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
       lhs = std::make_unique<BinaryExpr>(op, std::move(lhs), std::move(rhs));
+      lhs->span = SpanFrom(start);
     }
   }
 
   Result<ExprPtr> ParseUnary() {
+    const size_t start = pos_;
     if (Match(TokenType::kMinus)) {
       ESLEV_ASSIGN_OR_RETURN(ExprPtr e, ParseUnary());
-      return ExprPtr(new UnaryExpr(UnaryOp::kNeg, std::move(e)));
+      ExprPtr out(new UnaryExpr(UnaryOp::kNeg, std::move(e)));
+      out->span = SpanFrom(start);
+      return out;
     }
     if (Match(TokenType::kPlus)) return ParseUnary();
     return ParsePrimary();
   }
 
   Result<ExprPtr> ParsePrimary() {
+    const size_t start = pos_;
     const Token& tok = Peek();
     switch (tok.type) {
       case TokenType::kInteger: {
@@ -598,18 +663,28 @@ class Parser {
           auto unit = ParseTimeUnit(Peek().text);
           if (unit.ok()) {
             Advance();
-            return ExprPtr(
+            ExprPtr out(
                 new LiteralExpr(Value::Int(tok.int_value * (*unit))));
+            out->span = SpanFrom(start);
+            return out;
           }
         }
-        return ExprPtr(new LiteralExpr(Value::Int(tok.int_value)));
+        ExprPtr out(new LiteralExpr(Value::Int(tok.int_value)));
+        out->span = tok.span();
+        return out;
       }
-      case TokenType::kFloat:
+      case TokenType::kFloat: {
         Advance();
-        return ExprPtr(new LiteralExpr(Value::Double(tok.float_value)));
-      case TokenType::kString:
+        ExprPtr out(new LiteralExpr(Value::Double(tok.float_value)));
+        out->span = tok.span();
+        return out;
+      }
+      case TokenType::kString: {
         Advance();
-        return ExprPtr(new LiteralExpr(Value::String(tok.text)));
+        ExprPtr out(new LiteralExpr(Value::String(tok.text)));
+        out->span = tok.span();
+        return out;
+      }
       case TokenType::kLParen: {
         Advance();
         ESLEV_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
@@ -627,11 +702,16 @@ class Parser {
   // Handles literals TRUE/FALSE/NULL, SEQ-family operators, star
   // aggregates, function calls, and column references.
   Result<ExprPtr> ParseIdentifierExpr() {
-    if (MatchKeyword("TRUE")) return ExprPtr(new LiteralExpr(Value::Bool(true)));
-    if (MatchKeyword("FALSE")) {
-      return ExprPtr(new LiteralExpr(Value::Bool(false)));
+    const size_t start = pos_;
+    if (CheckKeyword("TRUE") || CheckKeyword("FALSE") || CheckKeyword("NULL")) {
+      const Token& t = Advance();
+      ExprPtr out(new LiteralExpr(
+          AsciiEqualsIgnoreCase(t.text, "NULL")
+              ? Value::Null()
+              : Value::Bool(AsciiEqualsIgnoreCase(t.text, "TRUE"))));
+      out->span = t.span();
+      return out;
     }
-    if (MatchKeyword("NULL")) return ExprPtr(new LiteralExpr(Value::Null()));
 
     // SEQ-family operator.
     if ((CheckKeyword("SEQ") || CheckKeyword("EXCEPTION_SEQ") ||
@@ -668,7 +748,10 @@ class Parser {
         }
         ESLEV_ASSIGN_OR_RETURN(column, ExpectIdentifier("star aggregate"));
       }
-      return ExprPtr(new StarAggExpr(fn, std::move(stream), std::move(column)));
+      ExprPtr out(
+          new StarAggExpr(fn, std::move(stream), std::move(column)));
+      out->span = SpanFrom(start);
+      return out;
     }
 
     const std::string name = Advance().text;
@@ -690,7 +773,9 @@ class Parser {
         }
       }
       ESLEV_RETURN_NOT_OK(Expect(TokenType::kRParen, "function call"));
-      return ExprPtr(new FuncCallExpr(name, std::move(args), star_arg));
+      ExprPtr out(new FuncCallExpr(name, std::move(args), star_arg));
+      out->span = SpanFrom(start);
+      return out;
     }
 
     // Column reference: name | name.col | name.previous.col
@@ -702,14 +787,21 @@ class Parser {
         Advance();
         ESLEV_ASSIGN_OR_RETURN(std::string col,
                                ExpectIdentifier("previous reference"));
-        return ExprPtr(new ColumnRefExpr(name, col, /*previous=*/true));
+        ExprPtr out(new ColumnRefExpr(name, col, /*previous=*/true));
+        out->span = SpanFrom(start);
+        return out;
       }
-      return ExprPtr(new ColumnRefExpr(name, second));
+      ExprPtr out(new ColumnRefExpr(name, second));
+      out->span = SpanFrom(start);
+      return out;
     }
-    return ExprPtr(new ColumnRefExpr("", name));
+    ExprPtr out(new ColumnRefExpr("", name));
+    out->span = SpanFrom(start);
+    return out;
   }
 
   Result<ExprPtr> ParseSeqExpr() {
+    const size_t start = pos_;
     auto seq = std::make_unique<SeqExpr>();
     if (MatchKeyword("SEQ")) {
       seq->seq_kind = SeqKind::kSeq;
@@ -722,6 +814,7 @@ class Parser {
     }
     ESLEV_RETURN_NOT_OK(Expect(TokenType::kLParen, "SEQ argument list"));
     while (true) {
+      const size_t arg_start = pos_;
       SeqArg arg;
       if (Match(TokenType::kBang)) arg.negated = true;
       ESLEV_ASSIGN_OR_RETURN(arg.stream, ExpectIdentifier("SEQ argument"));
@@ -729,6 +822,7 @@ class Parser {
       if (arg.negated && arg.star) {
         return Error("a SEQ argument cannot be both negated and starred");
       }
+      arg.span = SpanFrom(arg_start);
       seq->args.push_back(std::move(arg));
       if (Match(TokenType::kComma)) continue;
       break;
@@ -738,7 +832,9 @@ class Parser {
       return Error("SEQ requires at least two arguments");
     }
 
-    if (MatchKeyword("OVER")) {
+    if (CheckKeyword("OVER")) {
+      const size_t window_start = pos_;
+      Advance();  // OVER
       TokenType close;
       if (Match(TokenType::kLBracket)) {
         close = TokenType::kRBracket;
@@ -748,6 +844,7 @@ class Parser {
         return Error("expected '[' or '(' after OVER");
       }
       ESLEV_ASSIGN_OR_RETURN(auto w, ParseWindowBody(close, "SEQ window"));
+      w.span = SpanFrom(window_start);
       seq->window = w;
     }
     if (MatchKeyword("MODE")) {
@@ -756,18 +853,22 @@ class Parser {
       ESLEV_ASSIGN_OR_RETURN(seq->mode, ParsePairingMode(mode_name));
       seq->mode_explicit = true;
     }
+    seq->span = SpanFrom(start);
     return ExprPtr(seq.release());
   }
 
   // Structural deep copy; used to lower BETWEEN/IN without re-parsing.
   Result<ExprPtr> CloneExpr(const Expr& e) {
+    ExprPtr out;
     switch (e.kind) {
       case ExprKind::kLiteral:
-        return ExprPtr(
+        out = ExprPtr(
             new LiteralExpr(static_cast<const LiteralExpr&>(e).value));
+        break;
       case ExprKind::kColumnRef: {
         const auto& c = static_cast<const ColumnRefExpr&>(e);
-        return ExprPtr(new ColumnRefExpr(c.qualifier, c.column, c.previous));
+        out = ExprPtr(new ColumnRefExpr(c.qualifier, c.column, c.previous));
+        break;
       }
       case ExprKind::kFuncCall: {
         const auto& f = static_cast<const FuncCallExpr&>(e);
@@ -776,27 +877,33 @@ class Parser {
           ESLEV_ASSIGN_OR_RETURN(ExprPtr copy, CloneExpr(*a));
           args.push_back(std::move(copy));
         }
-        return ExprPtr(new FuncCallExpr(f.name, std::move(args), f.star_arg));
+        out = ExprPtr(new FuncCallExpr(f.name, std::move(args), f.star_arg));
+        break;
       }
       case ExprKind::kStarAgg: {
         const auto& s = static_cast<const StarAggExpr&>(e);
-        return ExprPtr(new StarAggExpr(s.fn, s.stream, s.column));
+        out = ExprPtr(new StarAggExpr(s.fn, s.stream, s.column));
+        break;
       }
       case ExprKind::kUnary: {
         const auto& u = static_cast<const UnaryExpr&>(e);
         ESLEV_ASSIGN_OR_RETURN(ExprPtr inner, CloneExpr(*u.operand));
-        return ExprPtr(new UnaryExpr(u.op, std::move(inner)));
+        out = ExprPtr(new UnaryExpr(u.op, std::move(inner)));
+        break;
       }
       case ExprKind::kBinary: {
         const auto& b = static_cast<const BinaryExpr&>(e);
         ESLEV_ASSIGN_OR_RETURN(ExprPtr l, CloneExpr(*b.lhs));
         ESLEV_ASSIGN_OR_RETURN(ExprPtr r, CloneExpr(*b.rhs));
-        return ExprPtr(new BinaryExpr(b.op, std::move(l), std::move(r)));
+        out = ExprPtr(new BinaryExpr(b.op, std::move(l), std::move(r)));
+        break;
       }
       default:
         return Status::NotImplemented(
             "cannot clone subquery/SEQ expressions inside BETWEEN/IN");
     }
+    out->span = e.span;
+    return out;
   }
 
   std::vector<Token> tokens_;

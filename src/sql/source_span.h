@@ -1,0 +1,44 @@
+// SourceSpan: a half-open byte range of the original SQL text, plus the
+// 1-based line/column of its first character. The lexer stamps one onto
+// every token; the parser widens token spans onto AST nodes so that
+// diagnostics (parse errors, EXPLAIN LINT findings) can point at the
+// offending construct.
+
+#ifndef ESLEV_SQL_SOURCE_SPAN_H_
+#define ESLEV_SQL_SOURCE_SPAN_H_
+
+#include <cstddef>
+#include <string>
+
+namespace eslev {
+
+struct SourceSpan {
+  size_t offset = 0;  // byte offset of the first character
+  size_t length = 0;  // bytes covered; 0 = unknown/absent
+  int line = 0;       // 1-based; 0 = unknown/absent
+  int column = 1;     // 1-based
+
+  bool valid() const { return line > 0; }
+
+  /// \brief "line L, column C" — the phrasing used by parser errors.
+  std::string Describe() const {
+    return "line " + std::to_string(line) + ", column " +
+           std::to_string(column);
+  }
+
+  /// \brief The smallest span covering both `*this` and `other`.
+  SourceSpan Union(const SourceSpan& other) const {
+    if (!valid()) return other;
+    if (!other.valid()) return *this;
+    SourceSpan out = offset <= other.offset ? *this : other;
+    const size_t end_a = offset + length;
+    const size_t end_b = other.offset + other.length;
+    const size_t end = end_a > end_b ? end_a : end_b;
+    out.length = end - out.offset;
+    return out;
+  }
+};
+
+}  // namespace eslev
+
+#endif  // ESLEV_SQL_SOURCE_SPAN_H_

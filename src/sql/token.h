@@ -6,6 +6,8 @@
 #include <cstdint>
 #include <string>
 
+#include "sql/source_span.h"
+
 namespace eslev {
 
 enum class TokenType : int {
@@ -44,8 +46,11 @@ struct Token {
   int64_t int_value = 0;
   double float_value = 0;
   size_t offset = 0;     // byte offset into the query for error messages
+  size_t length = 0;     // raw bytes consumed (quotes/escapes included)
   int line = 1;
   int column = 1;
+
+  SourceSpan span() const { return SourceSpan{offset, length, line, column}; }
 
   std::string Describe() const;
 };

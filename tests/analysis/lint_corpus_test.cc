@@ -1,0 +1,91 @@
+// Lint sweep over the checked-in query corpus (corpus/*.sql): every
+// paper example and bench query must execute and lint with zero
+// error-severity diagnostics — the analyzer's no-false-positive
+// contract (DESIGN.md §11).
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+
+#ifndef ESLEV_CORPUS_DIR
+#error "ESLEV_CORPUS_DIR must point at <repo>/corpus"
+#endif
+
+namespace eslev {
+namespace {
+
+std::vector<std::string> CorpusFiles() {
+  std::vector<std::string> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(ESLEV_CORPUS_DIR)) {
+    if (entry.path().extension() == ".sql") {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(LintCorpusTest, CorpusIsPresent) {
+  EXPECT_GE(CorpusFiles().size(), 8u)
+      << "corpus/*.sql missing — check ESLEV_CORPUS_DIR";
+}
+
+TEST(LintCorpusTest, EveryCorpusFileExecutesAndLintsWithoutErrors) {
+  for (const std::string& path : CorpusFiles()) {
+    SCOPED_TRACE(path);
+    const std::string sql = ReadFile(path);
+    ASSERT_FALSE(sql.empty());
+
+    // The scripts must be genuinely runnable, not merely parseable.
+    Engine engine;
+    const Status exec = engine.ExecuteScript(sql);
+    ASSERT_TRUE(exec.ok()) << exec;
+
+    const Result<std::vector<Diagnostic>> diags = engine.Lint(sql);
+    ASSERT_TRUE(diags.ok()) << diags.status();
+    std::string rendered;
+    for (const Diagnostic& d : *diags) rendered += "  " + d.ToString() + "\n";
+    EXPECT_EQ(CountSeverity(*diags, Severity::kError), 0u)
+        << "error-severity lint findings on a known-good query:\n"
+        << rendered;
+
+    // Every finding that does appear must carry a valid span and a
+    // non-empty machine-readable rule id.
+    for (const Diagnostic& d : *diags) {
+      EXPECT_FALSE(d.rule.empty());
+      EXPECT_TRUE(d.span.valid()) << d.ToString();
+    }
+  }
+}
+
+TEST(LintCorpusTest, JsonRenderingIsStableShape) {
+  for (const std::string& path : CorpusFiles()) {
+    SCOPED_TRACE(path);
+    Engine engine;
+    ASSERT_TRUE(engine.ExecuteScript(ReadFile(path)).ok());
+    const Result<std::vector<Diagnostic>> diags =
+        engine.Lint(ReadFile(path));
+    ASSERT_TRUE(diags.ok());
+    const std::string json = DiagnosticsToJson(*diags);
+    EXPECT_EQ(json.rfind("{\"diagnostics\":[", 0), 0u) << json;
+    EXPECT_NE(json.find("\"errors\":0"), std::string::npos) << json;
+  }
+}
+
+}  // namespace
+}  // namespace eslev

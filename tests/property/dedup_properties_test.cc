@@ -105,10 +105,10 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(DedupParam{11, 0, 500}, DedupParam{12, 1, 300},
                       DedupParam{13, 2, 800}, DedupParam{14, 5, 999},
                       DedupParam{15, 8, 100}, DedupParam{16, 3, 650}),
-    [](const ::testing::TestParamInfo<DedupParam>& info) {
-      return "seed" + std::to_string(info.param.seed) + "_dup" +
-             std::to_string(info.param.duplicates) + "_spread" +
-             std::to_string(info.param.spread_ms);
+    [](const ::testing::TestParamInfo<DedupParam>& param_info) {
+      return "seed" + std::to_string(param_info.param.seed) + "_dup" +
+             std::to_string(param_info.param.duplicates) + "_spread" +
+             std::to_string(param_info.param.spread_ms);
     });
 
 }  // namespace

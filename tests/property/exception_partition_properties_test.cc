@@ -88,9 +88,9 @@ INSTANTIATE_TEST_SUITE_P(
     Sweep, ExceptionPartitionTest,
     ::testing::Values(Param{31, 10}, Param{32, 30}, Param{33, 60},
                       Param{34, 100}, Param{35, 200}, Param{36, 500}),
-    [](const ::testing::TestParamInfo<Param>& info) {
-      return "seed" + std::to_string(info.param.seed) + "_len" +
-             std::to_string(info.param.length);
+    [](const ::testing::TestParamInfo<Param>& param_info) {
+      return "seed" + std::to_string(param_info.param.seed) + "_len" +
+             std::to_string(param_info.param.length);
     });
 
 }  // namespace

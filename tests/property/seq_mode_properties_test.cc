@@ -213,10 +213,10 @@ INSTANTIATE_TEST_SUITE_P(
                       SweepParam{5, 4, 28}, SweepParam{6, 4, 36},
                       SweepParam{7, 3, 30}, SweepParam{8, 2, 32},
                       SweepParam{9, 4, 24}, SweepParam{10, 3, 40}),
-    [](const ::testing::TestParamInfo<SweepParam>& info) {
-      return "seed" + std::to_string(info.param.seed) + "_n" +
-             std::to_string(info.param.num_streams) + "_len" +
-             std::to_string(info.param.length);
+    [](const ::testing::TestParamInfo<SweepParam>& param_info) {
+      return "seed" + std::to_string(param_info.param.seed) + "_n" +
+             std::to_string(param_info.param.num_streams) + "_len" +
+             std::to_string(param_info.param.length);
     });
 
 }  // namespace

@@ -123,10 +123,10 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(AggParam{21, 5, false}, AggParam{22, 10, false},
                       AggParam{23, 30, false}, AggParam{24, 3, true},
                       AggParam{25, 10, true}, AggParam{26, 1, true}),
-    [](const ::testing::TestParamInfo<AggParam>& info) {
-      return std::string(info.param.row_window ? "rows" : "range") +
-             std::to_string(info.param.window_s) + "_seed" +
-             std::to_string(info.param.seed);
+    [](const ::testing::TestParamInfo<AggParam>& param_info) {
+      return std::string(param_info.param.row_window ? "rows" : "range") +
+             std::to_string(param_info.param.window_s) + "_seed" +
+             std::to_string(param_info.param.seed);
     });
 
 }  // namespace

@@ -114,6 +114,30 @@ TEST(LexerTest, UnexpectedCharacterIsError) {
   EXPECT_TRUE(Tokenize("a # b").status().IsParseError());
 }
 
+TEST(LexerTest, TokenLengthCoversLexeme) {
+  auto toks = Tokenize("SELECT tagid, 'ab''cd', 12.5 FROM r1");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].length, 6u);  // SELECT
+  EXPECT_EQ((*toks)[1].length, 5u);  // tagid
+  EXPECT_EQ((*toks)[3].length, 8u);  // 'ab''cd' — raw text incl. quotes
+  EXPECT_EQ((*toks)[5].length, 4u);  // 12.5
+  // End-of-input sentinel is zero-width.
+  EXPECT_EQ(toks->back().type, TokenType::kEnd);
+  EXPECT_EQ(toks->back().length, 0u);
+}
+
+TEST(LexerTest, TokenSpanMatchesOffsetAndPosition) {
+  auto toks = Tokenize("a\n  longer");
+  ASSERT_TRUE(toks.ok());
+  const SourceSpan span = (*toks)[1].span();
+  EXPECT_TRUE(span.valid());
+  EXPECT_EQ(span.line, 2);
+  EXPECT_EQ(span.column, 3);
+  EXPECT_EQ(span.offset, 4u);
+  EXPECT_EQ(span.length, 6u);
+  EXPECT_EQ(span.Describe(), "line 2, column 3");
+}
+
 TEST(LexerTest, BangTokenForNegatedSeqArguments) {
   auto toks = Tokenize("SEQ(A, !B, C)");
   ASSERT_TRUE(toks.ok());

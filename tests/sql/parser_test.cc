@@ -479,5 +479,82 @@ TEST(ParserErrorTest, WindowMissingDirection) {
                   .IsParseError());
 }
 
+// ---------------------------------------------------------------------------
+// Source positions
+// ---------------------------------------------------------------------------
+
+TEST(ParserErrorTest, ErrorPointsAtOffendingToken) {
+  const Status status =
+      ParseStatement("SELECT * FROM r1 WHERE r1.a = ;").status();
+  ASSERT_TRUE(status.IsParseError());
+  EXPECT_NE(status.message().find("line 1, column 31"), std::string::npos)
+      << status;
+}
+
+TEST(ParserErrorTest, ErrorTracksLinesAcrossNewlines) {
+  const Status status =
+      ParseStatement("SELECT *\nFROM r1\nWHERE = 5").status();
+  ASSERT_TRUE(status.IsParseError());
+  EXPECT_NE(status.message().find("line 3, column 7"), std::string::npos)
+      << status;
+}
+
+TEST(ParserSpanTest, StatementSpanCoversFullText) {
+  const std::string sql = "SELECT x FROM a WHERE a.x = 1";
+  auto stmt = MustParse(sql + ";");
+  ASSERT_TRUE(stmt);
+  EXPECT_EQ(stmt->span.line, 1);
+  EXPECT_EQ(stmt->span.column, 1);
+  EXPECT_EQ(stmt->span.offset, 0u);
+  EXPECT_EQ(stmt->span.length, sql.size());  // excludes the ';'
+}
+
+TEST(ParserSpanTest, WhereExprSpanCoversComparison) {
+  auto stmt = MustParse("SELECT x FROM a WHERE a.x = 10;");
+  ASSERT_TRUE(stmt);
+  const SelectStmt& select = SelectOf(stmt);
+  ASSERT_NE(select.where, nullptr);
+  EXPECT_EQ(select.where->span.line, 1);
+  EXPECT_EQ(select.where->span.column, 23);  // a.x = 10
+  EXPECT_EQ(select.where->span.length, 8u);
+}
+
+TEST(ParserSpanTest, SeqArgAndWindowSpans) {
+  auto stmt = MustParse(
+      "SELECT x FROM a, b WHERE SEQ(a*, !b) OVER [5 SECONDS PRECEDING a];");
+  ASSERT_TRUE(stmt);
+  const SelectStmt& select = SelectOf(stmt);
+  ASSERT_NE(select.where, nullptr);
+  ASSERT_EQ(select.where->kind, ExprKind::kSeq);
+  const auto& seq = static_cast<const SeqExpr&>(*select.where);
+  EXPECT_EQ(seq.span.column, 26);
+  ASSERT_EQ(seq.args.size(), 2u);
+  EXPECT_EQ(seq.args[0].span.column, 30);  // a*
+  EXPECT_EQ(seq.args[0].span.length, 2u);
+  EXPECT_EQ(seq.args[1].span.column, 34);  // !b
+  EXPECT_EQ(seq.args[1].span.length, 2u);
+  ASSERT_TRUE(seq.window.has_value());
+  EXPECT_EQ(seq.window->span.column, 38);  // OVER [... a]
+  EXPECT_EQ(seq.window->span.length, 28u);
+}
+
+TEST(ParserSpanTest, BetweenLoweringKeepsConstructSpan) {
+  // BETWEEN splits into two conjuncts (and clones its lhs); both halves
+  // must keep the full construct's span so later diagnostics point at
+  // the source text the user wrote.
+  auto stmt = MustParse("SELECT x FROM a WHERE a.x BETWEEN 1 AND 5;");
+  ASSERT_TRUE(stmt);
+  const SelectStmt& select = SelectOf(stmt);
+  ASSERT_NE(select.where, nullptr);
+  ASSERT_EQ(select.where->kind, ExprKind::kBinary);
+  const auto& conj = static_cast<const BinaryExpr&>(*select.where);
+  EXPECT_EQ(conj.span.column, 23);  // a.x BETWEEN 1 AND 5
+  EXPECT_EQ(conj.span.length, 19u);
+  EXPECT_EQ(conj.lhs->span.column, 23);
+  EXPECT_EQ(conj.lhs->span.length, 19u);
+  EXPECT_EQ(conj.rhs->span.column, 23);
+  EXPECT_EQ(conj.rhs->span.length, 19u);
+}
+
 }  // namespace
 }  // namespace eslev

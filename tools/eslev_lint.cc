@@ -1,0 +1,114 @@
+// eslev_lint: run the static query analyzer over SQL script files.
+//
+//   eslev_lint [--json[=PATH]] file.sql [file2.sql ...]
+//
+// Each file is executed as a script first (so DDL registers streams,
+// tables and continuous queries for later statements to reference),
+// then linted as a whole. Human-readable findings go to stdout; with
+// --json the machine-readable `EXPLAIN LINT` shape is written per file
+// (to stdout, or to PATH/<stem>.lint.json when PATH is given — the form
+// CI archives next to the BENCH_*.json artifacts).
+//
+// Exit status: 0 = no error-severity findings, 1 = at least one error,
+// 2 = a file could not be read/parsed/executed.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+
+namespace {
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+std::string Stem(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  std::string name = slash == std::string::npos ? path : path.substr(slash + 1);
+  const size_t dot = name.find_last_of('.');
+  if (dot != std::string::npos && dot > 0) name = name.substr(0, dot);
+  return name;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  std::string json_dir;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json = true;
+      json_dir = arg.substr(7);
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: eslev_lint [--json[=DIR]] file.sql ...\n");
+      return 0;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) {
+    std::fprintf(stderr, "usage: eslev_lint [--json[=DIR]] file.sql ...\n");
+    return 2;
+  }
+
+  size_t total_errors = 0;
+  for (const std::string& path : files) {
+    std::string sql;
+    if (!ReadFile(path, &sql)) {
+      std::fprintf(stderr, "%s: cannot read file\n", path.c_str());
+      return 2;
+    }
+    // Execute first so every statement lints against the catalog state
+    // it would actually run under.
+    eslev::Engine engine;
+    if (eslev::Status status = engine.ExecuteScript(sql); !status.ok()) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                   status.ToString().c_str());
+      return 2;
+    }
+    eslev::Result<std::vector<eslev::Diagnostic>> diags = engine.Lint(sql);
+    if (!diags.ok()) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                   diags.status().ToString().c_str());
+      return 2;
+    }
+    total_errors += eslev::CountSeverity(*diags, eslev::Severity::kError);
+    if (json) {
+      const std::string text = eslev::DiagnosticsToJson(*diags);
+      if (json_dir.empty()) {
+        std::printf("%s\n", text.c_str());
+      } else {
+        const std::string out_path =
+            json_dir + "/" + Stem(path) + ".lint.json";
+        std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+        if (!out) {
+          std::fprintf(stderr, "%s: cannot write %s\n", path.c_str(),
+                       out_path.c_str());
+          return 2;
+        }
+        out << text << "\n";
+        std::printf("%s: %zu findings -> %s\n", path.c_str(), diags->size(),
+                    out_path.c_str());
+      }
+    } else {
+      std::printf("%s: %zu findings\n", path.c_str(), diags->size());
+      for (const eslev::Diagnostic& d : *diags) {
+        std::printf("  %s\n", d.ToString().c_str());
+      }
+    }
+  }
+  return total_errors > 0 ? 1 : 0;
+}
