@@ -1,0 +1,184 @@
+// E15 — shard replication costs (DESIGN.md §12).
+//
+// The paper's engine is a single process; our replication layer adds
+// hot standbys fed by WAL segment shipping so a dead worker can be
+// replaced at a watermark-aligned cut. E15 measures what that costs and
+// what it buys: (a) the steady-state price of a replication round
+// (flush + ship + standby apply) as a function of how many events
+// arrive between rounds — the shipping cadence is the operator's knob
+// for trading ship lag against overhead — and (b) promotion latency as
+// a function of how far the standby lags at the kill, since the
+// catch-up replay under the routing lock is the dominant term in
+// failover time.
+//
+// Ship-lag byte counts and promotion latencies land in the bench
+// metrics blob (BENCH_bench_e15_replication_metrics.json) alongside the
+// timing JSON.
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "replication/replicated_engine.h"
+
+namespace eslev {
+namespace {
+
+constexpr const char* kDdl = R"sql(
+  CREATE STREAM C1(readerid, tagid, tagtime);
+  CREATE STREAM C2(readerid, tagid, tagtime);
+  CREATE STREAM C3(readerid, tagid, tagtime);
+)sql";
+constexpr const char* kQuery =
+    "SELECT C3.tagid, C1.tagtime, C3.tagtime FROM C1, C2, C3 "
+    "WHERE SEQ(C1, C2, C3) MODE CHRONICLE "
+    "AND C1.tagid=C2.tagid AND C1.tagid=C3.tagid";
+constexpr size_t kNumTags = 64;
+
+std::string BenchDir(const std::string& name) {
+  const std::string dir =
+      std::filesystem::temp_directory_path().string() + "/eslev_e15_" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+std::unique_ptr<ReplicatedShardedEngine> OpenEngine(const std::string& dir) {
+  ReplicatedShardedEngineOptions options;
+  options.num_shards = 2;
+  options.dir = dir;
+  options.wal.group_commit_bytes = 0;  // every append durable: ship lag
+                                       // then measures real accumulation
+  options.wal.segment_bytes = 1 << 18;  // rotate often enough to ship segments
+  auto engine = ReplicatedShardedEngine::Open(options);
+  bench::CheckOk(engine.status(), "open");
+  bench::CheckOk((*engine)->ExecuteScript(kDdl), "ddl");
+  bench::CheckOk((*engine)->RegisterQuery(kQuery).status(), "query");
+  return std::move(*engine);
+}
+
+// Round-robin SEQ traffic: C1/C2/C3 per tag, timestamps advancing 10ms
+// per event. `next` persists across calls so time never goes backwards.
+void PushEvents(ReplicatedShardedEngine* engine, size_t count,
+                uint64_t* next) {
+  static const char* streams[] = {"C1", "C2", "C3"};
+  for (size_t i = 0; i < count; ++i, ++*next) {
+    const Timestamp ts = Seconds(1) + static_cast<Timestamp>(*next) *
+                                          Milliseconds(10);
+    const std::string tag = "tag" + std::to_string(*next % kNumTags);
+    bench::CheckOk(engine->Push(streams[*next % 3],
+                                {Value::String("r"), Value::String(tag),
+                                 Value::Time(ts)},
+                                ts),
+                   "push");
+  }
+}
+
+// (a) Steady-state replication round cost vs events shipped per round.
+// The timed region is one Replicate(): WAL flush, segment + live-tail
+// ship, and the standbys' incremental apply of the new suffix.
+void BM_E15ReplicationRound(benchmark::State& state) {
+  const size_t batch = static_cast<size_t>(state.range(0));
+  const std::string dir =
+      BenchDir("round_" + std::to_string(batch));
+  auto engine = OpenEngine(dir);
+  uint64_t next = 0;
+  PushEvents(engine.get(), 256, &next);
+  bench::CheckOk(engine->Flush(), "flush");
+  bench::CheckOk(engine->Checkpoint(), "checkpoint");  // provision standbys
+
+  uint64_t lag_before = 0;
+  uint64_t rounds = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    PushEvents(engine.get(), batch, &next);
+    bench::CheckOk(engine->Flush(), "flush");
+    auto metrics = engine->Metrics();
+    bench::CheckOk(metrics.status(), "metrics");
+    lag_before += static_cast<uint64_t>(
+        metrics->gauges.at("replication.ship_lag_bytes"));
+    ++rounds;
+    state.ResumeTiming();
+    bench::CheckOk(engine->Replicate(), "replicate");
+  }
+  auto metrics = engine->Metrics();
+  bench::CheckOk(metrics.status(), "metrics");
+  if (metrics->gauges.at("replication.standby0.healthy") != 1 ||
+      metrics->gauges.at("replication.standby0.apply_lag_lsn") != 0) {
+    state.SkipWithError("standby lagging after Replicate()");
+    return;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(batch));
+  state.counters["ship_lag_bytes_pre_round"] =
+      rounds == 0 ? 0.0 : static_cast<double>(lag_before) /
+                              static_cast<double>(rounds);
+  bench::Metrics()
+      .GetGauge("e15.ship_lag_bytes_pre_round.batch_" + std::to_string(batch))
+      ->Set(rounds == 0 ? 0
+                        : static_cast<int64_t>(lag_before / rounds));
+  engine.reset();
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_E15ReplicationRound)
+    ->Arg(64)->Arg(256)->Arg(1024)->UseRealTime();
+
+// (b) Promotion latency vs standby lag at the kill. The standby last
+// caught up at the checkpoint; everything pushed after it is the
+// catch-up replay the promotion performs under the routing lock.
+void BM_E15PromotionLatency(benchmark::State& state) {
+  const size_t lag_events = static_cast<size_t>(state.range(0));
+  const std::string dir_base =
+      BenchDir("promote_" + std::to_string(lag_events));
+  uint64_t catchup = 0;
+  uint64_t promotion_us = 0;
+  uint64_t iter = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    const std::string dir = dir_base + "/" + std::to_string(iter++);
+    std::filesystem::create_directories(dir);
+    auto engine = OpenEngine(dir);
+    uint64_t next = 0;
+    PushEvents(engine.get(), 256, &next);
+    bench::CheckOk(engine->Flush(), "flush");
+    bench::CheckOk(engine->Checkpoint(), "checkpoint");
+    PushEvents(engine.get(), lag_events, &next);
+    bench::CheckOk(engine->Flush(), "flush");
+    bench::CheckOk(engine->KillShard(0), "kill");
+    state.ResumeTiming();
+    auto healed = engine->HealFailures();
+    state.PauseTiming();
+    bench::CheckOk(healed.status(), "heal");
+    if (*healed != 1) {
+      state.SkipWithError("promotion did not happen");
+      return;
+    }
+    catchup += engine->promotion_catchup_records();
+    promotion_us += engine->last_promotion_duration_us();
+    engine.reset();
+    std::filesystem::remove_all(dir);
+    state.ResumeTiming();
+  }
+  state.counters["catchup_records"] =
+      benchmark::Counter(static_cast<double>(catchup),
+                         benchmark::Counter::kAvgIterations);
+  state.counters["promotion_us"] =
+      benchmark::Counter(static_cast<double>(promotion_us),
+                         benchmark::Counter::kAvgIterations);
+  if (state.iterations() > 0) {
+    bench::Metrics()
+        .GetGauge("e15.promotion_us.lag_" + std::to_string(lag_events))
+        ->Set(static_cast<int64_t>(promotion_us /
+                                   static_cast<uint64_t>(state.iterations())));
+  }
+  std::filesystem::remove_all(dir_base);
+}
+BENCHMARK(BM_E15PromotionLatency)
+    ->Arg(0)->Arg(1024)->Arg(8192)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+}  // namespace eslev
+
+ESLEV_BENCH_MAIN()

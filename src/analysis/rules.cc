@@ -538,7 +538,8 @@ void DurabilityHazardRule(const LintContext& ctx,
             "(DESIGN.md §10)",
         ctx.statement->span,
         "bound the table (periodic deletes) or target a stream so retention "
-        "windows purge history"));
+        "windows purge history; under replication (DESIGN.md §12) the same "
+        "growth is re-paid copying each checkpoint to every standby"));
   }
   if (!ctx.select->group_by.empty() && ctx.seqs.empty() &&
       !ctx.select->from.empty()) {

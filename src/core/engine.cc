@@ -275,6 +275,11 @@ MetricsSnapshot Engine::Metrics() const {
     snap.counters["wal.records_appended"] = wal_->records_appended();
     snap.counters["wal.group_commits"] = wal_->group_commits();
     snap.counters["wal.bytes_written"] = wal_->bytes_written();
+    snap.counters["wal.segments_sealed"] = wal_->segments_sealed();
+    snap.counters["wal.segments_deleted"] = wal_->segments_deleted();
+    snap.gauges["wal.sealed_segments"] =
+        static_cast<int64_t>(wal_->sealed_segments().size());
+    snap.gauges["wal.live_bytes"] = static_cast<int64_t>(wal_->live_bytes());
   }
   return snap;
 }

@@ -293,12 +293,12 @@ Status Engine::EnableWal(const std::string& path, WalOptions options) {
   if (wal_ != nullptr) {
     return Status::Invalid("WAL already enabled at " + wal_->path());
   }
-  ESLEV_ASSIGN_OR_RETURN(WalReadResult read, ReadWal(path));
-  if (read.torn_tail) ++recovery_truncated_frames_;
+  ESLEV_ASSIGN_OR_RETURN(WalChainReadResult read, ReadWalChain(path));
+  if (read.live_torn_tail) ++recovery_truncated_frames_;
   const uint64_t last_lsn =
       std::max(read.records.empty() ? uint64_t{0} : read.records.back().lsn,
                restored_wal_lsn_);
-  options.truncate_to_bytes = read.valid_bytes;
+  options.truncate_to_bytes = read.live_valid_bytes;
   ESLEV_ASSIGN_OR_RETURN(wal_, WalWriter::Open(path, last_lsn + 1, options));
   return Status::OK();
 }
@@ -360,11 +360,11 @@ Result<ReplayStats> Engine::ReplayRecords(const std::vector<WalRecord>& records,
 
 Result<ReplayStats> Engine::ReplayWal(const std::string& path,
                                       const ReplayOptions& options) {
-  ESLEV_ASSIGN_OR_RETURN(WalReadResult read, ReadWal(path));
-  if (read.torn_tail) ++recovery_truncated_frames_;
+  ESLEV_ASSIGN_OR_RETURN(WalChainReadResult read, ReadWalChain(path));
+  if (read.live_torn_tail) ++recovery_truncated_frames_;
   ESLEV_ASSIGN_OR_RETURN(ReplayStats stats,
                          ReplayRecords(read.records, options));
-  stats.torn_tail = read.torn_tail;
+  stats.torn_tail = read.live_torn_tail;
   return stats;
 }
 
@@ -375,14 +375,14 @@ Status Engine::RecoverFrom(const std::string& dir,
   }
   ESLEV_RETURN_NOT_OK(Restore(dir));
   const std::string wal_path = dir + "/" + kWalFileName;
-  // Read the WAL once: replay the suffix, then reopen for append with
-  // any torn tail truncated away.
-  ESLEV_ASSIGN_OR_RETURN(WalReadResult read, ReadWal(wal_path));
-  if (read.torn_tail) ++recovery_truncated_frames_;
+  // Read the WAL chain once: replay the suffix, then reopen for append
+  // with any torn live tail truncated away.
+  ESLEV_ASSIGN_OR_RETURN(WalChainReadResult read, ReadWalChain(wal_path));
+  if (read.live_torn_tail) ++recovery_truncated_frames_;
   ESLEV_ASSIGN_OR_RETURN(ReplayStats stats,
                          ReplayRecords(read.records, options));
   WalOptions wal_options;
-  wal_options.truncate_to_bytes = read.valid_bytes;
+  wal_options.truncate_to_bytes = read.live_valid_bytes;
   const uint64_t last_lsn = std::max(stats.last_lsn, restored_wal_lsn_);
   ESLEV_ASSIGN_OR_RETURN(wal_,
                          WalWriter::Open(wal_path, last_lsn + 1, wal_options));

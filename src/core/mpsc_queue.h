@@ -61,6 +61,28 @@ class MpscQueue {
     idle_cv_.notify_all();
   }
 
+  /// \brief Close AND drop the queued backlog (crash simulation: input
+  /// sitting in a dead worker's mailbox is lost, exactly like input in a
+  /// crashed process's memory). The consumer exits at its next PopAll.
+  void CloseNow() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+      items_.clear();
+    }
+    cv_.notify_all();
+    idle_cv_.notify_all();
+  }
+
+  /// \brief Reset a closed queue for reuse after its consumer thread has
+  /// exited and been joined (standby promotion restarts the worker).
+  void Reopen() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = false;
+    draining_ = false;
+    items_.clear();
+  }
+
   size_t ApproxSize() const {
     std::lock_guard<std::mutex> lock(mu_);
     return items_.size();

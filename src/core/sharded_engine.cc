@@ -71,8 +71,27 @@ void ShardedEngine::RecordError(Shard* shard, const Status& status) {
   if (shard->first_error.ok()) shard->first_error = status;
 }
 
+Status ShardedEngine::CheckAlive(size_t shard) const {
+  if (!shards_[shard]->alive.load(std::memory_order_acquire)) {
+    return Status::ExecutionError(
+        "shard " + std::to_string(shard) +
+        " worker is dead (promote its standby or heal before this call)");
+  }
+  return Status::OK();
+}
+
+Status ShardedEngine::CheckAllAlive() const {
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    ESLEV_RETURN_NOT_OK(CheckAlive(i));
+  }
+  return Status::OK();
+}
+
 Status ShardedEngine::RunOnShard(size_t shard,
                                  const std::function<Status(Engine&)>& fn) {
+  // A dead shard's queue is closed: a command pushed there is dropped and
+  // its promise never resolves, so fail fast instead of hanging.
+  ESLEV_RETURN_NOT_OK(CheckAlive(shard));
   std::promise<Status> done;
   std::future<Status> future = done.get_future();
   Item item;
@@ -85,6 +104,7 @@ Status ShardedEngine::RunOnShard(size_t shard,
 
 Status ShardedEngine::RunOnAllShards(
     const std::function<Status(Engine&)>& fn) {
+  ESLEV_RETURN_NOT_OK(CheckAllAlive());
   std::vector<std::promise<Status>> done(shards_.size());
   std::vector<std::future<Status>> futures;
   futures.reserve(shards_.size());
@@ -165,6 +185,10 @@ Status ShardedEngine::Subscribe(const std::string& stream,
     Status s = RunOnShard(i, [this, shard, i, sub_id, stream](Engine& engine) {
       return engine.Subscribe(stream, [shard, i, sub_id](const Tuple& t) {
         std::lock_guard<std::mutex> lock(shard->out_mu);
+        if (shard->received_per_sub.size() <= sub_id) {
+          shard->received_per_sub.resize(sub_id + 1, 0);
+        }
+        ++shard->received_per_sub[sub_id];
         shard->outbox.push_back({t.ts(), shard->out_seq++, i, sub_id, t});
       });
     });
@@ -390,6 +414,7 @@ size_t ShardedEngine::DrainOutputs() {
 
 Result<std::vector<Tuple>> ShardedEngine::ExecuteSnapshot(
     const std::string& sql) {
+  ESLEV_RETURN_NOT_OK(CheckAllAlive());
   ESLEV_RETURN_NOT_OK(Flush());
   std::vector<std::vector<Tuple>> per_shard(shards_.size());
   std::vector<std::promise<Status>> done(shards_.size());
@@ -445,8 +470,10 @@ Result<std::vector<Timestamp>> ShardedEngine::shard_clocks() {
 Result<MetricsSnapshot> ShardedEngine::Metrics() {
   MetricsSnapshot snap;
   // Per-shard engine metrics, read on each worker thread (serialized
-  // against that shard's processing).
+  // against that shard's processing). Dead shards (killed worker awaiting
+  // promotion) are skipped rather than failing the whole snapshot.
   for (size_t i = 0; i < shards_.size(); ++i) {
+    if (!shards_[i]->alive.load(std::memory_order_acquire)) continue;
     MetricsSnapshot shard_snap;
     ESLEV_RETURN_NOT_OK(RunOnShard(i, [&shard_snap](Engine& engine) {
       shard_snap = engine.Metrics();
@@ -461,6 +488,8 @@ Result<MetricsSnapshot> ShardedEngine::Metrics() {
         static_cast<int64_t>(shards_[i]->queue.ApproxSize());
     snap.counters[prefix + "tuples_routed"] =
         shards_[i]->tuples_routed.load(std::memory_order_relaxed);
+    snap.gauges[prefix + "alive"] =
+        shards_[i]->alive.load(std::memory_order_acquire) ? 1 : 0;
   }
   snap.gauges["sharded.watermark.low"] =
       static_cast<int64_t>(watermark_.low_watermark());
@@ -488,6 +517,12 @@ Result<MetricsSnapshot> ShardedEngine::Metrics() {
     snap.counters["sharded.wal.records_appended"] = wal_->records_appended();
     snap.counters["sharded.wal.group_commits"] = wal_->group_commits();
     snap.counters["sharded.wal.bytes_written"] = wal_->bytes_written();
+    snap.counters["sharded.wal.segments_sealed"] = wal_->segments_sealed();
+    snap.counters["sharded.wal.segments_deleted"] = wal_->segments_deleted();
+    snap.gauges["sharded.wal.sealed_segments"] =
+        static_cast<int64_t>(wal_->sealed_segments().size());
+    snap.gauges["sharded.wal.live_bytes"] =
+        static_cast<int64_t>(wal_->live_bytes());
   }
   return snap;
 }

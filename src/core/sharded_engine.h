@@ -48,6 +48,8 @@
 
 namespace eslev {
 
+class ReplicatedShardedEngine;
+
 struct ShardedEngineOptions {
   /// Number of worker-owned Engine instances. 1 degenerates to a
   /// single-threaded engine behind a queue.
@@ -216,10 +218,20 @@ class ShardedEngine {
     MpscQueue<Item> queue;
     std::thread worker;
     std::atomic<uint64_t> tuples_routed{0};
+    /// Cleared when the worker is killed (replication failure injection);
+    /// control-plane operations on a dead shard fail instead of hanging
+    /// on its closed queue. Promotion restores it.
+    std::atomic<bool> alive{true};
 
     std::mutex out_mu;
     std::vector<Emission> outbox;
     uint64_t out_seq = 0;
+    /// Emissions ever appended to this shard's outbox, per subscription
+    /// (guarded by out_mu). Because the shard engine's callbacks run
+    /// synchronously during processing, this equals the shard's lifetime
+    /// per-stream push count — the duplicate-suppression threshold a
+    /// promoted standby must not re-emit at or below.
+    std::vector<uint64_t> received_per_sub;
 
     std::mutex err_mu;
     Status first_error = Status::OK();
@@ -242,6 +254,11 @@ class ShardedEngine {
                     bool log_to_wal);
   /// \brief Enqueue a heartbeat item on every shard.
   void FanHeartbeat(Timestamp now);
+
+  /// \brief Fail fast when the shard's worker has been killed (its queue
+  /// is closed, so a command pushed there would never resolve).
+  Status CheckAlive(size_t shard) const;
+  Status CheckAllAlive() const;
 
   /// \brief Run `fn` on every shard's worker thread; wait; first error.
   Status RunOnAllShards(const std::function<Status(Engine&)>& fn);
@@ -287,6 +304,15 @@ class ShardedEngine {
   std::atomic<uint64_t> wal_records_replayed_{0};
   std::atomic<uint64_t> recovery_truncated_frames_{0};
   std::atomic<uint64_t> replay_outputs_discarded_{0};
+  /// Replication slot: checkpoint-driven WAL truncation never drops
+  /// records at or above this LSN, so sealed segments a standby still
+  /// needs survive the checkpoint. UINT64_MAX = no restriction.
+  std::atomic<uint64_t> wal_truncate_floor_{UINT64_MAX};
+
+  /// The replication layer (src/replication/) kills, ships, and promotes
+  /// around the same internals this class uses; it is a coordinator-side
+  /// extension rather than an external client.
+  friend class ReplicatedShardedEngine;
 };
 
 }  // namespace eslev

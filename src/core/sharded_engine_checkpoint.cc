@@ -37,6 +37,7 @@ std::string ShardDirName(size_t shard) {
 
 Status ShardedEngine::Checkpoint(const std::string& dir) {
   const auto start = std::chrono::steady_clock::now();
+  ESLEV_RETURN_NOT_OK(CheckAllAlive());
   // The cut: producers block on this mutex (WAL path) or must be paused
   // by the caller (no WAL) while the shards drain and snapshot.
   std::lock_guard<std::mutex> wal_lock(wal_mu_);
@@ -94,9 +95,14 @@ Status ShardedEngine::Checkpoint(const std::string& dir) {
 
   ESLEV_RETURN_NOT_OK(WriteManifest(dir, manifest));
   // The manifest is durable; everything at or below wal_last_lsn is
-  // covered by the shard checkpoints and can be dropped.
+  // covered by the shard checkpoints and can be dropped — except sealed
+  // segments a replication standby has not consumed yet (the truncation
+  // floor, a replication slot maintained by ReplicatedShardedEngine).
   if (wal_ != nullptr) {
-    ESLEV_RETURN_NOT_OK(wal_->TruncateBefore(wal_last_lsn + 1));
+    const uint64_t floor =
+        wal_truncate_floor_.load(std::memory_order_acquire);
+    ESLEV_RETURN_NOT_OK(
+        wal_->TruncateBefore(std::min(wal_last_lsn + 1, floor)));
   }
 
   uint64_t bytes = 0;
@@ -120,6 +126,7 @@ Status ShardedEngine::Checkpoint(const std::string& dir) {
 }
 
 Status ShardedEngine::Restore(const std::string& dir) {
+  ESLEV_RETURN_NOT_OK(CheckAllAlive());
   ESLEV_ASSIGN_OR_RETURN(ShardedManifest manifest, ReadManifest(dir));
   if (manifest.num_shards != shards_.size()) {
     return Status::IoError(
@@ -168,14 +175,14 @@ Status ShardedEngine::EnableWal(const std::string& path, WalOptions options) {
   if (wal_ != nullptr) {
     return Status::Invalid("WAL already enabled at " + wal_->path());
   }
-  ESLEV_ASSIGN_OR_RETURN(WalReadResult read, ReadWal(path));
-  if (read.torn_tail) {
+  ESLEV_ASSIGN_OR_RETURN(WalChainReadResult read, ReadWalChain(path));
+  if (read.live_torn_tail) {
     recovery_truncated_frames_.fetch_add(1, std::memory_order_relaxed);
   }
   const uint64_t last_lsn =
       std::max(read.records.empty() ? uint64_t{0} : read.records.back().lsn,
                restored_wal_lsn_);
-  options.truncate_to_bytes = read.valid_bytes;
+  options.truncate_to_bytes = read.live_valid_bytes;
   ESLEV_ASSIGN_OR_RETURN(wal_, WalWriter::Open(path, last_lsn + 1, options));
   wal_enabled_.store(true, std::memory_order_release);
   return Status::OK();
@@ -195,8 +202,8 @@ Status ShardedEngine::RecoverFrom(const std::string& dir,
   ESLEV_RETURN_NOT_OK(Restore(dir));
 
   const std::string wal_path = dir + "/" + kWalFileName;
-  ESLEV_ASSIGN_OR_RETURN(WalReadResult read, ReadWal(wal_path));
-  if (read.torn_tail) {
+  ESLEV_ASSIGN_OR_RETURN(WalChainReadResult read, ReadWalChain(wal_path));
+  if (read.live_torn_tail) {
     recovery_truncated_frames_.fetch_add(1, std::memory_order_relaxed);
   }
   uint64_t replayed = 0;
@@ -234,7 +241,7 @@ Status ShardedEngine::RecoverFrom(const std::string& dir,
 
   std::lock_guard<std::mutex> wal_lock(wal_mu_);
   WalOptions wal_options;
-  wal_options.truncate_to_bytes = read.valid_bytes;
+  wal_options.truncate_to_bytes = read.live_valid_bytes;
   ESLEV_ASSIGN_OR_RETURN(wal_,
                          WalWriter::Open(wal_path, last_lsn + 1, wal_options));
   wal_enabled_.store(true, std::memory_order_release);

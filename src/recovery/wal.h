@@ -12,6 +12,18 @@
 //
 // LSNs are assigned by the writer, strictly increasing, and never reused:
 // after a checkpoint at LSN n, replay skips records with lsn <= n.
+//
+// Segment rotation (DESIGN.md §12): with `WalOptions::segment_bytes` set,
+// the live file at `path` is sealed once it reaches the threshold — it is
+// renamed to `path.<id>.seg` and recorded in a manifest sidecar at
+// `path.segments` (header frame + body frame listing every sealed
+// segment's id, file name, LSN range, and byte size). Sealed segments are
+// immutable, which is what makes them safe to ship to a standby while the
+// primary keeps appending, and lets checkpoint-driven truncation delete
+// whole files instead of rewriting the retained log. A crash between the
+// rename and the manifest write leaves an orphan `path.<id>.seg`; readers
+// and the writer adopt such orphans by scanning forward from the
+// manifest's next id, so the chain self-heals.
 
 #ifndef ESLEV_RECOVERY_WAL_H_
 #define ESLEV_RECOVERY_WAL_H_
@@ -51,7 +63,49 @@ struct WalOptions {
   /// writer opens it for append — used after a torn-tail scan so stale
   /// bytes past the tear can never be misread as frames later.
   std::optional<size_t> truncate_to_bytes;
+  /// Seal the live file into an immutable `path.<id>.seg` segment once
+  /// its flushed size reaches this many bytes. 0 never rotates (single
+  /// live file, the pre-replication layout).
+  size_t segment_bytes = 0;
 };
+
+/// \brief One sealed, immutable WAL segment as recorded in the manifest.
+struct WalSegmentInfo {
+  uint64_t id = 0;          // monotone; file name carries it
+  std::string file;         // base name, lives next to the live file
+  uint64_t first_lsn = 0;
+  uint64_t last_lsn = 0;
+  uint64_t bytes = 0;       // exact file size; a mismatch is corruption
+};
+
+/// \brief The manifest sidecar: every live sealed segment in LSN order,
+/// plus the id the next seal will use (which is how orphan segments from
+/// a crash between rename and manifest write are found).
+struct WalManifest {
+  uint64_t next_segment_id = 1;
+  std::vector<WalSegmentInfo> segments;
+};
+
+/// \brief `path.segments` — where the manifest for WAL `path` lives.
+std::string WalManifestPath(const std::string& wal_path);
+
+/// \brief Full path of a sealed segment (same directory as the live file).
+std::string WalSegmentPath(const std::string& wal_path,
+                           const WalSegmentInfo& segment);
+
+/// \brief Read `path.segments`. A missing manifest yields the empty
+/// default (a WAL that never rotated is a valid chain of one live file).
+Result<WalManifest> ReadWalManifest(const std::string& wal_path);
+
+/// \brief Atomically write `path.segments`.
+Status WriteWalManifest(const std::string& wal_path,
+                        const WalManifest& manifest);
+
+/// \brief Read the manifest and adopt any orphan `path.<id>.seg` files
+/// (sealed but not yet recorded when the writer crashed): their LSN range
+/// and size are recovered from the file itself. Purely in-memory; the
+/// writer persists the healed manifest at Open.
+Result<WalManifest> ListWalSegments(const std::string& wal_path);
 
 /// \brief Result of reading a WAL file front to back.
 struct WalReadResult {
@@ -67,6 +121,27 @@ struct WalReadResult {
 /// Mid-file corruption — a bad frame with data after it — is an IoError.
 Result<WalReadResult> ReadWal(const std::string& path);
 
+/// \brief Decode WAL frames from an in-memory byte range — a shipped
+/// live-tail slice starting at a frame boundary. Same torn-tail /
+/// mid-range corruption semantics as ReadWal.
+Result<WalReadResult> DecodeWalFrames(const char* data, size_t size);
+
+/// \brief Result of reading a whole segmented WAL chain.
+struct WalChainReadResult {
+  std::vector<WalRecord> records;   // sealed segments then live, LSN order
+  WalManifest manifest;             // including adopted orphans
+  /// Valid prefix / torn-tail state of the *live* file only. A torn tail
+  /// is legal there and only there: sealed segments were complete when
+  /// renamed, so a tear inside one is corruption, not a crash artifact.
+  size_t live_valid_bytes = 0;
+  bool live_torn_tail = false;
+};
+
+/// \brief Read sealed segments (manifest + orphans) then the live file,
+/// validating each sealed segment is clean, matches its manifest entry,
+/// and that LSNs increase strictly across the whole chain.
+Result<WalChainReadResult> ReadWalChain(const std::string& path);
+
 /// \brief Buffered appender. Not thread-safe; callers serialize (the
 /// engines hold their own mutex around append + enqueue so WAL order
 /// matches processing order).
@@ -74,7 +149,8 @@ class WalWriter {
  public:
   /// Opens `path` for append (creating it if absent), honoring
   /// `options.truncate_to_bytes` first. `next_lsn` is the LSN the next
-  /// appended record receives; recovery passes last-read LSN + 1.
+  /// appended record receives; recovery passes last-read LSN + 1. With
+  /// rotation enabled this also heals the manifest (orphan adoption).
   static Result<std::unique_ptr<WalWriter>> Open(const std::string& path,
                                                  uint64_t next_lsn,
                                                  const WalOptions& options = {});
@@ -89,20 +165,38 @@ class WalWriter {
   /// \brief Log a time advancement; returns the LSN it was assigned.
   Result<uint64_t> AppendHeartbeat(const std::string& stream, Timestamp ts);
 
-  /// \brief Force the pending group commit to the file.
+  /// \brief Force the pending group commit to the file (and seal the live
+  /// segment if it crossed the rotation threshold).
   Status Flush();
 
-  /// \brief Drop records with lsn < `lsn` by atomically rewriting the
-  /// file (checkpoint-driven truncation). Flushes first.
+  /// \brief Checkpoint-driven truncation: delete sealed segments whose
+  /// every record has lsn < `lsn`. The live file is never rewritten —
+  /// records it holds below `lsn` are skipped at replay instead — so
+  /// truncation cost is proportional to the number of dropped segments,
+  /// not the size of the retained log. Flushes first.
   Status TruncateBefore(uint64_t lsn);
+
+  /// \brief Flush, then seal the live file into a segment even if it is
+  /// below the rotation threshold (no-op when it holds no records).
+  /// Lets a shipper hand off a complete immutable file on demand.
+  Status SealActiveSegment();
 
   const std::string& path() const { return path_; }
   uint64_t next_lsn() const { return next_lsn_; }
+
+  /// Sealed segments still on disk, oldest first.
+  const std::vector<WalSegmentInfo>& sealed_segments() const {
+    return manifest_.segments;
+  }
+  /// Flushed bytes currently in the live file.
+  uint64_t live_bytes() const { return live_bytes_; }
 
   // Counters for MetricsRegistry ("wal." family).
   uint64_t records_appended() const { return records_appended_; }
   uint64_t group_commits() const { return group_commits_; }
   uint64_t bytes_written() const { return bytes_written_; }
+  uint64_t segments_sealed() const { return segments_sealed_; }
+  uint64_t segments_deleted() const { return segments_deleted_; }
 
  private:
   WalWriter(std::string path, uint64_t next_lsn, WalOptions options)
@@ -110,6 +204,7 @@ class WalWriter {
 
   Result<uint64_t> AppendRecord(const WalRecord& record);
   Status ReopenForAppend();
+  Status SealLive();
 
   std::string path_;
   uint64_t next_lsn_;
@@ -117,9 +212,15 @@ class WalWriter {
   std::FILE* file_ = nullptr;
   std::string pending_;  // encoded frames awaiting group commit
 
+  WalManifest manifest_;
+  uint64_t live_bytes_ = 0;      // flushed bytes in the live file
+  uint64_t live_first_lsn_ = 0;  // 0 while the live file holds no records
+
   uint64_t records_appended_ = 0;
   uint64_t group_commits_ = 0;
   uint64_t bytes_written_ = 0;
+  uint64_t segments_sealed_ = 0;
+  uint64_t segments_deleted_ = 0;
 };
 
 }  // namespace eslev

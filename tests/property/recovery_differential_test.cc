@@ -18,6 +18,7 @@
 #include "core/engine.h"
 #include "core/sharded_engine.h"
 #include "recovery/checkpoint.h"
+#include "replication/replicated_engine.h"
 
 namespace eslev {
 namespace {
@@ -189,7 +190,7 @@ TEST_P(RecoveryDifferentialTest, WindowedSeq) {
       GetParam() + 7, 160, 4, "windowed");
 }
 
-TEST_P(RecoveryDifferentialTest, TrailingStarGroups) {
+Scenario StarScenario() {
   Scenario s;
   s.ddl = R"sql(
     CREATE STREAM R1(readerid, tagid, tagtime);
@@ -203,13 +204,10 @@ TEST_P(RecoveryDifferentialTest, TrailingStarGroups) {
       AND R1.tagtime - R1.previous.tagtime <= 1 SECONDS
   )sql";
   s.streams = {"R1", "R2"};
-  ExpectKillReplayEquivalence(s, GetParam() + 101, 140, 3, "star");
+  return s;
 }
 
-TEST_P(RecoveryDifferentialTest, ExceptionSeqDeadlinesSurviveTheCrash) {
-  // Anchored 10-minute deadlines: many are open at the kill point, so
-  // recovery must reconstruct them from the checkpoint (and WAL-replayed
-  // heartbeats) for the tail heartbeat to fire the same violations.
+Scenario ExceptionScenario() {
   Scenario s;
   s.ddl = kSeqDdl;
   s.query = "SELECT C1.tagid, C1.tagtime FROM C1, C2, C3 "
@@ -217,7 +215,19 @@ TEST_P(RecoveryDifferentialTest, ExceptionSeqDeadlinesSurviveTheCrash) {
             "AND C1.tagid=C2.tagid AND C1.tagid=C3.tagid";
   s.streams = {"C1", "C2", "C3"};
   s.tail_advance = Minutes(30);  // beyond every open deadline
-  ExpectKillReplayEquivalence(s, GetParam() + 211, 140, 4, "exception");
+  return s;
+}
+
+TEST_P(RecoveryDifferentialTest, TrailingStarGroups) {
+  ExpectKillReplayEquivalence(StarScenario(), GetParam() + 101, 140, 3, "star");
+}
+
+TEST_P(RecoveryDifferentialTest, ExceptionSeqDeadlinesSurviveTheCrash) {
+  // Anchored 10-minute deadlines: many are open at the kill point, so
+  // recovery must reconstruct them from the checkpoint (and WAL-replayed
+  // heartbeats) for the tail heartbeat to fire the same violations.
+  ExpectKillReplayEquivalence(ExceptionScenario(), GetParam() + 211, 140, 4,
+                              "exception");
 }
 
 // ---- sharded: coordinated checkpoint + front-end WAL --------------------
@@ -329,6 +339,134 @@ TEST_P(RecoveryDifferentialTest, ShardedKillReplayAt124Shards) {
         << " kill_at " << kill_at;
     std::filesystem::remove_all(dir);
   }
+}
+
+// ---- replicated: kill a primary shard, promote its hot standby ----------
+
+// Run the trace on a ReplicatedShardedEngine: checkpoint at `ckpt_at`
+// (which provisions the standbys), kill shard `shard_to_kill` at
+// `kill_at` after draining everything delivered so far, keep pushing
+// into the dark window (the victim's share reaches only the WAL, which
+// is exactly what its standby replays), promote at `resume_at`, and
+// finish the trace on the promoted engine. Replicate() is sprinkled
+// through the trace so shipping/apply runs incrementally, not as one
+// big promotion-time catch-up. Returns the sorted emissions, which must
+// be byte-identical to the failure-free sharded run.
+std::vector<std::string> RunReplicatedKillPromote(
+    const Scenario& scenario, const std::vector<Event>& events,
+    size_t num_shards, size_t ckpt_at, size_t kill_at, size_t resume_at,
+    size_t shard_to_kill, const std::string& dir) {
+  ReplicatedShardedEngineOptions options;
+  options.num_shards = num_shards;
+  options.dir = dir;
+  options.wal.group_commit_bytes = 0;  // every append durable at the kill
+  options.wal.segment_bytes = 2048;    // rotate mid-trace: sealed + live ship
+  auto opened = ReplicatedShardedEngine::Open(options);
+  EXPECT_TRUE(opened.ok()) << opened.status();
+  ReplicatedShardedEngine& engine = **opened;
+  EXPECT_TRUE(engine.ExecuteScript(scenario.ddl).ok());
+  auto q = engine.RegisterQuery(scenario.query);
+  EXPECT_TRUE(q.ok()) << q.status();
+  std::vector<std::string> rows;
+  EXPECT_TRUE(
+      engine
+          .Subscribe(q->output_stream,
+                     [&](const Tuple& t) { rows.push_back(t.ToString()); })
+          .ok());
+  auto push = [&](size_t i) {
+    const Event& e = events[i];
+    ASSERT_TRUE(engine
+                    .Push(e.stream,
+                          {Value::String("r"), Value::String(e.tag),
+                           Value::Time(e.ts)},
+                          e.ts)
+                    .ok());
+    if (i % 40 == 17) {
+      Status replicated = engine.Replicate();
+      EXPECT_TRUE(replicated.ok()) << replicated;
+    }
+  };
+  for (size_t i = 0; i < ckpt_at; ++i) push(i);
+  EXPECT_TRUE(engine.Flush().ok());
+  Status ckpt = engine.Checkpoint();
+  EXPECT_TRUE(ckpt.ok()) << ckpt;
+  for (size_t i = ckpt_at; i < kill_at; ++i) push(i);
+  // The consumer drained everything delivered so far; the failover must
+  // regenerate only what was in flight, without double-delivering this.
+  EXPECT_TRUE(engine.Flush().ok());
+  engine.DrainOutputs();
+  EXPECT_TRUE(engine.KillShard(shard_to_kill).ok());
+  for (size_t i = kill_at; i < resume_at; ++i) push(i);
+  auto healed = engine.HealFailures();
+  EXPECT_TRUE(healed.ok()) << healed.status();
+  if (healed.ok()) {
+    EXPECT_EQ(*healed, 1u);
+  }
+  for (size_t i = resume_at; i < events.size(); ++i) push(i);
+  EXPECT_TRUE(
+      engine.AdvanceTime(events.back().ts + scenario.tail_advance).ok());
+  EXPECT_TRUE(engine.Flush().ok());
+  engine.DrainOutputs();
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+void ExpectKillPromoteEquivalence(const Scenario& scenario, uint32_t seed,
+                                  size_t num_events, int num_tags,
+                                  const std::string& tag) {
+  const auto events = MakeTrace(seed, num_events, scenario.streams, num_tags);
+  std::mt19937 rng(seed * 69621u + 5);
+  for (size_t shards : {1u, 2u, 4u}) {
+    const auto reference = RunShardedUninterrupted(scenario, events, shards);
+    const size_t ckpt_at =
+        std::uniform_int_distribution<size_t>(1, num_events / 2)(rng);
+    const size_t kill_at =
+        std::uniform_int_distribution<size_t>(ckpt_at, num_events - 1)(rng);
+    const size_t resume_at =
+        std::uniform_int_distribution<size_t>(kill_at, num_events)(rng);
+    const size_t shard_to_kill =
+        std::uniform_int_distribution<size_t>(0, shards - 1)(rng);
+    const std::string dir =
+        FreshDir("promote_" + tag + "_s" + std::to_string(seed) + "_n" +
+                 std::to_string(shards));
+    const auto promoted = RunReplicatedKillPromote(
+        scenario, events, shards, ckpt_at, kill_at, resume_at, shard_to_kill,
+        dir);
+    EXPECT_EQ(promoted, reference)
+        << tag << " shards " << shards << " seed " << seed << " ckpt_at "
+        << ckpt_at << " kill_at " << kill_at << " resume_at " << resume_at
+        << " victim " << shard_to_kill;
+    std::filesystem::remove_all(dir);
+  }
+}
+
+TEST_P(RecoveryDifferentialTest, PromoteAcrossAllPairingModes) {
+  int i = 0;
+  for (const char* mode :
+       {"", " MODE RECENT", " MODE CHRONICLE", " MODE CONSECUTIVE"}) {
+    ExpectKillPromoteEquivalence(SeqScenario(mode, ""),
+                                 GetParam() * 31u + static_cast<uint32_t>(i),
+                                 120, 4, "pmode" + std::to_string(i));
+    ++i;
+  }
+}
+
+TEST_P(RecoveryDifferentialTest, PromoteWindowedSeq) {
+  ExpectKillPromoteEquivalence(
+      SeqScenario(" MODE CHRONICLE", " OVER [30 SECONDS PRECEDING C3]"),
+      GetParam() + 307, 120, 4, "pwindowed");
+}
+
+TEST_P(RecoveryDifferentialTest, PromoteTrailingStarGroups) {
+  ExpectKillPromoteEquivalence(StarScenario(), GetParam() + 401, 120, 3,
+                               "pstar");
+}
+
+TEST_P(RecoveryDifferentialTest, PromoteExceptionSeqDeadlines) {
+  // The deadline for every C1 still open at the kill is owned by the
+  // victim's standby after promotion; each must fire exactly once.
+  ExpectKillPromoteEquivalence(ExceptionScenario(), GetParam() + 503, 120, 4,
+                               "pexception");
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RecoveryDifferentialTest,

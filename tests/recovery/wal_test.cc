@@ -1,12 +1,14 @@
 // Event WAL unit tests (recovery/wal.h): append/read round-trips, LSN
-// assignment, group commit, checkpoint-driven truncation, and the
-// fault-injection cases — torn final frame, mid-file corruption.
+// assignment, group commit, segment rotation + chain reads,
+// checkpoint-driven whole-segment truncation, and the fault-injection
+// cases — torn final frame, mid-file corruption, corrupt sealed segments.
 
 #include "recovery/wal.h"
 
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <string>
 
 #include "types/schema.h"
@@ -21,12 +23,29 @@ class WalTest : public ::testing::Test {
     path_ = ::testing::TempDir() + "wal_test_" +
             ::testing::UnitTest::GetInstance()->current_test_info()->name() +
             ".log";
-    std::remove(path_.c_str());
+    RemoveChainFiles();
     schema_ = Schema::Make({{"reader_id", TypeId::kString},
                             {"tag_id", TypeId::kString},
                             {"read_time", TypeId::kTimestamp}});
   }
-  void TearDown() override { std::remove(path_.c_str()); }
+  void TearDown() override { RemoveChainFiles(); }
+
+  // Remove the live file, the manifest sidecar, and every sealed segment.
+  void RemoveChainFiles() {
+    std::remove(path_.c_str());
+    std::remove(WalManifestPath(path_).c_str());
+    const std::filesystem::path live(path_);
+    const std::string prefix = live.filename().string() + ".";
+    std::error_code ec;
+    for (const auto& entry :
+         std::filesystem::directory_iterator(live.parent_path(), ec)) {
+      const std::string name = entry.path().filename().string();
+      if (name.rfind(prefix, 0) == 0 && name.size() > 4 &&
+          name.substr(name.size() - 4) == ".seg") {
+        std::filesystem::remove(entry.path(), ec);
+      }
+    }
+  }
 
   Tuple MakeReading(const std::string& tag, Timestamp ts) const {
     return Tuple(schema_,
@@ -121,7 +140,34 @@ TEST_F(WalTest, ReopenContinuesLsnSequence) {
   EXPECT_EQ(again->records[1].lsn, 2u);
 }
 
-TEST_F(WalTest, TruncateBeforeDropsCoveredPrefix) {
+TEST_F(WalTest, TruncateBeforeDropsWholeSealedSegments) {
+  WalOptions options;
+  options.group_commit_bytes = 0;  // every append flushes...
+  options.segment_bytes = 1;       // ...and every flush seals
+  auto writer = WalWriter::Open(path_, 1, options);
+  ASSERT_TRUE(writer.ok()) << writer.status();
+  for (int i = 1; i <= 5; ++i) {
+    ASSERT_TRUE(
+        (*writer)->AppendTuple("readings", MakeReading("t", i * 10)).ok());
+  }
+  ASSERT_EQ((*writer)->sealed_segments().size(), 5u);
+  ASSERT_TRUE((*writer)->TruncateBefore(4).ok());
+  // Segments holding only LSNs 1..3 are deleted as whole files; nothing
+  // is rewritten.
+  EXPECT_EQ((*writer)->segments_deleted(), 3u);
+  ASSERT_EQ((*writer)->sealed_segments().size(), 2u);
+  EXPECT_EQ((*writer)->sealed_segments().front().first_lsn, 4u);
+  EXPECT_EQ(*(*writer)->AppendTuple("readings", MakeReading("t6", 60)), 6u);
+  auto chain = ReadWalChain(path_);
+  ASSERT_TRUE(chain.ok()) << chain.status();
+  ASSERT_EQ(chain->records.size(), 3u);
+  EXPECT_EQ(chain->records.front().lsn, 4u);
+  EXPECT_EQ(chain->records.back().lsn, 6u);
+}
+
+TEST_F(WalTest, TruncateBeforeNeverRewritesTheLiveFile) {
+  // No rotation: truncation has nothing to delete, and records below the
+  // cut stay in the live file — replay skips them by LSN instead.
   auto writer = WalWriter::Open(path_, 1);
   ASSERT_TRUE(writer.ok());
   for (int i = 1; i <= 5; ++i) {
@@ -129,18 +175,181 @@ TEST_F(WalTest, TruncateBeforeDropsCoveredPrefix) {
         (*writer)->AppendTuple("readings", MakeReading("t", i * 10)).ok());
   }
   ASSERT_TRUE((*writer)->TruncateBefore(4).ok());
-  // Records 4 and 5 survive; the writer still appends at LSN 6.
+  EXPECT_EQ((*writer)->segments_deleted(), 0u);
   auto read = ReadWal(path_);
   ASSERT_TRUE(read.ok());
-  ASSERT_EQ(read->records.size(), 2u);
-  EXPECT_EQ(read->records[0].lsn, 4u);
-  EXPECT_EQ(read->records[1].lsn, 5u);
+  ASSERT_EQ(read->records.size(), 5u);
   EXPECT_EQ(*(*writer)->AppendTuple("readings", MakeReading("t6", 60)), 6u);
-  ASSERT_TRUE((*writer)->Flush().ok());
-  auto after = ReadWal(path_);
-  ASSERT_TRUE(after.ok());
-  ASSERT_EQ(after->records.size(), 3u);
-  EXPECT_EQ(after->records.back().lsn, 6u);
+}
+
+TEST_F(WalTest, SegmentRotationSealsAtThresholdAndChainReadSpansAll) {
+  WalOptions options;
+  options.group_commit_bytes = 0;
+  options.segment_bytes = 100;  // a few records per segment
+  auto writer = WalWriter::Open(path_, 1, options);
+  ASSERT_TRUE(writer.ok()) << writer.status();
+  for (int i = 1; i <= 12; ++i) {
+    ASSERT_TRUE(
+        (*writer)->AppendTuple("readings", MakeReading("t", i * 10)).ok());
+  }
+  EXPECT_GE((*writer)->segments_sealed(), 2u);
+  const auto& sealed = (*writer)->sealed_segments();
+  ASSERT_FALSE(sealed.empty());
+  // Manifest entries are contiguous in LSN and match the files on disk.
+  uint64_t expect_first = 1;
+  for (const WalSegmentInfo& seg : sealed) {
+    EXPECT_EQ(seg.first_lsn, expect_first);
+    EXPECT_GE(seg.last_lsn, seg.first_lsn);
+    expect_first = seg.last_lsn + 1;
+    std::error_code ec;
+    EXPECT_EQ(std::filesystem::file_size(WalSegmentPath(path_, seg), ec),
+              seg.bytes);
+  }
+  auto chain = ReadWalChain(path_);
+  ASSERT_TRUE(chain.ok()) << chain.status();
+  ASSERT_EQ(chain->records.size(), 12u);
+  for (int i = 0; i < 12; ++i) {
+    EXPECT_EQ(chain->records[i].lsn, static_cast<uint64_t>(i + 1));
+  }
+  EXPECT_FALSE(chain->live_torn_tail);
+}
+
+TEST_F(WalTest, ReopenContinuesAcrossSealedSegments) {
+  WalOptions options;
+  options.group_commit_bytes = 0;
+  options.segment_bytes = 1;
+  {
+    auto writer = WalWriter::Open(path_, 1, options);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->AppendTuple("readings", MakeReading("t1", 10)).ok());
+    ASSERT_TRUE((*writer)->AppendTuple("readings", MakeReading("t2", 20)).ok());
+  }
+  auto chain = ReadWalChain(path_);
+  ASSERT_TRUE(chain.ok()) << chain.status();
+  ASSERT_EQ(chain->records.size(), 2u);
+  auto writer =
+      WalWriter::Open(path_, chain->records.back().lsn + 1, options);
+  ASSERT_TRUE(writer.ok()) << writer.status();
+  EXPECT_EQ((*writer)->sealed_segments().size(), 2u);
+  EXPECT_EQ(*(*writer)->AppendTuple("readings", MakeReading("t3", 30)), 3u);
+  auto again = ReadWalChain(path_);
+  ASSERT_TRUE(again.ok()) << again.status();
+  ASSERT_EQ(again->records.size(), 3u);
+  EXPECT_EQ(again->records.back().lsn, 3u);
+}
+
+TEST_F(WalTest, SealActiveSegmentHandsOffBelowThreshold) {
+  WalOptions options;
+  options.group_commit_bytes = 0;
+  options.segment_bytes = 1 << 20;  // far from the threshold
+  auto writer = WalWriter::Open(path_, 1, options);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->AppendTuple("readings", MakeReading("t1", 10)).ok());
+  ASSERT_TRUE((*writer)->SealActiveSegment().ok());
+  ASSERT_EQ((*writer)->sealed_segments().size(), 1u);
+  EXPECT_EQ((*writer)->live_bytes(), 0u);
+  // Sealing an empty live file is a no-op.
+  ASSERT_TRUE((*writer)->SealActiveSegment().ok());
+  EXPECT_EQ((*writer)->sealed_segments().size(), 1u);
+  ASSERT_TRUE((*writer)->AppendTuple("readings", MakeReading("t2", 20)).ok());
+  auto chain = ReadWalChain(path_);
+  ASSERT_TRUE(chain.ok()) << chain.status();
+  ASSERT_EQ(chain->records.size(), 2u);
+}
+
+TEST_F(WalTest, OrphanSegmentFromCrashBetweenRenameAndManifestIsAdopted) {
+  WalOptions options;
+  options.group_commit_bytes = 0;
+  options.segment_bytes = 1;
+  {
+    auto writer = WalWriter::Open(path_, 1, options);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->AppendTuple("readings", MakeReading("t1", 10)).ok());
+    ASSERT_TRUE((*writer)->AppendTuple("readings", MakeReading("t2", 20)).ok());
+  }
+  // Simulate the crash window: roll the manifest back to before the
+  // second seal, leaving wal.log.000002.seg on disk unrecorded.
+  auto manifest = ReadWalManifest(path_);
+  ASSERT_TRUE(manifest.ok());
+  ASSERT_EQ(manifest->segments.size(), 2u);
+  WalManifest rolled = *manifest;
+  rolled.segments.pop_back();
+  rolled.next_segment_id = 2;
+  ASSERT_TRUE(WriteWalManifest(path_, rolled).ok());
+
+  auto listed = ListWalSegments(path_);
+  ASSERT_TRUE(listed.ok()) << listed.status();
+  ASSERT_EQ(listed->segments.size(), 2u);
+  EXPECT_EQ(listed->segments.back().first_lsn, 2u);
+  EXPECT_EQ(listed->next_segment_id, 3u);
+
+  // Reopening the writer persists the adoption.
+  auto writer = WalWriter::Open(path_, 3, options);
+  ASSERT_TRUE(writer.ok()) << writer.status();
+  auto healed = ReadWalManifest(path_);
+  ASSERT_TRUE(healed.ok());
+  EXPECT_EQ(healed->segments.size(), 2u);
+  EXPECT_EQ(healed->next_segment_id, 3u);
+}
+
+TEST_F(WalTest, CorruptSealedSegmentFailsChainRead) {
+  WalOptions options;
+  options.group_commit_bytes = 0;
+  options.segment_bytes = 1;
+  auto writer = WalWriter::Open(path_, 1, options);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->AppendTuple("readings", MakeReading("t1", 10)).ok());
+  ASSERT_TRUE((*writer)->AppendTuple("readings", MakeReading("t2", 20)).ok());
+  const std::string seg_path =
+      WalSegmentPath(path_, (*writer)->sealed_segments().front());
+  auto bytes = ReadFileAll(seg_path);
+  ASSERT_TRUE(bytes.ok());
+
+  // A flipped byte anywhere in a sealed segment is corruption.
+  std::string flipped = *bytes;
+  flipped[flipped.size() / 2] ^= 0x01;
+  ASSERT_TRUE(WriteFileAtomic(seg_path, flipped).ok());
+  EXPECT_TRUE(ReadWalChain(path_).status().IsIoError());
+
+  // So is a truncated (torn-looking) sealed segment: it was complete
+  // when renamed, so a tear cannot be a crash artifact.
+  ASSERT_TRUE(
+      WriteFileAtomic(seg_path, bytes->substr(0, bytes->size() - 3)).ok());
+  EXPECT_TRUE(ReadWalChain(path_).status().IsIoError());
+
+  // Restored intact, the chain reads clean again.
+  ASSERT_TRUE(WriteFileAtomic(seg_path, *bytes).ok());
+  auto chain = ReadWalChain(path_);
+  ASSERT_TRUE(chain.ok()) << chain.status();
+  EXPECT_EQ(chain->records.size(), 2u);
+}
+
+TEST_F(WalTest, TornLiveTailIsToleratedByChainRead) {
+  WalOptions options;
+  options.group_commit_bytes = 0;
+  options.segment_bytes = 1;
+  {
+    auto writer = WalWriter::Open(path_, 1, options);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->AppendTuple("readings", MakeReading("t1", 10)).ok());
+    // Below the flush threshold nothing seals mid-record; write a second
+    // record into the fresh live file, then tear it.
+    options.segment_bytes = 1 << 20;
+  }
+  auto writer = WalWriter::Open(path_, 2, options);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->AppendTuple("readings", MakeReading("t2", 20)).ok());
+  ASSERT_TRUE((*writer)->AppendTuple("readings", MakeReading("t3", 30)).ok());
+  writer->reset();  // close the file before tearing it
+  auto live = ReadFileAll(path_);
+  ASSERT_TRUE(live.ok());
+  ASSERT_TRUE(
+      WriteFileAtomic(path_, live->substr(0, live->size() - 5)).ok());
+  auto chain = ReadWalChain(path_);
+  ASSERT_TRUE(chain.ok()) << chain.status();
+  EXPECT_TRUE(chain->live_torn_tail);
+  ASSERT_EQ(chain->records.size(), 2u);  // sealed t1 + intact live t2
+  EXPECT_EQ(chain->records.back().lsn, 2u);
 }
 
 TEST_F(WalTest, TornFinalFrameIsToleratedAndReported) {

@@ -1,0 +1,387 @@
+// ReplicatedShardedEngine tests (replication/replicated_engine.h):
+// kill-then-promote must reproduce the failure-free output byte for
+// byte (including EXCEPTION_SEQ active-expiration violations, fired
+// exactly once), promotion must refuse a corrupt shipped chain, and the
+// replication.* metrics must be visible through Metrics() and
+// EXPLAIN ANALYZE.
+
+#include "replication/replicated_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/sharded_engine.h"
+#include "recovery/codec.h"
+
+namespace eslev {
+namespace {
+
+constexpr char kDdl[] = R"sql(
+  CREATE STREAM C1(readerid, tagid, tagtime);
+  CREATE STREAM C2(readerid, tagid, tagtime);
+  CREATE STREAM C3(readerid, tagid, tagtime);
+)sql";
+constexpr char kSeqQuery[] =
+    "SELECT C3.tagid, C1.tagtime, C3.tagtime FROM C1, C2, C3 "
+    "WHERE SEQ(C1, C2, C3) MODE CHRONICLE "
+    "AND C1.tagid=C2.tagid AND C1.tagid=C3.tagid";
+constexpr char kExceptionQuery[] =
+    "SELECT C1.tagid, C1.tagtime FROM C1, C2, C3 "
+    "WHERE EXCEPTION_SEQ(C1, C2, C3) OVER [10 SECONDS FOLLOWING C1] "
+    "AND C1.tagid=C2.tagid AND C1.tagid=C3.tagid";
+
+struct Event {
+  std::string stream;
+  std::string tag;
+  Timestamp ts;
+};
+
+// Staggered SEQ traffic: each tag emits C1, C2, C3 two seconds apart.
+std::vector<Event> SeqTrace(int num_tags) {
+  std::vector<Event> events;
+  for (int i = 0; i < num_tags; ++i) {
+    const std::string tag = "tag" + std::to_string(i);
+    const Timestamp base = Seconds(1 + i);
+    events.push_back({"C1", tag, base});
+    events.push_back({"C2", tag, base + Seconds(2)});
+    events.push_back({"C3", tag, base + Seconds(4)});
+  }
+  std::sort(events.begin(), events.end(),
+            [](const Event& a, const Event& b) { return a.ts < b.ts; });
+  return events;
+}
+
+std::vector<std::string> OracleRun(const std::string& query,
+                                   const std::vector<Event>& events,
+                                   Timestamp tail) {
+  Engine engine;
+  EXPECT_TRUE(engine.ExecuteScript(kDdl).ok());
+  auto q = engine.RegisterQuery(query);
+  EXPECT_TRUE(q.ok()) << q.status();
+  std::vector<std::string> rows;
+  EXPECT_TRUE(engine
+                  .Subscribe(q->output_stream,
+                             [&](const Tuple& t) {
+                               rows.push_back(t.ToString());
+                             })
+                  .ok());
+  for (const Event& e : events) {
+    EXPECT_TRUE(engine
+                    .Push(e.stream,
+                          {Value::String("r"), Value::String(e.tag),
+                           Value::Time(e.ts)},
+                          e.ts)
+                    .ok());
+  }
+  EXPECT_TRUE(engine.AdvanceTime(tail).ok());
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+class ReplicatedEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "replicated_engine_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::unique_ptr<ReplicatedShardedEngine> OpenEngine(size_t num_shards,
+                                                      const std::string& query,
+                                                      size_t segment_bytes) {
+    ReplicatedShardedEngineOptions options;
+    options.num_shards = num_shards;
+    options.dir = dir_;
+    options.wal.group_commit_bytes = 0;
+    options.wal.segment_bytes = segment_bytes;
+    auto engine = ReplicatedShardedEngine::Open(options);
+    EXPECT_TRUE(engine.ok()) << engine.status();
+    EXPECT_TRUE((*engine)->ExecuteScript(kDdl).ok());
+    auto q = (*engine)->RegisterQuery(query);
+    EXPECT_TRUE(q.ok()) << q.status();
+    EXPECT_TRUE((*engine)
+                    ->Subscribe(q->output_stream,
+                                [this](const Tuple& t) {
+                                  rows_.push_back(t.ToString());
+                                })
+                    .ok());
+    return std::move(*engine);
+  }
+
+  void Push(ReplicatedShardedEngine& engine, const Event& e) {
+    ASSERT_TRUE(engine
+                    .Push(e.stream,
+                          {Value::String("r"), Value::String(e.tag),
+                           Value::Time(e.ts)},
+                          e.ts)
+                    .ok());
+  }
+
+  std::string dir_;
+  std::vector<std::string> rows_;
+};
+
+TEST_F(ReplicatedEngineTest, KillThenPromoteMatchesFailureFreeRun) {
+  const auto events = SeqTrace(8);
+  const Timestamp tail = Seconds(60);
+  const auto reference = OracleRun(kSeqQuery, events, tail);
+  ASSERT_FALSE(reference.empty());
+
+  auto engine = OpenEngine(2, kSeqQuery, /*segment_bytes=*/256);
+  const size_t third = events.size() / 3;
+  for (size_t i = 0; i < third; ++i) Push(*engine, events[i]);
+  ASSERT_TRUE(engine->Flush().ok());
+  ASSERT_TRUE(engine->Checkpoint().ok());  // provisions both standbys
+  ASSERT_NE(engine->standby(0), nullptr);
+  ASSERT_NE(engine->standby(1), nullptr);
+
+  for (size_t i = third; i < 2 * third; ++i) Push(*engine, events[i]);
+  ASSERT_TRUE(engine->Flush().ok());
+  engine->DrainOutputs();  // everything emitted so far is delivered
+
+  ASSERT_TRUE(engine->KillShard(0).ok());
+  EXPECT_FALSE(engine->shard_alive(0));
+  // Input keeps flowing while the shard is dead: its share reaches only
+  // the WAL, which is exactly what the standby replays.
+  for (size_t i = 2 * third; i < events.size(); ++i) Push(*engine, events[i]);
+
+  auto healed = engine->HealFailures();
+  ASSERT_TRUE(healed.ok()) << healed.status();
+  EXPECT_EQ(*healed, 1u);
+  EXPECT_TRUE(engine->shard_alive(0));
+  EXPECT_EQ(engine->promotions(), 1u);
+
+  ASSERT_TRUE(engine->AdvanceTime(tail).ok());
+  ASSERT_TRUE(engine->Flush().ok());
+  engine->DrainOutputs();
+  std::sort(rows_.begin(), rows_.end());
+  EXPECT_EQ(rows_, reference);
+}
+
+TEST_F(ReplicatedEngineTest, KillingEveryShardAndHealingStillMatches) {
+  const auto events = SeqTrace(6);
+  const Timestamp tail = Seconds(60);
+  const auto reference = OracleRun(kSeqQuery, events, tail);
+
+  auto engine = OpenEngine(2, kSeqQuery, /*segment_bytes=*/128);
+  const size_t half = events.size() / 2;
+  for (size_t i = 0; i < half; ++i) Push(*engine, events[i]);
+  ASSERT_TRUE(engine->Flush().ok());
+  ASSERT_TRUE(engine->Checkpoint().ok());
+  ASSERT_TRUE(engine->KillShard(0).ok());
+  ASSERT_TRUE(engine->KillShard(1).ok());
+  for (size_t i = half; i < events.size(); ++i) Push(*engine, events[i]);
+  auto healed = engine->HealFailures();
+  ASSERT_TRUE(healed.ok()) << healed.status();
+  EXPECT_EQ(*healed, 2u);
+  ASSERT_TRUE(engine->AdvanceTime(tail).ok());
+  ASSERT_TRUE(engine->Flush().ok());
+  engine->DrainOutputs();
+  std::sort(rows_.begin(), rows_.end());
+  EXPECT_EQ(rows_, reference);
+}
+
+TEST_F(ReplicatedEngineTest, ExceptionSeqViolationsFireExactlyOnce) {
+  // tag_pre violates before the checkpoint (delivered), tag_mid between
+  // checkpoint and kill (delivered, and re-generated by the standby —
+  // the suppression case), tag_post after the kill (only the promoted
+  // engine can fire it). tag_ok completes and never violates.
+  std::vector<Event> events;
+  events.push_back({"C1", "tag_pre", Seconds(1)});
+  events.push_back({"C1", "tag_ok", Seconds(2)});
+  events.push_back({"C2", "tag_ok", Seconds(3)});
+  events.push_back({"C3", "tag_ok", Seconds(4)});
+  const std::vector<Event> mid = {{"C1", "tag_mid", Seconds(31)}};
+  const std::vector<Event> post = {{"C1", "tag_post", Seconds(61)}};
+  const Timestamp mid_hb = Seconds(30);   // fires tag_pre (deadline 11s)
+  const Timestamp late_hb = Seconds(60);  // fires tag_mid (deadline 41s)
+  const Timestamp tail = Seconds(120);    // fires tag_post (deadline 71s)
+
+  // The failure-free baseline must run at the same shard count:
+  // EXCEPTION_SEQ keeps one partial sequence per engine, so shard
+  // assignment is part of the observable semantics.
+  std::vector<std::string> reference;
+  {
+    ShardedEngineOptions options;
+    options.num_shards = 2;
+    ShardedEngine oracle(options);
+    EXPECT_TRUE(oracle.ExecuteScript(kDdl).ok());
+    auto q = oracle.RegisterQuery(kExceptionQuery);
+    ASSERT_TRUE(q.ok()) << q.status();
+    EXPECT_TRUE(oracle
+                    .Subscribe(q->output_stream,
+                               [&](const Tuple& t) {
+                                 reference.push_back(t.ToString());
+                               })
+                    .ok());
+    auto push = [&](const Event& e) {
+      ASSERT_TRUE(oracle
+                      .Push(e.stream,
+                            {Value::String("r"), Value::String(e.tag),
+                             Value::Time(e.ts)},
+                            e.ts)
+                      .ok());
+    };
+    for (const Event& e : events) push(e);
+    ASSERT_TRUE(oracle.AdvanceTime(mid_hb).ok());
+    for (const Event& e : mid) push(e);
+    ASSERT_TRUE(oracle.AdvanceTime(late_hb).ok());
+    for (const Event& e : post) push(e);
+    ASSERT_TRUE(oracle.AdvanceTime(tail).ok());
+    ASSERT_TRUE(oracle.Flush().ok());
+    oracle.DrainOutputs();
+    std::sort(reference.begin(), reference.end());
+  }
+  ASSERT_EQ(reference.size(), 3u);  // one violation per failed deadline
+
+  auto engine = OpenEngine(2, kExceptionQuery, /*segment_bytes=*/128);
+  for (const Event& e : events) Push(*engine, e);
+  ASSERT_TRUE(engine->AdvanceTime(mid_hb).ok());  // tag_pre fires
+  ASSERT_TRUE(engine->Flush().ok());
+  engine->DrainOutputs();
+  ASSERT_TRUE(engine->Checkpoint().ok());
+
+  for (const Event& e : mid) Push(*engine, e);
+  ASSERT_TRUE(engine->AdvanceTime(late_hb).ok());  // tag_mid fires
+  ASSERT_TRUE(engine->Flush().ok());
+  engine->DrainOutputs();  // ... and is delivered before the crash
+
+  ASSERT_TRUE(engine->KillShard(0).ok());
+  ASSERT_TRUE(engine->KillShard(1).ok());
+  for (const Event& e : post) Push(*engine, e);
+  auto healed = engine->HealFailures();
+  ASSERT_TRUE(healed.ok()) << healed.status();
+  EXPECT_EQ(*healed, 2u);
+
+  ASSERT_TRUE(engine->AdvanceTime(tail).ok());  // tag_post fires, once
+  ASSERT_TRUE(engine->Flush().ok());
+  engine->DrainOutputs();
+  std::sort(rows_.begin(), rows_.end());
+  EXPECT_EQ(rows_, reference);
+}
+
+TEST_F(ReplicatedEngineTest, PromotionRefusesACorruptShippedChain) {
+  const auto events = SeqTrace(4);
+  auto engine = OpenEngine(1, kSeqQuery, /*segment_bytes=*/1 << 20);
+  ASSERT_TRUE(engine->Checkpoint().ok());
+  for (size_t i = 0; i < events.size() / 2; ++i) Push(*engine, events[i]);
+  ASSERT_TRUE(engine->Flush().ok());
+  ASSERT_TRUE(engine->Replicate().ok());
+  ASSERT_TRUE(engine->standby(0)->health().ok());
+
+  // The shipped live copy rots on the standby's disk: a frame-shaped
+  // blob with a wrong CRC lands where the next shipped range will be
+  // appended, so once real frames follow it the standby sees mid-file
+  // corruption (not a tolerable torn tail).
+  {
+    const std::string payload = "ROT!";
+    BinaryEncoder rot;
+    rot.PutU32(static_cast<uint32_t>(payload.size()));
+    rot.PutU32(Crc32(payload) ^ 0xDEADBEEFu);
+    std::FILE* f =
+        std::fopen((dir_ + "/standby/wal.log").c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(rot.buffer().data(), 1, rot.buffer().size(), f),
+              rot.buffer().size());
+    ASSERT_EQ(std::fwrite(payload.data(), 1, payload.size(), f),
+              payload.size());
+    std::fclose(f);
+  }
+  for (size_t i = events.size() / 2; i < events.size(); ++i) {
+    Push(*engine, events[i]);
+  }
+  ASSERT_TRUE(engine->KillShard(0).ok());
+  Status promoted = engine->HealFailures().status();
+  EXPECT_FALSE(promoted.ok());
+  EXPECT_FALSE(engine->shard_alive(0));  // refused: the shard stays dead
+  EXPECT_EQ(engine->promotions(), 0u);
+  EXPECT_FALSE(engine->standby(0)->health().ok());  // sticky
+
+  // Data-plane calls that need the dead shard fail fast instead of
+  // hanging on its closed mailbox.
+  EXPECT_FALSE(engine->ExecuteSnapshot("SELECT * FROM C1").ok());
+}
+
+TEST_F(ReplicatedEngineTest, CorruptPrimarySegmentRefusesShipAndPromotion) {
+  const auto events = SeqTrace(4);
+  auto engine = OpenEngine(1, kSeqQuery, /*segment_bytes=*/1);
+  ASSERT_TRUE(engine->Checkpoint().ok());
+  for (const Event& e : events) Push(*engine, e);
+  ASSERT_TRUE(engine->Flush().ok());
+
+  // Flip a byte inside a not-yet-shipped sealed segment on the primary:
+  // the shipper's verify-before-copy gate must fail the ship, so the
+  // corruption never reaches the standby and promotion is refused.
+  auto chain = ReadWalChain(dir_ + "/wal.log");
+  ASSERT_TRUE(chain.ok()) << chain.status();
+  ASSERT_FALSE(chain->manifest.segments.empty());
+  const std::string seg_path = WalSegmentPath(
+      dir_ + "/wal.log", chain->manifest.segments.back());
+  {
+    std::FILE* f = std::fopen(seg_path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, 14, SEEK_SET), 0);
+    std::fputc('X', f);
+    std::fclose(f);
+  }
+  ASSERT_TRUE(engine->KillShard(0).ok());
+  EXPECT_FALSE(engine->HealFailures().ok());
+  EXPECT_FALSE(engine->shard_alive(0));
+  EXPECT_EQ(engine->promotions(), 0u);
+}
+
+TEST_F(ReplicatedEngineTest, MetricsAndExplainAnalyzeExposeReplication) {
+  const auto events = SeqTrace(4);
+  auto engine = OpenEngine(2, kSeqQuery, /*segment_bytes=*/128);
+  for (const Event& e : events) Push(*engine, e);
+  ASSERT_TRUE(engine->Flush().ok());
+  ASSERT_TRUE(engine->Checkpoint().ok());
+  ASSERT_TRUE(engine->KillShard(1).ok());
+  auto healed = engine->HealFailures();
+  ASSERT_TRUE(healed.ok()) << healed.status();
+
+  auto metrics = engine->Metrics();
+  ASSERT_TRUE(metrics.ok()) << metrics.status();
+  EXPECT_EQ(metrics->counters.at("replication.promotions"), 1u);
+  EXPECT_GT(metrics->counters.at("replication.bytes_shipped"), 0u);
+  EXPECT_EQ(metrics->gauges.at("replication.standbys"), 1);  // 0 survives
+  EXPECT_EQ(metrics->gauges.at("replication.dead_shards"), 0);
+  EXPECT_EQ(metrics->gauges.at("replication.standby0.healthy"), 1);
+  EXPECT_TRUE(metrics->gauges.count("replication.standby0.applied_lsn"));
+  EXPECT_TRUE(metrics->gauges.count("replication.ship_lag_bytes"));
+  EXPECT_GE(metrics->gauges.at("replication.last_promotion_us"), 0);
+  // The primary's WAL rotation counters ride along.
+  EXPECT_TRUE(metrics->counters.count("sharded.wal.segments_sealed"));
+
+  auto explain =
+      engine->Explain(std::string("EXPLAIN ANALYZE ") + kSeqQuery);
+  ASSERT_TRUE(explain.ok()) << explain.status();
+  EXPECT_NE(explain->find("-- replication --"), std::string::npos);
+  EXPECT_NE(explain->find("replication.promotions"), std::string::npos);
+}
+
+TEST_F(ReplicatedEngineTest, CheckpointRequiresEveryShardAlive) {
+  auto engine = OpenEngine(2, kSeqQuery, /*segment_bytes=*/128);
+  ASSERT_TRUE(engine->Checkpoint().ok());
+  ASSERT_TRUE(engine->KillShard(0).ok());
+  EXPECT_FALSE(engine->Checkpoint().ok());
+  auto healed = engine->HealFailures();
+  ASSERT_TRUE(healed.ok()) << healed.status();
+  EXPECT_TRUE(engine->Checkpoint().ok());
+  // The promoted shard is fully live again: a second failure on the same
+  // shard is survivable with the freshly provisioned standby.
+  ASSERT_TRUE(engine->KillShard(0).ok());
+  auto again = engine->HealFailures();
+  ASSERT_TRUE(again.ok()) << again.status();
+  EXPECT_EQ(engine->promotions(), 2u);
+}
+
+}  // namespace
+}  // namespace eslev
