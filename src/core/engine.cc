@@ -1,13 +1,37 @@
 #include "core/engine.h"
 
 #include "analysis/analyzer.h"
+#include "common/env.h"
 #include "common/string_util.h"
 #include "expr/sql_uda.h"
 #include "plan/snapshot_executor.h"
 
 namespace eslev {
 
-Engine::Engine(EngineOptions options) : options_(options) {}
+Engine::Engine(EngineOptions options) : options_(options) {
+  // Resolve the batch knob up front; a constructor cannot return a
+  // Status, so a bad value (option out of range, malformed
+  // ESLEV_BATCH_SIZE) parks the engine in an error state surfaced by the
+  // first API call instead of being silently ignored.
+  if (options_.honor_batch_env) {
+    auto resolved = ResolveBatchSize(options_.batch_size);
+    if (!resolved.ok()) {
+      init_error_ = resolved.status();
+      return;
+    }
+    batch_size_ = *resolved;
+  } else {
+    if (options_.batch_size < 1 ||
+        options_.batch_size > static_cast<size_t>(kMaxBatchSize)) {
+      init_error_ = Status::Invalid(
+          "batch_size=" + std::to_string(options_.batch_size) +
+          " is out of range; accepted range is [1, " +
+          std::to_string(kMaxBatchSize) + "]");
+      return;
+    }
+    batch_size_ = options_.batch_size;
+  }
+}
 
 Engine::~Engine() = default;
 
@@ -53,6 +77,7 @@ Table* Engine::FindTable(const std::string& name) const {
 }
 
 Status Engine::ExecuteScript(const std::string& sql) {
+  ESLEV_RETURN_NOT_OK(init_error_);
   ESLEV_ASSIGN_OR_RETURN(auto statements, ParseScript(sql));
   for (const StatementPtr& stmt : statements) {
     ESLEV_RETURN_NOT_OK(ExecuteStatement(*stmt));
@@ -92,11 +117,15 @@ Status Engine::ExecuteStatement(const Statement& stmt) {
 }
 
 Result<QueryInfo> Engine::RegisterQuery(const std::string& sql) {
+  ESLEV_RETURN_NOT_OK(init_error_);
   ESLEV_ASSIGN_OR_RETURN(StatementPtr stmt, ParseStatement(sql));
   return RegisterParsed(*stmt);
 }
 
 Result<QueryInfo> Engine::RegisterParsed(const Statement& stmt) {
+  // Topology changes are batch boundaries: a pipeline must never observe
+  // tuples pushed before it was registered.
+  ESLEV_RETURN_NOT_OK(FlushBatches());
   Planner planner(this);
   ESLEV_ASSIGN_OR_RETURN(PlannedQuery planned, planner.Plan(stmt));
 
@@ -131,10 +160,59 @@ Result<QueryInfo> Engine::RegisterParsed(const Statement& stmt) {
     sub.stream->Subscribe(sub.op, sub.port);
   }
   queries_.push_back(std::move(planned));
+  RecomputeBatchSafety();
   return info;
 }
 
+void Engine::RecomputeBatchSafety() {
+  // Batching preserves each subscription's emission sequence only when
+  // pipelines do not couple through shared mutable state or mixed
+  // raw/derived inputs (DESIGN.md §13). Disable it — the engine silently
+  // runs tuple-at-a-time — when any registered query:
+  //   1. writes a table (readable mid-batch by other pipelines),
+  //   2. joins a derived stream with another stream (tuple mode
+  //      interleaves source and derived arrivals; batch mode delivers
+  //      them as separate runs),
+  //   3. shares its output stream with another query (producer
+  //      interleaving into the shared stream would change), or
+  //   4. subscribes to the same stream on several ports (per-tuple
+  //      port alternation would become per-run).
+  batching_safe_ = true;
+  std::map<std::string, int> producers;
+  for (const PlannedQuery& q : queries_) {
+    if (q.target_is_table) {
+      batching_safe_ = false;
+      return;
+    }
+    if (!q.target.empty()) {
+      if (++producers[AsciiToLower(q.target)] > 1) {
+        batching_safe_ = false;
+        return;
+      }
+    }
+    bool any_derived = false;
+    std::map<std::string, int> per_stream_ports;
+    std::map<std::string, bool> distinct;
+    for (const auto& sub : q.subscriptions) {
+      const std::string key = AsciiToLower(sub.stream->name());
+      distinct[key] = true;
+      if (derived_.count(key)) any_derived = true;
+      if (++per_stream_ports[key] > 1) {
+        batching_safe_ = false;
+        return;
+      }
+    }
+    if (any_derived && distinct.size() > 1) {
+      batching_safe_ = false;
+      return;
+    }
+  }
+}
+
 Result<std::vector<Tuple>> Engine::ExecuteSnapshot(const std::string& sql) {
+  // Snapshots read tables and retained history: make pending effects
+  // visible first.
+  ESLEV_RETURN_NOT_OK(FlushBatches());
   ESLEV_ASSIGN_OR_RETURN(StatementPtr stmt, ParseStatement(sql));
   if (stmt->kind != StatementKind::kSelect) {
     return Status::Invalid("snapshot queries must be SELECT statements");
@@ -144,6 +222,8 @@ Result<std::vector<Tuple>> Engine::ExecuteSnapshot(const std::string& sql) {
 }
 
 Result<std::string> Engine::Explain(const std::string& sql) {
+  // EXPLAIN ANALYZE reads live counters: settle pending batches first.
+  ESLEV_RETURN_NOT_OK(FlushBatches());
   ESLEV_ASSIGN_OR_RETURN(StatementPtr stmt, ParseStatement(sql));
   if (stmt->kind == StatementKind::kExplain) {
     const auto& explain = static_cast<const ExplainStmt&>(*stmt);
@@ -175,6 +255,11 @@ std::string OperatorCounters(const Operator& op) {
   std::string out = "  [tuples_in=" + std::to_string(op.tuples_in()) +
                     " tuples_out=" + std::to_string(op.tuples_emitted()) +
                     " heartbeats=" + std::to_string(op.heartbeats_in());
+  if (op.batches_in() > 0) {
+    out += " batches_in=" + std::to_string(op.batches_in()) +
+           " batch_fallback_tuples=" +
+           std::to_string(op.batch_fallback_tuples());
+  }
   OperatorStatList extras;
   op.AppendStats(&extras);
   for (const auto& [name, value] : extras) {
@@ -251,6 +336,9 @@ MetricsSnapshot Engine::Metrics() const {
       snap.counters[prefix + "tuples_in"] = op->tuples_in();
       snap.counters[prefix + "tuples_out"] = op->tuples_emitted();
       snap.counters[prefix + "heartbeats"] = op->heartbeats_in();
+      snap.counters[prefix + "batches_in"] = op->batches_in();
+      snap.counters[prefix + "batch_fallback_tuples"] =
+          op->batch_fallback_tuples();
       OperatorStatList extras;
       op->AppendStats(&extras);
       for (const auto& [name, value] : extras) {
@@ -258,6 +346,23 @@ MetricsSnapshot Engine::Metrics() const {
       }
     }
   }
+  // Vectorized execution (DESIGN.md §13).
+  snap.gauges["batch.size"] = static_cast<int64_t>(batch_size_);
+  snap.gauges["batch.safe"] = batching_safe_ ? 1 : 0;
+  snap.gauges["batch.pending"] = static_cast<int64_t>(pending_batch_.size());
+  snap.counters["batch.batches_dispatched"] = batches_dispatched_;
+  snap.counters["batch.tuples_batched"] = tuples_batched_;
+  snap.gauges["batch.avg_fill_x100"] =
+      batches_dispatched_ == 0
+          ? 0
+          : static_cast<int64_t>(tuples_batched_ * 100 / batches_dispatched_);
+  uint64_t fallback = 0;
+  for (const PlannedQuery& q : queries_) {
+    for (const Operator* op : q.note_ops) {
+      if (op != nullptr) fallback += op->batch_fallback_tuples();
+    }
+  }
+  snap.counters["batch.fallback_tuples"] = fallback;
   // Durability (DESIGN.md §10).
   snap.counters["recovery.checkpoints"] = checkpoints_taken_;
   snap.gauges["recovery.last_checkpoint_bytes"] =
@@ -285,6 +390,8 @@ MetricsSnapshot Engine::Metrics() const {
 }
 
 Status Engine::Subscribe(const std::string& stream, TupleCallback callback) {
+  // A new callback must observe only future tuples.
+  ESLEV_RETURN_NOT_OK(FlushBatches());
   Stream* s = FindStream(stream);
   if (s == nullptr) return Status::NotFound("stream not found: " + stream);
   s->SubscribeCallback(std::move(callback));
@@ -301,6 +408,8 @@ Status Engine::Push(const std::string& stream, std::vector<Value> values,
 }
 
 Status Engine::PushTuple(const std::string& stream, const Tuple& tuple) {
+
+  ESLEV_RETURN_NOT_OK(init_error_);
   Stream* s = FindStream(stream);
   if (s == nullptr) return Status::NotFound("stream not found: " + stream);
   if (options_.enforce_monotonic_time && tuple.ts() < clock_) {
@@ -309,19 +418,105 @@ Status Engine::PushTuple(const std::string& stream, const Tuple& tuple) {
         " is before the engine clock " + FormatTimestamp(clock_) +
         " (the joint tuple history is totally ordered)");
   }
-  // Write-ahead: the input is durable before any of its effects.
+  // Write-ahead: the input is durable before any of its effects — and
+  // before it is buffered, so a crash with a pending batch loses nothing.
   if (wal_ != nullptr && !replaying_) {
     ESLEV_ASSIGN_OR_RETURN(uint64_t lsn, wal_->AppendTuple(s->name(), tuple));
     (void)lsn;
   }
   clock_ = std::max(clock_, tuple.ts());
-  return s->Push(tuple);
+  if (batch_size_ <= 1 || !batching_safe_) {
+    return s->Push(tuple);
+  }
+  // Direct pushes into a derived stream must not be reordered relative
+  // to pipeline emissions into it: settle pending work, then deliver
+  // immediately.
+  if (derived_.count(AsciiToLower(stream))) {
+    ESLEV_RETURN_NOT_OK(FlushBatches());
+    return s->Push(tuple);
+  }
+  // Auto-batching: a batch is a run of consecutive same-stream pushes,
+  // so switching streams is a batch boundary (cross-stream arrival order
+  // — e.g. a SEQ joint history — is preserved exactly).
+  if (pending_stream_ != nullptr && pending_stream_ != s) {
+    ESLEV_RETURN_NOT_OK(FlushBatches());
+  }
+  pending_stream_ = s;
+  if (pending_batch_.empty()) pending_batch_.Reserve(batch_size_);
+  pending_batch_.Add(tuple);
+  if (pending_batch_.size() >= batch_size_) {
+    return FlushBatches();
+  }
+  return Status::OK();
+}
+
+Status Engine::PushBatch(const std::string& stream, const TupleBatch& batch) {
+  ESLEV_RETURN_NOT_OK(init_error_);
+  if (batch.empty()) return Status::OK();
+  Stream* s = FindStream(stream);
+  if (s == nullptr) return Status::NotFound("stream not found: " + stream);
+  ESLEV_RETURN_NOT_OK(FlushBatches());
+  Timestamp prev = clock_;
+  for (const Tuple& t : batch.tuples()) {
+    if (options_.enforce_monotonic_time && t.ts() < prev) {
+      return Status::OutOfRange(
+          "out-of-order tuple in batch: ts " + FormatTimestamp(t.ts()) +
+          " is before " + FormatTimestamp(prev) +
+          " (the joint tuple history is totally ordered)");
+    }
+    prev = std::max(prev, t.ts());
+    if (wal_ != nullptr && !replaying_) {
+      ESLEV_ASSIGN_OR_RETURN(uint64_t lsn, wal_->AppendTuple(s->name(), t));
+      (void)lsn;
+    }
+  }
+  clock_ = std::max(clock_, batch.back_ts());
+  // A topology the safety analysis flagged (RecomputeBatchSafety) must
+  // not see a multi-tuple crossing even from a pre-formed batch — the
+  // sharded routing layer hands those to its shard engines regardless of
+  // what queries they registered.
+  if (!batching_safe_) {
+    for (const Tuple& t : batch.tuples()) {
+      ESLEV_RETURN_NOT_OK(s->Push(t));
+    }
+    return Status::OK();
+  }
+  ++batches_dispatched_;
+  tuples_batched_ += batch.size();
+  return s->PushBatch(batch);
+}
+
+Status Engine::FlushBatches() {
+  if (pending_stream_ == nullptr || pending_batch_.empty()) {
+    return Status::OK();
+  }
+  Stream* s = pending_stream_;
+  // Detach before dispatch so re-entrant pushes from user callbacks
+  // start a fresh batch instead of corrupting the in-flight one.
+  TupleBatch batch = std::move(pending_batch_);
+  pending_batch_.Clear();
+  pending_stream_ = nullptr;
+  ++batches_dispatched_;
+  tuples_batched_ += batch.size();
+  Status st = s->PushBatch(batch);
+  // Donate the heap capacity back for the next run (unless a re-entrant
+  // push already started buffering into a fresh batch).
+  if (pending_batch_.empty()) {
+    batch.Clear();
+    std::swap(pending_batch_, batch);
+  }
+  return st;
 }
 
 Status Engine::AdvanceTime(Timestamp now) {
+  ESLEV_RETURN_NOT_OK(init_error_);
   if (options_.enforce_monotonic_time && now < clock_) {
     return Status::OutOfRange("time cannot move backwards");
   }
+  // Heartbeats are batch boundaries (DESIGN.md §13): deliver pending
+  // tuples before the clock tick so expirations fire exactly as in
+  // tuple-at-a-time mode.
+  ESLEV_RETURN_NOT_OK(FlushBatches());
   if (wal_ != nullptr && !replaying_) {
     ESLEV_ASSIGN_OR_RETURN(uint64_t lsn, wal_->AppendHeartbeat("", now));
     (void)lsn;

@@ -35,6 +35,7 @@
 #include "plan/planner.h"
 #include "recovery/wal.h"
 #include "sql/parser.h"
+#include "types/tuple_batch.h"
 
 namespace eslev {
 
@@ -46,6 +47,16 @@ struct EngineOptions {
   /// history is totally ordered). When false, out-of-order tuples are
   /// accepted and processed in arrival order.
   bool enforce_monotonic_time = true;
+  /// Vectorized execution (DESIGN.md §13): consecutive PushTuple calls
+  /// to the same stream accumulate into a TupleBatch dispatched as one
+  /// pipeline crossing. 1 (the default) is tuple-at-a-time execution.
+  /// Output is byte-identical per subscription at any batch size.
+  size_t batch_size = 1;
+  /// When true, ESLEV_BATCH_SIZE in the environment overrides
+  /// `batch_size` (validated; invalid values surface as an error from
+  /// the first API call). Embedded engines — shard workers, standbys —
+  /// set this false so the knob applies once at the front end.
+  bool honor_batch_env = true;
 };
 
 /// \brief Controls duplicate suppression during WAL replay (DESIGN.md
@@ -141,8 +152,30 @@ class Engine : public Catalog {
               Timestamp ts);
   Status PushTuple(const std::string& stream, const Tuple& tuple);
 
+  /// \brief Append an ordered run of tuples to one stream and dispatch
+  /// it as a single pipeline crossing, regardless of the batch-size knob
+  /// (never buffered). Timestamps must be non-decreasing; the write-ahead
+  /// log still records each tuple individually.
+  Status PushBatch(const std::string& stream, const TupleBatch& batch);
+
+  /// \brief Dispatch any buffered partial batch now. Called implicitly
+  /// by AdvanceTime, snapshot queries, checkpointing, subscription and
+  /// query registration; explicit calls are only needed when reading
+  /// side effects between pushes without advancing time.
+  Status FlushBatches();
+
+  /// \brief The resolved batch size (option + ESLEV_BATCH_SIZE override).
+  size_t batch_size() const { return batch_size_; }
+  /// \brief False when the registered topology couples pipelines in ways
+  /// batching could reorder (table targets, raw+derived joins, multiple
+  /// producers into one stream); the engine then runs tuple-at-a-time
+  /// regardless of the knob (DESIGN.md §13).
+  bool batching_safe() const { return batching_safe_; }
+
   /// \brief Advance application time without a tuple: fires window
-  /// expirations (active expiration) across all pipelines.
+  /// expirations (active expiration) across all pipelines. Flushes any
+  /// pending batch first — heartbeats are batch boundaries, so
+  /// expiration timing is identical in batch and tuple mode.
   Status AdvanceTime(Timestamp now);
 
   Timestamp current_time() const { return clock_; }
@@ -202,6 +235,8 @@ class Engine : public Catalog {
   Result<ReplayStats> ReplayRecords(const std::vector<WalRecord>& records,
                                     const ReplayOptions& options);
 
+  void RecomputeBatchSafety();
+
   EngineOptions options_;
   FunctionRegistry registry_;
   std::map<std::string, std::unique_ptr<Stream>> streams_;  // lower-case key
@@ -211,6 +246,15 @@ class Engine : public Catalog {
   std::vector<std::unique_ptr<Operator>> sinks_;
   Timestamp clock_ = kMinTimestamp;
   int next_query_id_ = 1;
+
+  // Vectorized execution (DESIGN.md §13).
+  Status init_error_ = Status::OK();  // invalid batch knob, surfaced lazily
+  size_t batch_size_ = 1;
+  bool batching_safe_ = true;
+  Stream* pending_stream_ = nullptr;
+  TupleBatch pending_batch_;
+  uint64_t batches_dispatched_ = 0;
+  uint64_t tuples_batched_ = 0;
 
   // Durability state (core/engine_checkpoint.cc).
   std::unique_ptr<WalWriter> wal_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/env.h"
 #include "common/string_util.h"
 #include "plan/partitioning.h"
 #include "sql/parser.h"
@@ -11,10 +12,33 @@ namespace eslev {
 ShardedEngine::ShardedEngine(ShardedEngineOptions options)
     : options_(options) {
   if (options_.num_shards == 0) options_.num_shards = 1;
+  // The batch knob applies once, at the routing layer; shard engines run
+  // tuple-at-a-time (batches arrive pre-formed through PushBatch), so
+  // Flush()/WaitIdle() never race a shard-side partial buffer.
+  if (options_.engine.honor_batch_env) {
+    Result<size_t> resolved = ResolveBatchSize(options_.engine.batch_size);
+    if (resolved.ok()) {
+      route_batch_size_ = *resolved;
+    } else {
+      init_error_ = resolved.status();
+    }
+  } else if (options_.engine.batch_size < 1 ||
+             options_.engine.batch_size > static_cast<size_t>(kMaxBatchSize)) {
+    init_error_ = Status::Invalid(
+        "EngineOptions::batch_size must be in [1, " +
+        std::to_string(kMaxBatchSize) + "], got " +
+        std::to_string(options_.engine.batch_size));
+  } else {
+    route_batch_size_ = options_.engine.batch_size;
+  }
+  EngineOptions shard_options = options_.engine;
+  shard_options.batch_size = 1;
+  shard_options.honor_batch_env = false;
+  pending_.resize(options_.num_shards);
   shards_.reserve(options_.num_shards);
   for (size_t i = 0; i < options_.num_shards; ++i) {
     auto shard = std::make_unique<Shard>();
-    shard->engine = std::make_unique<Engine>(options_.engine);
+    shard->engine = std::make_unique<Engine>(shard_options);
     shards_.push_back(std::move(shard));
   }
   for (auto& shard : shards_) {
@@ -46,6 +70,27 @@ void ShardedEngine::WorkerLoop(Shard* shard) {
           } else {
             st = engine.PushTuple(*item.stream, item.tuple);
           }
+          if (!st.ok()) RecordError(shard, st);
+          break;
+        }
+        case Item::Kind::kBatch: {
+          // Same clamp rule as kTuple, applied with a running clock so
+          // the batch stays a non-decreasing run before one PushBatch
+          // crossing (byte-identical to pushing its tuples one by one).
+          Timestamp clock = engine.current_time();
+          TupleBatch clamped;
+          clamped.Reserve(item.batch.size());
+          for (const Tuple& t : item.batch.tuples()) {
+            if (t.ts() < clock) {
+              Tuple c = t;
+              c.set_ts(clock);
+              clamped.Add(std::move(c));
+            } else {
+              clock = t.ts();
+              clamped.Add(t);
+            }
+          }
+          Status st = engine.PushBatch(*item.stream, clamped);
           if (!st.ok()) RecordError(shard, st);
           break;
         }
@@ -92,6 +137,8 @@ Status ShardedEngine::RunOnShard(size_t shard,
   // A dead shard's queue is closed: a command pushed there is dropped and
   // its promise never resolves, so fail fast instead of hanging.
   ESLEV_RETURN_NOT_OK(CheckAlive(shard));
+  // Commands must not overtake tuples buffered at the routing layer.
+  FlushRouteBatches();
   std::promise<Status> done;
   std::future<Status> future = done.get_future();
   Item item;
@@ -105,6 +152,7 @@ Status ShardedEngine::RunOnShard(size_t shard,
 Status ShardedEngine::RunOnAllShards(
     const std::function<Status(Engine&)>& fn) {
   ESLEV_RETURN_NOT_OK(CheckAllAlive());
+  FlushRouteBatches();
   std::vector<std::promise<Status>> done(shards_.size());
   std::vector<std::future<Status>> futures;
   futures.reserve(shards_.size());
@@ -148,12 +196,14 @@ Status ShardedEngine::RefreshRoutes() {
 }
 
 Status ShardedEngine::ExecuteScript(const std::string& sql) {
+  ESLEV_RETURN_NOT_OK(init_error_);
   ESLEV_RETURN_NOT_OK(
       RunOnAllShards([sql](Engine& engine) { return engine.ExecuteScript(sql); }));
   return RefreshRoutes();
 }
 
 Result<QueryInfo> ShardedEngine::RegisterQuery(const std::string& sql) {
+  ESLEV_RETURN_NOT_OK(init_error_);
   std::mutex mu;
   std::vector<QueryInfo> infos;
   ESLEV_RETURN_NOT_OK(RunOnAllShards([&, sql](Engine& engine) {
@@ -296,6 +346,7 @@ Status ShardedEngine::PushTuple(const std::string& stream,
 
 Status ShardedEngine::RouteTuple(const std::string& stream, const Tuple& tuple,
                                  bool log_to_wal) {
+  ESLEV_RETURN_NOT_OK(init_error_);
   std::shared_lock<std::shared_mutex> lock(routes_mu_);
   const StreamRoute* route = FindRoute(stream);
   if (route == nullptr) {
@@ -307,11 +358,29 @@ Status ShardedEngine::RouteTuple(const std::string& stream, const Tuple& tuple,
                            route->name);
   }
   const size_t shard = ShardOf(*route, tuple);
+  shards_[shard]->tuples_routed.fetch_add(1, std::memory_order_relaxed);
+  if (route_batch_size_ > 1) {
+    // Route-level batching: buffer into the shard's pending same-stream
+    // run instead of enqueueing one item per tuple. The WAL append still
+    // happens per tuple, before buffering and under the same mutex as
+    // the buffer append, so per-shard enqueue order (== buffer order)
+    // remains a linearization of the log and a crash with a pending
+    // batch loses nothing.
+    if (log_to_wal && wal_enabled_.load(std::memory_order_acquire)) {
+      std::lock_guard<std::mutex> wal_lock(wal_mu_);
+      ESLEV_ASSIGN_OR_RETURN(uint64_t lsn,
+                             wal_->AppendTuple(route->name, tuple));
+      (void)lsn;
+      BufferRouted(shard, &route->name, tuple);
+    } else {
+      BufferRouted(shard, &route->name, tuple);
+    }
+    return Status::OK();
+  }
   Item item;
   item.kind = Item::Kind::kTuple;
   item.stream = &route->name;  // stable: routes_ nodes are never erased
   item.tuple = tuple;
-  shards_[shard]->tuples_routed.fetch_add(1, std::memory_order_relaxed);
   if (log_to_wal && wal_enabled_.load(std::memory_order_acquire)) {
     // Append + enqueue under one mutex: the WAL's total order is then a
     // linearization consistent with the shard's queue order, so replaying
@@ -326,7 +395,57 @@ Status ShardedEngine::RouteTuple(const std::string& stream, const Tuple& tuple,
   return Status::OK();
 }
 
+void ShardedEngine::BufferRouted(size_t shard, const std::string* stream,
+                                 const Tuple& tuple) {
+  // A dead shard's mailbox drops enqueues (its queue is closed); the
+  // route buffer must mirror that, or tuples buffered in the dark
+  // window would outlive a promotion and be processed twice. The tuple
+  // is already in the WAL — the standby replays it (DESIGN.md §12).
+  // Checked under pending_mu_: KillShard clears the slot under the
+  // same lock after flipping `alive`, so either order drops the tuple.
+  std::lock_guard<std::mutex> lock(pending_mu_);
+  if (!shards_[shard]->alive.load(std::memory_order_acquire)) return;
+  PendingBatch& p = pending_[shard];
+  // Pointer comparison is exact: routes_ nodes are stable and FindRoute
+  // returns the same node for the same stream.
+  if (p.stream != nullptr && p.stream != stream) FlushShardLocked(shard);
+  p.stream = stream;
+  p.batch.Add(tuple);
+  if (p.batch.size() >= route_batch_size_) FlushShardLocked(shard);
+}
+
+void ShardedEngine::FlushShardLocked(size_t shard) {
+  PendingBatch& p = pending_[shard];
+  if (p.batch.empty()) {
+    p.stream = nullptr;
+    return;
+  }
+  Item item;
+  item.kind = Item::Kind::kBatch;
+  item.stream = p.stream;
+  item.batch = std::move(p.batch);
+  p.batch.Clear();
+  p.stream = nullptr;
+  route_batches_enqueued_.fetch_add(1, std::memory_order_relaxed);
+  route_tuples_batched_.fetch_add(item.batch.size(),
+                                  std::memory_order_relaxed);
+  shards_[shard]->queue.Push(std::move(item));
+}
+
+void ShardedEngine::DropRoutePending(size_t shard) {
+  std::lock_guard<std::mutex> lock(pending_mu_);
+  pending_[shard].batch.Clear();
+  pending_[shard].stream = nullptr;
+}
+
+void ShardedEngine::FlushRouteBatches() {
+  if (route_batch_size_ <= 1) return;
+  std::lock_guard<std::mutex> lock(pending_mu_);
+  for (size_t i = 0; i < pending_.size(); ++i) FlushShardLocked(i);
+}
+
 void ShardedEngine::FanHeartbeat(Timestamp now) {
+  FlushRouteBatches();
   for (auto& shard : shards_) {
     Item item;
     item.kind = Item::Kind::kHeartbeat;
@@ -338,6 +457,7 @@ void ShardedEngine::FanHeartbeat(Timestamp now) {
 int ShardedEngine::RegisterProducer() { return watermark_.RegisterProducer(); }
 
 Status ShardedEngine::AdvanceProducer(int id, Timestamp now) {
+  ESLEV_RETURN_NOT_OK(init_error_);
   std::optional<Timestamp> low = watermark_.Advance(id, now);
   if (!low.has_value()) return Status::OK();  // watermark did not move
   if (wal_enabled_.load(std::memory_order_acquire)) {
@@ -367,6 +487,7 @@ Status ShardedEngine::AdvanceTime(Timestamp now) {
 }
 
 Status ShardedEngine::Flush() {
+  FlushRouteBatches();
   for (auto& shard : shards_) shard->queue.WaitIdle();
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->err_mu);
@@ -490,6 +611,21 @@ Result<MetricsSnapshot> ShardedEngine::Metrics() {
         shards_[i]->tuples_routed.load(std::memory_order_relaxed);
     snap.gauges[prefix + "alive"] =
         shards_[i]->alive.load(std::memory_order_acquire) ? 1 : 0;
+  }
+  // Routing-layer batching (DESIGN.md §13).
+  snap.gauges["sharded.batch.route_batch_size"] =
+      static_cast<int64_t>(route_batch_size_);
+  snap.counters["sharded.batch.batches_enqueued"] =
+      route_batches_enqueued_.load(std::memory_order_relaxed);
+  snap.counters["sharded.batch.tuples_batched"] =
+      route_tuples_batched_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> pending_lock(pending_mu_);
+    int64_t pending = 0;
+    for (const PendingBatch& p : pending_) {
+      pending += static_cast<int64_t>(p.batch.size());
+    }
+    snap.gauges["sharded.batch.pending"] = pending;
   }
   snap.gauges["sharded.watermark.low"] =
       static_cast<int64_t>(watermark_.low_watermark());

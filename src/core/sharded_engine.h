@@ -54,7 +54,13 @@ struct ShardedEngineOptions {
   /// Number of worker-owned Engine instances. 1 degenerates to a
   /// single-threaded engine behind a queue.
   size_t num_shards = 4;
-  /// Options applied to every shard engine.
+  /// Options applied to every shard engine. `engine.batch_size` (and the
+  /// ESLEV_BATCH_SIZE override, when `engine.honor_batch_env` is set) is
+  /// consumed by the *routing layer*: consecutive same-stream tuples
+  /// bound for the same shard accumulate into one queue item, so each
+  /// MPSC crossing amortizes over many events. Shard engines themselves
+  /// are pinned to tuple-at-a-time (batches arrive pre-formed via
+  /// Engine::PushBatch), keeping Flush()/WaitIdle() exact.
   EngineOptions engine;
 };
 
@@ -170,6 +176,9 @@ class ShardedEngine {
   // ---- observability -------------------------------------------------------
 
   size_t num_shards() const { return shards_.size(); }
+  /// \brief The resolved routing-layer batch size (option +
+  /// ESLEV_BATCH_SIZE override); 1 means tuple-at-a-time enqueueing.
+  size_t route_batch_size() const { return route_batch_size_; }
   Timestamp low_watermark() const { return watermark_.low_watermark(); }
   /// \brief How far the fanned-out low watermark trails the fastest
   /// producer clock (0 when no producer registered yet).
@@ -192,11 +201,14 @@ class ShardedEngine {
 
  private:
   struct Item {
-    enum class Kind { kTuple, kHeartbeat, kCommand };
+    enum class Kind { kTuple, kBatch, kHeartbeat, kCommand };
     Kind kind = Kind::kTuple;
-    // kTuple: pre-resolved stream name (stable; owned by routes_).
+    // kTuple / kBatch: pre-resolved stream name (stable; owned by routes_).
     const std::string* stream = nullptr;
     Tuple tuple;
+    // kBatch: an ordered same-stream run, dispatched to the shard engine
+    // as one Engine::PushBatch call (DESIGN.md §13).
+    TupleBatch batch;
     // kHeartbeat
     Timestamp ts = 0;
     // kCommand: executed on the worker thread with exclusive engine
@@ -252,8 +264,25 @@ class ShardedEngine {
   /// (replay passes false: replayed records are already on disk).
   Status RouteTuple(const std::string& stream, const Tuple& tuple,
                     bool log_to_wal);
-  /// \brief Enqueue a heartbeat item on every shard.
+  /// \brief Enqueue a heartbeat item on every shard. Flushes pending
+  /// route batches first — heartbeats are batch boundaries, so a shard
+  /// never observes a tick ahead of tuples routed before it.
   void FanHeartbeat(Timestamp now);
+
+  /// \brief Append to the shard's pending route batch, flushing it first
+  /// when the stream changes, and enqueueing it once full. Serialized by
+  /// `pending_mu_` (taken after `wal_mu_` when both are held, so buffer
+  /// order equals WAL order).
+  void BufferRouted(size_t shard, const std::string* stream,
+                    const Tuple& tuple);
+  /// \brief Enqueue every non-empty pending route batch. Called before
+  /// heartbeat fan-out, worker commands, Flush(), and checkpoint cuts —
+  /// anything that must observe all routed tuples.
+  void FlushRouteBatches();
+  void FlushShardLocked(size_t shard);  // pending_mu_ held
+  // Discard a shard's route-buffered tuples (kill = crash: in-flight
+  // input is lost the same way the closed mailbox loses its backlog).
+  void DropRoutePending(size_t shard);
 
   /// \brief Fail fast when the shard's worker has been killed (its queue
   /// is closed, so a command pushed there would never resolve).
@@ -273,6 +302,22 @@ class ShardedEngine {
 
   ShardedEngineOptions options_;
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  // Route-level batching (DESIGN.md §13): one pending same-stream run
+  // per shard, enqueued as a single Item::Kind::kBatch when full or at
+  // any batch boundary. `route_batch_size_` is the resolved knob;
+  // `init_error_` holds a bad ESLEV_BATCH_SIZE, surfaced lazily (the
+  // constructor cannot return a Status).
+  struct PendingBatch {
+    const std::string* stream = nullptr;  // owned by routes_
+    TupleBatch batch;
+  };
+  Status init_error_ = Status::OK();
+  size_t route_batch_size_ = 1;
+  std::mutex pending_mu_;
+  std::vector<PendingBatch> pending_;  // one slot per shard
+  std::atomic<uint64_t> route_batches_enqueued_{0};
+  std::atomic<uint64_t> route_tuples_batched_{0};
 
   mutable std::shared_mutex routes_mu_;
   std::map<std::string, StreamRoute> routes_;  // lower-case key

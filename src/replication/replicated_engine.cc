@@ -241,6 +241,7 @@ Status ReplicatedShardedEngine::KillShard(size_t shard) {
   // before its enqueue, so the standby replays what the worker lost).
   s->alive.store(false, std::memory_order_release);
   s->queue.CloseNow();
+  primary_.DropRoutePending(shard);
   if (s->worker.joinable()) s->worker.join();
   s->engine.reset();
   return Status::OK();

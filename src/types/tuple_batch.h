@@ -1,0 +1,62 @@
+// TupleBatch: an ordered run of tuples from one stream, the unit of
+// vectorized execution (DESIGN.md §13).
+//
+// A batch is a *window onto the input order*, not a reordering: tuple i
+// precedes tuple i+1 in arrival order, and timestamps are non-decreasing
+// exactly as they would be tuple-at-a-time. Operators that implement a
+// native ProcessBatch path rely on both invariants; everything else
+// receives the batch through the per-tuple fallback and cannot tell the
+// difference. Heartbeats never travel inside a batch — they are batch
+// *boundaries* (the engine flushes pending batches before fanning a
+// heartbeat), so active-expiration timing is identical in both modes.
+
+#ifndef ESLEV_TYPES_TUPLE_BATCH_H_
+#define ESLEV_TYPES_TUPLE_BATCH_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "types/tuple.h"
+
+namespace eslev {
+
+class TupleBatch {
+ public:
+  TupleBatch() = default;
+  explicit TupleBatch(std::vector<Tuple> tuples) : tuples_(std::move(tuples)) {}
+
+  void Reserve(size_t n) { tuples_.reserve(n); }
+  void Add(Tuple tuple) { tuples_.push_back(std::move(tuple)); }
+
+  size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+  void Clear() { tuples_.clear(); }
+
+  const Tuple& operator[](size_t i) const { return tuples_[i]; }
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+
+  /// \brief First/last timestamps (callers check !empty() first).
+  Timestamp front_ts() const { return tuples_.front().ts(); }
+  Timestamp back_ts() const { return tuples_.back().ts(); }
+
+  /// \brief Keep only the rows whose selection byte is non-zero
+  /// (`selection.size() == size()`), preserving order — the compaction
+  /// step after columnar predicate evaluation.
+  void Compact(const std::vector<unsigned char>& selection) {
+    size_t kept = 0;
+    for (size_t i = 0; i < tuples_.size(); ++i) {
+      if (!selection[i]) continue;
+      if (kept != i) tuples_[kept] = std::move(tuples_[i]);
+      ++kept;
+    }
+    tuples_.resize(kept);
+  }
+
+ private:
+  std::vector<Tuple> tuples_;
+};
+
+}  // namespace eslev
+
+#endif  // ESLEV_TYPES_TUPLE_BATCH_H_

@@ -1,0 +1,326 @@
+// Vectorized execution (DESIGN.md §13): auto-batching must be
+// observationally identical to tuple-at-a-time — same emissions in the
+// same order — while the batch.* metrics, EXPLAIN ANALYZE counters, and
+// safety gating expose what the engine actually did.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/env.h"
+#include "core/engine.h"
+#include "stream/stream.h"
+
+namespace eslev {
+namespace {
+
+constexpr char kDedupScript[] = R"sql(
+  CREATE STREAM readings(reader_id, tag_id, read_time);
+  CREATE STREAM cleaned(reader_id, tag_id, read_time);
+  INSERT INTO cleaned
+  SELECT * FROM readings AS r1
+  WHERE NOT EXISTS
+    (SELECT * FROM TABLE( readings OVER
+        (RANGE 1 seconds PRECEDING CURRENT)) AS r2
+     WHERE r2.reader_id = r1.reader_id AND r2.tag_id = r1.tag_id);
+)sql";
+
+Engine MakeEngine(size_t batch_size) {
+  EngineOptions options;
+  options.batch_size = batch_size;
+  options.honor_batch_env = false;  // isolate tests from the environment
+  return Engine(options);
+}
+
+// Feed the dedup pipeline a fixed trace and collect emissions in order.
+std::vector<std::string> RunDedup(size_t batch_size) {
+  Engine engine = MakeEngine(batch_size);
+  EXPECT_TRUE(engine.ExecuteScript(kDedupScript).ok());
+  std::vector<std::string> rows;
+  EXPECT_TRUE(engine
+                  .Subscribe("cleaned",
+                             [&](const Tuple& t) { rows.push_back(t.ToString()); })
+                  .ok());
+  int sec = 1;
+  for (int round = 0; round < 10; ++round) {
+    for (const char* tag : {"a", "b", "a", "c", "b", "a"}) {
+      EXPECT_TRUE(engine
+                      .Push("readings",
+                            {Value::String("r1"), Value::String(tag),
+                             Value::Time(Seconds(sec))},
+                            Seconds(sec))
+                      .ok());
+      sec += (round % 3 == 0) ? 1 : 0;  // mix duplicates and fresh reads
+    }
+    ++sec;
+  }
+  EXPECT_TRUE(engine.AdvanceTime(Seconds(sec + 60)).ok());
+  return rows;
+}
+
+TEST(BatchPipelineTest, DedupByteIdenticalAcrossBatchSizes) {
+  const std::vector<std::string> reference = RunDedup(1);
+  ASSERT_FALSE(reference.empty());
+  for (size_t batch_size : {2u, 3u, 7u, 64u, 1024u}) {
+    EXPECT_EQ(RunDedup(batch_size), reference)
+        << "divergence at batch_size=" << batch_size;
+  }
+}
+
+TEST(BatchPipelineTest, PendingBatchFlushesOnHeartbeat) {
+  Engine engine = MakeEngine(8);
+  ASSERT_TRUE(engine.ExecuteScript(kDedupScript).ok());
+  std::vector<std::string> rows;
+  ASSERT_TRUE(engine
+                  .Subscribe("cleaned",
+                             [&](const Tuple& t) { rows.push_back(t.ToString()); })
+                  .ok());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(engine
+                    .Push("readings",
+                          {Value::String("r1"), Value::String("t" + std::to_string(i)),
+                           Value::Time(Seconds(i + 1))},
+                          Seconds(i + 1))
+                    .ok());
+  }
+  // Below the batch size: buffered, nothing emitted yet.
+  EXPECT_TRUE(rows.empty());
+  EXPECT_EQ(engine.Metrics().gauges.at("batch.pending"), 3);
+  // Heartbeats are batch boundaries.
+  ASSERT_TRUE(engine.AdvanceTime(Seconds(10)).ok());
+  EXPECT_EQ(rows.size(), 3u);
+  EXPECT_EQ(engine.Metrics().gauges.at("batch.pending"), 0);
+}
+
+TEST(BatchPipelineTest, ExplicitFlushDeliversPendingBatch) {
+  Engine engine = MakeEngine(100);
+  ASSERT_TRUE(engine.ExecuteScript(kDedupScript).ok());
+  size_t emitted = 0;
+  ASSERT_TRUE(
+      engine.Subscribe("cleaned", [&](const Tuple&) { ++emitted; }).ok());
+  ASSERT_TRUE(engine
+                  .Push("readings",
+                        {Value::String("r"), Value::String("x"),
+                         Value::Time(Seconds(1))},
+                        Seconds(1))
+                  .ok());
+  EXPECT_EQ(emitted, 0u);
+  ASSERT_TRUE(engine.FlushBatches().ok());
+  EXPECT_EQ(emitted, 1u);
+}
+
+TEST(BatchPipelineTest, StreamSwitchIsABatchBoundary) {
+  Engine engine = MakeEngine(100);
+  ASSERT_TRUE(engine.ExecuteScript(R"sql(
+    CREATE STREAM a(v, t_time);
+    CREATE STREAM b(v, t_time);
+  )sql")
+                  .ok());
+  auto qa = engine.RegisterQuery("SELECT v FROM a");
+  ASSERT_TRUE(qa.ok()) << qa.status();
+  size_t emitted = 0;
+  ASSERT_TRUE(
+      engine.Subscribe(qa->output_stream, [&](const Tuple&) { ++emitted; })
+          .ok());
+  ASSERT_TRUE(engine
+                  .Push("a", {Value::String("1"), Value::Time(Seconds(1))},
+                        Seconds(1))
+                  .ok());
+  EXPECT_EQ(emitted, 0u);  // buffered
+  // Switching streams flushes the pending run before the new tuple.
+  ASSERT_TRUE(engine
+                  .Push("b", {Value::String("2"), Value::Time(Seconds(2))},
+                        Seconds(2))
+                  .ok());
+  EXPECT_EQ(emitted, 1u);
+}
+
+TEST(BatchPipelineTest, BatchMetricsAndAnalyzeCounters) {
+  Engine engine = MakeEngine(4);
+  ASSERT_TRUE(engine.ExecuteScript(R"sql(
+    CREATE STREAM readings(reader_id, tid, read_time);
+  )sql")
+                  .ok());
+  const std::string sql =
+      "SELECT reader_id, tid FROM readings WHERE tid = 'keep'";
+  auto q = engine.RegisterQuery(sql);
+  ASSERT_TRUE(q.ok()) << q.status();
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(engine
+                    .Push("readings",
+                          {Value::String("r"), Value::String(i % 2 ? "keep" : "drop"),
+                           Value::Time(Seconds(i + 1))},
+                          Seconds(i + 1))
+                    .ok());
+  }
+  ASSERT_TRUE(engine.FlushBatches().ok());
+
+  MetricsSnapshot snap = engine.Metrics();
+  EXPECT_EQ(snap.gauges.at("batch.size"), 4);
+  EXPECT_EQ(snap.gauges.at("batch.safe"), 1);
+  EXPECT_EQ(snap.counters.at("batch.batches_dispatched"), 2u);
+  EXPECT_EQ(snap.counters.at("batch.tuples_batched"), 8u);
+  EXPECT_EQ(snap.gauges.at("batch.avg_fill_x100"), 400);
+  // Filter and projection run native batch paths: no fallback tuples.
+  EXPECT_EQ(snap.counters.at("batch.fallback_tuples"), 0u);
+
+  auto analyzed = engine.Explain("EXPLAIN ANALYZE " + sql);
+  ASSERT_TRUE(analyzed.ok()) << analyzed.status();
+  EXPECT_NE(analyzed->find("batches_in="), std::string::npos) << *analyzed;
+}
+
+TEST(BatchPipelineTest, TupleModeAnalyzeOmitsBatchCounters) {
+  Engine engine = MakeEngine(1);
+  ASSERT_TRUE(engine.ExecuteScript(R"sql(
+    CREATE STREAM readings(reader_id, tid, read_time);
+  )sql")
+                  .ok());
+  const std::string sql = "SELECT reader_id FROM readings";
+  auto q = engine.RegisterQuery(sql);
+  ASSERT_TRUE(q.ok()) << q.status();
+  ASSERT_TRUE(engine
+                  .Push("readings",
+                        {Value::String("r"), Value::String("t"),
+                         Value::Time(Seconds(1))},
+                        Seconds(1))
+                  .ok());
+  auto analyzed = engine.Explain("EXPLAIN ANALYZE " + sql);
+  ASSERT_TRUE(analyzed.ok()) << analyzed.status();
+  EXPECT_EQ(analyzed->find("batches_in="), std::string::npos) << *analyzed;
+}
+
+TEST(BatchPipelineTest, FallbackOperatorCountsFallbackTuples) {
+  // A running aggregate has no native batch path: the default
+  // ProcessBatch loops the per-tuple path and counts what it deferred.
+  Engine engine = MakeEngine(4);
+  ASSERT_TRUE(engine.ExecuteScript(R"sql(
+    CREATE STREAM readings(reader_id, tid, read_time);
+  )sql")
+                  .ok());
+  auto q = engine.RegisterQuery("SELECT count(tid) FROM readings");
+  ASSERT_TRUE(q.ok()) << q.status();
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(engine
+                    .Push("readings",
+                          {Value::String("r"), Value::String("t"),
+                           Value::Time(Seconds(i + 1))},
+                          Seconds(i + 1))
+                    .ok());
+  }
+  MetricsSnapshot snap = engine.Metrics();
+  EXPECT_GT(snap.counters.at("batch.fallback_tuples"), 0u);
+}
+
+TEST(BatchPipelineTest, TableTargetDisablesBatching) {
+  Engine engine = MakeEngine(64);
+  ASSERT_TRUE(engine.ExecuteScript(R"sql(
+    CREATE STREAM tag_locations(readerid, tid, tagtime, loc);
+    CREATE TABLE object_movement(tagid, location, start_time);
+    INSERT INTO object_movement
+    SELECT tid, loc, tagtime
+    FROM tag_locations WHERE NOT EXISTS
+      (SELECT tagid FROM object_movement
+       WHERE tagid = tid AND location = loc);
+  )sql")
+                  .ok());
+  EXPECT_FALSE(engine.batching_safe());
+  // Pushes run tuple-at-a-time: table contents are current immediately.
+  ASSERT_TRUE(engine
+                  .Push("tag_locations",
+                        {Value::String("r"), Value::String("t1"),
+                         Value::Time(Seconds(1)), Value::String("dock")},
+                        Seconds(1))
+                  .ok());
+  MetricsSnapshot snap = engine.Metrics();
+  EXPECT_EQ(snap.gauges.at("batch.safe"), 0);
+  EXPECT_EQ(snap.gauges.at("batch.pending"), 0);
+  EXPECT_EQ(snap.counters.at("batch.batches_dispatched"), 0u);
+}
+
+TEST(BatchPipelineTest, MultipleProducersIntoOneStreamDisableBatching) {
+  Engine engine = MakeEngine(64);
+  ASSERT_TRUE(engine.ExecuteScript(R"sql(
+    CREATE STREAM a(v, t_time);
+    CREATE STREAM b(v, t_time);
+    CREATE STREAM merged(v, t_time);
+    INSERT INTO merged SELECT * FROM a;
+  )sql")
+                  .ok());
+  EXPECT_TRUE(engine.batching_safe());
+  ASSERT_TRUE(engine.ExecuteScript("INSERT INTO merged SELECT * FROM b;").ok());
+  EXPECT_FALSE(engine.batching_safe());
+}
+
+TEST(BatchPipelineTest, PushBatchDispatchesOneCrossing) {
+  Engine engine = MakeEngine(1);  // knob off: PushBatch is explicit
+  ASSERT_TRUE(engine.ExecuteScript(R"sql(
+    CREATE STREAM readings(reader_id, tid, read_time);
+  )sql")
+                  .ok());
+  auto q = engine.RegisterQuery("SELECT reader_id, tid FROM readings");
+  ASSERT_TRUE(q.ok()) << q.status();
+  std::vector<std::string> rows;
+  ASSERT_TRUE(engine
+                  .Subscribe(q->output_stream,
+                             [&](const Tuple& t) { rows.push_back(t.ToString()); })
+                  .ok());
+  SchemaPtr schema = engine.FindStream("readings")->schema();
+  TupleBatch batch;
+  for (int i = 0; i < 5; ++i) {
+    auto t = MakeTuple(schema,
+                       {Value::String("r"), Value::String("t" + std::to_string(i)),
+                        Value::Time(Seconds(i + 1))},
+                       Seconds(i + 1));
+    ASSERT_TRUE(t.ok()) << t.status();
+    batch.Add(*t);
+  }
+  ASSERT_TRUE(engine.PushBatch("readings", batch).ok());
+  EXPECT_EQ(rows.size(), 5u);
+  EXPECT_EQ(engine.Metrics().counters.at("batch.batches_dispatched"), 1u);
+}
+
+TEST(BatchPipelineTest, PushBatchRejectsOutOfOrderRun) {
+  Engine engine = MakeEngine(1);
+  ASSERT_TRUE(
+      engine.ExecuteScript("CREATE STREAM s(v, t_time);").ok());
+  SchemaPtr schema = engine.FindStream("s")->schema();
+  TupleBatch batch;
+  for (Timestamp ts : {Seconds(5), Seconds(3)}) {
+    auto t = MakeTuple(schema, {Value::String("1"), Value::Time(ts)}, ts);
+    ASSERT_TRUE(t.ok());
+    batch.Add(*t);
+  }
+  EXPECT_FALSE(engine.PushBatch("s", batch).ok());
+}
+
+TEST(BatchPipelineTest, InvalidEnvKnobSurfacesFromFirstCall) {
+  ::setenv(kBatchSizeEnvVar, "not-a-number", 1);
+  EngineOptions options;  // honor_batch_env defaults to true
+  Engine engine(options);
+  ::unsetenv(kBatchSizeEnvVar);
+  Status st = engine.ExecuteScript("CREATE STREAM s(v, t_time);");
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find(kBatchSizeEnvVar), std::string::npos) << st;
+}
+
+TEST(BatchPipelineTest, EnvKnobOverridesConfiguredSize) {
+  ::setenv(kBatchSizeEnvVar, "16", 1);
+  EngineOptions options;
+  options.batch_size = 2;
+  Engine engine(options);
+  ::unsetenv(kBatchSizeEnvVar);
+  EXPECT_EQ(engine.batch_size(), 16u);
+}
+
+TEST(BatchPipelineTest, InvalidConfiguredSizeRejected) {
+  EngineOptions options;
+  options.batch_size = 0;
+  options.honor_batch_env = false;
+  Engine engine(options);
+  EXPECT_FALSE(engine.ExecuteScript("CREATE STREAM s(v, t_time);").ok());
+}
+
+}  // namespace
+}  // namespace eslev

@@ -1,0 +1,169 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate over google-benchmark JSON output.
+
+Modes:
+  check    Compare a fresh bench run against the checked-in baseline
+           (bench/baseline.json). A benchmark regresses when its
+           items_per_second falls more than --tolerance (default 0.15,
+           i.e. -15%) below the baseline. Prints a per-bench delta
+           table (markdown, suitable for $GITHUB_STEP_SUMMARY) and
+           exits 1 on any regression.
+  refresh  Rewrite the baseline from a fresh bench run. Run this on the
+           CI runner class the gate executes on (laptop numbers are not
+           comparable) and commit the result:
+
+             cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
+             cmake --build build-release -j --target bench_e11_end_to_end bench_e16_batching
+             mkdir -p /tmp/bench-json
+             ESLEV_BENCH_JSON_DIR=/tmp/bench-json ./build-release/bench/bench_e11_end_to_end --benchmark_min_time=0.2s
+             ESLEV_BENCH_JSON_DIR=/tmp/bench-json ./build-release/bench/bench_e16_batching --benchmark_min_time=0.2s
+             python3 tools/bench_gate.py refresh --json-dir /tmp/bench-json
+
+Only benchmarks present in the baseline gate the build; new benchmarks
+are reported as "new" until the baseline is refreshed, so adding a
+bench never breaks an unrelated PR. A baseline entry whose benchmark
+vanished from the run fails the gate (a silently deleted bench is a
+silently dropped guarantee). Tolerance can also be set with the
+ESLEV_BENCH_GATE_TOLERANCE environment variable (the flag wins).
+"""
+
+import argparse
+import json
+import os
+import sys
+
+DEFAULT_BASELINE = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), os.pardir, "bench",
+    "baseline.json")
+
+
+def load_run(json_dir):
+    """Collect {benchmark name: items_per_second} from BENCH_*.json."""
+    results = {}
+    found_any = False
+    for entry in sorted(os.listdir(json_dir)):
+        if not (entry.startswith("BENCH_") and entry.endswith(".json")):
+            continue
+        if entry.endswith("_metrics.json"):
+            continue  # bench-recorded metrics blobs, not benchmark runs
+        path = os.path.join(json_dir, entry)
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+        found_any = True
+        for bench in doc.get("benchmarks", []):
+            if bench.get("run_type") == "aggregate":
+                continue
+            name = bench.get("name")
+            ips = bench.get("items_per_second")
+            if name is None or ips is None:
+                continue
+            # Repetitions: keep the best (least-interfered) observation.
+            results[name] = max(results.get(name, 0.0), float(ips))
+    if not found_any:
+        sys.exit(f"bench_gate: no BENCH_*.json files under {json_dir}")
+    if not results:
+        sys.exit(f"bench_gate: no items_per_second entries under {json_dir}")
+    return results
+
+
+def load_baseline(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    benches = doc.get("benchmarks")
+    if not isinstance(benches, dict) or not benches:
+        sys.exit(f"bench_gate: malformed baseline {path}")
+    return doc
+
+
+def fmt_rate(value):
+    if value >= 1e6:
+        return f"{value / 1e6:.2f}M/s"
+    if value >= 1e3:
+        return f"{value / 1e3:.1f}k/s"
+    return f"{value:.1f}/s"
+
+
+def cmd_check(args):
+    run = load_run(args.json_dir)
+    baseline = load_baseline(args.baseline)
+    tolerance = args.tolerance
+    rows = []
+    failures = []
+    for name in sorted(baseline["benchmarks"]):
+        base = float(baseline["benchmarks"][name])
+        if name not in run:
+            failures.append(f"{name}: present in baseline but not in run")
+            rows.append((name, base, None, None, "MISSING"))
+            continue
+        now = run[name]
+        delta = (now - base) / base
+        status = "ok"
+        if delta < -tolerance:
+            status = "REGRESSED"
+            failures.append(
+                f"{name}: {fmt_rate(now)} vs baseline {fmt_rate(base)} "
+                f"({delta:+.1%}, tolerance -{tolerance:.0%})")
+        rows.append((name, base, now, delta, status))
+    for name in sorted(set(run) - set(baseline["benchmarks"])):
+        rows.append((name, None, run[name], None, "new"))
+
+    print(f"### Bench gate (tolerance -{tolerance:.0%})\n")
+    print("| benchmark | baseline | current | delta | status |")
+    print("|---|---:|---:|---:|---|")
+    for name, base, now, delta, status in rows:
+        base_s = fmt_rate(base) if base is not None else "—"
+        now_s = fmt_rate(now) if now is not None else "—"
+        delta_s = f"{delta:+.1%}" if delta is not None else "—"
+        mark = "❌ " if status in ("REGRESSED", "MISSING") else ""
+        print(f"| `{name}` | {base_s} | {now_s} | {delta_s} | {mark}{status} |")
+    print()
+    if failures:
+        print("Regressions:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"All {sum(1 for r in rows if r[4] == 'ok')} gated benchmarks "
+          "within tolerance.")
+    return 0
+
+
+def cmd_refresh(args):
+    run = load_run(args.json_dir)
+    doc = {
+        "comment": (
+            "Gated throughput baselines (items_per_second). Refresh with "
+            "tools/bench_gate.py refresh on the CI runner class; see the "
+            "module docstring for the exact commands."),
+        "tolerance_default": args.tolerance,
+        "benchmarks": {name: run[name] for name in sorted(run)},
+    }
+    with open(args.baseline, "w", encoding="utf-8") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"bench_gate: wrote {len(run)} baselines to {args.baseline}")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("mode", choices=["check", "refresh"])
+    parser.add_argument("--json-dir", required=True,
+                        help="directory holding BENCH_*.json from a run")
+    parser.add_argument("--baseline", default=os.path.normpath(DEFAULT_BASELINE),
+                        help="baseline JSON path (default bench/baseline.json)")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(os.environ.get("ESLEV_BENCH_GATE_TOLERANCE", "0.15")),
+        help="allowed fractional throughput drop before failing "
+        "(default 0.15; env ESLEV_BENCH_GATE_TOLERANCE)")
+    args = parser.parse_args()
+    if not (0.0 < args.tolerance < 1.0):
+        sys.exit("bench_gate: --tolerance must be in (0, 1)")
+    if args.mode == "check":
+        sys.exit(cmd_check(args))
+    sys.exit(cmd_refresh(args))
+
+
+if __name__ == "__main__":
+    main()
