@@ -12,6 +12,7 @@
 #include "baseline/naive_join.h"
 #include "bench/bench_util.h"
 #include "cep/seq_operator.h"
+#include "cep/seq_operator_base.h"
 #include "expr/binder.h"
 #include "sql/parser.h"
 
@@ -120,6 +121,93 @@ void BM_SeqChronicle(benchmark::State& state) {
 }
 BENCHMARK(BM_SeqWindowedUnrestricted)->Arg(500)->Arg(2000)->Arg(8000);
 BENCHMARK(BM_SeqChronicle)->Arg(500)->Arg(2000)->Arg(8000);
+
+// ---------------------------------------------------------------------------
+// Star workload, per backend — Example 7's containment query
+// SEQ(R1*, R2) MODE CHRONICLE over the packing trace. Star groups are
+// where a run-based matcher can over-retain (one run per open prefix
+// versus one shared pool of star tuples), so the peak tuple state of
+// both backends is published under stategate.e9_star.* and gated by
+// tools/bench_gate.py: the NFA must never retain more than history.
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<SeqOperatorBase> MakeStarSeq(SeqBackend backend,
+                                             const FunctionRegistry& registry,
+                                             BindScope* scope) {
+  auto schema = Schema::Make({{"readerid", TypeId::kString},
+                              {"tagid", TypeId::kString},
+                              {"tagtime", TypeId::kTimestamp}});
+  SeqOperatorConfig config;
+  scope->AddEntry({"R1", schema, 0, true});
+  scope->AddEntry({"R2", schema, 0, false});
+  config.positions.push_back({"R1", schema, true});
+  config.positions.push_back({"R2", schema, false});
+  config.mode = PairingMode::kChronicle;
+  Binder binder(scope, &registry);
+  auto bind = [&](const std::string& text) {
+    auto parsed = ParseExpression(text);
+    bench::CheckOk(parsed.status(), "parse");
+    auto bound = binder.Bind(**parsed);
+    bench::CheckOk(bound.status(), "bind");
+    return std::move(bound).ValueUnsafe();
+  };
+  config.star_gates.resize(config.positions.size());
+  config.star_gates[0] = bind("R1.tagtime - R1.previous.tagtime <= 1 SECONDS");
+  PairwiseConstraint c;
+  c.pos_a = 0;
+  c.pos_b = 1;
+  c.expr = bind("R2.tagtime - LAST(R1*).tagtime <= 5 SECONDS");
+  config.pairwise.push_back(std::move(c));
+  config.projection.push_back(bind("FIRST(R1*).tagtime"));
+  config.projection.push_back(bind("COUNT(R1*)"));
+  config.projection.push_back(bind("R2.tagid"));
+  config.out_schema = Schema::Make({{"first_time", TypeId::kTimestamp},
+                                    {"cnt", TypeId::kInt64},
+                                    {"case_tag", TypeId::kString}});
+  auto op = MakeSeqOperator(std::move(config), backend);
+  bench::CheckOk(op.status(), "make star seq");
+  return std::move(op).ValueUnsafe();
+}
+
+void RunStarSeq(benchmark::State& state, SeqBackend backend) {
+  rfid::PackingWorkloadOptions options;
+  options.num_cases = static_cast<size_t>(state.range(0));
+  auto workload = rfid::MakePackingWorkload(options);
+  FunctionRegistry registry;
+  uint64_t matches = 0;
+  size_t peak_history = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    BindScope scope;
+    auto op = MakeStarSeq(backend, registry, &scope);
+    peak_history = 0;
+    state.ResumeTiming();
+    for (const auto& e : workload.events) {
+      bench::CheckOk(op->OnTuple(PortOf(e.stream), e.tuple), "tuple");
+      peak_history = std::max(peak_history, op->history_size());
+    }
+    matches = op->matches_emitted();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          workload.events.size());
+  state.counters["matches"] = static_cast<double>(matches);
+  state.counters["peak_history"] = static_cast<double>(peak_history);
+  // Args run in registration order, so the gauge ends up holding the
+  // largest trace's peak — the worst case is what the gate compares.
+  bench::Metrics()
+      .GetGauge(std::string("stategate.e9_star.") +
+                SeqBackendToString(backend))
+      ->Set(static_cast<int64_t>(peak_history));
+}
+
+void BM_SeqStarHistory(benchmark::State& state) {
+  RunStarSeq(state, SeqBackend::kHistory);
+}
+void BM_SeqStarNfa(benchmark::State& state) {
+  RunStarSeq(state, SeqBackend::kNfa);
+}
+BENCHMARK(BM_SeqStarHistory)->Arg(200)->Arg(1000);
+BENCHMARK(BM_SeqStarNfa)->Arg(200)->Arg(1000);
 
 }  // namespace
 }  // namespace eslev

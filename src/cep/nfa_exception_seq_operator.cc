@@ -1,11 +1,12 @@
-#include "cep/exception_seq_operator.h"
+#include "cep/nfa_exception_seq_operator.h"
 
 #include <algorithm>
 
 namespace eslev {
 
-Result<std::unique_ptr<ExceptionSeqOperator>> ExceptionSeqOperator::Make(
+Result<std::unique_ptr<NfaExceptionSeqOperator>> NfaExceptionSeqOperator::Make(
     ExceptionSeqConfig config) {
+  // Same validation as ExceptionSeqOperator::Make.
   const size_t n = config.positions.size();
   if (n < 2) {
     return Status::Invalid("EXCEPTION_SEQ requires at least two positions");
@@ -40,29 +41,36 @@ Result<std::unique_ptr<ExceptionSeqOperator>> ExceptionSeqOperator::Make(
       return Status::Invalid("malformed pairwise constraint");
     }
   }
+  for (const auto& p : config.positions) {
+    if (p.negated) {
+      return Status::NotImplemented(
+          "EXCEPTION_SEQ positions cannot be negated");
+    }
+  }
   if (!config.out_schema || config.projection.empty()) {
     return Status::Invalid("EXCEPTION_SEQ operator requires a projection");
   }
-  return std::unique_ptr<ExceptionSeqOperator>(
-      new ExceptionSeqOperator(std::move(config)));
+  return std::unique_ptr<NfaExceptionSeqOperator>(
+      new NfaExceptionSeqOperator(std::move(config)));
 }
 
-ExceptionSeqOperator::ExceptionSeqOperator(ExceptionSeqConfig config)
+NfaExceptionSeqOperator::NfaExceptionSeqOperator(ExceptionSeqConfig config)
     : config_(std::move(config)),
+      nfa_(CompileSeqNfa(config_.positions, config_.pairwise, config_.mode)),
       n_(config_.positions.size()),
       scratch_(n_) {}
 
-Result<bool> ExceptionSeqOperator::PassesArrivalFilter(size_t pos,
-                                                       const Tuple& tuple) {
+Result<bool> NfaExceptionSeqOperator::PassesArrivalFilter(size_t pos,
+                                                          const Tuple& tuple) {
   if (!config_.arrival_filters[pos]) return true;
   scratch_.Clear();
   scratch_.SetTuple(pos, &tuple);
   return EvalPredicate(*config_.arrival_filters[pos], scratch_.Row());
 }
 
-Result<bool> ExceptionSeqOperator::PassesStarGate(size_t pos,
-                                                  const Tuple& tuple,
-                                                  const Tuple& previous) {
+Result<bool> NfaExceptionSeqOperator::PassesStarGate(size_t pos,
+                                                     const Tuple& tuple,
+                                                     const Tuple& previous) {
   if (!config_.star_gates[pos]) return true;
   scratch_.Clear();
   scratch_.SetTuple(pos, &tuple);
@@ -70,14 +78,14 @@ Result<bool> ExceptionSeqOperator::PassesStarGate(size_t pos,
   return EvalPredicate(*config_.star_gates[pos], scratch_.Row());
 }
 
-Result<bool> ExceptionSeqOperator::PairwiseOkWithPartial(size_t pos,
-                                                         const Tuple& tuple) {
+Result<bool> NfaExceptionSeqOperator::PairwiseOkWithRun(size_t pos,
+                                                        const Tuple& tuple) {
   for (const auto& c : config_.pairwise) {
-    if (c.pos_b != pos || c.pos_a >= partial_.size()) continue;
+    if (c.pos_b != pos || c.pos_a >= run_.size()) continue;
     scratch_.Clear();
-    scratch_.SetTuple(c.pos_a, &partial_[c.pos_a].back());
+    scratch_.SetTuple(c.pos_a, &run_[c.pos_a].back());
     if (config_.positions[c.pos_a].star) {
-      scratch_.SetStarGroup(c.pos_a, &partial_[c.pos_a]);
+      scratch_.SetStarGroup(c.pos_a, &run_[c.pos_a]);
     }
     scratch_.SetTuple(c.pos_b, &tuple);
     ESLEV_ASSIGN_OR_RETURN(bool ok, EvalPredicate(*c.expr, scratch_.Row()));
@@ -107,8 +115,8 @@ bool LevelSatisfies(int64_t level, BinaryOp op, int64_t rhs) {
 }
 }  // namespace
 
-Status ExceptionSeqOperator::Terminal(size_t level, const Tuple* offender,
-                                      size_t offender_pos) {
+Status NfaExceptionSeqOperator::Terminal(size_t level, const Tuple* offender,
+                                         size_t offender_pos) {
   const bool completed = level == n_;
   if (completed) {
     ++sequences_completed_;
@@ -121,18 +129,16 @@ Status ExceptionSeqOperator::Terminal(size_t level, const Tuple* offender,
 
   scratch_.Clear();
   Timestamp ts = 0;
-  // Starred positions the partial never reached project as empty groups
-  // (COUNT == 0, FIRST/LAST == NULL) rather than errors.
   static const std::vector<Tuple> kEmptyGroup;
   for (size_t i = 0; i < n_; ++i) {
     if (config_.positions[i].star) scratch_.SetStarGroup(i, &kEmptyGroup);
   }
-  for (size_t i = 0; i < level && i < partial_.size(); ++i) {
-    scratch_.SetTuple(i, &partial_[i].back());
+  for (size_t i = 0; i < level && i < run_.size(); ++i) {
+    scratch_.SetTuple(i, &run_[i].back());
     if (config_.positions[i].star) {
-      scratch_.SetStarGroup(i, &partial_[i]);
+      scratch_.SetStarGroup(i, &run_[i]);
     }
-    ts = std::max(ts, partial_[i].back().ts());
+    ts = std::max(ts, run_[i].back().ts());
   }
   if (offender != nullptr) {
     scratch_.SetTuple(offender_pos, offender);
@@ -149,28 +155,29 @@ Status ExceptionSeqOperator::Terminal(size_t level, const Tuple* offender,
   return Emit(out);
 }
 
-void ExceptionSeqOperator::ArmDeadline() {
+void NfaExceptionSeqOperator::ArmDeadline() {
   if (!config_.window || deadline_) return;
   const size_t anchor = config_.window->anchor;
-  if (partial_.size() > anchor) {
-    deadline_ = partial_[anchor].front().ts() + config_.window->length;
+  if (run_.size() > anchor) {
+    deadline_ = run_[anchor].front().ts() + config_.window->length;
   }
 }
 
-Status ExceptionSeqOperator::CheckExpiry(Timestamp now, bool from_heartbeat) {
+Status NfaExceptionSeqOperator::CheckExpiry(Timestamp now,
+                                            bool from_heartbeat) {
   if (!deadline_ || now <= *deadline_) return Status::OK();
-  // Window expired with the partial incomplete (scenario 3).
+  // Deadline state purge: the run expired incomplete (scenario 3).
   ++window_expirations_;
   if (from_heartbeat) ++active_expirations_;
-  const size_t level = partial_.size();
+  const size_t level = run_.size();
   ESLEV_RETURN_NOT_OK(Terminal(level, nullptr, 0));
-  partial_.clear();
+  run_.clear();
   deadline_.reset();
   return Status::OK();
 }
 
-void ExceptionSeqOperator::AppendStats(OperatorStatList* out) const {
-  out->push_back({"partial_level", static_cast<int64_t>(partial_.size())});
+void NfaExceptionSeqOperator::AppendStats(OperatorStatList* out) const {
+  out->push_back({"partial_level", static_cast<int64_t>(run_.size())});
   out->push_back(
       {"level_transitions", static_cast<int64_t>(level_transitions_)});
   out->push_back(
@@ -181,77 +188,83 @@ void ExceptionSeqOperator::AppendStats(OperatorStatList* out) const {
       {"exceptions_emitted", static_cast<int64_t>(exceptions_emitted_)});
   out->push_back(
       {"sequences_completed", static_cast<int64_t>(sequences_completed_)});
+  out->push_back({"nfa_states", static_cast<int64_t>(nfa_.states.size())});
+  out->push_back(
+      {"nfa_transitions", static_cast<int64_t>(nfa_.transitions.size())});
+  out->push_back({"nfa_live_runs", static_cast<int64_t>(run_.empty() ? 0 : 1)});
 }
 
-Status ExceptionSeqOperator::AppendPosition(size_t pos, const Tuple& tuple) {
+Status NfaExceptionSeqOperator::TakeEdge(size_t pos, const Tuple& tuple) {
   (void)pos;
-  partial_.push_back({tuple});
+  run_.push_back({tuple});
   ++level_transitions_;
   ArmDeadline();
-  if (partial_.size() == n_) {
+  if (run_.size() == n_) {
+    // Accepting state reached: level-n terminal, then the run retires.
     ESLEV_RETURN_NOT_OK(Terminal(n_, nullptr, 0));
-    partial_.clear();
+    run_.clear();
     deadline_.reset();
   }
   return Status::OK();
 }
 
-Status ExceptionSeqOperator::StartOrLevelZero(size_t pos, const Tuple& tuple) {
-  partial_.clear();
+Status NfaExceptionSeqOperator::StartOrLevelZero(size_t pos,
+                                                 const Tuple& tuple) {
+  run_.clear();
   deadline_.reset();
   if (pos == 0) {
-    return AppendPosition(0, tuple);
+    return TakeEdge(0, tuple);  // begin edge
   }
-  // Scenario 2: the incoming tuple cannot start a sequence.
+  // No begin edge matches: level-0 exception on the incoming tuple.
   return Terminal(0, &tuple, pos);
 }
 
-Status ExceptionSeqOperator::ProcessTuple(size_t port, const Tuple& tuple) {
+Status NfaExceptionSeqOperator::ProcessTuple(size_t port, const Tuple& tuple) {
   if (port >= n_) {
     return Status::ExecutionError("EXCEPTION_SEQ port out of range");
   }
   ESLEV_ASSIGN_OR_RETURN(bool pass, PassesArrivalFilter(port, tuple));
   if (!pass) return Status::OK();
-  // The previous partial may have expired before this arrival.
   ESLEV_RETURN_NOT_OK(CheckExpiry(tuple.ts()));
 
-  const size_t k = partial_.size();
+  // Positions are never negated here, so the run's state index is its
+  // level minus one and state_of_position is the identity.
+  const size_t k = run_.size();
 
-  // Repeat arrival on the current starred position: extend the group.
-  if (k > 0 && port == k - 1 && config_.positions[k - 1].star) {
-    ESLEV_ASSIGN_OR_RETURN(
-        bool same_group, PassesStarGate(port, tuple, partial_[k - 1].back()));
+  // Loop edge on the current starred state.
+  if (k > 0 && port == k - 1 && nfa_.states[k - 1].star) {
+    ESLEV_ASSIGN_OR_RETURN(bool same_group,
+                           PassesStarGate(port, tuple, run_[k - 1].back()));
     if (same_group) {
-      ESLEV_ASSIGN_OR_RETURN(bool ok, PairwiseOkWithPartial(port, tuple));
+      ESLEV_ASSIGN_OR_RETURN(bool ok, PairwiseOkWithRun(port, tuple));
       if (ok) {
-        partial_[k - 1].push_back(tuple);
+        run_[k - 1].push_back(tuple);
         return Status::OK();
       }
     }
-    // Gate or qualification failure: the partial cannot extend.
     ESLEV_RETURN_NOT_OK(Terminal(k, &tuple, port));
     return StartOrLevelZero(port, tuple);
   }
 
+  // Take edge into the next state.
   if (port == k) {
-    ESLEV_ASSIGN_OR_RETURN(bool ok, PairwiseOkWithPartial(port, tuple));
+    ESLEV_ASSIGN_OR_RETURN(bool ok, PairwiseOkWithRun(port, tuple));
     if (ok) {
-      return AppendPosition(port, tuple);
+      return TakeEdge(port, tuple);
     }
-    // Fails the qualifying conditions: treat as a wrong tuple below.
   }
 
-  // Wrong incoming tuple (scenario 1).
+  // No edge matches: violation.
   if (k > 0) {
     if (config_.mode == PairingMode::kRecent && port < k) {
-      // The paper's (A,B)+B case: the new tuple replaces its position;
-      // the abandoned partial raises an exception first.
+      // RECENT's run-selection policy: rewind to the repeated state (the
+      // paper's (A,B)+B replace), raising the abandoned run's terminal.
       ESLEV_RETURN_NOT_OK(Terminal(k, &tuple, port));
-      partial_.resize(port);
+      run_.resize(port);
       deadline_.reset();
-      ESLEV_ASSIGN_OR_RETURN(bool ok, PairwiseOkWithPartial(port, tuple));
+      ESLEV_ASSIGN_OR_RETURN(bool ok, PairwiseOkWithRun(port, tuple));
       if (ok) {
-        partial_.push_back({tuple});
+        run_.push_back({tuple});
         ++level_transitions_;
         ArmDeadline();
       } else {
@@ -265,13 +278,13 @@ Status ExceptionSeqOperator::ProcessTuple(size_t port, const Tuple& tuple) {
   return StartOrLevelZero(port, tuple);
 }
 
-Status ExceptionSeqOperator::ProcessHeartbeat(Timestamp now) {
+Status NfaExceptionSeqOperator::ProcessHeartbeat(Timestamp now) {
   ESLEV_RETURN_NOT_OK(CheckExpiry(now, /*from_heartbeat=*/true));
   return EmitHeartbeat(now);
 }
 
-Status ExceptionSeqOperator::SaveState(BinaryEncoder* enc) const {
-  enc->PutU8(static_cast<uint8_t>(SeqBackend::kHistory));
+Status NfaExceptionSeqOperator::SaveState(BinaryEncoder* enc) const {
+  enc->PutU8(static_cast<uint8_t>(SeqBackend::kNfa));
   enc->PutU64(exceptions_emitted_);
   enc->PutU64(sequences_completed_);
   enc->PutU64(level_transitions_);
@@ -279,18 +292,18 @@ Status ExceptionSeqOperator::SaveState(BinaryEncoder* enc) const {
   enc->PutU64(active_expirations_);
   enc->PutBool(deadline_.has_value());
   if (deadline_) enc->PutI64(*deadline_);
-  enc->PutU32(static_cast<uint32_t>(partial_.size()));
-  for (const std::vector<Tuple>& group : partial_) {
+  enc->PutU32(static_cast<uint32_t>(run_.size()));
+  for (const std::vector<Tuple>& group : run_) {
     enc->PutU32(static_cast<uint32_t>(group.size()));
     for (const Tuple& t : group) enc->PutTuple(t);
   }
   return Status::OK();
 }
 
-Status ExceptionSeqOperator::RestoreState(BinaryDecoder* dec) {
+Status NfaExceptionSeqOperator::RestoreState(BinaryDecoder* dec) {
   ESLEV_ASSIGN_OR_RETURN(uint8_t tag, dec->GetU8());
   ESLEV_RETURN_NOT_OK(
-      CheckSeqCheckpointTag(tag, SeqBackend::kHistory, "EXCEPTION_SEQ"));
+      CheckSeqCheckpointTag(tag, SeqBackend::kNfa, "EXCEPTION_SEQ"));
   ESLEV_ASSIGN_OR_RETURN(exceptions_emitted_, dec->GetU64());
   ESLEV_ASSIGN_OR_RETURN(sequences_completed_, dec->GetU64());
   ESLEV_ASSIGN_OR_RETURN(level_transitions_, dec->GetU64());
@@ -307,7 +320,7 @@ Status ExceptionSeqOperator::RestoreState(BinaryDecoder* dec) {
     return Status::IoError(
         "EXCEPTION_SEQ checkpoint: partial level exceeds position count");
   }
-  partial_.clear();
+  run_.clear();
   for (uint32_t i = 0; i < level; ++i) {
     ESLEV_ASSIGN_OR_RETURN(uint32_t ntuples, dec->GetU32());
     if (ntuples == 0) {
@@ -319,7 +332,7 @@ Status ExceptionSeqOperator::RestoreState(BinaryDecoder* dec) {
       ESLEV_ASSIGN_OR_RETURN(Tuple t, dec->GetTuple());
       group.push_back(std::move(t));
     }
-    partial_.push_back(std::move(group));
+    run_.push_back(std::move(group));
   }
   return Status::OK();
 }

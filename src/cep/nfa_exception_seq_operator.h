@@ -1,0 +1,90 @@
+// NfaExceptionSeqOperator: EXCEPTION_SEQ / CLEVEL_SEQ evaluated on the
+// compiled automaton (DESIGN.md §14).
+//
+// Completion levels map directly onto NFA states: a partial at level k
+// sits in state k-1, a take edge advances it, the loop edge on a starred
+// state extends the current group, and any arrival without a matching
+// edge is a violation (terminal event at the current level). The
+// FOLLOWING-anchored window is a deadline attached to the active run;
+// expiry — including the paper's *active expiration* via heartbeats —
+// purges the run and raises the terminal at its level. RECENT's replace
+// policy (the paper's (A,B)+B example) rewinds the run to the repeated
+// state instead of killing it.
+//
+// Byte-identical to ExceptionSeqOperator by construction: both track one
+// partial and classify arrivals with the same guards in the same order;
+// only the bookkeeping differs (automaton states vs. position indices).
+
+#ifndef ESLEV_CEP_NFA_EXCEPTION_SEQ_OPERATOR_H_
+#define ESLEV_CEP_NFA_EXCEPTION_SEQ_OPERATOR_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cep/seq_config.h"
+#include "cep/seq_nfa.h"
+#include "cep/seq_operator_base.h"
+
+namespace eslev {
+
+class NfaExceptionSeqOperator : public ExceptionSeqOperatorBase {
+ public:
+  static Result<std::unique_ptr<NfaExceptionSeqOperator>> Make(
+      ExceptionSeqConfig config);
+
+  SeqBackend backend() const override { return SeqBackend::kNfa; }
+
+  /// \brief Port == position index.
+  Status ProcessTuple(size_t port, const Tuple& tuple) override;
+  /// \brief Active expiration on heartbeats.
+  Status ProcessHeartbeat(Timestamp now) override;
+
+  uint64_t exceptions_emitted() const override { return exceptions_emitted_; }
+  uint64_t sequences_completed() const override {
+    return sequences_completed_;
+  }
+  size_t partial_level() const override { return run_.size(); }
+  uint64_t level_transitions() const override { return level_transitions_; }
+  uint64_t window_expirations() const override { return window_expirations_; }
+  uint64_t active_expirations() const override { return active_expirations_; }
+
+  const SeqNfa& nfa() const { return nfa_; }
+
+  void AppendStats(OperatorStatList* out) const override;
+
+  Status SaveState(BinaryEncoder* enc) const override;
+  Status RestoreState(BinaryDecoder* dec) override;
+
+ private:
+  explicit NfaExceptionSeqOperator(ExceptionSeqConfig config);
+
+  Result<bool> PassesArrivalFilter(size_t pos, const Tuple& tuple);
+  Result<bool> PassesStarGate(size_t pos, const Tuple& tuple,
+                              const Tuple& previous);
+  Result<bool> PairwiseOkWithRun(size_t pos, const Tuple& tuple);
+
+  Status Terminal(size_t level, const Tuple* offender, size_t offender_pos);
+  void ArmDeadline();
+  Status CheckExpiry(Timestamp now, bool from_heartbeat = false);
+  Status StartOrLevelZero(size_t pos, const Tuple& tuple);
+  Status TakeEdge(size_t pos, const Tuple& tuple);
+
+  ExceptionSeqConfig config_;
+  SeqNfa nfa_;
+  size_t n_;
+  // The single active run: one tuple group per visited state (positions
+  // are never negated here, so state index == position index).
+  std::vector<std::vector<Tuple>> run_;
+  std::optional<Timestamp> deadline_;
+  uint64_t exceptions_emitted_ = 0;
+  uint64_t sequences_completed_ = 0;
+  uint64_t level_transitions_ = 0;
+  uint64_t window_expirations_ = 0;
+  uint64_t active_expirations_ = 0;
+  RowScratch scratch_;
+};
+
+}  // namespace eslev
+
+#endif  // ESLEV_CEP_NFA_EXCEPTION_SEQ_OPERATOR_H_

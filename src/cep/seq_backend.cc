@@ -1,0 +1,54 @@
+#include "cep/seq_backend.h"
+
+#include "common/env.h"
+#include "common/string_util.h"
+
+namespace eslev {
+
+const char* SeqBackendToString(SeqBackend backend) {
+  switch (backend) {
+    case SeqBackend::kHistory:
+      return "history";
+    case SeqBackend::kNfa:
+      return "nfa";
+  }
+  return "history";
+}
+
+Result<SeqBackend> ParseSeqBackend(const std::string& name) {
+  const std::string lowered = AsciiToLower(name);
+  if (lowered == "history") return SeqBackend::kHistory;
+  if (lowered == "nfa") return SeqBackend::kNfa;
+  return Status::Invalid("unknown SEQ backend '" + name +
+                         "'; accepted values are 'history', 'nfa'");
+}
+
+Result<SeqBackend> ResolveSeqBackend(SeqBackend configured) {
+  ESLEV_ASSIGN_OR_RETURN(
+      std::optional<size_t> choice,
+      GetEnvChoice(kSeqBackendEnvVar, {"history", "nfa"}));
+  if (!choice.has_value()) return configured;
+  return *choice == 0 ? SeqBackend::kHistory : SeqBackend::kNfa;
+}
+
+Status CheckSeqCheckpointTag(uint8_t tag, SeqBackend expected,
+                             const char* operator_name) {
+  if (tag != static_cast<uint8_t>(SeqBackend::kHistory) &&
+      tag != static_cast<uint8_t>(SeqBackend::kNfa)) {
+    return Status::IoError(std::string(operator_name) +
+                           " checkpoint: unknown backend tag " +
+                           std::to_string(static_cast<int>(tag)));
+  }
+  if (tag != static_cast<uint8_t>(expected)) {
+    const SeqBackend written = static_cast<SeqBackend>(tag);
+    return Status::IoError(
+        std::string(operator_name) + " checkpoint was written by the '" +
+        SeqBackendToString(written) + "' backend but this engine runs '" +
+        SeqBackendToString(expected) +
+        "'; restore with ESLEV_SEQ_BACKEND=" + SeqBackendToString(written) +
+        " or re-checkpoint");
+  }
+  return Status::OK();
+}
+
+}  // namespace eslev

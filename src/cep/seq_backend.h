@@ -1,0 +1,55 @@
+// Sequence-matcher backend selection (DESIGN.md §14).
+//
+// Two interchangeable engines evaluate SEQ / EXCEPTION_SEQ predicates:
+//   * history — the original joint-tuple-history matcher (DESIGN.md §5),
+//   * nfa     — the SASE-style compiled automaton with shared
+//               partial-match runs (DESIGN.md §14).
+// Both are byte-identical in output (proven by the seq_backend
+// differential property suite); they differ in how much intermediate
+// matching work is retained and re-done. The backend is chosen per
+// engine via EngineOptions::seq_backend, overridable by the
+// ESLEV_SEQ_BACKEND environment variable.
+
+#ifndef ESLEV_CEP_SEQ_BACKEND_H_
+#define ESLEV_CEP_SEQ_BACKEND_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+
+namespace eslev {
+
+/// \brief Which matcher implementation executes sequence predicates.
+enum class SeqBackend : int {
+  /// Joint tuple history, enumerated per trigger (DESIGN.md §5).
+  kHistory = 0,
+  /// Compiled NFA with prefix-sharing runs (DESIGN.md §14).
+  kNfa = 1,
+};
+
+/// \brief Spelling as accepted by ESLEV_SEQ_BACKEND ("history" / "nfa").
+const char* SeqBackendToString(SeqBackend backend);
+
+/// \brief Parse a backend name (case-insensitive).
+Result<SeqBackend> ParseSeqBackend(const std::string& name);
+
+/// \brief The backend knob: ESLEV_SEQ_BACKEND overrides `configured`
+/// when set. Malformed values are rejected with the accepted spellings
+/// (validated through common/env.h, never silently ignored).
+Result<SeqBackend> ResolveSeqBackend(SeqBackend configured);
+
+/// \brief Name of the backend environment variable (tests, docs).
+inline constexpr const char* kSeqBackendEnvVar = "ESLEV_SEQ_BACKEND";
+
+/// \brief Every SEQ-family operator state blob starts with one tag byte
+/// naming the backend that wrote it (the numeric SeqBackend value).
+/// Restore validates the tag before reading anything else, so a
+/// checkpoint taken on one backend is cleanly rejected by the other
+/// instead of being misread as the wrong layout.
+Status CheckSeqCheckpointTag(uint8_t tag, SeqBackend expected,
+                             const char* operator_name);
+
+}  // namespace eslev
+
+#endif  // ESLEV_CEP_SEQ_BACKEND_H_

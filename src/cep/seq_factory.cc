@@ -1,0 +1,46 @@
+// Backend dispatch for the sequence operators (DESIGN.md §14).
+
+#include "cep/exception_seq_operator.h"
+#include "cep/nfa_exception_seq_operator.h"
+#include "cep/nfa_seq_operator.h"
+#include "cep/seq_operator.h"
+#include "cep/seq_operator_base.h"
+
+namespace eslev {
+
+Result<std::unique_ptr<SeqOperatorBase>> MakeSeqOperator(
+    SeqOperatorConfig config, SeqBackend backend) {
+  switch (backend) {
+    case SeqBackend::kHistory: {
+      ESLEV_ASSIGN_OR_RETURN(std::unique_ptr<SeqOperator> op,
+                             SeqOperator::Make(std::move(config)));
+      return std::unique_ptr<SeqOperatorBase>(std::move(op));
+    }
+    case SeqBackend::kNfa: {
+      ESLEV_ASSIGN_OR_RETURN(std::unique_ptr<NfaSeqOperator> op,
+                             NfaSeqOperator::Make(std::move(config)));
+      return std::unique_ptr<SeqOperatorBase>(std::move(op));
+    }
+  }
+  return Status::Invalid("unknown SEQ backend");
+}
+
+Result<std::unique_ptr<ExceptionSeqOperatorBase>> MakeExceptionSeqOperator(
+    ExceptionSeqConfig config, SeqBackend backend) {
+  switch (backend) {
+    case SeqBackend::kHistory: {
+      ESLEV_ASSIGN_OR_RETURN(std::unique_ptr<ExceptionSeqOperator> op,
+                             ExceptionSeqOperator::Make(std::move(config)));
+      return std::unique_ptr<ExceptionSeqOperatorBase>(std::move(op));
+    }
+    case SeqBackend::kNfa: {
+      ESLEV_ASSIGN_OR_RETURN(
+          std::unique_ptr<NfaExceptionSeqOperator> op,
+          NfaExceptionSeqOperator::Make(std::move(config)));
+      return std::unique_ptr<ExceptionSeqOperatorBase>(std::move(op));
+    }
+  }
+  return Status::Invalid("unknown EXCEPTION_SEQ backend");
+}
+
+}  // namespace eslev

@@ -1,0 +1,117 @@
+#include "cep/seq_nfa.h"
+
+namespace eslev {
+
+std::string SeqNfa::Describe() const {
+  size_t begin = 0, take = 0, loop = 0, ignore = 0;
+  for (const NfaTransition& t : transitions) {
+    switch (t.kind) {
+      case NfaEdgeKind::kBegin:
+        ++begin;
+        break;
+      case NfaEdgeKind::kTake:
+        ++take;
+        break;
+      case NfaEdgeKind::kLoop:
+        ++loop;
+        break;
+      case NfaEdgeKind::kIgnore:
+        ++ignore;
+        break;
+    }
+  }
+  std::string out = std::to_string(states.size()) + " states, " +
+                    std::to_string(transitions.size()) + " transitions (" +
+                    std::to_string(begin) + " begin, " + std::to_string(take) +
+                    " take";
+  if (loop > 0) out += ", " + std::to_string(loop) + " loop";
+  if (ignore > 0) out += ", " + std::to_string(ignore) + " ignore";
+  out += ")";
+  return out;
+}
+
+SeqNfa CompileSeqNfa(const std::vector<SeqPosition>& positions,
+                     const std::vector<PairwiseConstraint>& pairwise,
+                     PairingMode mode) {
+  SeqNfa nfa;
+  nfa.num_positions = positions.size();
+  nfa.state_of_position.assign(positions.size(), SeqNfa::kNoState);
+
+  // States: one per matchable position, in sequence order.
+  for (size_t pos = 0; pos < positions.size(); ++pos) {
+    if (positions[pos].negated) continue;
+    nfa.state_of_position[pos] = nfa.states.size();
+    NfaState st;
+    st.position = pos;
+    st.star = positions[pos].star;
+    nfa.states.push_back(st);
+  }
+  if (!nfa.states.empty()) nfa.states.back().accepting = true;
+
+  // The take edge into state s carries every pairwise constraint whose
+  // later endpoint is state s's position and whose earlier endpoint is a
+  // matchable position (bound by then); run extension checks them as
+  // soon as both ends are closed, acceptance re-checks all of them.
+  auto pairwise_bound_at = [&](size_t pos) {
+    std::vector<size_t> out;
+    for (size_t i = 0; i < pairwise.size(); ++i) {
+      if (pairwise[i].pos_b == pos &&
+          nfa.state_of_position[pairwise[i].pos_a] != SeqNfa::kNoState) {
+        out.push_back(i);
+      }
+    }
+    return out;
+  };
+
+  size_t prev_pos = 0;
+  for (size_t s = 0; s < nfa.states.size(); ++s) {
+    const size_t pos = nfa.states[s].position;
+    NfaTransition t;
+    t.to_state = s;
+    t.position = pos;
+    if (s == 0) {
+      t.kind = NfaEdgeKind::kBegin;
+      t.from_state = 0;
+    } else {
+      t.kind = NfaEdgeKind::kTake;
+      t.from_state = s - 1;
+      t.pairwise = pairwise_bound_at(pos);
+      // Negated positions strictly between the adjacent matchable ones
+      // become this edge's forbidden band.
+      for (size_t p = prev_pos + 1; p < pos; ++p) {
+        if (positions[p].negated) t.forbidden.push_back(p);
+      }
+    }
+    nfa.transitions.push_back(std::move(t));
+    prev_pos = pos;
+  }
+
+  // Star self-loops, guarded by the position's star gate at runtime.
+  for (size_t s = 0; s < nfa.states.size(); ++s) {
+    if (!nfa.states[s].star) continue;
+    NfaTransition t;
+    t.kind = NfaEdgeKind::kLoop;
+    t.from_state = s;
+    t.to_state = s;
+    t.position = nfa.states[s].position;
+    nfa.transitions.push_back(std::move(t));
+  }
+
+  // Skip-till-match modes ignore unrelated arrivals (one self-edge per
+  // non-accepting state); CONSECUTIVE requires adjacency on the joint
+  // history, so any unexpected arrival is fatal and no ignore edges
+  // exist.
+  if (mode != PairingMode::kConsecutive) {
+    for (size_t s = 0; s + 1 < nfa.states.size(); ++s) {
+      NfaTransition t;
+      t.kind = NfaEdgeKind::kIgnore;
+      t.from_state = s;
+      t.to_state = s;
+      t.position = nfa.states[s].position;
+      nfa.transitions.push_back(std::move(t));
+    }
+  }
+  return nfa;
+}
+
+}  // namespace eslev

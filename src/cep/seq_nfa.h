@@ -1,0 +1,88 @@
+// SeqNfa: compilation of sequence predicates to a finite automaton
+// (DESIGN.md §14, after SASE's pattern-to-NFA translation).
+//
+// A SEQ / EXCEPTION_SEQ spec compiles to a linear automaton with one
+// state per *matchable* (non-negated) position. Edges:
+//   * begin  — entering state 0 on the first position's stream;
+//   * take   — advancing state s-1 -> s on state s's stream, carrying
+//              every pairwise constraint whose endpoints are both bound
+//              once s is (checked during run extension);
+//   * loop   — a self-edge on starred states, guarded by the position's
+//              star gate (`.previous.` conjuncts);
+//   * ignore — a self-edge consuming unrelated arrivals. Present for
+//              the skip-till-match pairing modes (UNRESTRICTED, RECENT,
+//              CHRONICLE); absent under CONSECUTIVE, where any
+//              non-matching arrival on the joint history kills the run.
+// Negated positions contribute no state: they compile to a forbidden
+// band on the take edge that crosses them, checked as interval evidence
+// at acceptance time.
+//
+// The compiled automaton is shared by both the SEQ and EXCEPTION_SEQ
+// NFA runtimes, and its state/transition counts appear in EXPLAIN so
+// plans can be golden-tested structurally.
+
+#ifndef ESLEV_CEP_SEQ_NFA_H_
+#define ESLEV_CEP_SEQ_NFA_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "cep/seq_config.h"
+
+namespace eslev {
+
+enum class NfaEdgeKind : int {
+  kBegin = 0,
+  kTake = 1,
+  kLoop = 2,
+  kIgnore = 3,
+};
+
+/// \brief One compiled edge. `position` is the operator input port whose
+/// arrivals fire it (ignore edges fire on every other port).
+struct NfaTransition {
+  NfaEdgeKind kind = NfaEdgeKind::kTake;
+  size_t from_state = 0;
+  size_t to_state = 0;
+  size_t position = 0;
+  /// Indices into SeqOperatorConfig::pairwise of the constraints whose
+  /// later endpoint binds on this edge (both endpoints matchable).
+  std::vector<size_t> pairwise;
+  /// Negated positions crossed by this take edge (forbidden band).
+  std::vector<size_t> forbidden;
+};
+
+/// \brief One state, binding one matchable position.
+struct NfaState {
+  size_t position = 0;  // original position index (input port)
+  bool star = false;
+  bool accepting = false;
+};
+
+struct SeqNfa {
+  std::vector<NfaState> states;
+  std::vector<NfaTransition> transitions;
+  /// position index -> state index, or kNoState for negated positions.
+  std::vector<size_t> state_of_position;
+  size_t num_positions = 0;
+
+  static constexpr size_t kNoState = static_cast<size_t>(-1);
+
+  size_t accept_state() const { return states.size() - 1; }
+
+  /// \brief Compact structural description, e.g.
+  /// "3 states, 5 transitions (1 begin, 2 take, 1 loop, 1 ignore)".
+  std::string Describe() const;
+};
+
+/// \brief Compile a validated SEQ configuration. The config must have
+/// already passed SeqOperator-style validation (>= 2 matchable
+/// positions, no negated first/last position).
+SeqNfa CompileSeqNfa(const std::vector<SeqPosition>& positions,
+                     const std::vector<PairwiseConstraint>& pairwise,
+                     PairingMode mode);
+
+}  // namespace eslev
+
+#endif  // ESLEV_CEP_SEQ_NFA_H_

@@ -725,6 +725,7 @@ Status SeqOperator::ProcessHeartbeat(Timestamp now) {
 }
 
 Status SeqOperator::SaveState(BinaryEncoder* enc) const {
+  enc->PutU8(static_cast<uint8_t>(SeqBackend::kHistory));
   const auto put_entry = [enc](const Entry& e) {
     enc->PutU32(static_cast<uint32_t>(e.tuples.size()));
     for (const Tuple& t : e.tuples) enc->PutTuple(t);
@@ -747,6 +748,8 @@ Status SeqOperator::SaveState(BinaryEncoder* enc) const {
 }
 
 Status SeqOperator::RestoreState(BinaryDecoder* dec) {
+  ESLEV_ASSIGN_OR_RETURN(uint8_t tag, dec->GetU8());
+  ESLEV_RETURN_NOT_OK(CheckSeqCheckpointTag(tag, SeqBackend::kHistory, "SEQ"));
   const auto get_entry = [dec](Entry* e) -> Status {
     ESLEV_ASSIGN_OR_RETURN(uint32_t ntuples, dec->GetU32());
     if (ntuples == 0) {

@@ -35,15 +35,17 @@
 #include <vector>
 
 #include "cep/seq_config.h"
-#include "stream/operator.h"
+#include "cep/seq_operator_base.h"
 
 namespace eslev {
 
-class SeqOperator : public Operator {
+class SeqOperator : public SeqOperatorBase {
  public:
   /// \brief Validates the configuration (e.g. a usable window anchor,
   /// at most one per-tuple star) and builds the operator.
   static Result<std::unique_ptr<SeqOperator>> Make(SeqOperatorConfig config);
+
+  SeqBackend backend() const override { return SeqBackend::kHistory; }
 
   /// \brief Port == position index.
   Status ProcessTuple(size_t port, const Tuple& tuple) override;
@@ -56,19 +58,19 @@ class SeqOperator : public Operator {
 
   /// \brief Total tuples retained across all positions — the state-size
   /// metric behind the paper's purging claims (bench E6).
-  size_t history_size() const;
+  size_t history_size() const override;
 
-  uint64_t matches_emitted() const { return matches_emitted_; }
+  uint64_t matches_emitted() const override { return matches_emitted_; }
 
   /// \brief Tuples ever admitted to the joint history (final-position
   /// triggers are never stored and do not count).
-  uint64_t tuples_stored() const { return tuples_stored_; }
+  uint64_t tuples_stored() const override { return tuples_stored_; }
   /// \brief Tuples removed from the history by any purge path: window
   /// eviction, RECENT pruning, CHRONICLE consumption, or CONSECUTIVE run
   /// resets. Invariant: tuples_stored() - tuples_purged() == history_size().
-  uint64_t tuples_purged() const { return tuples_purged_; }
+  uint64_t tuples_purged() const override { return tuples_purged_; }
   /// \brief Tuples in still-open (accumulating) star groups.
-  size_t open_star_length() const;
+  size_t open_star_length() const override;
 
   void AppendStats(OperatorStatList* out) const override;
 

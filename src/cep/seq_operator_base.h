@@ -1,0 +1,60 @@
+// Common interface of the sequence-matcher backends (DESIGN.md §14).
+//
+// SeqOperatorBase / ExceptionSeqOperatorBase expose the accessors that
+// tests, benches, and metrics read, independent of whether the history
+// matcher or the compiled NFA executes the predicate. The factories pick
+// the implementation from a SeqBackend; the planner and all differential
+// harnesses construct operators through them.
+
+#ifndef ESLEV_CEP_SEQ_OPERATOR_BASE_H_
+#define ESLEV_CEP_SEQ_OPERATOR_BASE_H_
+
+#include <memory>
+
+#include "cep/seq_backend.h"
+#include "cep/seq_config.h"
+#include "stream/operator.h"
+
+namespace eslev {
+
+/// \brief Interface shared by SeqOperator (history) and NfaSeqOperator.
+class SeqOperatorBase : public Operator {
+ public:
+  virtual SeqBackend backend() const = 0;
+
+  /// \brief Total tuples retained across all positions — the state-size
+  /// metric behind the paper's purging claims (bench E6). Both backends
+  /// retain exactly the same tuple set; the NFA additionally keeps its
+  /// run tree (reported separately via nfa_live_runs).
+  virtual size_t history_size() const = 0;
+  virtual uint64_t matches_emitted() const = 0;
+  virtual uint64_t tuples_stored() const = 0;
+  virtual uint64_t tuples_purged() const = 0;
+  virtual size_t open_star_length() const = 0;
+};
+
+/// \brief Interface shared by the EXCEPTION_SEQ backends.
+class ExceptionSeqOperatorBase : public Operator {
+ public:
+  virtual SeqBackend backend() const = 0;
+
+  virtual uint64_t exceptions_emitted() const = 0;
+  virtual uint64_t sequences_completed() const = 0;
+  virtual size_t partial_level() const = 0;
+  virtual uint64_t level_transitions() const = 0;
+  virtual uint64_t window_expirations() const = 0;
+  virtual uint64_t active_expirations() const = 0;
+};
+
+/// \brief Build a SEQ operator on the requested backend (validates the
+/// configuration exactly like SeqOperator::Make).
+Result<std::unique_ptr<SeqOperatorBase>> MakeSeqOperator(
+    SeqOperatorConfig config, SeqBackend backend);
+
+/// \brief Build an EXCEPTION_SEQ operator on the requested backend.
+Result<std::unique_ptr<ExceptionSeqOperatorBase>> MakeExceptionSeqOperator(
+    ExceptionSeqConfig config, SeqBackend backend);
+
+}  // namespace eslev
+
+#endif  // ESLEV_CEP_SEQ_OPERATOR_BASE_H_

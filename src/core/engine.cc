@@ -31,6 +31,12 @@ Engine::Engine(EngineOptions options) : options_(options) {
     }
     batch_size_ = options_.batch_size;
   }
+  auto backend = ResolveSeqBackend(options_.seq_backend);
+  if (!backend.ok()) {
+    init_error_ = backend.status();
+    return;
+  }
+  seq_backend_ = *backend;
 }
 
 Engine::~Engine() = default;
@@ -126,7 +132,7 @@ Result<QueryInfo> Engine::RegisterParsed(const Statement& stmt) {
   // Topology changes are batch boundaries: a pipeline must never observe
   // tuples pushed before it was registered.
   ESLEV_RETURN_NOT_OK(FlushBatches());
-  Planner planner(this);
+  Planner planner(this, seq_backend_);
   ESLEV_ASSIGN_OR_RETURN(PlannedQuery planned, planner.Plan(stmt));
 
   QueryInfo info;
@@ -273,7 +279,7 @@ std::string OperatorCounters(const Operator& op) {
 
 Result<std::string> Engine::ExplainParsed(const Statement& stmt,
                                           bool analyze) {
-  Planner planner(this);
+  Planner planner(this, seq_backend_);
   ESLEV_ASSIGN_OR_RETURN(PlannedQuery planned, planner.Plan(stmt));
 
   const PlannedQuery* live = nullptr;
@@ -343,9 +349,16 @@ MetricsSnapshot Engine::Metrics() const {
       op->AppendStats(&extras);
       for (const auto& [name, value] : extras) {
         snap.gauges[prefix + name] = value;
+        // NFA-backed sequence operators prefix their automaton gauges
+        // with "nfa_"; aggregate them engine-wide as seq.nfa.* so run
+        // growth is observable without enumerating queries (§14).
+        if (name.rfind("nfa_", 0) == 0) {
+          snap.gauges["seq.nfa." + name.substr(4)] += value;
+        }
       }
     }
   }
+  snap.gauges["seq.backend"] = static_cast<int64_t>(seq_backend_);
   // Vectorized execution (DESIGN.md §13).
   snap.gauges["batch.size"] = static_cast<int64_t>(batch_size_);
   snap.gauges["batch.safe"] = batching_safe_ ? 1 : 0;

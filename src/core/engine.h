@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "analysis/diagnostic.h"
+#include "cep/seq_backend.h"
 #include "common/metrics.h"
 #include "plan/catalog.h"
 #include "plan/planner.h"
@@ -57,6 +58,11 @@ struct EngineOptions {
   /// the first API call). Embedded engines — shard workers, standbys —
   /// set this false so the knob applies once at the front end.
   bool honor_batch_env = true;
+  /// Which matcher executes SEQ / EXCEPTION_SEQ predicates (DESIGN.md
+  /// §14). ESLEV_SEQ_BACKEND in the environment overrides this
+  /// (validated; malformed values surface as an error from the first API
+  /// call). Both backends are byte-identical in output.
+  SeqBackend seq_backend = SeqBackend::kHistory;
 };
 
 /// \brief Controls duplicate suppression during WAL replay (DESIGN.md
@@ -166,6 +172,9 @@ class Engine : public Catalog {
 
   /// \brief The resolved batch size (option + ESLEV_BATCH_SIZE override).
   size_t batch_size() const { return batch_size_; }
+  /// \brief The resolved SEQ backend (option + ESLEV_SEQ_BACKEND
+  /// override).
+  SeqBackend seq_backend() const { return seq_backend_; }
   /// \brief False when the registered topology couples pipelines in ways
   /// batching could reorder (table targets, raw+derived joins, multiple
   /// producers into one stream); the engine then runs tuple-at-a-time
@@ -248,8 +257,9 @@ class Engine : public Catalog {
   int next_query_id_ = 1;
 
   // Vectorized execution (DESIGN.md §13).
-  Status init_error_ = Status::OK();  // invalid batch knob, surfaced lazily
+  Status init_error_ = Status::OK();  // invalid knob, surfaced lazily
   size_t batch_size_ = 1;
+  SeqBackend seq_backend_ = SeqBackend::kHistory;
   bool batching_safe_ = true;
   Stream* pending_stream_ = nullptr;
   TupleBatch pending_batch_;

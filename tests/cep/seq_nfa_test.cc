@@ -1,0 +1,280 @@
+// SeqNfa compilation golden tests for the paper's query shapes
+// (corpus/*.sql), run-sharing behaviour of the NFA runtime, and purging
+// on window expiry — empty windows, same-timestamp events, and a star
+// followed by its anchor (DESIGN.md §14).
+
+#include "cep/seq_nfa.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "cep/nfa_seq_operator.h"
+#include "tests/cep/seq_test_util.h"
+
+namespace eslev {
+namespace {
+
+using cep_test::Reading;
+using cep_test::ReadingSchema;
+using cep_test::SeqBuilder;
+
+std::vector<SeqPosition> Positions(
+    const std::vector<std::string>& aliases,
+    const std::vector<bool>& stars = {},
+    const std::vector<bool>& negated = {}) {
+  std::vector<SeqPosition> out;
+  const SchemaPtr schema = ReadingSchema();
+  for (size_t i = 0; i < aliases.size(); ++i) {
+    SeqPosition p;
+    p.alias = aliases[i];
+    p.schema = schema;
+    p.star = !stars.empty() && stars[i];
+    p.negated = !negated.empty() && negated[i];
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+size_t CountKind(const SeqNfa& nfa, NfaEdgeKind kind) {
+  size_t n = 0;
+  for (const NfaTransition& t : nfa.transitions) {
+    if (t.kind == kind) ++n;
+  }
+  return n;
+}
+
+int64_t StatValue(const Operator& op, const std::string& name) {
+  OperatorStatList stats;
+  op.AppendStats(&stats);
+  for (const auto& [key, value] : stats) {
+    if (key == name) return value;
+  }
+  ADD_FAILURE() << "stat not reported: " << name;
+  return -1;
+}
+
+// ---------------------------------------------------------------------------
+// Golden construction for the corpus query shapes
+// ---------------------------------------------------------------------------
+
+TEST(SeqNfaCompileTest, QualityPipelineFourStages) {
+  // corpus/quality_pipeline.sql (Example 6): SEQ(C1, C2, C3, C4) with
+  // the tag join anchored at C1 — skip-till-match, no stars.
+  PairwiseConstraint joins[3];
+  joins[0].pos_a = 0;
+  joins[0].pos_b = 1;
+  joins[1].pos_a = 0;
+  joins[1].pos_b = 2;
+  joins[2].pos_a = 0;
+  joins[2].pos_b = 3;
+  std::vector<PairwiseConstraint> pairwise;
+  for (auto& j : joins) pairwise.push_back(std::move(j));
+
+  const SeqNfa nfa = CompileSeqNfa(Positions({"C1", "C2", "C3", "C4"}),
+                                   pairwise, PairingMode::kUnrestricted);
+  ASSERT_EQ(nfa.states.size(), 4u);
+  EXPECT_EQ(nfa.num_positions, 4u);
+  EXPECT_EQ(nfa.accept_state(), 3u);
+  EXPECT_TRUE(nfa.states[3].accepting);
+  EXPECT_FALSE(nfa.states[0].accepting);
+  for (size_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(nfa.states[s].position, s);
+    EXPECT_EQ(nfa.state_of_position[s], s);
+    EXPECT_FALSE(nfa.states[s].star);
+  }
+  // 1 begin + 3 take + 3 ignore (one per non-accepting state).
+  EXPECT_EQ(nfa.transitions.size(), 7u);
+  EXPECT_EQ(CountKind(nfa, NfaEdgeKind::kBegin), 1u);
+  EXPECT_EQ(CountKind(nfa, NfaEdgeKind::kTake), 3u);
+  EXPECT_EQ(CountKind(nfa, NfaEdgeKind::kLoop), 0u);
+  EXPECT_EQ(CountKind(nfa, NfaEdgeKind::kIgnore), 3u);
+  // Each join binds on the take edge of its later endpoint.
+  EXPECT_EQ(nfa.transitions[1].pairwise, std::vector<size_t>({0}));
+  EXPECT_EQ(nfa.transitions[2].pairwise, std::vector<size_t>({1}));
+  EXPECT_EQ(nfa.transitions[3].pairwise, std::vector<size_t>({2}));
+  EXPECT_EQ(nfa.Describe(),
+            "4 states, 7 transitions (1 begin, 3 take, 3 ignore)");
+}
+
+TEST(SeqNfaCompileTest, ContainmentLeadingStar) {
+  // corpus/e4_containment.sql (Example 7): SEQ(R1*, R2) MODE CHRONICLE.
+  // The starred state gets a gated self-loop; CHRONICLE keeps ignore
+  // edges (skip-till-match).
+  const SeqNfa nfa = CompileSeqNfa(Positions({"R1", "R2"}, {true, false}),
+                                   {}, PairingMode::kChronicle);
+  ASSERT_EQ(nfa.states.size(), 2u);
+  EXPECT_TRUE(nfa.states[0].star);
+  EXPECT_FALSE(nfa.states[1].star);
+  EXPECT_EQ(nfa.transitions.size(), 4u);
+  EXPECT_EQ(CountKind(nfa, NfaEdgeKind::kBegin), 1u);
+  EXPECT_EQ(CountKind(nfa, NfaEdgeKind::kTake), 1u);
+  EXPECT_EQ(CountKind(nfa, NfaEdgeKind::kLoop), 1u);
+  EXPECT_EQ(CountKind(nfa, NfaEdgeKind::kIgnore), 1u);
+  for (const NfaTransition& t : nfa.transitions) {
+    if (t.kind == NfaEdgeKind::kLoop) {
+      EXPECT_EQ(t.from_state, 0u);
+      EXPECT_EQ(t.to_state, 0u);
+      EXPECT_EQ(t.position, 0u);
+    }
+  }
+  EXPECT_EQ(nfa.Describe(),
+            "2 states, 4 transitions (1 begin, 1 take, 1 loop, 1 ignore)");
+}
+
+TEST(SeqNfaCompileTest, LabWorkflowConsecutiveHasNoIgnoreEdges) {
+  // corpus/e5_lab_workflow.sql (Example 5): EXCEPTION_SEQ(A1, A2, A3)
+  // runs the automaton in CONSECUTIVE mode — an unexpected arrival on
+  // the joint history is fatal, so no ignore self-edges compile.
+  const SeqNfa nfa = CompileSeqNfa(Positions({"A1", "A2", "A3"}), {},
+                                   PairingMode::kConsecutive);
+  ASSERT_EQ(nfa.states.size(), 3u);
+  EXPECT_EQ(nfa.transitions.size(), 3u);
+  EXPECT_EQ(CountKind(nfa, NfaEdgeKind::kBegin), 1u);
+  EXPECT_EQ(CountKind(nfa, NfaEdgeKind::kTake), 2u);
+  EXPECT_EQ(CountKind(nfa, NfaEdgeKind::kIgnore), 0u);
+  EXPECT_EQ(nfa.Describe(), "3 states, 3 transitions (1 begin, 2 take)");
+}
+
+TEST(SeqNfaCompileTest, NegatedPositionCompilesToForbiddenBand) {
+  // SEQ(A, !B, C): B contributes no state; the A->C take edge carries
+  // position 1 as its forbidden band.
+  const SeqNfa nfa =
+      CompileSeqNfa(Positions({"A", "B", "C"}, {}, {false, true, false}),
+                    {}, PairingMode::kUnrestricted);
+  ASSERT_EQ(nfa.states.size(), 2u);
+  EXPECT_EQ(nfa.num_positions, 3u);
+  EXPECT_EQ(nfa.state_of_position[0], 0u);
+  EXPECT_EQ(nfa.state_of_position[1], SeqNfa::kNoState);
+  EXPECT_EQ(nfa.state_of_position[2], 1u);
+  ASSERT_EQ(nfa.transitions.size(), 3u);  // begin, take, ignore
+  const NfaTransition& take = nfa.transitions[1];
+  ASSERT_EQ(take.kind, NfaEdgeKind::kTake);
+  EXPECT_EQ(take.forbidden, std::vector<size_t>({1}));
+}
+
+// ---------------------------------------------------------------------------
+// Run sharing
+// ---------------------------------------------------------------------------
+
+TEST(NfaRunSharingTest, RunsExtendingOneParentSharePrefix) {
+  // One C1 followed by three C2s: the three state-1 runs must share the
+  // single root node instead of copying the prefix.
+  SeqBuilder b({"C1", "C2", "C3"});
+  auto op = b.Mode(PairingMode::kUnrestricted).BuildWith(SeqBackend::kNfa);
+  ASSERT_EQ(op->backend(), SeqBackend::kNfa);
+  CollectOperator out;
+  op->AddSink(&out);
+  auto push = [&](size_t port, Timestamp t) {
+    ASSERT_TRUE(op->OnTuple(port, Reading(b.schema(), "r", "A", t)).ok());
+  };
+  push(0, Seconds(1));
+  EXPECT_EQ(StatValue(*op, "nfa_live_runs"), 1);
+  EXPECT_EQ(StatValue(*op, "nfa_shared_prefixes"), 0);
+  push(1, Seconds(2));
+  push(1, Seconds(3));
+  push(1, Seconds(4));
+  // Root + three children; sharing counted from the second child on.
+  EXPECT_EQ(StatValue(*op, "nfa_live_runs"), 4);
+  EXPECT_EQ(StatValue(*op, "nfa_runs_created"), 4);
+  EXPECT_EQ(StatValue(*op, "nfa_shared_prefixes"), 2);
+  // The trigger pairs with every shared-prefix run.
+  ASSERT_TRUE(op->OnTuple(2, Reading(b.schema(), "r", "A", Seconds(5))).ok());
+  EXPECT_EQ(out.tuples().size(), 3u);
+  EXPECT_EQ(StatValue(*op, "matches"), 3);
+}
+
+TEST(NfaRunSharingTest, StatesAndTransitionsReported) {
+  SeqBuilder b({"C1", "C2", "C3"});
+  auto op = b.Mode(PairingMode::kRecent).BuildWith(SeqBackend::kNfa);
+  EXPECT_EQ(StatValue(*op, "nfa_states"), 3);
+  // 1 begin + 2 take + 2 ignore.
+  EXPECT_EQ(StatValue(*op, "nfa_transitions"), 5);
+}
+
+// ---------------------------------------------------------------------------
+// Purge on window expiry
+// ---------------------------------------------------------------------------
+
+TEST(NfaPurgeTest, WindowExpiryPurgesRunsOnBothArrivalAndHeartbeat) {
+  // PRECEDING window anchored at the last position: groups (and the
+  // runs rooted in them) whose tuples can no longer reach any future
+  // trigger are evicted as time advances.
+  SeqBuilder b({"C1", "C2"});
+  auto op = b.Mode(PairingMode::kUnrestricted)
+                .Window(Seconds(10), WindowDirection::kPreceding, 1)
+                .BuildWith(SeqBackend::kNfa);
+  CollectOperator out;
+  op->AddSink(&out);
+  ASSERT_TRUE(op->OnTuple(0, Reading(b.schema(), "r", "A", Seconds(1))).ok());
+  EXPECT_EQ(StatValue(*op, "nfa_live_runs"), 1);
+  ASSERT_TRUE(op->OnHeartbeat(Seconds(30)).ok());
+  EXPECT_EQ(StatValue(*op, "nfa_live_runs"), 0);
+  EXPECT_EQ(StatValue(*op, "nfa_runs_purged"), 1);
+  EXPECT_EQ(StatValue(*op, "tuples_purged"), 1);
+  // The expired C1 is gone: a trigger now finds nothing.
+  ASSERT_TRUE(op->OnTuple(1, Reading(b.schema(), "r", "A", Seconds(31))).ok());
+  EXPECT_TRUE(out.tuples().empty());
+}
+
+TEST(NfaPurgeTest, EmptyWindowAdmitsOnlySimultaneousPredecessors) {
+  // A zero-length window degenerates to "same timestamp": only a C1
+  // sharing the trigger's timestamp (and arriving first) matches, and
+  // every earlier C1 is purged as soon as time moves at all.
+  SeqBuilder b({"C1", "C2"});
+  auto op = b.Mode(PairingMode::kUnrestricted)
+                .Window(Duration{0}, WindowDirection::kPreceding, 1)
+                .BuildWith(SeqBackend::kNfa);
+  CollectOperator out;
+  op->AddSink(&out);
+  ASSERT_TRUE(op->OnTuple(0, Reading(b.schema(), "r", "A", Seconds(1))).ok());
+  ASSERT_TRUE(op->OnTuple(0, Reading(b.schema(), "r", "A", Seconds(5))).ok());
+  // Same-timestamp events: arrival order (the sequence number) breaks
+  // the tie, so the C1 at 5s still precedes a C2 at 5s.
+  ASSERT_TRUE(op->OnTuple(1, Reading(b.schema(), "r", "A", Seconds(5))).ok());
+  ASSERT_EQ(out.tuples().size(), 1u);
+  EXPECT_EQ(out.tuples()[0].value(0).time_value(), Seconds(5));
+  // The 1s C1 was outside the empty window of the 5s trigger and is
+  // evicted by the arrival itself.
+  EXPECT_EQ(StatValue(*op, "nfa_runs_purged"), 1);
+  ASSERT_TRUE(op->OnHeartbeat(Seconds(6)).ok());
+  EXPECT_EQ(StatValue(*op, "nfa_live_runs"), 0);
+}
+
+TEST(NfaPurgeTest, OpenStarGroupSurvivesExpiryUntilAnchorCloses) {
+  // Star followed by anchor: an open star group keeps accumulating and
+  // must not be evicted mid-accretion even when its oldest tuple has
+  // left the window; once closed (gap) and expired, it goes.
+  SeqBuilder b({"R1", "R2"}, {true, false});
+  auto op = b.Mode(PairingMode::kUnrestricted)
+                .Window(Seconds(10), WindowDirection::kPreceding, 1)
+                .StarGate(0, "R1.tagtime - R1.previous.tagtime <= 2 SECONDS")
+                .BuildWith(SeqBackend::kNfa);
+  CollectOperator out;
+  op->AddSink(&out);
+  auto push = [&](size_t port, Timestamp t) {
+    ASSERT_TRUE(op->OnTuple(port, Reading(b.schema(), "r", "A", t)).ok());
+  };
+  push(0, Seconds(1));
+  push(0, Seconds(2));
+  EXPECT_EQ(StatValue(*op, "open_star_length"), 2);
+  // Heartbeat far past the window: the group is open, so it survives.
+  ASSERT_TRUE(op->OnHeartbeat(Seconds(30)).ok());
+  EXPECT_EQ(StatValue(*op, "nfa_live_runs"), 1);
+  EXPECT_EQ(StatValue(*op, "open_star_length"), 2);
+  // A gapped R1 closes the old group and roots a new run.
+  push(0, Seconds(31));
+  EXPECT_EQ(StatValue(*op, "nfa_live_runs"), 2);
+  ASSERT_TRUE(op->OnHeartbeat(Seconds(60)).ok());
+  // The closed, expired group is purged with both its tuples; the new
+  // open group survives again.
+  EXPECT_EQ(StatValue(*op, "nfa_live_runs"), 1);
+  EXPECT_EQ(StatValue(*op, "tuples_purged"), 2);
+  // The surviving group still completes a match inside the window.
+  push(1, Seconds(32));
+  ASSERT_EQ(out.tuples().size(), 1u);
+}
+
+}  // namespace
+}  // namespace eslev

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "cep/seq_operator.h"
+#include "cep/seq_operator_base.h"
 #include "exec/basic_ops.h"
 #include "expr/binder.h"
 #include "sql/parser.h"
@@ -109,6 +110,24 @@ class SeqBuilder {
   }
 
   std::unique_ptr<SeqOperator> Build() {
+    FinishConfig();
+    auto op = SeqOperator::Make(std::move(config_));
+    EXPECT_TRUE(op.ok()) << op.status();
+    return std::move(op).ValueUnsafe();
+  }
+
+  /// Builds through the backend factory (history or NFA runtime).
+  std::unique_ptr<SeqOperatorBase> BuildWith(SeqBackend backend) {
+    FinishConfig();
+    auto op = MakeSeqOperator(std::move(config_), backend);
+    EXPECT_TRUE(op.ok()) << op.status();
+    return std::move(op).ValueUnsafe();
+  }
+
+  const SchemaPtr& schema() const { return schema_; }
+
+ private:
+  void FinishConfig() {
     if (config_.projection.empty()) {
       // Default projection: tagtime of every position.
       std::vector<Field> fields;
@@ -119,14 +138,8 @@ class SeqBuilder {
       }
       config_.out_schema = Schema::Make(std::move(fields));
     }
-    auto op = SeqOperator::Make(std::move(config_));
-    EXPECT_TRUE(op.ok()) << op.status();
-    return std::move(op).ValueUnsafe();
   }
 
-  const SchemaPtr& schema() const { return schema_; }
-
- private:
   SchemaPtr schema_;
   BindScope scope_;
   FunctionRegistry registry_;

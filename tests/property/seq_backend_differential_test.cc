@@ -1,0 +1,568 @@
+// SEQ backend differential sweep (DESIGN.md §14 acceptance): on seeded
+// random traces and randomized query shapes, the compiled-NFA matcher
+// must emit byte-identical output to the history matcher — same rows,
+// same order — across all four pairing modes, windowed SEQ, trailing
+// stars, negation, and EXCEPTION_SEQ deadlines (with heartbeat-driven
+// active expiration), at batch sizes 1/7/64 and on 1/2/4 shards, and
+// across a kill-recover cycle. The backend is forced per engine through
+// ESLEV_SEQ_BACKEND so the sweep stays meaningful when CI pins the
+// variable globally; each run asserts the engine actually resolved the
+// requested backend.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "cep/seq_backend.h"
+#include "core/engine.h"
+#include "core/sharded_engine.h"
+#include "recovery/checkpoint.h"
+
+namespace eslev {
+namespace {
+
+const size_t kBatchSizes[] = {1, 7, 64};
+
+// Scoped setter: the backend knob is process-global, so a failing
+// assertion must not leak a forced value into later tests.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    if (value == nullptr) {
+      ::unsetenv(name);
+    } else {
+      ::setenv(name, value, /*overwrite=*/1);
+    }
+  }
+  ~ScopedEnv() { ::unsetenv(name_); }
+
+ private:
+  const char* name_;
+};
+
+struct Event {
+  std::string stream;  // empty: a heartbeat (AdvanceTime)
+  std::string tag;
+  Timestamp ts;
+};
+
+// Random trace over `streams`; with heartbeats interleaved the sweep
+// also drives active expiration through both backends.
+std::vector<Event> MakeTrace(uint32_t seed, size_t num_events,
+                             const std::vector<std::string>& streams,
+                             int num_tags, bool with_heartbeats) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<size_t> pick_stream(0, streams.size() - 1);
+  std::uniform_int_distribution<int> pick_tag(0, num_tags - 1);
+  std::uniform_int_distribution<Duration> step(Milliseconds(50), Seconds(2));
+  std::uniform_int_distribution<int> pct(0, 99);
+  std::vector<Event> events;
+  Timestamp now = Seconds(1);
+  for (size_t i = 0; i < num_events; ++i) {
+    if (with_heartbeats && pct(rng) < 8) {
+      now += step(rng) * 4;
+      events.push_back({"", "", now});
+      continue;
+    }
+    events.push_back({streams[pick_stream(rng)],
+                      "tag" + std::to_string(pick_tag(rng)), now});
+    now += step(rng);
+  }
+  return events;
+}
+
+struct Scenario {
+  std::string ddl;
+  std::string query;
+  std::vector<std::string> streams;
+  std::vector<std::string> single_shard_streams;  // empty: partitioned
+};
+
+EngineOptions BackendOptions(SeqBackend backend, size_t batch_size) {
+  EngineOptions options;
+  options.batch_size = batch_size;
+  options.honor_batch_env = false;  // the sweep matrix is explicit
+  options.seq_backend = backend;
+  return options;
+}
+
+template <typename EngineT>
+void PushEvent(EngineT& engine, const Event& e) {
+  if (e.stream.empty()) {
+    ASSERT_TRUE(engine.AdvanceTime(e.ts).ok());
+    return;
+  }
+  ASSERT_TRUE(engine
+                  .Push(e.stream,
+                        {Value::String("r"), Value::String(e.tag),
+                         Value::Time(e.ts)},
+                        e.ts)
+                  .ok());
+}
+
+// Unsorted: single-engine equivalence is exact, including emission order.
+std::vector<std::string> RunSingle(const Scenario& scenario,
+                                   const std::vector<Event>& events,
+                                   SeqBackend backend, size_t batch_size) {
+  ScopedEnv env(kSeqBackendEnvVar, SeqBackendToString(backend));
+  Engine engine(BackendOptions(backend, batch_size));
+  EXPECT_EQ(engine.seq_backend(), backend);
+  EXPECT_TRUE(engine.ExecuteScript(scenario.ddl).ok());
+  auto q = engine.RegisterQuery(scenario.query);
+  EXPECT_TRUE(q.ok()) << q.status() << "\n" << scenario.query;
+  std::vector<std::string> rows;
+  EXPECT_TRUE(
+      engine
+          .Subscribe(q->output_stream,
+                     [&](const Tuple& t) { rows.push_back(t.ToString()); })
+          .ok());
+  for (const Event& e : events) PushEvent(engine, e);
+  EXPECT_TRUE(engine.AdvanceTime(events.back().ts + Minutes(10)).ok());
+  return rows;
+}
+
+std::vector<std::string> RunSharded(const Scenario& scenario,
+                                    const std::vector<Event>& events,
+                                    SeqBackend backend, size_t num_shards,
+                                    size_t batch_size) {
+  ScopedEnv env(kSeqBackendEnvVar, SeqBackendToString(backend));
+  ShardedEngineOptions options;
+  options.num_shards = num_shards;
+  options.engine = BackendOptions(backend, batch_size);
+  ShardedEngine engine(options);
+  EXPECT_TRUE(engine.ExecuteScript(scenario.ddl).ok());
+  auto q = engine.RegisterQuery(scenario.query);
+  EXPECT_TRUE(q.ok()) << q.status() << "\n" << scenario.query;
+  for (const std::string& s : scenario.single_shard_streams) {
+    EXPECT_TRUE(engine.SetSingleShard(s).ok());
+  }
+  std::vector<std::string> rows;
+  EXPECT_TRUE(
+      engine
+          .Subscribe(q->output_stream,
+                     [&](const Tuple& t) { rows.push_back(t.ToString()); })
+          .ok());
+  for (const Event& e : events) {
+    if (e.stream.empty()) {
+      EXPECT_TRUE(engine.AdvanceTime(e.ts).ok());
+      continue;
+    }
+    EXPECT_TRUE(engine
+                    .Push(e.stream,
+                          {Value::String("r"), Value::String(e.tag),
+                           Value::Time(e.ts)},
+                          e.ts)
+                    .ok());
+  }
+  EXPECT_TRUE(engine.AdvanceTime(events.back().ts + Minutes(10)).ok());
+  EXPECT_TRUE(engine.Flush().ok());
+  engine.DrainOutputs();
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+// The full matrix for one scenario: the NFA backend against the history
+// reference at batch sizes 1/7/64 (exact order) and on 1/2/4 shards
+// (sorted — shard interleaving is nondeterministic).
+void ExpectBackendEquivalence(const Scenario& scenario, uint32_t seed,
+                              size_t num_events, int num_tags,
+                              bool with_heartbeats = false) {
+  const auto events = MakeTrace(seed, num_events, scenario.streams, num_tags,
+                                with_heartbeats);
+  const auto reference =
+      RunSingle(scenario, events, SeqBackend::kHistory, 1);
+  for (size_t batch_size : kBatchSizes) {
+    EXPECT_EQ(RunSingle(scenario, events, SeqBackend::kNfa, batch_size),
+              reference)
+        << "seed " << seed << " batch_size " << batch_size << "\n"
+        << scenario.query;
+  }
+  auto sorted_reference = reference;
+  std::sort(sorted_reference.begin(), sorted_reference.end());
+  std::mt19937 rng(seed * 2246822519u + 3);
+  for (size_t shards : {1u, 2u, 4u}) {
+    const size_t batch_size =
+        kBatchSizes[std::uniform_int_distribution<size_t>(0, 2)(rng)];
+    EXPECT_EQ(
+        RunSharded(scenario, events, SeqBackend::kNfa, shards, batch_size),
+        sorted_reference)
+        << "seed " << seed << " shards " << shards << " batch_size "
+        << batch_size << "\n"
+        << scenario.query;
+  }
+}
+
+constexpr char kSeqDdl[] = R"sql(
+  CREATE STREAM C1(readerid, tagid, tagtime);
+  CREATE STREAM C2(readerid, tagid, tagtime);
+  CREATE STREAM C3(readerid, tagid, tagtime);
+)sql";
+
+Scenario SeqScenario(const std::string& mode_clause,
+                     const std::string& window_clause,
+                     bool with_pairwise = true) {
+  Scenario s;
+  s.ddl = kSeqDdl;
+  s.query = "SELECT C3.tagid, C1.tagtime, C3.tagtime FROM C1, C2, C3 "
+            "WHERE SEQ(C1, C2, C3)" +
+            window_clause + mode_clause;
+  if (with_pairwise) {
+    s.query += " AND C1.tagid=C2.tagid AND C1.tagid=C3.tagid";
+  }
+  s.streams = {"C1", "C2", "C3"};
+  // Without a full pairwise chain there is no shard routing key, and
+  // CONSECUTIVE is order-dependent across streams: either way, sharded
+  // runs must keep these streams together to match a single engine.
+  if (!with_pairwise ||
+      mode_clause.find("CONSECUTIVE") != std::string::npos) {
+    s.single_shard_streams = s.streams;
+  }
+  return s;
+}
+
+Scenario TrailingStarScenario(const std::string& mode_clause) {
+  Scenario s;
+  s.ddl = R"sql(
+    CREATE STREAM R1(readerid, tagid, tagtime);
+    CREATE STREAM R2(readerid, tagid, tagtime);
+  )sql";
+  s.query = "SELECT R1.tagid, FIRST(R2*).tagtime, COUNT(R2*) "
+            "FROM R1, R2 WHERE SEQ(R1, R2*)" +
+            mode_clause +
+            " AND R2.tagtime - R2.previous.tagtime <= 1 SECONDS";
+  s.streams = {"R1", "R2"};
+  s.single_shard_streams = s.streams;
+  return s;
+}
+
+Scenario LeadingStarScenario(const std::string& mode_clause) {
+  Scenario s;
+  s.ddl = R"sql(
+    CREATE STREAM R1(readerid, tagid, tagtime);
+    CREATE STREAM R2(readerid, tagid, tagtime);
+  )sql";
+  s.query = "SELECT FIRST(R1*).tagtime, COUNT(R1*), R2.tagid, R2.tagtime "
+            "FROM R1, R2 WHERE SEQ(R1*, R2)" +
+            mode_clause +
+            " AND R2.tagtime - LAST(R1*).tagtime <= 5 SECONDS"
+            " AND R1.tagtime - R1.previous.tagtime <= 1 SECONDS";
+  s.streams = {"R1", "R2"};
+  s.single_shard_streams = s.streams;
+  return s;
+}
+
+Scenario NegationScenario(const std::string& mode_clause) {
+  Scenario s;
+  s.ddl = R"sql(
+    CREATE STREAM A(readerid, tagid, tagtime);
+    CREATE STREAM B(readerid, tagid, tagtime);
+    CREATE STREAM C(readerid, tagid, tagtime);
+  )sql";
+  s.query = "SELECT A.tagid, A.tagtime, C.tagtime FROM A, B, C "
+            "WHERE SEQ(A, !B, C)" +
+            mode_clause + " AND A.tagid=C.tagid";
+  s.streams = {"A", "B", "C"};
+  // Negation evidence lives on the joint history: order across streams
+  // matters, so the sharded runs keep these streams on one shard.
+  s.single_shard_streams = s.streams;
+  return s;
+}
+
+Scenario ExceptionScenario(const std::string& window_clause) {
+  Scenario s;
+  s.ddl = R"sql(
+    CREATE STREAM A1(staffid, tagid, tagtime);
+    CREATE STREAM A2(staffid, tagid, tagtime);
+    CREATE STREAM A3(staffid, tagid, tagtime);
+  )sql";
+  s.query = "SELECT A1.tagid, A2.tagid, A3.tagid FROM A1, A2, A3 "
+            "WHERE EXCEPTION_SEQ(A1, A2, A3)" +
+            window_clause;
+  s.streams = {"A1", "A2", "A3"};
+  // One partial sequence across all input streams: order-dependent.
+  s.single_shard_streams = s.streams;
+  return s;
+}
+
+class SeqBackendDifferentialTest
+    : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(SeqBackendDifferentialTest, AllPairingModes) {
+  const uint32_t seed = GetParam();
+  int i = 0;
+  for (const char* mode :
+       {"", " MODE RECENT", " MODE CHRONICLE", " MODE CONSECUTIVE"}) {
+    ExpectBackendEquivalence(SeqScenario(mode, ""),
+                             seed * 31u + static_cast<uint32_t>(i++), 240, 5);
+  }
+}
+
+TEST_P(SeqBackendDifferentialTest, PairingModesWithoutConstraints) {
+  // No pairwise constraints: the run tree holds every order-compatible
+  // combination, and RECENT's exact purge is active — the worst case for
+  // matching the history enumeration order.
+  const uint32_t seed = GetParam();
+  int i = 0;
+  for (const char* mode : {"", " MODE RECENT", " MODE CHRONICLE"}) {
+    ExpectBackendEquivalence(
+        SeqScenario(mode, "", /*with_pairwise=*/false),
+        seed * 97u + static_cast<uint32_t>(i++), 120, 4);
+  }
+}
+
+TEST_P(SeqBackendDifferentialTest, WindowedSeq) {
+  const uint32_t seed = GetParam();
+  int i = 0;
+  for (const char* window :
+       {" OVER [30 SECONDS PRECEDING C3]", " OVER [20 SECONDS FOLLOWING C1]",
+        " OVER [15 SECONDS PRECEDING AND FOLLOWING C2]"}) {
+    for (const char* mode : {"", " MODE RECENT", " MODE CHRONICLE"}) {
+      ExpectBackendEquivalence(
+          SeqScenario(mode, window),
+          seed * 131u + static_cast<uint32_t>(i++), 200, 5);
+    }
+  }
+}
+
+TEST_P(SeqBackendDifferentialTest, TrailingStarGroups) {
+  const uint32_t seed = GetParam();
+  int i = 0;
+  for (const char* mode : {"", " MODE RECENT", " MODE CHRONICLE"}) {
+    ExpectBackendEquivalence(TrailingStarScenario(mode),
+                             seed * 173u + static_cast<uint32_t>(i++), 160, 4);
+    ExpectBackendEquivalence(LeadingStarScenario(mode),
+                             seed * 181u + static_cast<uint32_t>(i++), 160, 4);
+  }
+}
+
+TEST_P(SeqBackendDifferentialTest, NegatedPositions) {
+  const uint32_t seed = GetParam();
+  int i = 0;
+  for (const char* mode : {"", " MODE RECENT", " MODE CHRONICLE"}) {
+    ExpectBackendEquivalence(NegationScenario(mode),
+                             seed * 193u + static_cast<uint32_t>(i++), 200, 4);
+  }
+}
+
+TEST_P(SeqBackendDifferentialTest, ExceptionSeqDeadlines) {
+  const uint32_t seed = GetParam();
+  int i = 0;
+  for (const char* window :
+       {"", " OVER [10 SECONDS FOLLOWING A1]",
+        " OVER [4 SECONDS FOLLOWING A2]"}) {
+    // Heartbeats interleaved: active expiration must fire identically.
+    ExpectBackendEquivalence(ExceptionScenario(window),
+                             seed * 211u + static_cast<uint32_t>(i++), 220, 4,
+                             /*with_heartbeats=*/true);
+  }
+}
+
+// ---- randomized query generator ----------------------------------------
+
+// Random SEQ query from parametric templates: the rng picks position
+// count, star placement, negation, mode, window shape/length/anchor, and
+// pairwise constraints. Everything composes from grammar the planner
+// accepts, so a planning failure is itself a test failure.
+Scenario RandomScenario(std::mt19937& rng) {
+  std::uniform_int_distribution<int> pct(0, 99);
+  const int npos = 2 + (pct(rng) < 60 ? 1 : 0);
+  std::vector<std::string> streams;
+  std::string ddl;
+  for (int i = 0; i < npos; ++i) {
+    streams.push_back("S" + std::to_string(i + 1));
+    ddl += "CREATE STREAM " + streams.back() +
+           "(readerid, tagid, tagtime);\n";
+  }
+  // At most one feature position keeps the space of valid templates
+  // simple: a star (any position) or a negation (middle only).
+  int star_at = -1;
+  int neg_at = -1;
+  const int feature = pct(rng);
+  if (feature < 35) {
+    star_at = std::uniform_int_distribution<int>(0, npos - 1)(rng);
+  } else if (feature < 50 && npos == 3) {
+    neg_at = 1;
+  }
+  const char* modes[] = {"", " MODE RECENT", " MODE CHRONICLE",
+                         " MODE CONSECUTIVE"};
+  // CONSECUTIVE + negation never completes (any negated arrival purges
+  // the run in both backends); keep the generated queries satisfiable.
+  std::string mode = modes[std::uniform_int_distribution<int>(
+      0, neg_at >= 0 ? 2 : 3)(rng)];
+
+  std::string args;
+  for (int i = 0; i < npos; ++i) {
+    if (!args.empty()) args += ", ";
+    if (i == neg_at) args += "!";
+    args += streams[i];
+    if (i == star_at) args += "*";
+  }
+  std::string query_where = "SEQ(" + args + ")";
+  if (pct(rng) < 50) {
+    const int len = 5 + pct(rng) / 4;
+    // Anchor on any non-negated position (negated positions carry no
+    // match entry, which would make the window vacuous).
+    int anchor = std::uniform_int_distribution<int>(0, npos - 1)(rng);
+    if (anchor == neg_at) anchor = 0;
+    const char* dir = anchor == 0             ? "FOLLOWING"
+                      : anchor == npos - 1    ? "PRECEDING"
+                      : (pct(rng) < 50 ? "PRECEDING" : "FOLLOWING");
+    query_where += " OVER [" + std::to_string(len) + " SECONDS " + dir +
+                   " " + streams[anchor] + "]";
+  }
+  query_where += mode;
+  if (star_at >= 0 && pct(rng) < 70) {
+    query_where += " AND " + streams[star_at] + ".tagtime - " +
+                   streams[star_at] + ".previous.tagtime <= 1 SECONDS";
+  }
+  // Pairwise tagid joins. A full chain over the non-negated positions
+  // doubles as the shard routing key; anything less leaves the scenario
+  // order-dependent across shards.
+  std::vector<int> plain;
+  for (int i = 0; i < npos; ++i) {
+    if (i != neg_at) plain.push_back(i);
+  }
+  bool full_chain = false;
+  if (plain.size() >= 2 && pct(rng) < 60) {
+    full_chain = true;
+    for (size_t i = 1; i < plain.size(); ++i) {
+      query_where += " AND " + streams[plain[0]] + ".tagid=" +
+                     streams[plain[i]] + ".tagid";
+    }
+  }
+
+  std::string projection;
+  for (int i = 0; i < npos; ++i) {
+    if (i == neg_at) continue;
+    if (!projection.empty()) projection += ", ";
+    if (i == star_at) {
+      projection += "FIRST(" + streams[i] + "*).tagtime, COUNT(" +
+                    streams[i] + "*)";
+    } else {
+      projection += streams[i] + ".tagid, " + streams[i] + ".tagtime";
+    }
+  }
+
+  Scenario s;
+  s.ddl = ddl;
+  std::string from;
+  for (const auto& st : streams) {
+    if (!from.empty()) from += ", ";
+    from += st;
+  }
+  s.query =
+      "SELECT " + projection + " FROM " + from + " WHERE " + query_where;
+  s.streams = streams;
+  // Stars, negation, CONSECUTIVE, and queries without a routing key are
+  // order-dependent across streams: keep them on a single shard.
+  if (star_at >= 0 || neg_at >= 0 || !full_chain ||
+      mode.find("CONSECUTIVE") != std::string::npos) {
+    s.single_shard_streams = streams;
+  }
+  return s;
+}
+
+TEST_P(SeqBackendDifferentialTest, RandomizedQueries) {
+  const uint32_t seed = GetParam();
+  std::mt19937 rng(seed * 747796405u + 2891336453u);
+  for (int round = 0; round < 8; ++round) {
+    const Scenario s = RandomScenario(rng);
+    ExpectBackendEquivalence(s, seed * 1013u + static_cast<uint32_t>(round),
+                             150, 4);
+  }
+}
+
+// ---- kill-recover on the NFA backend ------------------------------------
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "seq_backend_diff_" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+// Checkpoint + crash + RecoverFrom on the NFA backend: the run tree is
+// rebuilt from the tagged checkpoint and the concatenated output must
+// equal the uninterrupted history-backend run, byte for byte.
+std::vector<std::string> RunKilledNfa(const Scenario& scenario,
+                                      const std::vector<Event>& events,
+                                      size_t ckpt_at, size_t kill_at,
+                                      const std::string& dir) {
+  ScopedEnv env(kSeqBackendEnvVar, "nfa");
+  WalOptions wal_options;
+  wal_options.group_commit_bytes = 0;
+  std::vector<std::string> rows;
+  std::string output_stream;
+  {
+    Engine a(BackendOptions(SeqBackend::kNfa, 1));
+    EXPECT_TRUE(a.ExecuteScript(scenario.ddl).ok());
+    auto qa = a.RegisterQuery(scenario.query);
+    EXPECT_TRUE(qa.ok()) << qa.status();
+    output_stream = qa->output_stream;
+    EXPECT_TRUE(
+        a.Subscribe(qa->output_stream,
+                    [&](const Tuple& t) { rows.push_back(t.ToString()); })
+            .ok());
+    EXPECT_TRUE(a.EnableWal(dir + "/" + kWalFileName, wal_options).ok());
+    for (size_t i = 0; i < ckpt_at; ++i) PushEvent(a, events[i]);
+    EXPECT_TRUE(a.Checkpoint(dir).ok());
+    for (size_t i = ckpt_at; i < kill_at; ++i) PushEvent(a, events[i]);
+  }  // crash
+
+  ReplayOptions replay;
+  replay.deliver_after[output_stream] = rows.size();
+  Engine b(BackendOptions(SeqBackend::kNfa, 1));
+  EXPECT_TRUE(b.ExecuteScript(scenario.ddl).ok());
+  auto qb = b.RegisterQuery(scenario.query);
+  EXPECT_TRUE(qb.ok()) << qb.status();
+  EXPECT_TRUE(
+      b.Subscribe(qb->output_stream,
+                  [&](const Tuple& t) { rows.push_back(t.ToString()); })
+          .ok());
+  Status recovered = b.RecoverFrom(dir, replay);
+  EXPECT_TRUE(recovered.ok()) << recovered;
+  for (size_t i = kill_at; i < events.size(); ++i) PushEvent(b, events[i]);
+  EXPECT_TRUE(b.AdvanceTime(events.back().ts + Minutes(10)).ok());
+  return rows;
+}
+
+TEST_P(SeqBackendDifferentialTest, KillRecoverMatchesHistoryReference) {
+  const uint32_t seed = GetParam();
+  std::mt19937 rng(seed * 40503u + 19);
+  const Scenario scenarios[] = {
+      SeqScenario(" MODE CHRONICLE", ""),
+      LeadingStarScenario(" MODE CHRONICLE"),
+      SeqScenario(" MODE RECENT", " OVER [30 SECONDS PRECEDING C3]"),
+  };
+  int i = 0;
+  for (const Scenario& scenario : scenarios) {
+    const auto events = MakeTrace(seed + 59 + static_cast<uint32_t>(i), 180,
+                                  scenario.streams, 4,
+                                  /*with_heartbeats=*/false);
+    const auto reference =
+        RunSingle(scenario, events, SeqBackend::kHistory, 1);
+    const size_t ckpt_at =
+        std::uniform_int_distribution<size_t>(0, events.size() - 1)(rng);
+    const size_t kill_at =
+        std::uniform_int_distribution<size_t>(ckpt_at, events.size())(rng);
+    const std::string dir = FreshDir("kill_s" + std::to_string(seed) + "_" +
+                                     std::to_string(i));
+    EXPECT_EQ(RunKilledNfa(scenario, events, ckpt_at, kill_at, dir),
+              reference)
+        << "seed " << seed << " scenario " << i << " ckpt_at " << ckpt_at
+        << " kill_at " << kill_at;
+    std::filesystem::remove_all(dir);
+    ++i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeqBackendDifferentialTest,
+                         ::testing::Values(1u, 2u, 3u));
+
+}  // namespace
+}  // namespace eslev

@@ -13,10 +13,13 @@ Modes:
            comparable) and commit the result:
 
              cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
-             cmake --build build-release -j --target bench_e11_end_to_end bench_e16_batching
+             cmake --build build-release -j --target bench_e11_end_to_end \
+               bench_e16_batching bench_e6_pairing_modes bench_e9_seq_vs_join
              mkdir -p /tmp/bench-json
              ESLEV_BENCH_JSON_DIR=/tmp/bench-json ./build-release/bench/bench_e11_end_to_end --benchmark_min_time=0.2s
              ESLEV_BENCH_JSON_DIR=/tmp/bench-json ./build-release/bench/bench_e16_batching --benchmark_min_time=0.2s
+             ESLEV_BENCH_JSON_DIR=/tmp/bench-json ./build-release/bench/bench_e6_pairing_modes --benchmark_filter='BM_(Nfa)?Mode' --benchmark_min_time=0.2s
+             ESLEV_BENCH_JSON_DIR=/tmp/bench-json ./build-release/bench/bench_e9_seq_vs_join --benchmark_filter='BM_Seq(Star|Chronicle)' --benchmark_min_time=0.2s
              python3 tools/bench_gate.py refresh --json-dir /tmp/bench-json
 
 Only benchmarks present in the baseline gate the build; new benchmarks
@@ -25,6 +28,19 @@ bench never breaks an unrelated PR. A baseline entry whose benchmark
 vanished from the run fails the gate (a silently deleted bench is a
 silently dropped guarantee). Tolerance can also be set with the
 ESLEV_BENCH_GATE_TOLERANCE environment variable (the flag wins).
+
+Retained-state gate: benches publish peak tuple-state gauges into their
+BENCH_*_metrics.json blob under the convention
+
+    stategate.<workload>.history   and   stategate.<workload>.nfa
+
+(bench_e6 per pairing mode, bench_e9 on the star/packing workload).
+`check` compares each pair absolutely — no tolerance: the compiled NFA
+backend guarantees it retains exactly the history matcher's tuple set,
+so any run where stategate.*.nfa exceeds stategate.*.history fails the
+gate, as does a workload reporting only one backend (a dropped leg
+would silently drop the guarantee). Workloads with no stategate gauges
+in the run are simply not gated.
 """
 
 import argparse
@@ -64,6 +80,52 @@ def load_run(json_dir):
     if not results:
         sys.exit(f"bench_gate: no items_per_second entries under {json_dir}")
     return results
+
+
+def load_state_gauges(json_dir):
+    """Collect {workload: {backend: peak}} from stategate.* gauges in
+    BENCH_*_metrics.json blobs."""
+    gauges = {}
+    for entry in sorted(os.listdir(json_dir)):
+        if not (entry.startswith("BENCH_") and
+                entry.endswith("_metrics.json")):
+            continue
+        path = os.path.join(json_dir, entry)
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+        for name, value in doc.get("gauges", {}).items():
+            if not name.startswith("stategate."):
+                continue
+            parts = name.split(".")
+            if len(parts) != 3:
+                continue
+            gauges.setdefault(parts[1], {})[parts[2]] = int(value)
+    return gauges
+
+
+def check_state_gauges(gauges):
+    """Returns (rows, failures) for the retained-state table."""
+    rows = []
+    failures = []
+    for workload in sorted(gauges):
+        backends = gauges[workload]
+        history = backends.get("history")
+        nfa = backends.get("nfa")
+        if history is None or nfa is None:
+            missing = "history" if history is None else "nfa"
+            status = "MISSING"
+            failures.append(
+                f"stategate.{workload}: no {missing} leg in this run")
+        elif nfa > history:
+            status = "REGRESSED"
+            failures.append(
+                f"stategate.{workload}: NFA retains {nfa} tuples vs "
+                f"history {history} — the shared-run backend must never "
+                "hold more tuple-state than the history matcher")
+        else:
+            status = "ok"
+        rows.append((workload, history, nfa, status))
+    return rows, failures
 
 
 def load_baseline(path):
@@ -117,13 +179,29 @@ def cmd_check(args):
         mark = "❌ " if status in ("REGRESSED", "MISSING") else ""
         print(f"| `{name}` | {base_s} | {now_s} | {delta_s} | {mark}{status} |")
     print()
+
+    state_rows, state_failures = check_state_gauges(
+        load_state_gauges(args.json_dir))
+    if state_rows:
+        failures.extend(state_failures)
+        print("### Retained-state gate (peak tuples, NFA vs history)\n")
+        print("| workload | history | nfa | status |")
+        print("|---|---:|---:|---|")
+        for workload, history, nfa, status in state_rows:
+            history_s = str(history) if history is not None else "—"
+            nfa_s = str(nfa) if nfa is not None else "—"
+            mark = "❌ " if status != "ok" else ""
+            print(f"| `{workload}` | {history_s} | {nfa_s} | {mark}{status} |")
+        print()
+
     if failures:
         print("Regressions:", file=sys.stderr)
         for f in failures:
             print(f"  {f}", file=sys.stderr)
         return 1
     print(f"All {sum(1 for r in rows if r[4] == 'ok')} gated benchmarks "
-          "within tolerance.")
+          f"within tolerance; {sum(1 for r in state_rows if r[3] == 'ok')} "
+          "retained-state pairs hold.")
     return 0
 
 
