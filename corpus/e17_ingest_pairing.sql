@@ -1,0 +1,15 @@
+-- E17 (DESIGN.md §15): the SEQ pairing query run behind the ingest
+-- subsystem — reads arrive disordered, duplicated, and with ghosts, and
+-- the reorder + cleaning stages restore the clean in-order trace before
+-- it reaches this query. With the ingest reorder bound covering the
+-- declared disorder (ESLEV_INGEST_LATENESS_US) this lints clean; the
+-- disorder-hazard rule warns when it does not. Bench: bench_e17_ingest.
+CREATE STREAM R1(readerid, tagid, tagtime);
+CREATE STREAM R2(readerid, tagid, tagtime);
+CREATE STREAM paired(tagid, shelf_time, gate_time);
+
+INSERT INTO paired
+SELECT R1.tagid, R1.tagtime, R2.tagtime
+FROM R1, R2
+WHERE SEQ(R1, R2) OVER [30 SECONDS PRECEDING R2]
+  AND R1.tagid = R2.tagid;

@@ -17,6 +17,9 @@
 //   dead-predicate        constant-false or type-incoherent conjuncts
 //   shard-fallback        SEQ/join shapes that force single-shard routing
 //   durability-hazard     state whose checkpoint grows with total input
+//   disorder-hazard       SEQ over live streams while the session
+//                         declares input disorder no ingest reorder
+//                         stage covers (DESIGN.md §15)
 //   plan-error            the planner rejected the statement outright
 
 #ifndef ESLEV_ANALYSIS_ANALYZER_H_

@@ -559,6 +559,53 @@ void DurabilityHazardRule(const LintContext& ctx,
 }
 
 // ---------------------------------------------------------------------------
+// disorder-hazard
+// ---------------------------------------------------------------------------
+
+/// SEQ matching is arrival-order sensitive: a tuple that arrives after a
+/// later-timestamped tuple was already consumed silently misses every
+/// pairing it should have joined. When the session declares nonzero
+/// input disorder (IngestOptions::declared_disorder) but no ingest
+/// reorder stage covers it, any SEQ-family query over live streams is
+/// at risk (DESIGN.md §15).
+void DisorderHazardRule(const LintContext& ctx, std::vector<Diagnostic>* out) {
+  const Duration declared = ctx.catalog->declared_disorder();
+  if (declared <= 0) return;
+  const Duration lateness = ctx.catalog->ingest_lateness();
+  if (lateness >= declared) return;  // reorder stage absorbs it
+  for (const SeqExpr* seq : ctx.seqs) {
+    bool consumes_stream = false;
+    for (const SeqArg& arg : seq->args) {
+      if (arg.negated) continue;  // carries no tuple
+      for (const TableRef& ref : ctx.select->from) {
+        if (AsciiEqualsIgnoreCase(ref.alias, arg.stream) &&
+            ctx.catalog->FindStream(ref.name) != nullptr) {
+          consumes_stream = true;
+        }
+      }
+    }
+    if (!consumes_stream) continue;
+    const std::string coverage =
+        lateness == 0
+            ? "no ingest reorder stage is configured"
+            : "the ingest reorder bound covers only " +
+                  std::to_string(lateness) + " us";
+    out->push_back(Make(
+        Severity::kWarning, "disorder-hazard",
+        std::string(SeqKindToString(seq->seq_kind)) +
+            " consumes live streams in arrival order, but this session "
+            "declares input disorder up to " +
+            std::to_string(declared) + " us and " + coverage +
+            " — a read arriving late misses every pairing it should join",
+        seq->span,
+        "configure the ingest reorder stage with lateness_bound >= " +
+            std::to_string(declared) +
+            " us (EngineOptions::ingest.lateness_bound or "
+            "ESLEV_INGEST_LATENESS_US), or declare the input in-order"));
+  }
+}
+
+// ---------------------------------------------------------------------------
 // plan-error
 // ---------------------------------------------------------------------------
 
@@ -579,6 +626,7 @@ void RegisterBuiltinLintRules(QueryAnalyzer* analyzer) {
   analyzer->AddRule(DeadPredicateRule);
   analyzer->AddRule(ShardFallbackRule);
   analyzer->AddRule(DurabilityHazardRule);
+  analyzer->AddRule(DisorderHazardRule);
   analyzer->AddRule(PlanErrorRule);
 }
 

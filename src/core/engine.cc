@@ -37,6 +37,41 @@ Engine::Engine(EngineOptions options) : options_(options) {
     return;
   }
   seq_backend_ = *backend;
+  // Ingest knobs (DESIGN.md §15), validated exactly like the batch knob.
+  if (options_.honor_ingest_env) {
+    auto ingest = ResolveIngestOptions(options_.ingest);
+    if (!ingest.ok()) {
+      init_error_ = ingest.status();
+      return;
+    }
+    ingest_options_ = *ingest;
+  } else {
+    Status st = ValidateIngestOptions(options_.ingest);
+    if (!st.ok()) {
+      init_error_ = st;
+      return;
+    }
+    ingest_options_ = options_.ingest;
+  }
+  if (ingest_options_.enabled()) {
+    ingest_ = std::make_unique<IngestPipeline>(ingest_options_);
+    ingest_->BindDelivery(
+        [this](size_t port, const Tuple& t) {
+          Stream* s = IngestPortStream(port);
+          if (s == nullptr) {
+            return Status::IoError("ingest delivery for unknown port");
+          }
+          return DeliverTuple(s, ingest_->port_name(port), t);
+        },
+        [this](size_t port, const TupleBatch& batch) {
+          Stream* s = IngestPortStream(port);
+          if (s == nullptr) {
+            return Status::IoError("ingest delivery for unknown port");
+          }
+          return DeliverBatch(s, batch);
+        },
+        [this](Timestamp now) { return DeliverHeartbeat(now); });
+  }
 }
 
 Engine::~Engine() = default;
@@ -304,6 +339,9 @@ Result<std::string> Engine::ExplainParsed(const Statement& stmt,
   std::string out;
   if (live != nullptr) {
     out += "Query " + std::to_string(shown.query_id) + " (analyzed)\n";
+    if (ingest_ != nullptr) {
+      out += ingest_->ExplainLine() + "\n";
+    }
   }
   for (size_t i = 0; i < shown.notes.size(); ++i) {
     out += shown.notes[i];
@@ -375,7 +413,22 @@ MetricsSnapshot Engine::Metrics() const {
       if (op != nullptr) fallback += op->batch_fallback_tuples();
     }
   }
+  if (ingest_ != nullptr) {
+    // Ingest stages sit upstream of every query; they count against the
+    // same fallback budget so a per-tuple ingest path is visible here.
+    for (const Operator* op : ingest_->stages()) {
+      fallback += op->batch_fallback_tuples();
+    }
+  }
   snap.counters["batch.fallback_tuples"] = fallback;
+  // Ingest (DESIGN.md §15).
+  if (ingest_ != nullptr) {
+    snap.gauges["ingest.input_clock"] =
+        static_cast<int64_t>(ingest_input_clock_);
+    ingest_->AppendMetrics(&snap);
+  } else {
+    snap.gauges["ingest.enabled"] = 0;
+  }
   // Durability (DESIGN.md §10).
   snap.counters["recovery.checkpoints"] = checkpoints_taken_;
   snap.gauges["recovery.last_checkpoint_bytes"] =
@@ -421,10 +474,37 @@ Status Engine::Push(const std::string& stream, std::vector<Value> values,
 }
 
 Status Engine::PushTuple(const std::string& stream, const Tuple& tuple) {
-
   ESLEV_RETURN_NOT_OK(init_error_);
   Stream* s = FindStream(stream);
   if (s == nullptr) return Status::NotFound("stream not found: " + stream);
+  const std::string key = AsciiToLower(stream);
+  // Ingest path (DESIGN.md §15): source-stream pushes go through the
+  // reorder/cleaning pipeline; it re-enters DeliverTuple with ordered,
+  // cleaned output. Direct pushes into derived streams bypass ingest.
+  if (ingest_ != nullptr && derived_.count(key) == 0) {
+    // With a reorder stage, disorder up to the lateness bound is the
+    // point — the stage owns the policy (buffer, or count as late).
+    // Without one, the cleaning stage still requires ordered input.
+    if (ingest_options_.lateness_bound == 0 &&
+        options_.enforce_monotonic_time && tuple.ts() < ingest_input_clock_) {
+      return Status::OutOfRange(
+          "out-of-order tuple: ts " + FormatTimestamp(tuple.ts()) +
+          " is before the ingest clock " +
+          FormatTimestamp(ingest_input_clock_) +
+          " (configure ingest.lateness_bound for disordered input)");
+    }
+    if (wal_ != nullptr && !replaying_) {
+      ESLEV_ASSIGN_OR_RETURN(uint64_t lsn, wal_->AppendTuple(s->name(), tuple));
+      (void)lsn;
+    }
+    ingest_input_clock_ = std::max(ingest_input_clock_, tuple.ts());
+    const size_t port = ingest_->PortFor(key);
+    if (port >= ingest_port_streams_.size()) {
+      ingest_port_streams_.resize(port + 1, nullptr);
+    }
+    ingest_port_streams_[port] = s;
+    return ingest_->Offer(port, tuple);
+  }
   if (options_.enforce_monotonic_time && tuple.ts() < clock_) {
     return Status::OutOfRange(
         "out-of-order tuple: ts " + FormatTimestamp(tuple.ts()) +
@@ -437,6 +517,11 @@ Status Engine::PushTuple(const std::string& stream, const Tuple& tuple) {
     ESLEV_ASSIGN_OR_RETURN(uint64_t lsn, wal_->AppendTuple(s->name(), tuple));
     (void)lsn;
   }
+  return DeliverTuple(s, key, tuple);
+}
+
+Status Engine::DeliverTuple(Stream* s, const std::string& key,
+                            const Tuple& tuple) {
   clock_ = std::max(clock_, tuple.ts());
   if (batch_size_ <= 1 || !batching_safe_) {
     return s->Push(tuple);
@@ -444,7 +529,7 @@ Status Engine::PushTuple(const std::string& stream, const Tuple& tuple) {
   // Direct pushes into a derived stream must not be reordered relative
   // to pipeline emissions into it: settle pending work, then deliver
   // immediately.
-  if (derived_.count(AsciiToLower(stream))) {
+  if (derived_.count(key)) {
     ESLEV_RETURN_NOT_OK(FlushBatches());
     return s->Push(tuple);
   }
@@ -463,12 +548,90 @@ Status Engine::PushTuple(const std::string& stream, const Tuple& tuple) {
   return Status::OK();
 }
 
+Status Engine::DeliverBatch(Stream* s, const TupleBatch& batch) {
+  ESLEV_RETURN_NOT_OK(FlushBatches());
+  clock_ = std::max(clock_, batch.back_ts());
+  if (!batching_safe_) {
+    for (const Tuple& t : batch.tuples()) {
+      ESLEV_RETURN_NOT_OK(s->Push(t));
+    }
+    return Status::OK();
+  }
+  ++batches_dispatched_;
+  tuples_batched_ += batch.size();
+  return s->PushBatch(batch);
+}
+
+Status Engine::DeliverHeartbeat(Timestamp now) {
+  // The ingest release frontier only moves forward, but deliver pending
+  // batches before the tick so expirations observe them (§13).
+  ESLEV_RETURN_NOT_OK(FlushBatches());
+  clock_ = std::max(clock_, now);
+  for (auto& [key, stream] : streams_) {
+    if (derived_.count(key)) continue;  // reached through the pipelines
+    ESLEV_RETURN_NOT_OK(stream->Heartbeat(now));
+  }
+  return Status::OK();
+}
+
+Stream* Engine::IngestPortStream(size_t port) {
+  if (port < ingest_port_streams_.size() &&
+      ingest_port_streams_[port] != nullptr) {
+    return ingest_port_streams_[port];
+  }
+  Stream* s = FindStream(ingest_->port_name(port));
+  if (s != nullptr) {
+    if (port >= ingest_port_streams_.size()) {
+      ingest_port_streams_.resize(port + 1, nullptr);
+    }
+    ingest_port_streams_[port] = s;
+  }
+  return s;
+}
+
+Status Engine::SetIngestLateHandler(
+    std::function<Status(const std::string& stream, const Tuple&)> handler) {
+  ESLEV_RETURN_NOT_OK(init_error_);
+  if (ingest_ == nullptr || ingest_options_.lateness_bound == 0) {
+    return Status::Invalid(
+        "no ingest reorder stage configured (set ingest.lateness_bound)");
+  }
+  ingest_->SetLateHandler(std::move(handler));
+  return Status::OK();
+}
+
 Status Engine::PushBatch(const std::string& stream, const TupleBatch& batch) {
   ESLEV_RETURN_NOT_OK(init_error_);
   if (batch.empty()) return Status::OK();
   Stream* s = FindStream(stream);
   if (s == nullptr) return Status::NotFound("stream not found: " + stream);
   ESLEV_RETURN_NOT_OK(FlushBatches());
+  const std::string key = AsciiToLower(stream);
+  if (ingest_ != nullptr && derived_.count(key) == 0) {
+    const bool check_order = ingest_options_.lateness_bound == 0 &&
+                             options_.enforce_monotonic_time;
+    Timestamp prev = ingest_input_clock_;
+    for (const Tuple& t : batch.tuples()) {
+      if (check_order && t.ts() < prev) {
+        return Status::OutOfRange(
+            "out-of-order tuple in batch: ts " + FormatTimestamp(t.ts()) +
+            " is before " + FormatTimestamp(prev) +
+            " (configure ingest.lateness_bound for disordered input)");
+      }
+      prev = std::max(prev, t.ts());
+      if (wal_ != nullptr && !replaying_) {
+        ESLEV_ASSIGN_OR_RETURN(uint64_t lsn, wal_->AppendTuple(s->name(), t));
+        (void)lsn;
+      }
+    }
+    ingest_input_clock_ = std::max(ingest_input_clock_, prev);
+    const size_t port = ingest_->PortFor(key);
+    if (port >= ingest_port_streams_.size()) {
+      ingest_port_streams_.resize(port + 1, nullptr);
+    }
+    ingest_port_streams_[port] = s;
+    return ingest_->OfferBatch(port, batch);
+  }
   Timestamp prev = clock_;
   for (const Tuple& t : batch.tuples()) {
     if (options_.enforce_monotonic_time && t.ts() < prev) {
@@ -523,6 +686,21 @@ Status Engine::FlushBatches() {
 
 Status Engine::AdvanceTime(Timestamp now) {
   ESLEV_RETURN_NOT_OK(init_error_);
+  // Ingest path: the tick is recorded raw, then drives the reorder /
+  // cleaning frontiers; the pipeline re-enters DeliverHeartbeat with the
+  // held-back downstream frontier (now − lateness − window) once it is
+  // safe — no in-bound arrival can precede it.
+  if (ingest_ != nullptr) {
+    if (options_.enforce_monotonic_time && now < ingest_input_clock_) {
+      return Status::OutOfRange("time cannot move backwards");
+    }
+    if (wal_ != nullptr && !replaying_) {
+      ESLEV_ASSIGN_OR_RETURN(uint64_t lsn, wal_->AppendHeartbeat("", now));
+      (void)lsn;
+    }
+    ingest_input_clock_ = std::max(ingest_input_clock_, now);
+    return ingest_->Heartbeat(now);
+  }
   if (options_.enforce_monotonic_time && now < clock_) {
     return Status::OutOfRange("time cannot move backwards");
   }

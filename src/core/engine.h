@@ -32,6 +32,7 @@
 #include "analysis/diagnostic.h"
 #include "cep/seq_backend.h"
 #include "common/metrics.h"
+#include "ingest/ingest_pipeline.h"
 #include "plan/catalog.h"
 #include "plan/planner.h"
 #include "recovery/wal.h"
@@ -63,6 +64,15 @@ struct EngineOptions {
   /// (validated; malformed values surface as an error from the first API
   /// call). Both backends are byte-identical in output.
   SeqBackend seq_backend = SeqBackend::kHistory;
+  /// Ingest subsystem (DESIGN.md §15): bounded reordering and RFID read
+  /// cleaning between stream sources and the pipelines. Disabled by
+  /// default (all bounds 0) — input must arrive in timestamp order.
+  IngestOptions ingest;
+  /// When true, ESLEV_INGEST_* environment variables override `ingest`
+  /// (validated like ESLEV_BATCH_SIZE). Embedded engines — shard
+  /// workers, standbys — set this false; ingest applies once at the
+  /// front end.
+  bool honor_ingest_env = true;
 };
 
 /// \brief Controls duplicate suppression during WAL replay (DESIGN.md
@@ -172,6 +182,19 @@ class Engine : public Catalog {
 
   /// \brief The resolved batch size (option + ESLEV_BATCH_SIZE override).
   size_t batch_size() const { return batch_size_; }
+  /// \brief The resolved ingest options (option + ESLEV_INGEST_*
+  /// overrides).
+  const IngestOptions& ingest_options() const { return ingest_options_; }
+  /// \brief True when an ingest pipeline sits ahead of the engine.
+  bool ingest_enabled() const { return ingest_ != nullptr; }
+  /// \brief The ingest pipeline (null when disabled) — live stage gauges
+  /// for tests and embedding layers.
+  const IngestPipeline* ingest_pipeline() const { return ingest_.get(); }
+  /// \brief Side channel receiving events beyond the ingest lateness
+  /// bound (stream name + dropped tuple). Invalid when no reorder stage
+  /// is configured.
+  Status SetIngestLateHandler(
+      std::function<Status(const std::string& stream, const Tuple&)> handler);
   /// \brief The resolved SEQ backend (option + ESLEV_SEQ_BACKEND
   /// override).
   SeqBackend seq_backend() const { return seq_backend_; }
@@ -233,6 +256,12 @@ class Engine : public Catalog {
   std::vector<std::string> StreamNames() const;
   const FunctionRegistry& registry() const override { return registry_; }
   FunctionRegistry* mutable_registry() { return &registry_; }
+  Duration declared_disorder() const override {
+    return ingest_options_.declared_disorder;
+  }
+  Duration ingest_lateness() const override {
+    return ingest_options_.lateness_bound;
+  }
 
  private:
   Status ExecuteStatement(const Statement& stmt);
@@ -246,6 +275,14 @@ class Engine : public Catalog {
 
   void RecomputeBatchSafety();
 
+  // Post-ingest delivery into the pipelines: the tail of PushTuple /
+  // PushBatch (clock advance, auto-batching, dispatch). `key` is the
+  // lower-cased catalog key of `s`.
+  Status DeliverTuple(Stream* s, const std::string& key, const Tuple& tuple);
+  Status DeliverBatch(Stream* s, const TupleBatch& batch);
+  Status DeliverHeartbeat(Timestamp now);
+  Stream* IngestPortStream(size_t port);
+
   EngineOptions options_;
   FunctionRegistry registry_;
   std::map<std::string, std::unique_ptr<Stream>> streams_;  // lower-case key
@@ -255,6 +292,12 @@ class Engine : public Catalog {
   std::vector<std::unique_ptr<Operator>> sinks_;
   Timestamp clock_ = kMinTimestamp;
   int next_query_id_ = 1;
+
+  // Ingest subsystem (DESIGN.md §15).
+  IngestOptions ingest_options_;
+  std::unique_ptr<IngestPipeline> ingest_;
+  std::vector<Stream*> ingest_port_streams_;  // port -> stream cache
+  Timestamp ingest_input_clock_ = kMinTimestamp;  // max ts offered to ingest
 
   // Vectorized execution (DESIGN.md §13).
   Status init_error_ = Status::OK();  // invalid knob, surfaced lazily

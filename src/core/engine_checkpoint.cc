@@ -34,6 +34,7 @@ namespace eslev {
 namespace {
 
 constexpr const char* kEndMarker = "ESLEV-CKPT-END";
+constexpr const char* kIngestFrameTag = "INGEST";
 
 // Staged (decoded, validated, not yet applied) restore units.
 struct StagedBlob {
@@ -133,6 +134,19 @@ Status Engine::Checkpoint(const std::string& dir) {
     }
     AppendFrame(frame.buffer(), &out);
   }
+  if (ingest_ != nullptr) {
+    // Optional ingest frame: raw input clock + buffered stage state
+    // (reorder buffer, open smoothing groups, held-back emissions).
+    // Written between the query frames and the end marker so the
+    // version-1 layout above is untouched when ingest is disabled.
+    BinaryEncoder frame;
+    frame.PutString(kIngestFrameTag);
+    frame.PutI64(ingest_input_clock_);
+    BinaryEncoder state;
+    ESLEV_RETURN_NOT_OK(ingest_->SaveState(&state));
+    frame.PutString(state.buffer());
+    AppendFrame(frame.buffer(), &out);
+  }
   AppendFrame(kEndMarker, &out);
 
   ESLEV_RETURN_NOT_OK(
@@ -178,10 +192,16 @@ Status Engine::Restore(const std::string& dir) {
   if (!header.AtEnd()) {
     return Status::IoError("checkpoint: trailing bytes in header frame");
   }
-  const size_t expected_frames =
-      2u + static_cast<size_t>(nstreams) + ntables + nqueries;
+  // An ingest-enabled engine writes one extra frame; a checkpoint taken
+  // with ingest must be restored into an ingest-enabled engine and vice
+  // versa (same topology contract as streams/tables/queries).
+  const size_t expected_frames = 2u + static_cast<size_t>(nstreams) +
+                                 ntables + nqueries +
+                                 (ingest_ != nullptr ? 1u : 0u);
   if (frames.payloads.size() != expected_frames) {
-    return Status::IoError("checkpoint: frame count mismatch");
+    return Status::IoError(
+        "checkpoint: frame count mismatch (ingest configuration must match "
+        "the checkpointed engine)");
   }
   if (frames.payloads.back() != kEndMarker) {
     return Status::IoError("checkpoint: missing end marker");
@@ -259,6 +279,22 @@ Status Engine::Restore(const std::string& dir) {
       return Status::IoError("checkpoint: trailing bytes in query frame");
     }
   }
+  Timestamp staged_ingest_clock = kMinTimestamp;
+  std::string staged_ingest_blob;
+  if (ingest_ != nullptr) {
+    BinaryDecoder dec(frames.payloads[fi++]);
+    ESLEV_ASSIGN_OR_RETURN(std::string tag, dec.GetString());
+    if (tag != kIngestFrameTag) {
+      return Status::IoError(
+          "checkpoint: expected ingest frame (checkpoint was taken without "
+          "ingest configured)");
+    }
+    ESLEV_ASSIGN_OR_RETURN(staged_ingest_clock, dec.GetI64());
+    ESLEV_ASSIGN_OR_RETURN(staged_ingest_blob, dec.GetString());
+    if (!dec.AtEnd()) {
+      return Status::IoError("checkpoint: trailing bytes in ingest frame");
+    }
+  }
 
   // Phase 2: apply. Structural validation is done; a decode error past
   // this point means the blob itself is inconsistent, the Status is
@@ -288,6 +324,16 @@ Status Engine::Restore(const std::string& dir) {
       return Status::IoError("operator '" + staged.op->label() +
                              "': trailing state bytes");
     }
+  }
+  if (ingest_ != nullptr) {
+    BinaryDecoder dec(staged_ingest_blob);
+    ESLEV_RETURN_NOT_OK(ingest_->RestoreState(&dec));
+    if (!dec.AtEnd()) {
+      return Status::IoError("ingest: trailing state bytes");
+    }
+    ingest_input_clock_ = staged_ingest_clock;
+    // Port->stream bindings are rediscovered lazily from port names.
+    ingest_port_streams_.clear();
   }
   clock_ = clock;
   restored_wal_lsn_ = wal_last_lsn;

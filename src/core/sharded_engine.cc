@@ -31,9 +31,57 @@ ShardedEngine::ShardedEngine(ShardedEngineOptions options)
   } else {
     route_batch_size_ = options_.engine.batch_size;
   }
+  // Ingest runs once, at the routing layer, ahead of hash partitioning
+  // (per-shard reordering could not restore cross-shard input order, and
+  // the front-end WAL must keep raw arrival order). Shard engines are
+  // pinned to ingest-disabled below.
+  if (init_error_.ok()) {
+    if (options_.engine.honor_ingest_env) {
+      Result<IngestOptions> resolved =
+          ResolveIngestOptions(options_.engine.ingest);
+      if (resolved.ok()) {
+        ingest_options_ = *resolved;
+      } else {
+        init_error_ = resolved.status();
+      }
+    } else {
+      Status st = ValidateIngestOptions(options_.engine.ingest);
+      if (st.ok()) {
+        ingest_options_ = options_.engine.ingest;
+      } else {
+        init_error_ = st;
+      }
+    }
+  }
+  if (init_error_.ok() && ingest_options_.enabled()) {
+    front_ingest_ = std::make_unique<IngestPipeline>(ingest_options_);
+    front_ingest_->BindDelivery(
+        [this](size_t port, const Tuple& t) {
+          return RouteReleased(port < ingest_port_routes_.size()
+                                   ? ingest_port_routes_[port]
+                                   : nullptr,
+                               t);
+        },
+        [this](size_t port, const TupleBatch& batch) {
+          const StreamRoute* route = port < ingest_port_routes_.size()
+                                         ? ingest_port_routes_[port]
+                                         : nullptr;
+          for (const Tuple& t : batch.tuples()) {
+            ESLEV_RETURN_NOT_OK(RouteReleased(route, t));
+          }
+          return Status::OK();
+        },
+        [this](Timestamp now) {
+          ingest_fanned_hb_.store(now, std::memory_order_release);
+          FanHeartbeat(now);
+          return Status::OK();
+        });
+  }
   EngineOptions shard_options = options_.engine;
   shard_options.batch_size = 1;
   shard_options.honor_batch_env = false;
+  shard_options.ingest = IngestOptions{};
+  shard_options.honor_ingest_env = false;
   pending_.resize(options_.num_shards);
   shards_.reserve(options_.num_shards);
   for (size_t i = 0; i < options_.num_shards; ++i) {
@@ -357,6 +405,9 @@ Status ShardedEngine::RouteTuple(const std::string& stream, const Tuple& tuple,
                            std::to_string(route->key_index) + " of stream " +
                            route->name);
   }
+  if (front_ingest_ != nullptr) {
+    return OfferIngest(*route, tuple, log_to_wal);
+  }
   const size_t shard = ShardOf(*route, tuple);
   shards_[shard]->tuples_routed.fetch_add(1, std::memory_order_relaxed);
   if (route_batch_size_ > 1) {
@@ -392,6 +443,49 @@ Status ShardedEngine::RouteTuple(const std::string& stream, const Tuple& tuple,
   } else {
     shards_[shard]->queue.Push(std::move(item));
   }
+  return Status::OK();
+}
+
+Status ShardedEngine::OfferIngest(const StreamRoute& route, const Tuple& tuple,
+                                  bool log_to_wal) {
+  const auto offer = [&]() -> Status {
+    std::lock_guard<std::mutex> ingest_lock(ingest_mu_);
+    const size_t port = front_ingest_->PortFor(AsciiToLower(route.name));
+    if (port >= ingest_port_routes_.size()) {
+      ingest_port_routes_.resize(port + 1, nullptr);
+    }
+    ingest_port_routes_[port] = &route;  // stable: routes_ nodes persist
+    return front_ingest_->Offer(port, tuple);
+  };
+  if (log_to_wal && wal_enabled_.load(std::memory_order_acquire)) {
+    // The raw tuple is logged before it enters the pipeline, so the WAL
+    // keeps arrival order and replay re-derives every release.
+    std::lock_guard<std::mutex> wal_lock(wal_mu_);
+    ESLEV_ASSIGN_OR_RETURN(uint64_t lsn, wal_->AppendTuple(route.name, tuple));
+    (void)lsn;
+    return offer();
+  }
+  return offer();
+}
+
+Status ShardedEngine::RouteReleased(const StreamRoute* route,
+                                    const Tuple& tuple) {
+  if (route == nullptr) {
+    return Status::ExecutionError(
+        "ingest released a tuple on an unbound port (pipeline state does "
+        "not match the rebuilt catalog)");
+  }
+  const size_t shard = ShardOf(*route, tuple);
+  shards_[shard]->tuples_routed.fetch_add(1, std::memory_order_relaxed);
+  if (route_batch_size_ > 1) {
+    BufferRouted(shard, &route->name, tuple);
+    return Status::OK();
+  }
+  Item item;
+  item.kind = Item::Kind::kTuple;
+  item.stream = &route->name;
+  item.tuple = tuple;
+  shards_[shard]->queue.Push(std::move(item));
   return Status::OK();
 }
 
@@ -460,6 +554,20 @@ Status ShardedEngine::AdvanceProducer(int id, Timestamp now) {
   ESLEV_RETURN_NOT_OK(init_error_);
   std::optional<Timestamp> low = watermark_.Advance(id, now);
   if (!low.has_value()) return Status::OK();  // watermark did not move
+  if (front_ingest_ != nullptr) {
+    // The raw tick is logged, then drives the pipeline frontiers; shards
+    // hear the held-back release frontier via the delivery heartbeat
+    // callback (FanHeartbeat) once no in-bound arrival can precede it.
+    if (wal_enabled_.load(std::memory_order_acquire)) {
+      std::lock_guard<std::mutex> wal_lock(wal_mu_);
+      ESLEV_ASSIGN_OR_RETURN(uint64_t lsn, wal_->AppendHeartbeat("", *low));
+      (void)lsn;
+      std::lock_guard<std::mutex> ingest_lock(ingest_mu_);
+      return front_ingest_->Heartbeat(*low);
+    }
+    std::lock_guard<std::mutex> ingest_lock(ingest_mu_);
+    return front_ingest_->Heartbeat(*low);
+  }
   if (wal_enabled_.load(std::memory_order_acquire)) {
     // Heartbeats drive active expiration, so they must be replayable:
     // log an engine-wide heartbeat (empty stream name) ordered with the
@@ -626,6 +734,16 @@ Result<MetricsSnapshot> ShardedEngine::Metrics() {
       pending += static_cast<int64_t>(p.batch.size());
     }
     snap.gauges["sharded.batch.pending"] = pending;
+  }
+  if (front_ingest_ != nullptr) {
+    MetricsSnapshot ingest_snap;
+    {
+      std::lock_guard<std::mutex> ingest_lock(ingest_mu_);
+      front_ingest_->AppendMetrics(&ingest_snap);
+    }
+    ingest_snap.gauges["ingest.fanned_hb"] =
+        static_cast<int64_t>(ingest_fanned_hb_.load(std::memory_order_acquire));
+    snap.Merge("sharded.", ingest_snap);
   }
   snap.gauges["sharded.watermark.low"] =
       static_cast<int64_t>(watermark_.low_watermark());

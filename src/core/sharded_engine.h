@@ -176,6 +176,14 @@ class ShardedEngine {
   // ---- observability -------------------------------------------------------
 
   size_t num_shards() const { return shards_.size(); }
+  /// \brief True when the routing layer runs a front-end ingest pipeline
+  /// (EngineOptions::ingest / ESLEV_INGEST_* resolved to enabled). Shard
+  /// engines always run with ingest disabled: ordering and cleaning
+  /// happen once, ahead of hash partitioning, so the WAL keeps raw input
+  /// order and every shard sees the identical cleaned release sequence
+  /// it would see in the single-engine run.
+  bool ingest_enabled() const { return front_ingest_ != nullptr; }
+  const IngestOptions& ingest_options() const { return ingest_options_; }
   /// \brief The resolved routing-layer batch size (option +
   /// ESLEV_BATCH_SIZE override); 1 means tuple-at-a-time enqueueing.
   size_t route_batch_size() const { return route_batch_size_; }
@@ -264,6 +272,17 @@ class ShardedEngine {
   /// (replay passes false: replayed records are already on disk).
   Status RouteTuple(const std::string& stream, const Tuple& tuple,
                     bool log_to_wal);
+  /// \brief Ingest path of RouteTuple: append the RAW tuple to the WAL
+  /// (releases are derived state and are never logged), then offer it to
+  /// the front-end pipeline under `ingest_mu_`. Lock order:
+  /// routes_mu_ (shared) -> wal_mu_ -> ingest_mu_ -> pending_mu_.
+  Status OfferIngest(const StreamRoute& route, const Tuple& tuple,
+                     bool log_to_wal);
+  /// \brief Deliver one ordered, cleaned release to its shard (called
+  /// from the ingest delivery callbacks, under `ingest_mu_`). No WAL
+  /// append — recovery re-derives releases by replaying raw input
+  /// through the restored pipeline.
+  Status RouteReleased(const StreamRoute* route, const Tuple& tuple);
   /// \brief Enqueue a heartbeat item on every shard. Flushes pending
   /// route batches first — heartbeats are batch boundaries, so a shard
   /// never observes a tick ahead of tuples routed before it.
@@ -325,6 +344,20 @@ class ShardedEngine {
   WatermarkTracker watermark_;
   std::mutex implicit_producer_mu_;
   int implicit_producer_ = -1;
+
+  // Front-end ingest (DESIGN.md §15): one pipeline ahead of the hash
+  // partitioner. `ingest_mu_` serializes all pipeline access; delivery
+  // callbacks run inside it and use the per-port route cache (stable
+  // pointers into routes_) instead of re-locking routes_mu_.
+  // `ingest_fanned_hb_` is the last heartbeat the pipeline released to
+  // the shards — the alignment point for checkpoint quiesce (fanning
+  // the raw low watermark would run shard clocks ahead of the held-back
+  // release frontier and clamp future releases forward).
+  IngestOptions ingest_options_;
+  std::unique_ptr<IngestPipeline> front_ingest_;
+  std::mutex ingest_mu_;
+  std::vector<const StreamRoute*> ingest_port_routes_;
+  std::atomic<Timestamp> ingest_fanned_hb_{kMinTimestamp};
 
   /// How far tuples move during the drain-merge sort: 0 means per-shard
   /// order was already globally ordered; large values mean heavy

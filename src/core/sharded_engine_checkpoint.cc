@@ -33,6 +33,10 @@ std::string ShardDirName(size_t shard) {
   return "shard" + std::to_string(shard);
 }
 
+// Front-end ingest pipeline state (reorder buffer, smoothing groups,
+// held-back emissions): one CRC frame next to the MANIFEST.
+constexpr const char* kIngestStateFileName = "ingest.state";
+
 }  // namespace
 
 Status ShardedEngine::Checkpoint(const std::string& dir) {
@@ -48,8 +52,17 @@ Status ShardedEngine::Checkpoint(const std::string& dir) {
 
   // Quiesce barrier: align every shard at the current low watermark via
   // the existing heartbeat fan-out, then wait for the queues to empty.
+  // With front-end ingest the shards must align at the pipeline's last
+  // RELEASED heartbeat instead — fanning the raw watermark would run
+  // shard clocks past the held-back release frontier and clamp future
+  // releases forward.
   const Timestamp low = watermark_.low_watermark();
-  if (low != kMinTimestamp) FanHeartbeat(low);
+  if (front_ingest_ != nullptr) {
+    const Timestamp fanned = ingest_fanned_hb_.load(std::memory_order_acquire);
+    if (fanned != kMinTimestamp) FanHeartbeat(fanned);
+  } else if (low != kMinTimestamp) {
+    FanHeartbeat(low);
+  }
   for (auto& shard : shards_) shard->queue.WaitIdle();
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> err_lock(shard->err_mu);
@@ -97,6 +110,21 @@ Status ShardedEngine::Checkpoint(const std::string& dir) {
   }
   ESLEV_RETURN_NOT_OK(first);
 
+  if (front_ingest_ != nullptr) {
+    BinaryEncoder frame;
+    frame.PutI64(ingest_fanned_hb_.load(std::memory_order_acquire));
+    BinaryEncoder state;
+    {
+      std::lock_guard<std::mutex> ingest_lock(ingest_mu_);
+      ESLEV_RETURN_NOT_OK(front_ingest_->SaveState(&state));
+    }
+    frame.PutString(state.buffer());
+    std::string bytes;
+    AppendFrame(frame.buffer(), &bytes);
+    ESLEV_RETURN_NOT_OK(
+        WriteFileAtomic(dir + "/" + kIngestStateFileName, bytes));
+  }
+
   ESLEV_RETURN_NOT_OK(WriteManifest(dir, manifest));
   // The manifest is durable; everything at or below wal_last_lsn is
   // covered by the shard checkpoints and can be dropped — except sealed
@@ -119,6 +147,7 @@ Status ShardedEngine::Checkpoint(const std::string& dir) {
     add_size(dir + "/" + ShardDirName(i) + "/" + kCheckpointFileName);
   }
   add_size(dir + "/" + kManifestFileName);
+  if (front_ingest_ != nullptr) add_size(dir + "/" + kIngestStateFileName);
   checkpoints_taken_.fetch_add(1, std::memory_order_relaxed);
   last_checkpoint_bytes_.store(bytes, std::memory_order_relaxed);
   last_checkpoint_duration_us_.store(
@@ -170,6 +199,41 @@ Status ShardedEngine::Restore(const std::string& dir) {
     if (first.ok() && !st.ok()) first = st;
   }
   ESLEV_RETURN_NOT_OK(first);
+
+  if (front_ingest_ != nullptr) {
+    const std::string path = dir + "/" + kIngestStateFileName;
+    ESLEV_ASSIGN_OR_RETURN(std::string bytes, ReadFileAll(path));
+    ESLEV_ASSIGN_OR_RETURN(FrameScanResult frames,
+                           ScanFrames(bytes.data(), bytes.size()));
+    if (frames.torn_tail || frames.payloads.size() != 1) {
+      return Status::IoError("ingest state " + path + ": corrupt frame");
+    }
+    BinaryDecoder frame(frames.payloads[0]);
+    ESLEV_ASSIGN_OR_RETURN(Timestamp fanned, frame.GetI64());
+    ESLEV_ASSIGN_OR_RETURN(std::string blob, frame.GetString());
+    if (!frame.AtEnd()) {
+      return Status::IoError("ingest state " + path + ": trailing bytes");
+    }
+    // routes_mu_ before ingest_mu_ (same order as OfferIngest callers).
+    std::shared_lock<std::shared_mutex> routes_lock(routes_mu_);
+    std::lock_guard<std::mutex> ingest_lock(ingest_mu_);
+    BinaryDecoder state(blob);
+    ESLEV_RETURN_NOT_OK(front_ingest_->RestoreState(&state));
+    if (!state.AtEnd()) {
+      return Status::IoError("ingest state " + path + ": trailing state");
+    }
+    ingest_port_routes_.assign(front_ingest_->num_ports(), nullptr);
+    for (size_t p = 0; p < front_ingest_->num_ports(); ++p) {
+      const StreamRoute* route = FindRoute(front_ingest_->port_name(p));
+      if (route == nullptr) {
+        return Status::IoError("ingest state names unknown stream '" +
+                               front_ingest_->port_name(p) + "'");
+      }
+      ingest_port_routes_[p] = route;
+    }
+    ingest_fanned_hb_.store(fanned, std::memory_order_release);
+  }
+
   restored_wal_lsn_ = manifest.wal_last_lsn;
   return Status::OK();
 }
@@ -219,7 +283,15 @@ Status ShardedEngine::RecoverFrom(const std::string& dir,
       ESLEV_RETURN_NOT_OK(
           RouteTuple(record.stream, *record.tuple, /*log_to_wal=*/false));
     } else if (record.stream.empty()) {
-      FanHeartbeat(record.ts);
+      if (front_ingest_ != nullptr) {
+        // Logged heartbeats are raw input ticks: re-drive the pipeline
+        // so the restored frontiers release exactly what the original
+        // run released after the checkpoint cut.
+        std::lock_guard<std::mutex> ingest_lock(ingest_mu_);
+        ESLEV_RETURN_NOT_OK(front_ingest_->Heartbeat(record.ts));
+      } else {
+        FanHeartbeat(record.ts);
+      }
     } else {
       return Status::IoError(
           "sharded WAL contains a per-stream heartbeat for '" +

@@ -1,0 +1,76 @@
+#include "ingest/ingest_options.h"
+
+#include "common/env.h"
+
+namespace eslev {
+
+namespace {
+
+Status CheckDuration(const char* name, Duration value) {
+  if (value < 0 || value > kMaxIngestDurationUs) {
+    return Status::Invalid(std::string(name) + "=" + std::to_string(value) +
+                           " is out of range; accepted range is [0, " +
+                           std::to_string(kMaxIngestDurationUs) + "] µs");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ValidateIngestOptions(const IngestOptions& options) {
+  ESLEV_RETURN_NOT_OK(
+      CheckDuration("ingest.lateness_bound", options.lateness_bound));
+  ESLEV_RETURN_NOT_OK(
+      CheckDuration("ingest.smoothing_window", options.smoothing_window));
+  ESLEV_RETURN_NOT_OK(CheckDuration("ingest.interpolation_horizon",
+                                    options.interpolation_horizon));
+  ESLEV_RETURN_NOT_OK(CheckDuration("ingest.interpolation_period",
+                                    options.interpolation_period));
+  ESLEV_RETURN_NOT_OK(
+      CheckDuration("ingest.declared_disorder", options.declared_disorder));
+  if (options.min_read_count < 1 ||
+      options.min_read_count > kMaxIngestMinCount) {
+    return Status::Invalid(
+        "ingest.min_read_count=" + std::to_string(options.min_read_count) +
+        " is out of range; accepted range is [1, " +
+        std::to_string(kMaxIngestMinCount) + "]");
+  }
+  if (options.interpolation_horizon > 0 && options.smoothing_window == 0) {
+    return Status::Invalid(
+        "ingest.interpolation_horizon requires a nonzero smoothing_window "
+        "(interpolation is part of the cleaning stage)");
+  }
+  return Status::OK();
+}
+
+Result<IngestOptions> ResolveIngestOptions(const IngestOptions& configured) {
+  IngestOptions resolved = configured;
+  ESLEV_ASSIGN_OR_RETURN(
+      auto lateness,
+      GetEnvInt64(kIngestLatenessEnvVar, 0, kMaxIngestDurationUs));
+  if (lateness) resolved.lateness_bound = *lateness;
+  ESLEV_ASSIGN_OR_RETURN(
+      auto smoothing,
+      GetEnvInt64(kIngestSmoothingEnvVar, 0, kMaxIngestDurationUs));
+  if (smoothing) resolved.smoothing_window = *smoothing;
+  ESLEV_ASSIGN_OR_RETURN(auto min_count,
+                         GetEnvInt64(kIngestMinCountEnvVar, 1,
+                                     kMaxIngestMinCount));
+  if (min_count) resolved.min_read_count = *min_count;
+  ESLEV_ASSIGN_OR_RETURN(
+      auto horizon,
+      GetEnvInt64(kIngestInterpHorizonEnvVar, 0, kMaxIngestDurationUs));
+  if (horizon) resolved.interpolation_horizon = *horizon;
+  ESLEV_ASSIGN_OR_RETURN(
+      auto period,
+      GetEnvInt64(kIngestInterpPeriodEnvVar, 0, kMaxIngestDurationUs));
+  if (period) resolved.interpolation_period = *period;
+  ESLEV_ASSIGN_OR_RETURN(
+      auto declared,
+      GetEnvInt64(kIngestDeclaredDisorderEnvVar, 0, kMaxIngestDurationUs));
+  if (declared) resolved.declared_disorder = *declared;
+  ESLEV_RETURN_NOT_OK(ValidateIngestOptions(resolved));
+  return resolved;
+}
+
+}  // namespace eslev

@@ -1,0 +1,132 @@
+#include "ingest/reorder_stage.h"
+
+#include <algorithm>
+
+namespace eslev {
+
+void ReorderStage::AppendStats(OperatorStatList* out) const {
+  out->push_back({"reorder_depth", static_cast<int64_t>(buffer_.size())});
+  out->push_back({"reorder_max_disorder_us", max_disorder_us_});
+  out->push_back({"reorder_late_dropped", static_cast<int64_t>(late_dropped_)});
+  out->push_back({"reorder_released", static_cast<int64_t>(released_)});
+}
+
+Result<bool> ReorderStage::Insert(size_t port, const Tuple& tuple) {
+  if (max_seen_ != kMinTimestamp && tuple.ts() < max_seen_) {
+    max_disorder_us_ = std::max(max_disorder_us_, max_seen_ - tuple.ts());
+  }
+  if (tuple.ts() < EffectiveFrontier()) {
+    ++late_dropped_;
+    if (late_handler_) {
+      ESLEV_RETURN_NOT_OK(late_handler_(port, tuple));
+    }
+    return false;
+  }
+  max_seen_ = std::max(max_seen_, tuple.ts());
+  buffer_.emplace(std::make_pair(tuple.ts(), next_seq_++),
+                  Entry{port, tuple});
+  return true;
+}
+
+Status ReorderStage::Release(bool batched) {
+  const Timestamp threshold = EffectiveFrontier();
+  frontier_ = std::max(frontier_, threshold);
+  if (buffer_.empty()) return Status::OK();
+
+  if (!batched) {
+    while (!buffer_.empty() && buffer_.begin()->first.first <= threshold) {
+      Entry entry = std::move(buffer_.begin()->second);
+      buffer_.erase(buffer_.begin());
+      ++released_;
+      ESLEV_RETURN_NOT_OK(Forward(entry.port, entry.tuple));
+    }
+    return Status::OK();
+  }
+
+  // Batch path: forward runs of consecutive same-port releases as one
+  // crossing each, preserving the exact per-tuple release order.
+  TupleBatch run;
+  size_t run_port = 0;
+  while (!buffer_.empty() && buffer_.begin()->first.first <= threshold) {
+    Entry entry = std::move(buffer_.begin()->second);
+    buffer_.erase(buffer_.begin());
+    ++released_;
+    if (!run.empty() && entry.port != run_port) {
+      ESLEV_RETURN_NOT_OK(ForwardBatch(run_port, run));
+      run.Clear();
+    }
+    run_port = entry.port;
+    run.Add(std::move(entry.tuple));
+  }
+  if (!run.empty()) {
+    ESLEV_RETURN_NOT_OK(ForwardBatch(run_port, run));
+  }
+  return Status::OK();
+}
+
+Status ReorderStage::ProcessTuple(size_t port, const Tuple& tuple) {
+  ESLEV_ASSIGN_OR_RETURN(bool buffered, Insert(port, tuple));
+  if (!buffered) return Status::OK();
+  return Release(/*batched=*/false);
+}
+
+Status ReorderStage::ProcessBatch(size_t port, const TupleBatch& batch) {
+  for (const Tuple& t : batch.tuples()) {
+    ESLEV_ASSIGN_OR_RETURN(bool buffered, Insert(port, t));
+    (void)buffered;
+  }
+  return Release(/*batched=*/true);
+}
+
+Status ReorderStage::ProcessHeartbeat(Timestamp now) {
+  max_seen_ = std::max(max_seen_, now);
+  ESLEV_RETURN_NOT_OK(Release(/*batched=*/false));
+  const Timestamp frontier = EffectiveFrontier();
+  if (frontier != kMinTimestamp && frontier > hb_out_) {
+    hb_out_ = frontier;
+    return ForwardHeartbeat(frontier);
+  }
+  return Status::OK();
+}
+
+Status ReorderStage::SaveState(BinaryEncoder* enc) const {
+  enc->PutU64(next_seq_);
+  enc->PutI64(max_seen_);
+  enc->PutI64(frontier_);
+  enc->PutI64(hb_out_);
+  enc->PutU64(late_dropped_);
+  enc->PutU64(released_);
+  enc->PutI64(max_disorder_us_);
+  enc->PutU32(static_cast<uint32_t>(buffer_.size()));
+  for (const auto& [key, entry] : buffer_) {
+    enc->PutU64(key.second);
+    enc->PutU32(static_cast<uint32_t>(entry.port));
+    enc->PutTuple(entry.tuple);
+    enc->PutBool(entry.tuple.synthesized());
+  }
+  return Status::OK();
+}
+
+Status ReorderStage::RestoreState(BinaryDecoder* dec) {
+  ESLEV_ASSIGN_OR_RETURN(next_seq_, dec->GetU64());
+  ESLEV_ASSIGN_OR_RETURN(max_seen_, dec->GetI64());
+  ESLEV_ASSIGN_OR_RETURN(frontier_, dec->GetI64());
+  ESLEV_ASSIGN_OR_RETURN(hb_out_, dec->GetI64());
+  ESLEV_ASSIGN_OR_RETURN(late_dropped_, dec->GetU64());
+  ESLEV_ASSIGN_OR_RETURN(released_, dec->GetU64());
+  ESLEV_ASSIGN_OR_RETURN(max_disorder_us_, dec->GetI64());
+  ESLEV_ASSIGN_OR_RETURN(uint32_t n, dec->GetU32());
+  buffer_.clear();
+  for (uint32_t i = 0; i < n; ++i) {
+    ESLEV_ASSIGN_OR_RETURN(uint64_t seq, dec->GetU64());
+    ESLEV_ASSIGN_OR_RETURN(uint32_t port, dec->GetU32());
+    ESLEV_ASSIGN_OR_RETURN(Tuple tuple, dec->GetTuple());
+    ESLEV_ASSIGN_OR_RETURN(bool synthesized, dec->GetBool());
+    tuple.set_synthesized(synthesized);
+    buffer_.emplace(std::make_pair(tuple.ts(), seq),
+                    Entry{port, std::move(tuple)});
+  }
+  return Status::OK();
+}
+
+}  // namespace eslev

@@ -1,0 +1,92 @@
+// ReorderStage: bounded disorder tolerance ahead of the CEP core
+// (DESIGN.md §15). CEDR-style lateness bound: an event may arrive
+// displaced by at most `lateness_bound` behind the maximum event time
+// seen so far. Events are buffered and re-emitted in (timestamp, arrival)
+// order once the observed maximum has passed them by the bound; an event
+// displaced by *exactly* the bound is still accepted, anything later is
+// counted (and optionally side-channeled) as a late drop — it can no
+// longer be emitted without violating the order already released.
+
+#ifndef ESLEV_INGEST_REORDER_STAGE_H_
+#define ESLEV_INGEST_REORDER_STAGE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <utility>
+
+#include "ingest/stage.h"
+
+namespace eslev {
+
+class ReorderStage : public IngestStage {
+ public:
+  explicit ReorderStage(Duration lateness_bound) : bound_(lateness_bound) {}
+
+  /// \brief Side channel for events beyond the lateness bound. When
+  /// unset, late events are counted and dropped.
+  using LateHandler = std::function<Status(size_t port, const Tuple&)>;
+  void set_late_handler(LateHandler handler) {
+    late_handler_ = std::move(handler);
+  }
+
+  /// \brief Everything at or below this timestamp has been released;
+  /// arrivals below it are late.
+  Timestamp release_frontier() const { return EffectiveFrontier(); }
+  Timestamp max_seen() const { return max_seen_; }
+  size_t depth() const { return buffer_.size(); }
+  uint64_t late_dropped() const { return late_dropped_; }
+  uint64_t released() const { return released_; }
+  /// \brief Largest (max_seen - arrival ts) observed, late drops included.
+  int64_t max_disorder_us() const { return max_disorder_us_; }
+
+  void AppendStats(OperatorStatList* out) const override;
+  Status SaveState(BinaryEncoder* enc) const override;
+  Status RestoreState(BinaryDecoder* dec) override;
+
+ protected:
+  Status ProcessTuple(size_t port, const Tuple& tuple) override;
+  /// Native batch path (DESIGN.md §13): inserts the whole run, then does
+  /// one release pass forwarding per-port runs as batches. Byte-identical
+  /// to per-tuple processing — the late check uses the running effective
+  /// frontier, so mid-batch frontier advances drop exactly the same
+  /// events either way.
+  Status ProcessBatch(size_t port, const TupleBatch& batch) override;
+  Status ProcessHeartbeat(Timestamp now) override;
+
+ private:
+  struct Entry {
+    size_t port;
+    Tuple tuple;
+  };
+
+  /// The frontier implied by the current max_seen (monotone because
+  /// max_seen is): release threshold for buffered events and the late
+  /// cutoff for arrivals.
+  Timestamp EffectiveFrontier() const {
+    if (max_seen_ == kMinTimestamp) return frontier_;
+    return std::max(frontier_, max_seen_ - bound_);
+  }
+
+  /// Late-check + buffer insert; no release. Returns true when buffered.
+  Result<bool> Insert(size_t port, const Tuple& tuple);
+  /// Release all buffered events at or below the effective frontier,
+  /// forwarding per-tuple (tuple path) or as per-port runs (batch path).
+  Status Release(bool batched);
+
+  Duration bound_;
+  LateHandler late_handler_;
+  // (ts, arrival seq) -> entry: release order, ties broken by arrival.
+  std::map<std::pair<Timestamp, uint64_t>, Entry> buffer_;
+  uint64_t next_seq_ = 0;
+  Timestamp max_seen_ = kMinTimestamp;
+  Timestamp frontier_ = kMinTimestamp;
+  Timestamp hb_out_ = kMinTimestamp;
+  uint64_t late_dropped_ = 0;
+  uint64_t released_ = 0;
+  int64_t max_disorder_us_ = 0;
+};
+
+}  // namespace eslev
+
+#endif  // ESLEV_INGEST_REORDER_STAGE_H_

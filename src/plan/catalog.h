@@ -6,6 +6,7 @@
 
 #include <string>
 
+#include "common/time.h"
 #include "expr/function_registry.h"
 #include "storage/table.h"
 #include "stream/stream.h"
@@ -20,6 +21,14 @@ class Catalog {
   /// \brief Find a table by name (case-insensitive); null when absent.
   virtual Table* FindTable(const std::string& name) const = 0;
   virtual const FunctionRegistry& registry() const = 0;
+
+  /// \brief The session's declared upper bound on input disorder
+  /// (IngestOptions::declared_disorder), consumed by the disorder-hazard
+  /// lint rule (DESIGN.md §15). 0 = in-order input declared.
+  virtual Duration declared_disorder() const { return 0; }
+  /// \brief The resolved ingest reorder lateness bound; 0 when no ingest
+  /// reorder stage is configured.
+  virtual Duration ingest_lateness() const { return 0; }
 };
 
 }  // namespace eslev

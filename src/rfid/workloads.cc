@@ -288,5 +288,126 @@ Workload MakeEpcWorkload(const EpcWorkloadOptions& options) {
   return w;
 }
 
+// ---------------------------------------------------------------------------
+// Ingest noise injection
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Copy `base` with its first string column rewritten to a fresh ghost
+/// identity (same schema, same timestamps).
+TimedReading MakeGhost(const TimedReading& base, size_t ghost_id) {
+  std::vector<Value> values = base.tuple.values();
+  const SchemaPtr& schema = base.tuple.schema();
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (schema != nullptr && i < schema->num_fields() &&
+        schema->field(i).type == TypeId::kString) {
+      values[i] = Value::String(values[i].ToString() + "#ghost" +
+                                std::to_string(ghost_id));
+      break;
+    }
+  }
+  return {base.stream,
+          Tuple(base.tuple.schema(), std::move(values), base.tuple.ts())};
+}
+
+}  // namespace
+
+NoiseStats InjectNoise(Workload* workload, const NoiseOptions& options) {
+  std::mt19937 rng(options.seed);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  NoiseStats stats;
+
+  // 1) Missed reads.
+  if (options.drop_rate > 0.0) {
+    std::vector<TimedReading> kept;
+    kept.reserve(workload->events.size());
+    for (TimedReading& event : workload->events) {
+      if (coin(rng) < options.drop_rate) {
+        ++stats.dropped;
+      } else {
+        kept.push_back(std::move(event));
+      }
+    }
+    workload->events = std::move(kept);
+  }
+
+  // 2) Duplicate and spurious reads, injected adjacent to the original
+  // (identical timestamps — arrival displacement below spreads them).
+  if (options.duplicate_rate > 0.0 || options.spurious_rate > 0.0) {
+    std::vector<TimedReading> expanded;
+    expanded.reserve(workload->events.size());
+    size_t ghost_id = 0;
+    for (TimedReading& event : workload->events) {
+      const bool duplicate = coin(rng) < options.duplicate_rate;
+      const bool spurious = coin(rng) < options.spurious_rate;
+      if (spurious) {
+        expanded.push_back(MakeGhost(event, ghost_id++));
+        ++stats.spurious_added;
+      }
+      expanded.push_back(event);
+      if (duplicate) {
+        for (size_t c = 0; c < options.duplicate_copies; ++c) {
+          expanded.push_back(event);
+          ++stats.duplicates_added;
+        }
+      }
+    }
+    workload->events = std::move(expanded);
+  }
+
+  // 3) Bounded arrival disorder: displace each event's arrival slot by
+  // U[0, max_shift] and stable-sort by displaced slot. Event time is
+  // untouched, and no event can arrive after one whose timestamp
+  // exceeds its own by more than max_shift.
+  if (options.max_shift > 0) {
+    std::uniform_int_distribution<Duration> shift_dist(0, options.max_shift);
+    std::vector<std::pair<Timestamp, size_t>> slots;
+    slots.reserve(workload->events.size());
+    for (size_t i = 0; i < workload->events.size(); ++i) {
+      slots.emplace_back(workload->events[i].tuple.ts() + shift_dist(rng), i);
+    }
+    std::stable_sort(slots.begin(), slots.end());
+    std::vector<TimedReading> shuffled;
+    shuffled.reserve(workload->events.size());
+    for (const auto& [slot, index] : slots) {
+      shuffled.push_back(std::move(workload->events[index]));
+    }
+    workload->events = std::move(shuffled);
+  }
+
+  Timestamp max_seen = kMinTimestamp;
+  for (const TimedReading& event : workload->events) {
+    const Timestamp ts = event.tuple.ts();
+    if (max_seen != kMinTimestamp && ts < max_seen) {
+      stats.max_disorder = std::max(stats.max_disorder, max_seen - ts);
+    }
+    max_seen = std::max(max_seen, ts);
+  }
+  return stats;
+}
+
+void NormalizeUniqueTimestamps(Workload* workload) {
+  Timestamp prev = kMinTimestamp;
+  for (TimedReading& event : workload->events) {
+    Timestamp ts = event.tuple.ts();
+    if (prev != kMinTimestamp && ts <= prev) ts = prev + 1;
+    if (ts != event.tuple.ts()) {
+      const Duration delta = ts - event.tuple.ts();
+      std::vector<Value> values = event.tuple.values();
+      const SchemaPtr& schema = event.tuple.schema();
+      for (size_t i = 0; i < values.size(); ++i) {
+        if (schema != nullptr && i < schema->num_fields() &&
+            schema->field(i).type == TypeId::kTimestamp &&
+            values[i].type() == TypeId::kTimestamp) {
+          values[i] = Value::Time(values[i].time_value() + delta);
+        }
+      }
+      event.tuple = Tuple(event.tuple.schema(), std::move(values), ts);
+    }
+    prev = ts;
+  }
+}
+
 }  // namespace rfid
 }  // namespace eslev

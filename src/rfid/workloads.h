@@ -149,6 +149,54 @@ struct EpcWorkloadOptions {
 /// expected_matches counts readings matching `pattern`.
 Workload MakeEpcWorkload(const EpcWorkloadOptions& options);
 
+// ---------------------------------------------------------------------------
+// E17: ingest noise injection (DESIGN.md §15)
+// ---------------------------------------------------------------------------
+
+/// \brief Noise injected into a clean, timestamp-ordered trace to
+/// exercise the ingest subsystem: bounded arrival disorder, duplicate
+/// reads, missed (dropped) reads, and spurious ghost reads. Tuple
+/// timestamps (event time) are never changed — disorder perturbs only
+/// the ARRIVAL order, by at most `max_shift` of displacement, so an
+/// ingest reorder stage with lateness_bound >= max_shift restores the
+/// exact clean order. Deterministic for a fixed seed.
+struct NoiseOptions {
+  /// Each event's arrival slot is displaced by U[0, max_shift]; events
+  /// are re-sorted by displaced slot (stable). 0 = keep arrival order.
+  Duration max_shift = 0;
+  /// P(a read gains `duplicate_copies` extra identical copies).
+  double duplicate_rate = 0.0;
+  size_t duplicate_copies = 1;
+  /// P(a read is removed) — a missed read.
+  double drop_rate = 0.0;
+  /// P(a ghost read is injected next to a real one). Ghosts copy the
+  /// real tuple but rewrite its first string column to a fresh
+  /// "...#ghostN" identity, so each ghost key is seen exactly once and
+  /// a min_read_count >= 2 cleaning stage filters all of them.
+  double spurious_rate = 0.0;
+  uint32_t seed = 7;
+};
+
+struct NoiseStats {
+  size_t duplicates_added = 0;
+  size_t dropped = 0;
+  size_t spurious_added = 0;
+  /// Max (largest-earlier-ts − this-ts) over the final arrival order:
+  /// the minimum reorder lateness bound that loses no event.
+  Duration max_disorder = 0;
+};
+
+/// \brief Apply `options` to `workload` in place (ground-truth counters
+/// are left untouched; they describe the clean trace).
+NoiseStats InjectNoise(Workload* workload, const NoiseOptions& options);
+
+/// \brief Rewrite timestamps so they are strictly increasing (ties
+/// bumped forward by 1 µs, event-time columns shifted in step. Events
+/// must be timestamp-ordered). Byte-identity differentials need unique
+/// timestamps: the reorder stage breaks timestamp ties by arrival
+/// order, which a disordered run cannot reproduce.
+void NormalizeUniqueTimestamps(Workload* workload);
+
 }  // namespace rfid
 }  // namespace eslev
 

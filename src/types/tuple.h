@@ -33,6 +33,15 @@ class Tuple {
   const Value& value(size_t i) const { return values_[i]; }
   Value& mutable_value(size_t i) { return values_[i]; }
 
+  /// \brief Provenance bit (DESIGN.md §15): true for reads synthesized by
+  /// the ingest cleaning stage's missed-read interpolation, false for
+  /// observed reads. In-memory only — not part of the frozen on-disk
+  /// tuple encoding (checkpoints that must persist it encode it
+  /// alongside the tuple) and excluded from Equals/ToString so query
+  /// output bytes are unchanged.
+  bool synthesized() const { return synthesized_; }
+  void set_synthesized(bool v) { synthesized_ = v; }
+
   /// \brief Value by column name, or NotFound.
   Result<Value> ValueByName(const std::string& name) const;
 
@@ -46,6 +55,7 @@ class Tuple {
   SchemaPtr schema_;
   std::vector<Value> values_;
   Timestamp ts_ = 0;
+  bool synthesized_ = false;
 };
 
 /// \brief Build a tuple validating arity and (loosely) types against the

@@ -334,6 +334,91 @@ TEST_F(LintRulesTest, WindowedGroupByIsClean) {
 }
 
 // ---------------------------------------------------------------------------
+// disorder-hazard
+// ---------------------------------------------------------------------------
+
+constexpr char kDisorderDdl[] = R"sql(
+  CREATE STREAM R1(readerid, tagid, tagtime);
+  CREATE STREAM R2(readerid, tagid, tagtime);
+)sql";
+
+constexpr char kDisorderSeqQuery[] =
+    "SELECT R1.tagid FROM R1, R2 WHERE SEQ(R1, R2) OVER "
+    "[30 SECONDS PRECEDING R2] AND R1.tagid = R2.tagid;";
+
+EngineOptions DisorderOptions(Duration declared, Duration lateness) {
+  EngineOptions options;
+  options.honor_ingest_env = false;
+  options.ingest.declared_disorder = declared;
+  options.ingest.lateness_bound = lateness;
+  return options;
+}
+
+std::vector<Diagnostic> LintWith(const EngineOptions& options,
+                                 const std::string& sql) {
+  Engine engine(options);
+  EXPECT_TRUE(engine.ExecuteScript(kDisorderDdl).ok());
+  Result<std::vector<Diagnostic>> r = engine.Lint(sql);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return r.ok() ? *r : std::vector<Diagnostic>{};
+}
+
+const Diagnostic* FindRule(const std::vector<Diagnostic>& diags,
+                           const std::string& rule) {
+  for (const Diagnostic& d : diags) {
+    if (d.rule == rule) return &d;
+  }
+  return nullptr;
+}
+
+TEST(DisorderHazardTest, DeclaredDisorderWithoutReorderWarns) {
+  const auto diags =
+      LintWith(DisorderOptions(Milliseconds(250), 0), kDisorderSeqQuery);
+  const Diagnostic* d = FindRule(diags, "disorder-hazard");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kWarning);
+  // Anchored at the SEQ predicate, the construct at risk.
+  EXPECT_EQ(d->span.line, 1);
+  EXPECT_EQ(d->span.column, 35);
+  EXPECT_NE(d->message.find("250000 us"), std::string::npos) << d->message;
+  EXPECT_NE(d->message.find("no ingest reorder stage"), std::string::npos)
+      << d->message;
+  // The fix hint names both spellings of the knob.
+  EXPECT_NE(d->hint.find("lateness_bound >= 250000"), std::string::npos)
+      << d->hint;
+  EXPECT_NE(d->hint.find("ESLEV_INGEST_LATENESS_US"), std::string::npos)
+      << d->hint;
+}
+
+TEST(DisorderHazardTest, PartialLatenessBoundWarnsWithCoverage) {
+  const auto diags = LintWith(
+      DisorderOptions(Milliseconds(250), Milliseconds(100)),
+      kDisorderSeqQuery);
+  const Diagnostic* d = FindRule(diags, "disorder-hazard");
+  ASSERT_NE(d, nullptr);
+  EXPECT_NE(d->message.find("covers only 100000 us"), std::string::npos)
+      << d->message;
+}
+
+TEST(DisorderHazardTest, CoveringLatenessBoundIsClean) {
+  const auto diags = LintWith(
+      DisorderOptions(Milliseconds(250), Milliseconds(250)),
+      kDisorderSeqQuery);
+  EXPECT_EQ(FindRule(diags, "disorder-hazard"), nullptr);
+}
+
+TEST(DisorderHazardTest, NoDeclaredDisorderIsClean) {
+  const auto diags = LintWith(DisorderOptions(0, 0), kDisorderSeqQuery);
+  EXPECT_EQ(FindRule(diags, "disorder-hazard"), nullptr);
+}
+
+TEST(DisorderHazardTest, NonSeqQueryIsClean) {
+  const auto diags = LintWith(DisorderOptions(Milliseconds(250), 0),
+                              "SELECT * FROM R1 WHERE R1.tagid = 'x';");
+  EXPECT_EQ(FindRule(diags, "disorder-hazard"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
 // plan-error
 // ---------------------------------------------------------------------------
 

@@ -213,6 +213,48 @@ TEST(BatchPipelineTest, FallbackOperatorCountsFallbackTuples) {
   EXPECT_GT(snap.counters.at("batch.fallback_tuples"), 0u);
 }
 
+TEST(BatchPipelineTest, IngestStagesRunNativeBatchPaths) {
+  // The ingest chain (reorder -> clean -> delivery) has native
+  // ProcessBatch overrides: a batched, disordered, duplicated run must
+  // not inflate batch.fallback_tuples (DESIGN.md §15).
+  EngineOptions options;
+  options.batch_size = 4;
+  options.honor_batch_env = false;
+  options.honor_ingest_env = false;
+  options.ingest.lateness_bound = Seconds(2);
+  options.ingest.smoothing_window = Milliseconds(5);
+  options.ingest.min_read_count = 1;
+  Engine engine(options);
+  ASSERT_TRUE(engine.ExecuteScript(R"sql(
+    CREATE STREAM readings(reader_id, tid, read_time);
+  )sql")
+                  .ok());
+  auto q = engine.RegisterQuery("SELECT reader_id, tid FROM readings");
+  ASSERT_TRUE(q.ok()) << q.status();
+  SchemaPtr schema = engine.FindStream("readings")->schema();
+  TupleBatch batch;
+  for (Timestamp ts : {Seconds(3), Seconds(1), Seconds(1), Seconds(2)}) {
+    auto t = MakeTuple(schema,
+                       {Value::String("r"), Value::String("t"), Value::Time(ts)},
+                       ts);
+    ASSERT_TRUE(t.ok()) << t.status();
+    batch.Add(*t);
+  }
+  ASSERT_TRUE(engine.PushBatch("readings", batch).ok());
+  ASSERT_TRUE(engine.AdvanceTime(Seconds(60)).ok());
+
+  MetricsSnapshot snap = engine.Metrics();
+  EXPECT_EQ(snap.gauges.at("ingest.enabled"), 1);
+  EXPECT_EQ(snap.counters.at("batch.fallback_tuples"), 0u);
+  // The stages really saw batched crossings, not just single tuples.
+  uint64_t ingest_batches = 0;
+  for (const Operator* op : engine.ingest_pipeline()->stages()) {
+    ingest_batches += op->batches_in();
+    EXPECT_EQ(op->batch_fallback_tuples(), 0u) << op->label();
+  }
+  EXPECT_GT(ingest_batches, 0u);
+}
+
 TEST(BatchPipelineTest, TableTargetDisablesBatching) {
   Engine engine = MakeEngine(64);
   ASSERT_TRUE(engine.ExecuteScript(R"sql(

@@ -1,0 +1,196 @@
+// Noise-injection tests (DESIGN.md §15): InjectNoise must be
+// deterministic per seed, report the true arrival disorder of the trace
+// it produced, and never touch event time — and a noisy trace must
+// survive both trace formats byte-exactly, arrival order included, so
+// recorded disordered runs replay as recorded.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "rfid/trace_io.h"
+#include "rfid/workloads.h"
+
+namespace eslev {
+namespace rfid {
+namespace {
+
+Workload SmallCleanTrace() {
+  DuplicateWorkloadOptions options;
+  options.num_distinct = 200;
+  options.duplicates_per_read = 0;  // noise adds its own duplicates
+  // Inter-arrival well under max_shift, so displacement actually swaps
+  // neighbours (slots are timestamp + U[0, max_shift]).
+  options.inter_arrival = Milliseconds(20);
+  options.seed = 11;
+  Workload w = MakeDuplicateWorkload(options);
+  NormalizeUniqueTimestamps(&w);
+  return w;
+}
+
+NoiseOptions FullNoise() {
+  NoiseOptions noise;
+  noise.max_shift = Milliseconds(300);
+  noise.duplicate_rate = 0.5;
+  noise.duplicate_copies = 2;
+  noise.drop_rate = 0.1;
+  noise.spurious_rate = 0.2;
+  noise.seed = 99;
+  return noise;
+}
+
+// The minimum lateness bound that loses nothing, recomputed from the
+// final arrival order the injector actually produced.
+Duration ObservedDisorder(const Workload& w) {
+  Duration worst = 0;
+  Timestamp max_seen = kMinTimestamp;
+  for (const auto& ev : w.events) {
+    if (max_seen != kMinTimestamp && ev.tuple.ts() < max_seen) {
+      worst = std::max(worst, max_seen - ev.tuple.ts());
+    }
+    max_seen = std::max(max_seen, ev.tuple.ts());
+  }
+  return worst;
+}
+
+TEST(InjectNoiseTest, SameSeedProducesIdenticalTraceAndStats) {
+  Workload a = SmallCleanTrace();
+  Workload b = SmallCleanTrace();
+  NoiseStats sa = InjectNoise(&a, FullNoise());
+  NoiseStats sb = InjectNoise(&b, FullNoise());
+
+  EXPECT_EQ(sa.duplicates_added, sb.duplicates_added);
+  EXPECT_EQ(sa.dropped, sb.dropped);
+  EXPECT_EQ(sa.spurious_added, sb.spurious_added);
+  EXPECT_EQ(sa.max_disorder, sb.max_disorder);
+
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].stream, b.events[i].stream);
+    EXPECT_TRUE(a.events[i].tuple.Equals(b.events[i].tuple)) << "event " << i;
+  }
+}
+
+TEST(InjectNoiseTest, DifferentSeedsPerturbDifferently) {
+  Workload a = SmallCleanTrace();
+  Workload b = SmallCleanTrace();
+  NoiseOptions noise = FullNoise();
+  InjectNoise(&a, noise);
+  noise.seed = noise.seed + 1;
+  InjectNoise(&b, noise);
+
+  bool differ = a.events.size() != b.events.size();
+  for (size_t i = 0; !differ && i < a.events.size(); ++i) {
+    differ = a.events[i].stream != b.events[i].stream ||
+             !a.events[i].tuple.Equals(b.events[i].tuple);
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(InjectNoiseTest, ReportedDisorderMatchesTraceAndRespectsBound) {
+  Workload w = SmallCleanTrace();
+  NoiseStats stats = InjectNoise(&w, FullNoise());
+
+  EXPECT_GT(stats.duplicates_added, 0u);
+  EXPECT_GT(stats.dropped, 0u);
+  EXPECT_GT(stats.spurious_added, 0u);
+  EXPECT_EQ(stats.max_disorder, ObservedDisorder(w));
+  EXPECT_LE(stats.max_disorder, FullNoise().max_shift);
+}
+
+TEST(InjectNoiseTest, DisorderOnlyPermutesArrivalNotEventTime) {
+  Workload clean = SmallCleanTrace();
+  Workload noisy = clean;
+  NoiseOptions noise;
+  noise.max_shift = Milliseconds(300);  // disorder alone, no add/drop
+  noise.seed = 5;
+  NoiseStats stats = InjectNoise(&noisy, noise);
+
+  EXPECT_EQ(stats.duplicates_added, 0u);
+  EXPECT_EQ(stats.dropped, 0u);
+  EXPECT_EQ(stats.spurious_added, 0u);
+  ASSERT_EQ(noisy.events.size(), clean.events.size());
+  EXPECT_GT(stats.max_disorder, 0);  // 200 events: a shuffle is certain
+
+  // Re-sorting the noisy trace by timestamp must recover the clean
+  // trace exactly — proof that only arrival order was perturbed.
+  std::stable_sort(noisy.events.begin(), noisy.events.end(),
+                   [](const TimedReading& x, const TimedReading& y) {
+                     return x.tuple.ts() < y.tuple.ts();
+                   });
+  for (size_t i = 0; i < clean.events.size(); ++i) {
+    EXPECT_EQ(noisy.events[i].stream, clean.events[i].stream);
+    EXPECT_TRUE(noisy.events[i].tuple.Equals(clean.events[i].tuple))
+        << "event " << i;
+  }
+}
+
+class NoisyTraceIoTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    std::remove(csv_path_.c_str());
+    std::remove(bin_path_.c_str());
+  }
+
+  std::string csv_path_ = ::testing::TempDir() + "/eslev_noise_trace.csv";
+  std::string bin_path_ = ::testing::TempDir() + "/eslev_noise_trace.bin";
+};
+
+// Both trace formats must preserve the event VECTOR order, not just the
+// event set: a disordered trace re-sorted on load would silently erase
+// the very property the ingest tests replay it for.
+TEST_F(NoisyTraceIoTest, RoundTripPreservesDisorderedArrivalOrder) {
+  Workload noisy = SmallCleanTrace();
+  NoiseStats stats = InjectNoise(&noisy, FullNoise());
+  ASSERT_GT(stats.max_disorder, 0);
+
+  const std::map<std::string, SchemaPtr> schemas = {
+      {"readings", ReaderSchema()}};
+
+  ASSERT_TRUE(SaveTraceCsv(noisy, csv_path_).ok());
+  auto from_csv = LoadTraceCsv(csv_path_, schemas);
+  ASSERT_TRUE(from_csv.ok()) << from_csv.status();
+
+  ASSERT_TRUE(SaveTraceBinary(noisy, bin_path_).ok());
+  auto from_bin = LoadTraceBinary(bin_path_, schemas);
+  ASSERT_TRUE(from_bin.ok()) << from_bin.status();
+
+  for (const Workload* loaded : {&*from_csv, &*from_bin}) {
+    ASSERT_EQ(loaded->events.size(), noisy.events.size());
+    for (size_t i = 0; i < noisy.events.size(); ++i) {
+      EXPECT_EQ(loaded->events[i].stream, noisy.events[i].stream);
+      EXPECT_TRUE(loaded->events[i].tuple.Equals(noisy.events[i].tuple))
+          << "event " << i;
+    }
+    EXPECT_EQ(ObservedDisorder(*loaded), stats.max_disorder);
+  }
+}
+
+TEST(NormalizeUniqueTimestampsTest, TiesBecomeStrictlyIncreasing) {
+  auto schema = ReaderSchema();
+  Workload w;
+  for (Timestamp ts : {Seconds(1), Seconds(1), Seconds(1), Seconds(2)}) {
+    auto t = MakeTuple(schema,
+                       {Value::String("r"), Value::String("tag"),
+                        Value::Time(ts)},
+                       ts);
+    ASSERT_TRUE(t.ok());
+    w.events.push_back({"readings", std::move(*t)});
+  }
+  NormalizeUniqueTimestamps(&w);
+
+  Timestamp prev = kMinTimestamp;
+  for (const auto& ev : w.events) {
+    EXPECT_GT(ev.tuple.ts(), prev);
+    // Event-time columns shift in lockstep with the tuple timestamp.
+    EXPECT_EQ(ev.tuple.value(2).time_value(), ev.tuple.ts());
+    prev = ev.tuple.ts();
+  }
+}
+
+}  // namespace
+}  // namespace rfid
+}  // namespace eslev

@@ -14,12 +14,14 @@ Modes:
 
              cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
              cmake --build build-release -j --target bench_e11_end_to_end \
-               bench_e16_batching bench_e6_pairing_modes bench_e9_seq_vs_join
+               bench_e16_batching bench_e6_pairing_modes bench_e9_seq_vs_join \
+               bench_e17_ingest
              mkdir -p /tmp/bench-json
              ESLEV_BENCH_JSON_DIR=/tmp/bench-json ./build-release/bench/bench_e11_end_to_end --benchmark_min_time=0.2s
              ESLEV_BENCH_JSON_DIR=/tmp/bench-json ./build-release/bench/bench_e16_batching --benchmark_min_time=0.2s
              ESLEV_BENCH_JSON_DIR=/tmp/bench-json ./build-release/bench/bench_e6_pairing_modes --benchmark_filter='BM_(Nfa)?Mode' --benchmark_min_time=0.2s
              ESLEV_BENCH_JSON_DIR=/tmp/bench-json ./build-release/bench/bench_e9_seq_vs_join --benchmark_filter='BM_Seq(Star|Chronicle)' --benchmark_min_time=0.2s
+             ESLEV_BENCH_JSON_DIR=/tmp/bench-json ./build-release/bench/bench_e17_ingest --benchmark_min_time=0.2s
              python3 tools/bench_gate.py refresh --json-dir /tmp/bench-json
 
 Only benchmarks present in the baseline gate the build; new benchmarks
