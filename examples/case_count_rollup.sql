@@ -1,0 +1,9 @@
+-- Case-count rollup: windowed EPC aggregation over the trailing minute
+-- (the Example 3 windowed form, ICDE'07 §2.3). The sliding window
+-- bounds the aggregate's buffer; EXPLAIN COST sizes it from the
+-- declared input rate and window length.
+CREATE STREAM case_reads(reader_id, tid, read_time);
+
+SELECT count(tid) FROM TABLE(case_reads OVER
+    (RANGE 60 SECONDS PRECEDING CURRENT)) AS r
+WHERE tid LIKE '20.%.%';

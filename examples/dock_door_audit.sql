@@ -1,0 +1,12 @@
+-- Dock-door audit: flag pallets that reach the outbound door without a
+-- forklift escort inside the surrounding minute (the Example 8 shape,
+-- ICDE'07 §2.2). The PRECEDING AND FOLLOWING window bounds both the
+-- read buffer and the pending set, so EXPLAIN COST reports finite
+-- state on every operator.
+CREATE STREAM dock_reads(tagid, tagtype, tagtime);
+
+SELECT * FROM dock_reads AS pallet
+WHERE pallet.tagtype = 'item' AND NOT EXISTS
+  (SELECT * FROM dock_reads AS escort
+     OVER [1 MINUTES PRECEDING AND FOLLOWING pallet]
+   WHERE escort.tagtype = 'person');

@@ -1,0 +1,14 @@
+-- EXPLAIN COST quick-start (DESIGN.md §16): a windowed, key-linked
+-- SEQ pairing whose retained state is statically bounded. Run
+--   eslev_lint --cost examples/explain_cost_quickstart.sql
+-- for the one-line summary, or --cost --json for the full report
+-- (per-operator bounds, formulas, and the per-shard cost split).
+CREATE STREAM shelf(readerid, tagid, tagtime);
+CREATE STREAM gate(readerid, tagid, tagtime);
+CREATE STREAM shipped(tagid, shelf_time, gate_time);
+
+INSERT INTO shipped
+SELECT shelf.tagid, shelf.tagtime, gate.tagtime
+FROM shelf, gate
+WHERE SEQ(shelf, gate) OVER [30 SECONDS PRECEDING gate]
+  AND shelf.tagid = gate.tagid;

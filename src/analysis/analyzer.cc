@@ -1,7 +1,9 @@
 #include "analysis/analyzer.h"
 
 #include <algorithm>
+#include <optional>
 
+#include "analysis/cost_model.h"
 #include "sql/parser.h"
 
 namespace eslev {
@@ -105,8 +107,17 @@ Result<std::vector<Diagnostic>> QueryAnalyzer::Analyze(
   // AST-level rules still run (and usually explain *why* planning died).
   Planner planner(catalog_);
   Result<PlannedQuery> planned = planner.Plan(stmt);
+  std::optional<QueryCostReport> cost_report;
   if (planned.ok()) {
     ctx.plan = &*planned;
+    // Cost analysis reuses the plan; a failure here leaves ctx.cost null
+    // and rules fall back to their unquantified messages.
+    CostAnalyzer cost_analyzer(catalog_);
+    Result<QueryCostReport> cost = cost_analyzer.AnalyzeFromPlan(stmt, *planned);
+    if (cost.ok()) {
+      cost_report = std::move(cost).ValueUnsafe();
+      ctx.cost = &*cost_report;
+    }
   } else {
     ctx.plan_status = planned.status();
   }

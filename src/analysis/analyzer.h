@@ -20,6 +20,8 @@
 //   disorder-hazard       SEQ over live streams while the session
 //                         declares input disorder no ingest reorder
 //                         stage covers (DESIGN.md §15)
+//   seq-negation-coverage mid-sequence negation in a 4+-position SEQ
+//                         guards only one inter-position gap (§14)
 //   plan-error            the planner rejected the statement outright
 
 #ifndef ESLEV_ANALYSIS_ANALYZER_H_
@@ -36,6 +38,8 @@
 #include "sql/ast.h"
 
 namespace eslev {
+
+struct QueryCostReport;  // analysis/cost_model.h
 
 /// \brief Everything a lint rule may inspect about one statement.
 struct LintContext {
@@ -54,6 +58,10 @@ struct LintContext {
   /// `plan_status`; the plan-error rule reports it).
   const PlannedQuery* plan = nullptr;
   Status plan_status = Status::OK();
+  /// Static cost & state-bound report for the planned statement, or
+  /// nullptr when planning (or cost analysis) failed. Rules use it to
+  /// quantify their findings (DESIGN.md §16).
+  const QueryCostReport* cost = nullptr;
 };
 
 /// \brief One lint rule: inspect the context, append findings. Rules

@@ -1,0 +1,385 @@
+#include "analysis/cost_model.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "analysis/analyzer.h"
+#include "cep/seq_operator_base.h"
+#include "common/string_util.h"
+#include "exec/aggregate.h"
+#include "exec/basic_ops.h"
+#include "exec/table_ops.h"
+#include "exec/windowed_not_exists.h"
+#include "plan/partitioning.h"
+
+namespace eslev {
+
+namespace {
+
+void EscapeJson(const std::string& in, std::string* out) {
+  out->push_back('"');
+  for (const char c : in) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+/// Unwrap EXPLAIN wrappers down to the SELECT / INSERT statement.
+const Statement* Unwrap(const Statement& stmt) {
+  const Statement* s = &stmt;
+  while (s->kind == StatementKind::kExplain) {
+    s = static_cast<const ExplainStmt*>(s)->inner.get();
+  }
+  return s;
+}
+
+bool ContainsKind(const Expr& expr, ExprKind kind) {
+  bool found = false;
+  ForEachExprIn(expr, [&](const Expr& e) {
+    if (e.kind == kind) found = true;
+  });
+  return found;
+}
+
+bool ContainsPrevious(const Expr& expr) {
+  bool found = false;
+  ForEachExprIn(expr, [&](const Expr& e) {
+    if (e.kind == ExprKind::kColumnRef &&
+        static_cast<const ColumnRefExpr&>(e).previous) {
+      found = true;
+    }
+  });
+  return found;
+}
+
+}  // namespace
+
+CostAnalyzer::CostAnalyzer(const Catalog* catalog, SeqBackend backend,
+                           CostModelParams params)
+    : catalog_(catalog), backend_(backend), params_(params) {}
+
+Result<QueryCostReport> CostAnalyzer::Analyze(const Statement& stmt) const {
+  const Statement* inner = Unwrap(stmt);
+  Planner planner(catalog_, backend_);
+  ESLEV_ASSIGN_OR_RETURN(PlannedQuery plan, planner.Plan(*inner));
+  return AnalyzeFromPlan(*inner, plan);
+}
+
+Result<QueryCostReport> CostAnalyzer::AnalyzeFromPlan(
+    const Statement& stmt, const PlannedQuery& plan) const {
+  const Statement* s = Unwrap(stmt);
+  const SelectStmt* select = nullptr;
+  if (s->kind == StatementKind::kSelect) {
+    select = static_cast<const SelectStatement*>(s)->select.get();
+  } else if (s->kind == StatementKind::kInsert) {
+    select = static_cast<const InsertStmt*>(s)->select.get();
+  } else {
+    return Status::Invalid("EXPLAIN COST applies to SELECT / INSERT");
+  }
+
+  QueryCostReport report;
+  report.statement = s->ToString();
+  report.backend = backend_ == SeqBackend::kNfa ? "nfa" : "history";
+  report.assumed_shards = params_.assumed_shards;
+
+  std::vector<const Expr*> conjuncts;
+  FlattenConjuncts(select->where.get(), &conjuncts);
+  std::vector<const SeqExpr*> seqs;
+  ForEachExpr(*select, [&seqs](const Expr& e) {
+    if (e.kind == ExprKind::kSeq) {
+      seqs.push_back(static_cast<const SeqExpr*>(&e));
+    }
+  });
+
+  const auto rate_of = [this](const std::string& stream) {
+    const StreamStats* stats = catalog_->FindStreamStats(stream);
+    return stats != nullptr && stats->rate_per_sec > 0
+               ? stats->rate_per_sec
+               : params_.default_rate_per_sec;
+  };
+  const auto keys_of = [this](const std::string& stream) {
+    const StreamStats* stats = catalog_->FindStreamStats(stream);
+    return stats != nullptr && stats->distinct_keys > 0
+               ? stats->distinct_keys
+               : params_.default_distinct_keys;
+  };
+
+  // Alias -> (rate, partition-key column) for selectivity decisions.
+  std::map<std::string, std::pair<double, std::string>> alias_info;
+  double query_keys = params_.default_distinct_keys;
+  bool keys_seen = false;
+  for (const TableRef& ref : select->from) {
+    const Stream* stream = catalog_->FindStream(ref.name);
+    if (stream == nullptr) continue;
+    const SchemaPtr& schema = stream->schema();
+    const std::string key =
+        AsciiToLower(schema->field(DefaultPartitionKeyIndex(schema)).name);
+    alias_info[AsciiToLower(ref.alias)] = {rate_of(ref.name), key};
+    if (!keys_seen) {
+      query_keys = keys_of(ref.name);
+      keys_seen = true;
+    }
+  }
+
+  // Selectivity of one plain WHERE conjunct (DESIGN.md §16 defaults):
+  // equality on the partition key 1/K, other equality / unknown shapes
+  // other_selectivity, ranges range_selectivity, LIKE like_selectivity.
+  const auto selectivity_of = [&](const Expr& c) -> double {
+    if (c.kind != ExprKind::kBinary) return params_.other_selectivity;
+    const auto& b = static_cast<const BinaryExpr&>(c);
+    const bool l_col = b.lhs->kind == ExprKind::kColumnRef;
+    const bool r_col = b.rhs->kind == ExprKind::kColumnRef;
+    if (l_col && r_col) return 1.0;  // join predicate, priced elsewhere
+    const double key_eq = 1.0 / std::max(query_keys, 1.0);
+    const auto eq_sel = [&]() {
+      const Expr* col = l_col ? b.lhs.get() : r_col ? b.rhs.get() : nullptr;
+      if (col == nullptr) return params_.other_selectivity;
+      const auto& ref = static_cast<const ColumnRefExpr&>(*col);
+      const auto it = alias_info.find(AsciiToLower(ref.qualifier));
+      if (it != alias_info.end() &&
+          AsciiToLower(ref.column) == it->second.second) {
+        return key_eq;
+      }
+      return params_.other_selectivity;
+    };
+    switch (b.op) {
+      case BinaryOp::kEq:
+        return eq_sel();
+      case BinaryOp::kNe:
+        return 1.0 - eq_sel();
+      case BinaryOp::kLt:
+      case BinaryOp::kLe:
+      case BinaryOp::kGt:
+      case BinaryOp::kGe:
+        return params_.range_selectivity;
+      case BinaryOp::kLike:
+        return params_.like_selectivity;
+      case BinaryOp::kNotLike:
+        return 1.0 - params_.like_selectivity;
+      default:
+        return params_.other_selectivity;
+    }
+  };
+
+  double filter_selectivity = 1.0;
+  for (const Expr* c : conjuncts) {
+    if (ContainsKind(*c, ExprKind::kExists) ||
+        ContainsKind(*c, ExprKind::kSeq) ||
+        ContainsKind(*c, ExprKind::kStarAgg) || ContainsPrevious(*c) ||
+        !ContainsKind(*c, ExprKind::kColumnRef)) {
+      continue;
+    }
+    filter_selectivity *= selectivity_of(*c);
+  }
+  filter_selectivity = std::clamp(filter_selectivity, 0.0, 1.0);
+
+  // Total arrival rate into the pipeline (every subscription delivers).
+  double current = 0;
+  for (const PlannedQuery::Subscription& sub : plan.subscriptions) {
+    current += rate_of(sub.stream->name());
+  }
+
+  const PartitionVerdict verdict =
+      ClassifyPartitioning(*catalog_, *select, conjuncts, seqs);
+
+  bool filter_applied = false;
+  for (Operator* op : plan.note_ops) {
+    if (op == nullptr) continue;
+    OperatorCost row;
+    row.label = op->label().empty() ? "op" : op->label();
+    row.in_rate = current;
+    row.out_rate = current;
+    row.cpu_cost = current;
+    row.state = StatelessStateBound();
+
+    if (auto* seq = dynamic_cast<SeqOperatorBase*>(op)) {
+      const SeqOperatorConfig& cfg = seq->config();
+      row.op = "SeqOperator";
+      row.state_gauges = {"retained_history"};
+      std::vector<double> rates;
+      for (const SeqPosition& pos : cfg.positions) {
+        const auto it = alias_info.find(AsciiToLower(pos.alias));
+        rates.push_back(it != alias_info.end()
+                            ? it->second.first
+                            : params_.default_rate_per_sec);
+      }
+      row.state = SeqStateBound(cfg, rates);
+      const double r_last = rates.empty() ? 0 : rates.back();
+      // Cardinality: each trigger enumerates the candidate combinations
+      // of the stored positions; partition-key-linked positions narrow
+      // each by 1/K. Non-UNRESTRICTED modes emit at most one match per
+      // trigger.
+      double combos = 1.0;
+      const bool linked = verdict == PartitionVerdict::kPartitionable;
+      if (cfg.window.has_value()) {
+        const double w = WindowSeconds(cfg.window->length);
+        for (size_t i = 0; i + 1 < cfg.positions.size(); ++i) {
+          if (cfg.positions[i].negated || cfg.positions[i].star) continue;
+          double cand = rates[i] * w;
+          if (linked) cand /= std::max(query_keys, 1.0);
+          combos *= std::max(cand, 0.0);
+        }
+      }
+      row.out_rate = cfg.mode == PairingMode::kUnrestricted
+                         ? r_last * std::max(combos, 0.0)
+                         : r_last;
+      // Matching scans the retained history per trigger; unbounded
+      // history is priced over the documented horizon.
+      const double scanned =
+          row.state.bounded
+              ? row.state.tuples
+              : row.state.growth_per_sec * params_.unbounded_scan_horizon_secs;
+      row.cpu_cost = current + r_last * scanned;
+    } else if (auto* ex = dynamic_cast<ExceptionSeqOperatorBase*>(op)) {
+      const ExceptionSeqConfig& cfg = ex->config();
+      row.op = "ExceptionSeqOperator";
+      row.state_gauges = {"partial_level"};
+      std::vector<double> rates;
+      for (const SeqPosition& pos : cfg.positions) {
+        const auto it = alias_info.find(AsciiToLower(pos.alias));
+        rates.push_back(it != alias_info.end()
+                            ? it->second.first
+                            : params_.default_rate_per_sec);
+      }
+      row.state = ExceptionSeqStateBound(cfg, rates);
+      // Every started run terminates exactly once (completion, violation
+      // or expiry): the terminal rate tracks the first position's rate.
+      row.out_rate = rates.empty() ? 0 : rates.front();
+    } else if (auto* wne = dynamic_cast<WindowedNotExistsOperator*>(op)) {
+      row.op = "WindowedNotExists";
+      row.state_gauges = {"window_buffer", "pending"};
+      row.state = WindowedNotExistsStateBound(wne->window(), current, current);
+      row.out_rate = current * params_.anti_join_pass_rate;
+      if (!filter_applied) {
+        row.out_rate *= filter_selectivity;
+        filter_applied = true;
+      }
+      // Each arrival probes the retained buffer and pending set.
+      row.cpu_cost = current + current * row.state.tuples;
+    } else if (auto* agg = dynamic_cast<AggregateOperator*>(op)) {
+      row.op = "Aggregate";
+      row.state_gauges = {"groups", "window_buffer"};
+      row.state = AggregateStateBound(agg->num_group_exprs(), query_keys,
+                                      agg->window(), current);
+      // Continuous semantics: one output row per input tuple.
+    } else if (auto* ins = dynamic_cast<TableInsertOperator*>(op)) {
+      row.op = "TableInsert";
+      row.state = TableInsertStateBound(current);
+      (void)ins;
+    } else if (dynamic_cast<TableNotExistsOperator*>(op) != nullptr) {
+      row.op = "TableNotExists";
+      row.out_rate = current * params_.anti_join_pass_rate;
+    } else if (dynamic_cast<StreamTableJoinOperator*>(op) != nullptr) {
+      row.op = "StreamTableJoin";
+    } else if (dynamic_cast<FilterOperator*>(op) != nullptr) {
+      row.op = "Filter";
+      if (!filter_applied) {
+        row.out_rate = current * filter_selectivity;
+        filter_applied = true;
+      }
+    } else if (dynamic_cast<ProjectOperator*>(op) != nullptr) {
+      row.op = "Project";
+    } else {
+      row.op = "Operator";
+    }
+
+    current = row.out_rate;
+    report.total_cpu_cost += row.cpu_cost;
+    if (row.state.bounded) {
+      report.total_state_tuples += row.state.tuples;
+    } else {
+      report.state_bounded = false;
+      report.total_state_growth_per_sec += row.state.growth_per_sec;
+    }
+    report.operators.push_back(std::move(row));
+  }
+
+  switch (verdict) {
+    case PartitionVerdict::kPartitionable:
+      report.partitioning = "partitionable";
+      break;
+    case PartitionVerdict::kSingleShard:
+      report.partitioning = "single-shard";
+      break;
+    case PartitionVerdict::kUndecided:
+      report.partitioning = "undecided";
+      break;
+  }
+  report.single_shard_cost = report.total_cpu_cost;
+  report.per_shard_cost =
+      report.total_cpu_cost / std::max(params_.assumed_shards, 1);
+  report.fallback_delta = report.single_shard_cost - report.per_shard_cost;
+  return report;
+}
+
+std::string QueryCostReport::ToJson() const {
+  std::string out = "{\"cost_model_version\":1,\"statement\":";
+  EscapeJson(statement, &out);
+  out += ",\"backend\":";
+  EscapeJson(backend, &out);
+  out += ",\"operators\":[";
+  for (size_t i = 0; i < operators.size(); ++i) {
+    const OperatorCost& op = operators[i];
+    if (i > 0) out += ",";
+    out += "{\"op\":";
+    EscapeJson(op.op, &out);
+    out += ",\"label\":";
+    EscapeJson(op.label, &out);
+    out += ",\"in_rate\":" + FormatCostNumber(op.in_rate);
+    out += ",\"out_rate\":" + FormatCostNumber(op.out_rate);
+    out += ",\"cpu_cost\":" + FormatCostNumber(op.cpu_cost);
+    out += ",\"state\":{\"bounded\":";
+    out += op.state.bounded ? "true" : "false";
+    out += ",\"tuples\":" + FormatCostNumber(op.state.tuples);
+    out += ",\"growth_per_sec\":" + FormatCostNumber(op.state.growth_per_sec);
+    out += ",\"formula\":";
+    EscapeJson(op.state.formula, &out);
+    out += "},\"state_gauges\":[";
+    for (size_t g = 0; g < op.state_gauges.size(); ++g) {
+      if (g > 0) out += ",";
+      EscapeJson(op.state_gauges[g], &out);
+    }
+    out += "]}";
+  }
+  out += "],\"totals\":{\"cpu_cost\":" + FormatCostNumber(total_cpu_cost);
+  out += ",\"state_bounded\":";
+  out += state_bounded ? "true" : "false";
+  out += ",\"state_tuples\":" + FormatCostNumber(total_state_tuples);
+  out += ",\"state_growth_per_sec\":" +
+         FormatCostNumber(total_state_growth_per_sec);
+  out += "},\"sharding\":{\"verdict\":";
+  EscapeJson(partitioning, &out);
+  out += ",\"assumed_shards\":" + std::to_string(assumed_shards);
+  out += ",\"single_shard_cost\":" + FormatCostNumber(single_shard_cost);
+  out += ",\"per_shard_cost\":" + FormatCostNumber(per_shard_cost);
+  out += ",\"fallback_delta\":" + FormatCostNumber(fallback_delta);
+  out += "}}";
+  return out;
+}
+
+}  // namespace eslev

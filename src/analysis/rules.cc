@@ -6,10 +6,10 @@
 
 #include <initializer_list>
 #include <map>
-#include <numeric>
 #include <vector>
 
 #include "analysis/analyzer.h"
+#include "analysis/cost_model.h"
 #include "common/string_util.h"
 #include "expr/binder.h"
 #include "expr/bound_expr.h"
@@ -49,6 +49,17 @@ bool ContainsAnyKind(const Expr& expr, std::initializer_list<ExprKind> kinds) {
   return found;
 }
 
+/// " (estimated growth N tuples/s at declared input rates)" when the
+/// cost model confirmed unbounded state, else "".
+std::string GrowthNote(const LintContext& ctx) {
+  if (ctx.cost == nullptr || ctx.cost->total_state_growth_per_sec <= 0) {
+    return "";
+  }
+  return " (estimated growth " +
+         FormatCostNumber(ctx.cost->total_state_growth_per_sec) +
+         " tuples/s at declared input rates)";
+}
+
 // ---------------------------------------------------------------------------
 // unbounded-retention
 // ---------------------------------------------------------------------------
@@ -63,7 +74,8 @@ void UnboundedRetentionRule(const LintContext& ctx,
           Severity::kError, "unbounded-retention",
           std::string(SeqKindToString(seq->seq_kind)) +
               " pairs in UNRESTRICTED mode with no OVER window: every tuple "
-              "of every argument stream is retained forever",
+              "of every argument stream is retained forever" +
+              GrowthNote(ctx),
           seq->span,
           "add an OVER [n unit PRECEDING|FOLLOWING anchor] window, or a MODE "
           "clause that licenses purging (RECENT, CHRONICLE or CONSECUTIVE)"));
@@ -73,7 +85,8 @@ void UnboundedRetentionRule(const LintContext& ctx,
       out->push_back(Make(
           Severity::kWarning, "unbounded-retention",
           "CHRONICLE pairing consumes tuples only when they match; unmatched "
-          "tuples are retained forever without an OVER window",
+          "tuples are retained forever without an OVER window" +
+              GrowthNote(ctx),
           seq->span,
           "add an OVER [...] window to bound unmatched-tuple retention"));
       for (const SeqArg& arg : seq->args) {
@@ -369,86 +382,28 @@ void DeadPredicateRule(const LintContext& ctx, std::vector<Diagnostic>* out) {
 // shard-fallback
 // ---------------------------------------------------------------------------
 
-/// One partition-relevant FROM position: its alias and the lower-cased
-/// name of the column the stream hash-partitions on by default.
-struct PartitionPos {
-  std::string alias;
-  std::string key;  // lower-cased partition column name
-};
-
-/// Resolve every FROM entry (or SEQ argument) that maps to a stream.
-/// Returns false when any entry is unresolvable (unknown alias/stream):
-/// the rule then stays silent rather than guessing.
-bool ResolvePositions(const std::vector<const TableRef*>& refs,
-                      const Catalog& catalog,
-                      std::vector<PartitionPos>* out) {
-  for (const TableRef* ref : refs) {
-    const Stream* stream = catalog.FindStream(ref->name);
-    if (stream == nullptr) return false;
-    const SchemaPtr& schema = stream->schema();
-    PartitionPos pos;
-    pos.alias = AsciiToLower(ref->alias);
-    pos.key =
-        AsciiToLower(schema->field(DefaultPartitionKeyIndex(schema)).name);
-    out->push_back(std::move(pos));
-  }
-  return true;
-}
-
-/// Union-find over positions, linked by `a.key_a = b.key_b` conjuncts on
-/// the respective partition keys. Returns true when all positions end up
-/// in one component.
-bool KeyLinked(const std::vector<PartitionPos>& positions,
-               const std::vector<const Expr*>& conjuncts) {
-  if (positions.size() < 2) return true;
-  std::vector<size_t> root(positions.size());
-  std::iota(root.begin(), root.end(), size_t{0});
-  const std::function<size_t(size_t)> find = [&](size_t i) {
-    while (root[i] != i) i = root[i] = root[root[i]];
-    return i;
-  };
-  const auto index_of = [&positions](const std::string& alias) -> int {
-    const std::string lower = AsciiToLower(alias);
-    for (size_t i = 0; i < positions.size(); ++i) {
-      if (positions[i].alias == lower) return static_cast<int>(i);
-    }
-    return -1;
-  };
-  for (const Expr* c : conjuncts) {
-    if (c->kind != ExprKind::kBinary) continue;
-    const auto& b = static_cast<const BinaryExpr&>(*c);
-    if (b.op != BinaryOp::kEq) continue;
-    if (b.lhs->kind != ExprKind::kColumnRef ||
-        b.rhs->kind != ExprKind::kColumnRef) {
-      continue;
-    }
-    const auto& l = static_cast<const ColumnRefExpr&>(*b.lhs);
-    const auto& r = static_cast<const ColumnRefExpr&>(*b.rhs);
-    if (l.previous || r.previous) continue;
-    const int li = index_of(l.qualifier);
-    const int ri = index_of(r.qualifier);
-    if (li < 0 || ri < 0 || li == ri) continue;
-    if (AsciiToLower(l.column) != positions[static_cast<size_t>(li)].key ||
-        AsciiToLower(r.column) != positions[static_cast<size_t>(ri)].key) {
-      continue;
-    }
-    root[find(static_cast<size_t>(li))] = find(static_cast<size_t>(ri));
-  }
-  const size_t first = find(0);
-  for (size_t i = 1; i < positions.size(); ++i) {
-    if (find(i) != first) return false;
-  }
-  return true;
-}
+// Partition-key resolution and union-find linkage live in
+// plan/partitioning.h (shared with the cost model's per-shard split).
 
 void ShardFallbackRule(const LintContext& ctx, std::vector<Diagnostic>* out) {
   const auto warn = [&](const std::string& what, const SourceSpan& span) {
-    out->push_back(Make(
-        Severity::kWarning, "shard-fallback",
+    std::string message =
         what + " — matches can pair tuples with different partition keys, "
                "so ShardedEngine must route the source streams to a single "
-               "shard (SetSingleShard), forfeiting parallelism",
-        span,
+               "shard (SetSingleShard), forfeiting parallelism";
+    if (ctx.cost != nullptr) {
+      // Quantify the fallback with the cost model's per-shard split.
+      message += "; estimated " +
+                 FormatCostNumber(ctx.cost->single_shard_cost) +
+                 " predicate evals/s on the hot shard vs " +
+                 FormatCostNumber(ctx.cost->per_shard_cost) +
+                 "/shard if key-partitioned across " +
+                 std::to_string(ctx.cost->assumed_shards) +
+                 " shards (fallback delta +" +
+                 FormatCostNumber(ctx.cost->fallback_delta) + "/s)";
+    }
+    out->push_back(Make(
+        Severity::kWarning, "shard-fallback", std::move(message), span,
         "join every position on the partition key (e.g. a.tagid = b.tagid), "
         "or accept single-shard routing"));
   };
@@ -470,8 +425,8 @@ void ShardFallbackRule(const LintContext& ctx, std::vector<Diagnostic>* out) {
       refs.push_back(found);
     }
     std::vector<PartitionPos> positions;
-    if (!ResolvePositions(refs, *ctx.catalog, &positions)) return;
-    if (!KeyLinked(positions, ctx.conjuncts)) {
+    if (!ResolvePartitionPositions(refs, *ctx.catalog, &positions)) return;
+    if (!PartitionKeyLinked(positions, ctx.conjuncts)) {
       warn("SEQ positions are not pairwise joined on their partition keys",
            seq.span);
     }
@@ -488,8 +443,8 @@ void ShardFallbackRule(const LintContext& ctx, std::vector<Diagnostic>* out) {
   }
   if (stream_refs.size() >= 2) {
     std::vector<PartitionPos> positions;
-    if (ResolvePositions(stream_refs, *ctx.catalog, &positions) &&
-        !KeyLinked(positions, ctx.conjuncts)) {
+    if (ResolvePartitionPositions(stream_refs, *ctx.catalog, &positions) &&
+        !PartitionKeyLinked(positions, ctx.conjuncts)) {
       warn("joined streams are not equated on their partition keys",
            ctx.statement->span);
     }
@@ -508,13 +463,13 @@ void ShardFallbackRule(const LintContext& ctx, std::vector<Diagnostic>* out) {
     if (sub.from.size() != 1) return;
     if (ctx.catalog->FindStream(sub.from[0].name) == nullptr) return;
     std::vector<PartitionPos> positions;
-    if (!ResolvePositions({outer_ref, &sub.from[0]}, *ctx.catalog,
-                          &positions)) {
+    if (!ResolvePartitionPositions({outer_ref, &sub.from[0]}, *ctx.catalog,
+                                   &positions)) {
       return;
     }
     std::vector<const Expr*> sub_conjuncts;
     FlattenConjuncts(sub.where.get(), &sub_conjuncts);
-    if (!KeyLinked(positions, sub_conjuncts)) {
+    if (!PartitionKeyLinked(positions, sub_conjuncts)) {
       warn("the EXISTS subquery does not correlate with '" +
                outer_ref->alias + "' on the partition key",
            e.span);
@@ -526,16 +481,33 @@ void ShardFallbackRule(const LintContext& ctx, std::vector<Diagnostic>* out) {
 // durability-hazard
 // ---------------------------------------------------------------------------
 
+/// The cost-model row for the first operator whose kind matches `op`,
+/// or nullptr (no cost report / no such operator).
+const OperatorCost* FindCostRow(const LintContext& ctx,
+                                const std::string& op) {
+  if (ctx.cost == nullptr) return nullptr;
+  for (const OperatorCost& row : ctx.cost->operators) {
+    if (row.op == op) return &row;
+  }
+  return nullptr;
+}
+
 void DurabilityHazardRule(const LintContext& ctx,
                           std::vector<Diagnostic>* out) {
   if (!ctx.insert_target.empty() &&
       ctx.catalog->FindTable(ctx.insert_target) != nullptr) {
+    std::string growth;
+    if (const OperatorCost* row = FindCostRow(ctx, "TableInsert")) {
+      growth = " (estimated +" + FormatCostNumber(row->in_rate) +
+               " rows/s at declared input rates)";
+    }
     out->push_back(Make(
         Severity::kWarning, "durability-hazard",
         "INSERT INTO table '" + ctx.insert_target +
             "' accumulates every emitted row; checkpoints serialize whole "
             "tables, so checkpoint size and time grow with total input "
-            "(DESIGN.md §10)",
+            "(DESIGN.md §10)" +
+            growth,
         ctx.statement->span,
         "bound the table (periodic deletes) or target a stream so retention "
         "windows purge history; under replication (DESIGN.md §12) the same "
@@ -546,14 +518,59 @@ void DurabilityHazardRule(const LintContext& ctx,
     const TableRef& src = ctx.select->from[0];
     if (!src.window.has_value() &&
         ctx.catalog->FindStream(src.name) != nullptr) {
+      std::string groups;
+      if (const OperatorCost* row = FindCostRow(ctx, "Aggregate")) {
+        if (row->state.bounded) {
+          groups = " (estimated " + FormatCostNumber(row->state.tuples) +
+                   " groups at declared key cardinality)";
+        }
+      }
       out->push_back(Make(
           Severity::kWarning, "durability-hazard",
           "GROUP BY over the unwindowed stream '" + src.name +
               "' keeps one aggregate state per distinct key forever; "
-              "checkpoint size grows with key cardinality",
+              "checkpoint size grows with key cardinality" +
+              groups,
           src.span,
           "window the stream reference (OVER (RANGE n unit PRECEDING "
           "CURRENT)) so idle groups expire"));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// seq-negation-coverage
+// ---------------------------------------------------------------------------
+
+/// A negated position is checked as interval evidence between its
+/// *neighbouring matched* positions (NegationOk, DESIGN.md §14). In a
+/// 4+-position SEQ a mid-sequence negation therefore guards only one of
+/// several inter-position gaps — authors often expect "never during the
+/// whole sequence" — and its forbidden-event history is exempt from
+/// every purge license (even RECENT keeps all of it as evidence), so it
+/// is scanned in full per candidate match.
+void SeqNegationCoverageRule(const LintContext& ctx,
+                             std::vector<Diagnostic>* out) {
+  for (const SeqExpr* seq : ctx.seqs) {
+    const size_t n = seq->args.size();
+    if (n < 4) continue;
+    for (size_t i = 1; i + 1 < n; ++i) {
+      const SeqArg& arg = seq->args[i];
+      if (!arg.negated) continue;
+      out->push_back(Make(
+          Severity::kWarning, "seq-negation-coverage",
+          "mid-sequence negation '!" + arg.stream + "' (position " +
+              std::to_string(i + 1) + " of " + std::to_string(n) +
+              ") only forbids '" + arg.stream +
+              "' between its neighbouring matched positions, not across "
+              "the whole sequence; its event history is retained without "
+              "purge as interval evidence and scanned per candidate match",
+          arg.span,
+          "if '" + arg.stream +
+              "' must never occur during the whole sequence, split the "
+              "check into a windowed NOT EXISTS over the full span; "
+              "otherwise keep the negation adjacent to the positions it "
+              "guards"));
     }
   }
 }
@@ -626,6 +643,7 @@ void RegisterBuiltinLintRules(QueryAnalyzer* analyzer) {
   analyzer->AddRule(DeadPredicateRule);
   analyzer->AddRule(ShardFallbackRule);
   analyzer->AddRule(DurabilityHazardRule);
+  analyzer->AddRule(SeqNegationCoverageRule);
   analyzer->AddRule(DisorderHazardRule);
   analyzer->AddRule(PlanErrorRule);
 }

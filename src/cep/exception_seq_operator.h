@@ -45,6 +45,7 @@ class ExceptionSeqOperator : public ExceptionSeqOperatorBase {
       ExceptionSeqConfig config);
 
   SeqBackend backend() const override { return SeqBackend::kHistory; }
+  const ExceptionSeqConfig& config() const override { return config_; }
 
   /// \brief Port == position index.
   Status ProcessTuple(size_t port, const Tuple& tuple) override;

@@ -34,6 +34,7 @@ class NfaExceptionSeqOperator : public ExceptionSeqOperatorBase {
       ExceptionSeqConfig config);
 
   SeqBackend backend() const override { return SeqBackend::kNfa; }
+  const ExceptionSeqConfig& config() const override { return config_; }
 
   /// \brief Port == position index.
   Status ProcessTuple(size_t port, const Tuple& tuple) override;

@@ -51,6 +51,7 @@ class NfaSeqOperator : public SeqOperatorBase {
   static Result<std::unique_ptr<NfaSeqOperator>> Make(SeqOperatorConfig config);
 
   SeqBackend backend() const override { return SeqBackend::kNfa; }
+  const SeqOperatorConfig& config() const override { return config_; }
 
   /// \brief Port == position index.
   Status ProcessTuple(size_t port, const Tuple& tuple) override;

@@ -46,6 +46,7 @@ class SeqOperator : public SeqOperatorBase {
   static Result<std::unique_ptr<SeqOperator>> Make(SeqOperatorConfig config);
 
   SeqBackend backend() const override { return SeqBackend::kHistory; }
+  const SeqOperatorConfig& config() const override { return config_; }
 
   /// \brief Port == position index.
   Status ProcessTuple(size_t port, const Tuple& tuple) override;

@@ -22,6 +22,10 @@ class SeqOperatorBase : public Operator {
  public:
   virtual SeqBackend backend() const = 0;
 
+  /// \brief The validated configuration the operator runs — positions,
+  /// pairing mode, window. Read by the cost model (DESIGN.md §16).
+  virtual const SeqOperatorConfig& config() const = 0;
+
   /// \brief Total tuples retained across all positions — the state-size
   /// metric behind the paper's purging claims (bench E6). Both backends
   /// retain exactly the same tuple set; the NFA additionally keeps its
@@ -37,6 +41,9 @@ class SeqOperatorBase : public Operator {
 class ExceptionSeqOperatorBase : public Operator {
  public:
   virtual SeqBackend backend() const = 0;
+
+  /// \brief The validated configuration the operator runs (cost model).
+  virtual const ExceptionSeqConfig& config() const = 0;
 
   virtual uint64_t exceptions_emitted() const = 0;
   virtual uint64_t sequences_completed() const = 0;

@@ -274,6 +274,12 @@ Result<std::string> Engine::Explain(const std::string& sql) {
                              analyzer.Analyze(*explain.inner));
       return DiagnosticsToJson(diags);
     }
+    if (explain.mode == ExplainMode::kCost) {
+      CostAnalyzer analyzer(this, seq_backend_);
+      ESLEV_ASSIGN_OR_RETURN(QueryCostReport report,
+                             analyzer.Analyze(*explain.inner));
+      return report.ToJson();
+    }
     return ExplainParsed(*explain.inner,
                          explain.mode == ExplainMode::kAnalyze);
   }
@@ -287,6 +293,37 @@ Result<std::string> Engine::Explain(const std::string& sql) {
 Result<std::vector<Diagnostic>> Engine::Lint(const std::string& sql) const {
   QueryAnalyzer analyzer(this);
   return analyzer.AnalyzeSql(sql);
+}
+
+Result<std::vector<QueryCostReport>> Engine::AnalyzeCost(
+    const std::string& sql) const {
+  ESLEV_ASSIGN_OR_RETURN(auto statements, ParseScript(sql));
+  CostAnalyzer analyzer(this, seq_backend_);
+  std::vector<QueryCostReport> out;
+  for (const StatementPtr& stmt : statements) {
+    if (stmt->kind != StatementKind::kSelect &&
+        stmt->kind != StatementKind::kInsert) {
+      continue;
+    }
+    ESLEV_ASSIGN_OR_RETURN(QueryCostReport report, analyzer.Analyze(*stmt));
+    out.push_back(std::move(report));
+  }
+  return out;
+}
+
+Status Engine::DeclareStreamStats(const std::string& stream,
+                                  StreamStats stats) {
+  const std::string key = AsciiToLower(stream);
+  if (streams_.find(key) == streams_.end()) {
+    return Status::NotFound("DeclareStreamStats: unknown stream " + stream);
+  }
+  stream_stats_[key] = stats;
+  return Status::OK();
+}
+
+const StreamStats* Engine::FindStreamStats(const std::string& name) const {
+  const auto it = stream_stats_.find(AsciiToLower(name));
+  return it == stream_stats_.end() ? nullptr : &it->second;
 }
 
 namespace {

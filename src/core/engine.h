@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/cost_model.h"
 #include "analysis/diagnostic.h"
 #include "cep/seq_backend.h"
 #include "common/metrics.h"
@@ -138,10 +139,12 @@ class Engine : public Catalog {
 
   /// \brief Plan a query without registering it and describe the
   /// resulting pipeline (one step per line, plus the output schema).
-  /// Accepts a bare SELECT/INSERT or an `EXPLAIN [ANALYZE|LINT] <query>`
-  /// statement; with ANALYZE, the plan lines of the matching
+  /// Accepts a bare SELECT/INSERT or an `EXPLAIN [ANALYZE|LINT|COST]
+  /// <query>` statement; with ANALYZE, the plan lines of the matching
   /// *registered* query are annotated with its live counters; with LINT,
-  /// the static analyzer's diagnostics come back as JSON (DESIGN.md §11).
+  /// the static analyzer's diagnostics come back as JSON (DESIGN.md
+  /// §11); with COST, the static cost & state-bound report comes back as
+  /// JSON (DESIGN.md §16).
   Result<std::string> Explain(const std::string& sql);
 
   /// \brief Run the static query analyzer over `sql` — one statement or
@@ -149,6 +152,22 @@ class Engine : public Catalog {
   /// executing anything. Diagnostics arrive in source order; use
   /// DiagnosticsToJson for the `EXPLAIN LINT` wire shape.
   Result<std::vector<Diagnostic>> Lint(const std::string& sql) const;
+
+  /// \brief Run the cost model (DESIGN.md §16) over every SELECT /
+  /// INSERT statement of `sql` — one statement or a whole script (DDL
+  /// statements are skipped) — without registering anything. Referenced
+  /// streams/tables must already exist in the catalog (execute the
+  /// script's DDL first). Reports arrive in statement order, matching
+  /// registered-query ids when the same script was executed.
+  Result<std::vector<QueryCostReport>> AnalyzeCost(
+      const std::string& sql) const;
+
+  /// \brief Declare expected load statistics for `stream` (case-
+  /// insensitive), feeding the cost model's cardinality and state-bound
+  /// estimates. Undeclared streams use CostModelParams defaults.
+  Status DeclareStreamStats(const std::string& stream, StreamStats stats);
+  const StreamStats* FindStreamStats(
+      const std::string& name) const override;
 
   /// \brief Point-in-time snapshot of every engine metric: per-stream
   /// traffic, per-operator tuple counts and operator-specific state
@@ -287,6 +306,7 @@ class Engine : public Catalog {
   FunctionRegistry registry_;
   std::map<std::string, std::unique_ptr<Stream>> streams_;  // lower-case key
   std::map<std::string, std::unique_ptr<Table>> tables_;
+  std::map<std::string, StreamStats> stream_stats_;  // lower-case key
   std::map<std::string, bool> derived_;  // output streams of queries
   std::vector<PlannedQuery> queries_;
   std::vector<std::unique_ptr<Operator>> sinks_;

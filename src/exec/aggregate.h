@@ -51,6 +51,10 @@ class AggregateOperator : public Operator {
 
   size_t num_groups() const { return groups_.size(); }
 
+  /// \brief Grouping arity and window (cost model, DESIGN.md §16).
+  size_t num_group_exprs() const { return group_by_.size(); }
+  const std::optional<WindowSpec>& window() const { return window_; }
+
   void AppendStats(OperatorStatList* out) const override {
     out->push_back({"groups", static_cast<int64_t>(groups_.size())});
     out->push_back({"window_buffer",

@@ -45,6 +45,9 @@ class TableInsertOperator : public Operator {
     return Emit(row);
   }
 
+  /// \brief The target table (cost model, DESIGN.md §16).
+  const Table* table() const { return table_; }
+
  private:
   Table* table_;
   std::vector<BoundExprPtr> exprs_;

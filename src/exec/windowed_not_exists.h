@@ -44,6 +44,10 @@ class WindowedNotExistsOperator : public Operator {
   Status ProcessBatch(size_t port, const TupleBatch& batch) override;
   Status ProcessHeartbeat(Timestamp now) override;
 
+  /// \brief The window this anti-join runs (cost model, DESIGN.md §16).
+  const WindowSpec& window() const { return window_; }
+  bool same_stream() const { return same_stream_; }
+
   /// \brief Number of outer tuples currently held for their FOLLOWING
   /// window to close (observability for tests/benches).
   size_t pending_count() const { return pending_.size(); }

@@ -13,6 +13,17 @@
 
 namespace eslev {
 
+/// \brief Declared load statistics for one stream, consumed by the cost
+/// model (DESIGN.md §16). Sessions declare them (Engine::
+/// DeclareStreamStats); absent declarations fall back to the documented
+/// defaults in CostModelParams.
+struct StreamStats {
+  /// Expected arrival rate, tuples per second.
+  double rate_per_sec = 0;
+  /// Expected number of distinct partition-key values (tag population).
+  double distinct_keys = 0;
+};
+
 class Catalog {
  public:
   virtual ~Catalog() = default;
@@ -29,6 +40,14 @@ class Catalog {
   /// \brief The resolved ingest reorder lateness bound; 0 when no ingest
   /// reorder stage is configured.
   virtual Duration ingest_lateness() const { return 0; }
+
+  /// \brief Declared load statistics for `name` (case-insensitive), or
+  /// null when the session declared none — the cost model then applies
+  /// its documented defaults.
+  virtual const StreamStats* FindStreamStats(const std::string& name) const {
+    (void)name;
+    return nullptr;
+  }
 };
 
 }  // namespace eslev

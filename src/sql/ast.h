@@ -379,6 +379,7 @@ enum class ExplainMode : int {
   kPlan = 0,  // describe the would-be pipeline
   kAnalyze,   // annotate the matching registered query's live counters
   kLint,      // run the static analyzer; output is JSON (DESIGN.md §11)
+  kCost,      // static cost & state-bound report as JSON (DESIGN.md §16)
 };
 
 /// \brief EXPLAIN [ANALYZE | LINT] <SELECT | INSERT ... SELECT>. Plain
@@ -394,6 +395,7 @@ struct ExplainStmt : Statement {
     std::string out = "EXPLAIN ";
     if (mode == ExplainMode::kAnalyze) out += "ANALYZE ";
     if (mode == ExplainMode::kLint) out += "LINT ";
+    if (mode == ExplainMode::kCost) out += "COST ";
     return out + inner->ToString();
   }
 

@@ -167,6 +167,8 @@ class Parser {
         mode = ExplainMode::kAnalyze;
       } else if (MatchKeyword("LINT")) {
         mode = ExplainMode::kLint;
+      } else if (MatchKeyword("COST")) {
+        mode = ExplainMode::kCost;
       }
       ESLEV_ASSIGN_OR_RETURN(StatementPtr inner, ParseOneStatement());
       if (inner->kind != StatementKind::kSelect &&

@@ -334,6 +334,75 @@ TEST_F(LintRulesTest, WindowedGroupByIsClean) {
 }
 
 // ---------------------------------------------------------------------------
+// seq-negation-coverage
+// ---------------------------------------------------------------------------
+
+TEST_F(LintRulesTest, MidSequenceNegationInLongSeqWarns) {
+  ASSERT_TRUE(
+      engine_.ExecuteScript("CREATE STREAM R4(readerid, tagid, tagtime);")
+          .ok());
+  const auto diags = Lint(
+      "SELECT R4.tagid FROM R1, R2, R3, R4 WHERE SEQ(R1, !R2, R3, R4) OVER "
+      "[5 SECONDS PRECEDING R4] AND R1.tagid = R4.tagid AND R3.tagid = "
+      "R4.tagid;");
+  const Diagnostic* d = Find(diags, "seq-negation-coverage");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kWarning);
+  ExpectSpan(*d, 1, 51, 3);  // !R2
+  EXPECT_NE(d->message.find("position 2 of 4"), std::string::npos)
+      << d->message;
+  EXPECT_NE(d->hint.find("NOT EXISTS"), std::string::npos) << d->hint;
+}
+
+TEST_F(LintRulesTest, ThreePositionNegationIsClean) {
+  const auto diags = Lint(
+      "SELECT R3.tagid FROM R1, R2, R3 WHERE SEQ(R1, !R2, R3) OVER [5 "
+      "SECONDS PRECEDING R3] AND R1.tagid = R3.tagid;");
+  EXPECT_EQ(Find(diags, "seq-negation-coverage"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// quantified messages (cost-model integration)
+// ---------------------------------------------------------------------------
+
+TEST_F(LintRulesTest, ShardFallbackWarningQuantifiesTheDelta) {
+  const auto diags = Lint(
+      "SELECT R1.tagid FROM R1, R2 WHERE SEQ(R1, R2) OVER [5 SECONDS "
+      "PRECEDING R2];");
+  const Diagnostic* d = Find(diags, "shard-fallback");
+  ASSERT_NE(d, nullptr);
+  EXPECT_NE(d->message.find("predicate evals/s on the hot shard"),
+            std::string::npos)
+      << d->message;
+  EXPECT_NE(d->message.find("fallback delta +"), std::string::npos)
+      << d->message;
+  EXPECT_NE(d->message.find("across 4 shards"), std::string::npos)
+      << d->message;
+}
+
+TEST_F(LintRulesTest, UnboundedRetentionQuantifiesGrowth) {
+  const auto diags = Lint(
+      "SELECT R1.tagid FROM R1, R2 WHERE SEQ(R1, R2) AND R1.tagid = "
+      "R2.tagid;");
+  const Diagnostic* d = Find(diags, "unbounded-retention");
+  ASSERT_NE(d, nullptr);
+  // Default declared rate is 1000/s; only the first position is stored.
+  EXPECT_NE(d->message.find("estimated growth 1000 tuples/s"),
+            std::string::npos)
+      << d->message;
+}
+
+TEST_F(LintRulesTest, DurabilityHazardQuantifiesTableGrowth) {
+  const auto diags =
+      Lint("INSERT INTO history SELECT tagid, readerid, tagtime FROM R1;");
+  const Diagnostic* d = Find(diags, "durability-hazard");
+  ASSERT_NE(d, nullptr);
+  EXPECT_NE(d->message.find("rows/s at declared input rates"),
+            std::string::npos)
+      << d->message;
+}
+
+// ---------------------------------------------------------------------------
 // disorder-hazard
 // ---------------------------------------------------------------------------
 

@@ -1,6 +1,6 @@
 // eslev_lint: run the static query analyzer over SQL script files.
 //
-//   eslev_lint [--json[=PATH]] file.sql [file2.sql ...]
+//   eslev_lint [--cost] [--json[=PATH]] file.sql [file2.sql ...]
 //
 // Each file is executed as a script first (so DDL registers streams,
 // tables and continuous queries for later statements to reference),
@@ -9,8 +9,14 @@
 // (to stdout, or to PATH/<stem>.lint.json when PATH is given — the form
 // CI archives next to the BENCH_*.json artifacts).
 //
+// --cost additionally runs the static cost & state-bound analyzer
+// (`EXPLAIN COST`, DESIGN.md §16) over every query statement: a
+// one-line summary per query in human mode, or a JSON array of
+// QueryCostReport objects (to stdout, or PATH/<stem>.cost.json).
+//
 // Exit status: 0 = no error-severity findings, 1 = at least one error,
-// 2 = a file could not be read/parsed/executed.
+// 2 = a file could not be read/parsed/executed (or cost analysis
+// crashed). Parse/execution failures take precedence over lint errors.
 
 #include <cstdio>
 #include <fstream>
@@ -43,6 +49,7 @@ std::string Stem(const std::string& path) {
 
 int main(int argc, char** argv) {
   bool json = false;
+  bool cost = false;
   std::string json_dir;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
@@ -52,15 +59,32 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--json=", 0) == 0) {
       json = true;
       json_dir = arg.substr(7);
+    } else if (arg == "--cost") {
+      cost = true;
     } else if (arg == "--help" || arg == "-h") {
-      std::printf("usage: eslev_lint [--json[=DIR]] file.sql ...\n");
+      std::printf(
+          "usage: eslev_lint [--cost] [--json[=DIR]] file.sql ...\n"
+          "\n"
+          "  --json       emit EXPLAIN LINT JSON per file to stdout\n"
+          "  --json=DIR   write DIR/<stem>.lint.json per file instead\n"
+          "  --cost       also run the EXPLAIN COST analyzer: per-query\n"
+          "               cost & state-bound summary (human mode) or a\n"
+          "               JSON report array (stdout, or\n"
+          "               DIR/<stem>.cost.json with --json=DIR)\n"
+          "\n"
+          "exit status:\n"
+          "  0  no error-severity lint findings\n"
+          "  1  at least one error-severity lint finding\n"
+          "  2  a file could not be read, parsed or executed, or the\n"
+          "     analyzer itself failed (takes precedence over 1)\n");
       return 0;
     } else {
       files.push_back(arg);
     }
   }
   if (files.empty()) {
-    std::fprintf(stderr, "usage: eslev_lint [--json[=DIR]] file.sql ...\n");
+    std::fprintf(stderr,
+                 "usage: eslev_lint [--cost] [--json[=DIR]] file.sql ...\n");
     return 2;
   }
 
@@ -107,6 +131,52 @@ int main(int argc, char** argv) {
       std::printf("%s: %zu findings\n", path.c_str(), diags->size());
       for (const eslev::Diagnostic& d : *diags) {
         std::printf("  %s\n", d.ToString().c_str());
+      }
+    }
+    if (cost) {
+      eslev::Result<std::vector<eslev::QueryCostReport>> reports =
+          engine.AnalyzeCost(sql);
+      if (!reports.ok()) {
+        std::fprintf(stderr, "%s: cost analysis failed: %s\n", path.c_str(),
+                     reports.status().ToString().c_str());
+        return 2;
+      }
+      if (json) {
+        std::string text = "[";
+        for (size_t i = 0; i < reports->size(); ++i) {
+          if (i > 0) text += ",";
+          text += (*reports)[i].ToJson();
+        }
+        text += "]";
+        if (json_dir.empty()) {
+          std::printf("%s\n", text.c_str());
+        } else {
+          const std::string out_path =
+              json_dir + "/" + Stem(path) + ".cost.json";
+          std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+          if (!out) {
+            std::fprintf(stderr, "%s: cannot write %s\n", path.c_str(),
+                         out_path.c_str());
+            return 2;
+          }
+          out << text << "\n";
+          std::printf("%s: %zu cost reports -> %s\n", path.c_str(),
+                      reports->size(), out_path.c_str());
+        }
+      } else {
+        for (const eslev::QueryCostReport& r : *reports) {
+          const std::string state =
+              r.state_bounded
+                  ? eslev::FormatCostNumber(r.total_state_tuples) + " tuples"
+                  : "unbounded +" +
+                        eslev::FormatCostNumber(
+                            r.total_state_growth_per_sec) +
+                        "/s";
+          std::printf("  cost: cpu=%s/s state=%s sharding=%s | %.48s\n",
+                      eslev::FormatCostNumber(r.total_cpu_cost).c_str(),
+                      state.c_str(), r.partitioning.c_str(),
+                      r.statement.c_str());
+        }
       }
     }
   }
