@@ -139,7 +139,8 @@ BENCHMARK(BM_IngestDisorder)->Arg(50)->Arg(200)->Arg(400);
 // disorder point — filtering work scales with injected garbage.
 void BM_IngestNoiseRate(benchmark::State& state) {
   const auto workload =
-      NoisyTrace(Milliseconds(400), state.range(0) / 100.0);
+      NoisyTrace(Milliseconds(400),
+                 static_cast<double>(state.range(0)) / 100.0);
   for (auto _ : state) {
     state.PauseTiming();
     Engine engine(WithIngest(2));

@@ -1,0 +1,163 @@
+// E18 — multi-tenant serving scalability (DESIGN.md §17): N tenants
+// register M formatting variants of one canonical SEQ query through
+// QueryServer; with plan sharing every registration attaches to a
+// single compiled pipeline, without it each registration compiles its
+// own. Two series sweep the duplicate count: throughput with sharing
+// should stay near-flat while the unshared run degrades linearly.
+// Gauges:
+//   e18.dup<M>.<leg>.{ips,pipelines}   informational per-config record
+//   servegate.dupscale.*               consumed by tools/bench_gate.py:
+//     shared_lo_ips / shared_hi_ips    sub-linear growth in duplicates
+//     shared_hi_ips vs unshared_hi_ips shared-vs-unshared speedup
+//     *_hi_pipelines                   sharing must collapse pipelines
+// The throughput series are additionally gated via bench/baseline.json.
+
+#include "bench/bench_util.h"
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "serve/serve_host.h"
+#include "serve/server.h"
+
+namespace eslev {
+namespace {
+
+constexpr char kDdl[] = R"sql(
+  CREATE STREAM R1(readerid, tagid, tagtime);
+  CREATE STREAM R2(readerid, tagid, tagtime);
+)sql";
+
+constexpr int kTenants = 4;
+constexpr int kEventsPerIter = 2048;
+constexpr int kTags = 32;
+// One R1/R2 pair in kMatchEveryPairs shares a tag and produces a match;
+// the rest only probe the SEQ state. Keeps delivered emissions (and the
+// O(duplicates) per-match outbox fan-out, paid by both legs) a small
+// fraction of pushes, so the series measure pipeline execution cost.
+constexpr int kMatchEveryPairs = 16;
+constexpr int kGateLoDuplicates = 8;
+constexpr int kGateHiDuplicates = 32;
+
+// Formatting variants of one canonical query: every registration below
+// collapses to the same plan-cache key, so the shared run compiles one
+// pipeline regardless of how many tenants register it.
+std::string DuplicateVariant(int i) {
+  const std::string pad(static_cast<size_t>(i % 4) + 1, ' ');
+  return "SELECT R1.tagid," + pad +
+         "R2.tagtime FROM R1, R2 WHERE SEQ(R1, R2) OVER [1" + pad +
+         "SECONDS PRECEDING R2] AND R1.tagid = R2.tagid";
+}
+
+/// Push one batch of alternating R1/R2 readings, advance the poll loop
+/// and drain every tenant outbox. Returns emissions delivered.
+size_t PumpOnce(QueryServer* server, std::vector<Session>* sessions,
+                const std::vector<std::string>& tags, Timestamp* now) {
+  for (int k = 0; k < kEventsPerIter; ++k) {
+    const int pair = k / 2;
+    const bool is_r2 = (k % 2 != 0);
+    const std::string& tag = (is_r2 && pair % kMatchEveryPairs != 0)
+                                 ? tags[(pair + kTags / 2) % kTags]
+                                 : tags[pair % kTags];
+    const Status pushed = server->Push(
+        is_r2 ? "R2" : "R1",
+        {Value::String("r"), Value::String(tag), Value::Time(*now)}, *now);
+    bench::CheckOk(pushed, "push");
+    *now += Milliseconds(50);
+  }
+  bench::CheckOk(server->Poll().status(), "poll");
+  size_t delivered = 0;
+  for (Session& session : *sessions) {
+    auto drained = session.Drain([](const ServedEmission&) {});
+    bench::CheckOk(drained.status(), "drain");
+    delivered += *drained;
+  }
+  return delivered;
+}
+
+void RunServingBench(benchmark::State& state, bool share) {
+  const int duplicates = static_cast<int>(state.range(0));
+  Engine engine;
+  EngineHost host(&engine);
+  QueryServerOptions options;
+  options.share_plans = share;
+  QueryServer server(&host, options);
+  bench::CheckOk(server.ExecuteScript(kDdl), "ddl");
+
+  std::vector<Session> sessions;
+  for (int t = 0; t < kTenants; ++t) {
+    auto session = server.OpenSession("tenant" + std::to_string(t));
+    bench::CheckOk(session.status(), "open session");
+    sessions.push_back(*session);
+  }
+  for (int q = 0; q < duplicates; ++q) {
+    auto info = sessions[static_cast<size_t>(q % kTenants)].Register(
+        "q" + std::to_string(q), DuplicateVariant(q));
+    bench::CheckOk(info.status(), "register");
+  }
+
+  std::vector<std::string> tags;
+  for (int i = 0; i < kTags; ++i) tags.push_back("tag" + std::to_string(i));
+
+  Timestamp now = Seconds(1);
+  size_t emissions = 0;
+  double busy_seconds = 0;
+  for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
+    emissions += PumpOnce(&server, &sessions, tags, &now);
+    busy_seconds += std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kEventsPerIter));
+  const auto pipelines = static_cast<int64_t>(server.plan_cache().size());
+  state.counters["pipelines"] = static_cast<double>(pipelines);
+  state.counters["emissions"] = static_cast<double>(emissions);
+
+  const int64_t ips =
+      busy_seconds > 0
+          ? static_cast<int64_t>(
+                static_cast<double>(state.iterations()) * kEventsPerIter /
+                busy_seconds)
+          : 0;
+  const std::string leg = share ? "shared" : "unshared";
+  const std::string prefix =
+      "e18.dup" + std::to_string(duplicates) + "." + leg + ".";
+  bench::Metrics().GetGauge(prefix + "ips")->Set(ips);
+  bench::Metrics().GetGauge(prefix + "pipelines")->Set(pipelines);
+  if (share && duplicates == kGateLoDuplicates) {
+    bench::Metrics().GetGauge("servegate.dupscale.shared_lo_ips")->Set(ips);
+  }
+  if (duplicates == kGateHiDuplicates) {
+    bench::Metrics()
+        .GetGauge("servegate.dupscale." + leg + "_hi_ips")
+        ->Set(ips);
+    bench::Metrics()
+        .GetGauge("servegate.dupscale." + leg + "_hi_pipelines")
+        ->Set(pipelines);
+  }
+}
+
+void BM_ServeSharedDuplicates(benchmark::State& state) {
+  RunServingBench(state, /*share=*/true);
+}
+
+void BM_ServeUnsharedDuplicates(benchmark::State& state) {
+  RunServingBench(state, /*share=*/false);
+}
+
+BENCHMARK(BM_ServeSharedDuplicates)
+    ->Arg(kGateLoDuplicates)
+    ->Arg(kGateHiDuplicates)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ServeUnsharedDuplicates)
+    ->Arg(kGateLoDuplicates)
+    ->Arg(kGateHiDuplicates)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace eslev
+
+ESLEV_BENCH_MAIN()

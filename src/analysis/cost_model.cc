@@ -382,4 +382,27 @@ std::string QueryCostReport::ToJson() const {
   return out;
 }
 
+std::string StateBoundSummary(const QueryCostReport& report) {
+  std::string formulas;
+  for (const OperatorCost& op : report.operators) {
+    // Stateless operators carry neither state nor a formula; skip them
+    // so the summary names only what actually retains tuples.
+    if (op.state.formula.empty() ||
+        (op.state.bounded && op.state.tuples == 0)) {
+      continue;
+    }
+    if (!formulas.empty()) formulas += " + ";
+    formulas += op.state.formula;
+  }
+  std::string out;
+  if (report.state_bounded) {
+    out = FormatCostNumber(report.total_state_tuples) + " tuples";
+  } else {
+    out = "unbounded, grows " +
+          FormatCostNumber(report.total_state_growth_per_sec) + "/s";
+  }
+  if (!formulas.empty()) out += " [" + formulas + "]";
+  return out;
+}
+
 }  // namespace eslev

@@ -93,6 +93,14 @@ struct QueryCostReport {
   std::string ToJson() const;
 };
 
+/// \brief One-line symbolic state-bound summary of a report, e.g.
+/// "15001 tuples [r(readings)*30s+1 [window]]" or "unbounded, grows
+/// 500/s [history (no purge license)]" — the wording admission-control
+/// rejections embed so a tenant sees *why* a query charges what it
+/// does (DESIGN.md §17). Stateless operators (formula-free) are
+/// omitted; multiple stateful operators join with " + ".
+std::string StateBoundSummary(const QueryCostReport& report);
+
 class CostAnalyzer {
  public:
   /// \brief `catalog` must outlive the analyzer; `backend` prices the

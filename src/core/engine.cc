@@ -191,6 +191,7 @@ Result<QueryInfo> Engine::RegisterParsed(const Statement& stmt) {
     derived_[AsciiToLower(out_name)] = true;
     auto sink = std::make_unique<StreamInsertOperator>(out);
     planned.tail->AddSink(sink.get(), 0);
+    planned.sink = sink.get();
     sinks_.push_back(std::move(sink));
     info.output_stream = out_name;
   }
@@ -203,6 +204,94 @@ Result<QueryInfo> Engine::RegisterParsed(const Statement& stmt) {
   queries_.push_back(std::move(planned));
   RecomputeBatchSafety();
   return info;
+}
+
+Status Engine::UnregisterQuery(int id) {
+  ESLEV_RETURN_NOT_OK(init_error_);
+  // Topology changes are batch boundaries, exactly like registration.
+  ESLEV_RETURN_NOT_OK(FlushBatches());
+  size_t index = queries_.size();
+  for (size_t i = 0; i < queries_.size(); ++i) {
+    if (queries_[i].query_id == id) {
+      index = i;
+      break;
+    }
+  }
+  if (index == queries_.size()) {
+    return Status::NotFound("no registered query with id " +
+                            std::to_string(id));
+  }
+  PlannedQuery& q = queries_[index];
+  // A bare SELECT owns its auto-created `_q<id>` stream; it cannot be
+  // dropped while another query still reads from it.
+  std::string owned_stream;
+  if (!q.target_is_table && q.target.empty()) {
+    owned_stream = "_q" + std::to_string(id);
+  }
+  if (!owned_stream.empty()) {
+    Stream* out = FindStream(owned_stream);
+    for (const PlannedQuery& other : queries_) {
+      if (other.query_id == id) continue;
+      for (const auto& sub : other.subscriptions) {
+        if (sub.stream == out) {
+          return Status::Invalid(
+              "cannot unregister query " + std::to_string(id) +
+              ": its output stream " + owned_stream + " feeds query " +
+              std::to_string(other.query_id));
+        }
+      }
+    }
+  }
+  // Detach from the sources first so no in-flight delivery can reach a
+  // half-destroyed pipeline, then drop the sink and the operators.
+  for (const auto& sub : q.subscriptions) {
+    sub.stream->Unsubscribe(sub.op);
+  }
+  if (q.sink != nullptr) {
+    for (auto it = sinks_.begin(); it != sinks_.end(); ++it) {
+      if (it->get() == q.sink) {
+        sinks_.erase(it);
+        break;
+      }
+    }
+  }
+  queries_.erase(queries_.begin() + index);
+  if (!owned_stream.empty()) {
+    Stream* out = FindStream(owned_stream);
+    for (Stream*& cached : ingest_port_streams_) {
+      if (cached == out) cached = nullptr;
+    }
+    streams_.erase(AsciiToLower(owned_stream));
+  }
+  // Re-derive the derived-stream set: an INSERT target whose last
+  // producer just vanished must resume receiving source heartbeats.
+  derived_.clear();
+  for (const PlannedQuery& other : queries_) {
+    if (other.target_is_table) continue;
+    const std::string out = other.target.empty()
+                                ? "_q" + std::to_string(other.query_id)
+                                : other.target;
+    derived_[AsciiToLower(out)] = true;
+  }
+  RecomputeBatchSafety();
+  return Status::OK();
+}
+
+Status Engine::SetNextQueryId(int id) {
+  ESLEV_RETURN_NOT_OK(init_error_);
+  if (id < 1) {
+    return Status::Invalid("next query id must be >= 1, got " +
+                           std::to_string(id));
+  }
+  for (const PlannedQuery& q : queries_) {
+    if (q.query_id >= id) {
+      return Status::Invalid(
+          "next query id " + std::to_string(id) +
+          " does not exceed registered query " + std::to_string(q.query_id));
+    }
+  }
+  next_query_id_ = id;
+  return Status::OK();
 }
 
 void Engine::RecomputeBatchSafety() {

@@ -133,6 +133,24 @@ class Engine : public Catalog {
   /// \brief Register one continuous query (SELECT or INSERT ... SELECT).
   Result<QueryInfo> RegisterQuery(const std::string& sql);
 
+  /// \brief Remove a registered continuous query at runtime (DESIGN.md
+  /// §17): detaches its source subscriptions, destroys its operators and
+  /// sink, and — for bare SELECTs — drops the auto-created `_q<id>`
+  /// output stream together with its subscribed callbacks. Fails without
+  /// side effects when the id is unknown or another query reads the
+  /// owned output stream. Unregistration is a control-plane operation:
+  /// it is not WAL-logged, so durability comes from the next checkpoint
+  /// (the serving registry re-registers the survivors on recovery).
+  Status UnregisterQuery(int id);
+
+  /// \brief Set the id the next registration will receive. Recovery
+  /// hook: re-registering a query set whose ids have gaps (queries
+  /// unregistered before the checkpoint) must reproduce the original
+  /// ids, because checkpoints validate them positionally. Fails when
+  /// `id` does not exceed every live query id.
+  Status SetNextQueryId(int id);
+  int next_query_id() const { return next_query_id_; }
+
   /// \brief Ad-hoc one-shot query over tables and retained stream
   /// history (§2.1 ad-hoc snapshot queries).
   Result<std::vector<Tuple>> ExecuteSnapshot(const std::string& sql);

@@ -273,6 +273,49 @@ Result<QueryInfo> ShardedEngine::RegisterQuery(const std::string& sql) {
   return infos[0];
 }
 
+Status ShardedEngine::UnregisterQuery(int id) {
+  ESLEV_RETURN_NOT_OK(init_error_);
+  // Quiesce: every shard must have processed all routed tuples before
+  // the topology changes, so the cut lands at the same stream position
+  // on every shard (mirrors Engine::UnregisterQuery's FlushBatches).
+  ESLEV_RETURN_NOT_OK(Flush());
+  ESLEV_RETURN_NOT_OK(RunOnAllShards(
+      [id](Engine& engine) { return engine.UnregisterQuery(id); }));
+  return PruneDeadRoutes();
+}
+
+Status ShardedEngine::SetNextQueryId(int id) {
+  ESLEV_RETURN_NOT_OK(init_error_);
+  return RunOnAllShards(
+      [id](Engine& engine) { return engine.SetNextQueryId(id); });
+}
+
+Status ShardedEngine::PruneDeadRoutes() {
+  std::vector<std::string> names;
+  ESLEV_RETURN_NOT_OK(RunOnShard(0, [&names](Engine& engine) {
+    names = engine.StreamNames();
+    return Status::OK();
+  }));
+  std::map<std::string, bool> live;
+  for (const std::string& name : names) live[AsciiToLower(name)] = true;
+  std::unique_lock<std::shared_mutex> lock(routes_mu_);
+  for (auto it = routes_.begin(); it != routes_.end();) {
+    if (live.count(it->first)) {
+      ++it;
+      continue;
+    }
+    {
+      // Lock order per OfferIngest: routes_mu_ -> ... -> ingest_mu_.
+      std::lock_guard<std::mutex> ingest_lock(ingest_mu_);
+      for (const StreamRoute*& cached : ingest_port_routes_) {
+        if (cached == &it->second) cached = nullptr;
+      }
+    }
+    it = routes_.erase(it);
+  }
+  return Status::OK();
+}
+
 Status ShardedEngine::Subscribe(const std::string& stream,
                                 TupleCallback callback) {
   const size_t sub_id = callbacks_.size();

@@ -81,6 +81,16 @@ class ShardedEngine {
   /// QueryInfo is identical across shards (engines evolve in lockstep).
   Result<QueryInfo> RegisterQuery(const std::string& sql);
 
+  /// \brief Unregister a continuous query on every shard (DESIGN.md
+  /// §17). Quiesces all shard queues first (Flush), so the topology
+  /// change lands at the same stream position everywhere, then prunes
+  /// routes whose `_q<id>` stream the unregistration dropped.
+  Status UnregisterQuery(int id);
+
+  /// \brief Broadcast Engine::SetNextQueryId to every shard — the
+  /// recovery hook for re-registering query sets with id gaps.
+  Status SetNextQueryId(int id);
+
   /// \brief Subscribe to a stream on every shard; the callback is only
   /// ever invoked from DrainOutputs(), on the draining thread.
   Status Subscribe(const std::string& stream, TupleCallback callback);
@@ -316,6 +326,9 @@ class ShardedEngine {
   /// \brief Re-derive routes for streams created since the last refresh
   /// (reads shard 0's catalog on its worker thread).
   Status RefreshRoutes();
+  /// \brief Drop routes for streams that no longer exist on shard 0
+  /// (after UnregisterQuery removed an auto-created output stream).
+  Status PruneDeadRoutes();
   const StreamRoute* FindRoute(const std::string& stream) const;
   size_t ShardOf(const StreamRoute& route, const Tuple& tuple) const;
 

@@ -60,6 +60,11 @@ struct PlannedQuery {
   /// Assigned by the Engine at registration (0 = not registered).
   int query_id = 0;
 
+  /// The engine-owned StreamInsertOperator feeding the output stream
+  /// (null for table targets). Recorded at registration so runtime
+  /// unregistration (DESIGN.md §17) can drop exactly this sink.
+  Operator* sink = nullptr;
+
   /// \brief Record a plan step. When `op` is given, the note's prefix
   /// (text before the first ':') becomes the operator's metrics label.
   void AddNote(std::string note, Operator* op = nullptr) {

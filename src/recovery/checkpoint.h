@@ -24,6 +24,9 @@ constexpr uint32_t kCheckpointVersion = 1;
 constexpr const char* kCheckpointFileName = "engine.ckpt";
 constexpr const char* kWalFileName = "wal.log";
 constexpr const char* kManifestFileName = "MANIFEST";
+/// Serving-layer session registry (DESIGN.md §17), written next to the
+/// host checkpoint so recovery reproduces every tenant's subscriptions.
+constexpr const char* kSessionRegistryFileName = "session.reg";
 
 /// \brief Top-level record of a coordinated ShardedEngine checkpoint:
 /// which shard subdirectories exist and at what consistent cut (low

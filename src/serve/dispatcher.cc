@@ -1,0 +1,131 @@
+#include "serve/dispatcher.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace eslev {
+
+void Dispatcher::AddTenant(const std::string& tenant, size_t max_pending,
+                           BackpressurePolicy policy) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Outbox& box = outboxes_[tenant];
+  box.max_pending = max_pending;
+  box.policy = policy;
+}
+
+void Dispatcher::RemoveTenant(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  outboxes_.erase(tenant);
+  for (auto& [entry_id, routes] : routes_) {
+    (void)entry_id;
+    routes.erase(std::remove_if(routes.begin(), routes.end(),
+                                [&tenant](const Route& r) {
+                                  return r.tenant == tenant;
+                                }),
+                 routes.end());
+  }
+}
+
+void Dispatcher::AddRoute(int entry_id, const std::string& tenant,
+                          const std::string& query) {
+  std::lock_guard<std::mutex> lock(mu_);
+  routes_[entry_id].push_back(Route{tenant, query});
+}
+
+void Dispatcher::RemoveRoute(int entry_id, const std::string& tenant,
+                             const std::string& query) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = routes_.find(entry_id);
+  if (it == routes_.end()) return;
+  auto& routes = it->second;
+  routes.erase(std::remove_if(routes.begin(), routes.end(),
+                              [&](const Route& r) {
+                                return r.tenant == tenant && r.query == query;
+                              }),
+               routes.end());
+  if (routes.empty()) routes_.erase(it);
+}
+
+void Dispatcher::OnEmission(int entry_id, const Tuple& tuple) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = routes_.find(entry_id);
+  if (it == routes_.end() || it->second.empty()) {
+    ++orphan_emissions_;
+    return;
+  }
+  for (const Route& route : it->second) {
+    auto box_it = outboxes_.find(route.tenant);
+    if (box_it == outboxes_.end()) {
+      ++orphan_emissions_;
+      continue;
+    }
+    Outbox& box = box_it->second;
+    ++box.emitted;
+    if (box.max_pending != 0 && box.pending.size() >= box.max_pending) {
+      ++box.dropped;
+      if (box.policy == BackpressurePolicy::kDropNewest) {
+        // The refused emission still consumes a sequence number so the
+        // consumer can witness the gap.
+        ++box.next_seq;
+        continue;
+      }
+      box.pending.pop_front();
+    }
+    ServedEmission emission;
+    emission.query = route.query;
+    emission.seq = box.next_seq++;
+    emission.tuple = tuple;
+    box.pending.push_back(std::move(emission));
+  }
+}
+
+size_t Dispatcher::Drain(const std::string& tenant,
+                         const std::function<void(const ServedEmission&)>& fn,
+                         size_t max) {
+  // Move the deliverable prefix out under the lock, then run the
+  // consumer callback outside it: the callback may re-enter the server
+  // (e.g. unregister a query from inside a result handler).
+  std::deque<ServedEmission> batch;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = outboxes_.find(tenant);
+    if (it == outboxes_.end()) return 0;
+    Outbox& box = it->second;
+    size_t take = box.pending.size();
+    if (max != 0) take = std::min(take, max);
+    for (size_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(box.pending.front()));
+      box.pending.pop_front();
+    }
+    box.delivered += take;
+  }
+  for (const ServedEmission& emission : batch) fn(emission);
+  return batch.size();
+}
+
+size_t Dispatcher::Pending(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = outboxes_.find(tenant);
+  return it == outboxes_.end() ? 0 : it->second.pending.size();
+}
+
+uint64_t Dispatcher::Dropped(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = outboxes_.find(tenant);
+  return it == outboxes_.end() ? 0 : it->second.dropped;
+}
+
+void Dispatcher::AppendMetrics(MetricsSnapshot* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [tenant, box] : outboxes_) {
+    const std::string prefix = "tenant." + tenant + ".";
+    out->gauges[prefix + "pending"] =
+        static_cast<int64_t>(box.pending.size());
+    out->counters[prefix + "emitted"] += box.emitted;
+    out->counters[prefix + "delivered"] += box.delivered;
+    out->counters[prefix + "dropped"] += box.dropped;
+  }
+  out->counters["serve.orphan_emissions"] += orphan_emissions_;
+}
+
+}  // namespace eslev

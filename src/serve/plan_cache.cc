@@ -1,0 +1,80 @@
+#include "serve/plan_cache.h"
+
+#include <algorithm>
+
+namespace eslev {
+
+SharedPlanCache::Entry* SharedPlanCache::Lookup(
+    const std::string& canonical) {
+  if (!share_) {
+    ++misses_;
+    return nullptr;
+  }
+  auto it = by_canonical_.find(canonical);
+  if (it == by_canonical_.end() || it->second.empty()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  return &by_id_.at(it->second.front());
+}
+
+SharedPlanCache::Entry* SharedPlanCache::Insert(Entry entry) {
+  entry.refs = 1;
+  const int id = entry.engine_query_id;
+  auto [it, inserted] = by_id_.emplace(id, std::move(entry));
+  if (inserted) by_canonical_[it->second.canonical].push_back(id);
+  return &it->second;
+}
+
+bool SharedPlanCache::Release(int engine_query_id) {
+  auto it = by_id_.find(engine_query_id);
+  if (it == by_id_.end()) return false;
+  if (--it->second.refs > 0) return false;
+  auto canon = by_canonical_.find(it->second.canonical);
+  if (canon != by_canonical_.end()) {
+    auto& ids = canon->second;
+    ids.erase(std::remove(ids.begin(), ids.end(), engine_query_id),
+              ids.end());
+    if (ids.empty()) by_canonical_.erase(canon);
+  }
+  by_id_.erase(it);
+  return true;
+}
+
+const SharedPlanCache::Entry* SharedPlanCache::Peek(
+    const std::string& canonical) const {
+  auto it = by_canonical_.find(canonical);
+  if (it == by_canonical_.end() || it->second.empty()) return nullptr;
+  return &by_id_.at(it->second.front());
+}
+
+const SharedPlanCache::Entry* SharedPlanCache::FindById(
+    int engine_query_id) const {
+  auto it = by_id_.find(engine_query_id);
+  return it == by_id_.end() ? nullptr : &it->second;
+}
+
+std::vector<const SharedPlanCache::Entry*> SharedPlanCache::Entries()
+    const {
+  std::vector<const Entry*> out;
+  out.reserve(by_id_.size());
+  for (const auto& [id, entry] : by_id_) out.push_back(&entry);
+  return out;
+}
+
+void SharedPlanCache::AppendMetrics(MetricsSnapshot* out) const {
+  uint64_t logical = 0;
+  for (const auto& [id, entry] : by_id_) {
+    logical += static_cast<uint64_t>(entry.refs);
+  }
+  out->gauges["serve.plan_cache.entries"] =
+      static_cast<int64_t>(by_id_.size());
+  out->gauges["serve.plan_cache.subscriptions"] =
+      static_cast<int64_t>(logical);
+  out->gauges["serve.plan_cache.sharing_enabled"] = share_ ? 1 : 0;
+  out->counters["serve.plan_cache.hits"] = hits_;
+  out->counters["serve.plan_cache.misses"] = misses_;
+}
+
+}  // namespace eslev

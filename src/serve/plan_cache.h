@@ -1,0 +1,83 @@
+// SharedPlanCache (DESIGN.md §17): the registry of physical pipelines
+// behind the serving layer. Every served query — shared or not — has
+// one Entry tying its canonical text to the engine query executing it;
+// when sharing is enabled, a registration whose canonical text matches
+// a live entry reuses that pipeline (refs+1) instead of compiling a
+// duplicate, and the dispatcher fans the single output stream out to
+// every subscriber.
+
+#ifndef ESLEV_SERVE_PLAN_CACHE_H_
+#define ESLEV_SERVE_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+
+namespace eslev {
+
+class SharedPlanCache {
+ public:
+  struct Entry {
+    std::string canonical;      // canonical statement text
+    uint64_t hash = 0;          // CanonicalHash(canonical)
+    int engine_query_id = 0;    // the physical pipeline
+    std::string output_stream;  // the pipeline's emission stream
+    double state_tuples = 0;    // admission charge (per subscriber)
+    bool state_bounded = true;
+    /// StateBoundSummary of the pipeline's cost report — embedded in
+    /// admission rejections so a tenant sees the symbolic bound even
+    /// when attaching to a cached pipeline.
+    std::string bound_summary;
+    int refs = 0;               // live subscriptions
+  };
+
+  /// \brief `share` controls lookup-before-insert; entries are tracked
+  /// either way (the dispatcher and the registry need them).
+  explicit SharedPlanCache(bool share) : share_(share) {}
+
+  bool sharing_enabled() const { return share_; }
+
+  /// \brief A live entry with this canonical text, or null. Counts a
+  /// hit/miss. Always misses when sharing is disabled.
+  Entry* Lookup(const std::string& canonical);
+
+  /// \brief Track a freshly compiled pipeline with refs = 1.
+  Entry* Insert(Entry entry);
+
+  /// \brief refs+1 on a Lookup result.
+  void AddRef(Entry* entry) { ++entry->refs; }
+
+  /// \brief refs-1; removes and returns true when the last subscriber
+  /// left (the caller then unregisters the engine query).
+  bool Release(int engine_query_id);
+
+  const Entry* FindById(int engine_query_id) const;
+
+  /// \brief Like Lookup but side-effect free and independent of the
+  /// sharing flag: the first live entry with this canonical text, or
+  /// null. Used by EXPLAIN to annotate served statements.
+  const Entry* Peek(const std::string& canonical) const;
+
+  std::vector<const Entry*> Entries() const;
+  size_t size() const { return by_id_.size(); }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+  void AppendMetrics(MetricsSnapshot* out) const;
+
+ private:
+  bool share_;
+  std::map<int, Entry> by_id_;
+  // canonical text -> engine query ids (one id when sharing; several
+  // parallel pipelines for the same text when not).
+  std::map<std::string, std::vector<int>> by_canonical_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace eslev
+
+#endif  // ESLEV_SERVE_PLAN_CACHE_H_

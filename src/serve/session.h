@@ -1,0 +1,97 @@
+// Session (DESIGN.md §17): a tenant's handle into the QueryServer.
+// Sessions register and unregister *named* standing queries at runtime,
+// drain that tenant's result outbox, and expose the tenant's admission
+// accounting. The handle is thin — all state lives in the server — so
+// copies are cheap and a Session outliving its tenant (unregistered via
+// QueryServer::CloseSession) simply starts returning NotFound.
+
+#ifndef ESLEV_SERVE_SESSION_H_
+#define ESLEV_SERVE_SESSION_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "serve/dispatcher.h"
+
+namespace eslev {
+
+class QueryServer;
+
+/// \brief Per-tenant admission limits. Zero means unlimited.
+struct TenantQuotas {
+  /// Max simultaneously registered queries.
+  uint32_t max_queries = 0;
+  /// Max total retained-state tuples, priced by the PR 9 static
+  /// analyzer at registration. A registration whose symbolic state
+  /// bound would push the tenant past this budget is rejected with the
+  /// bound embedded in the error.
+  double max_state_tuples = 0;
+  /// Max undelivered emissions buffered for this tenant.
+  uint32_t max_pending_emissions = 0;
+  /// Admit queries whose retained state is statically unbounded
+  /// (e.g. SEQ history without a purge license). Off by default: an
+  /// unbounded query can exhaust the host no matter the budget.
+  bool allow_unbounded_state = false;
+  BackpressurePolicy backpressure = BackpressurePolicy::kDropOldest;
+};
+
+/// \brief One registered standing query as the tenant sees it.
+struct ServedQueryInfo {
+  std::string name;       // tenant-chosen, unique per tenant
+  std::string canonical;  // canonical statement text
+  uint64_t hash = 0;      // CanonicalHash(canonical)
+  int engine_query_id = 0;
+  /// True when this registration attached to an existing pipeline
+  /// instead of compiling its own (plan-cache hit).
+  bool shared = false;
+  /// Statically bounded retained-state charge, in tuples (0 when the
+  /// bound is unbounded and the tenant allows that).
+  double state_tuples = 0;
+  bool state_bounded = true;
+};
+
+class Session {
+ public:
+  Session() = default;
+
+  const std::string& tenant() const { return tenant_; }
+  bool valid() const { return server_ != nullptr; }
+
+  /// \brief Register a named standing query (bare SELECT only; DDL and
+  /// INSERT belong to the operator plane, QueryServer::ExecuteScript).
+  /// Fails with AlreadyExists on a duplicate name, OutOfRange when a
+  /// quota or the state budget would be exceeded (the message carries
+  /// the query's symbolic state bound), and Invalid for non-SELECT.
+  Result<ServedQueryInfo> Register(const std::string& name,
+                                   const std::string& sql);
+
+  /// \brief Drop a registered query. Pending emissions already fanned
+  /// out for it stay in the outbox; the pipeline is destroyed only when
+  /// its last subscriber (across all tenants) leaves.
+  Status Unregister(const std::string& name);
+
+  /// \brief This tenant's registrations, in name order.
+  Result<std::vector<ServedQueryInfo>> Queries() const;
+
+  /// \brief Deliver up to `max` (0 = all) buffered results in order.
+  Result<size_t> Drain(const std::function<void(const ServedEmission&)>& fn,
+                       size_t max = 0);
+
+  size_t pending() const;
+  double admitted_state_tuples() const;
+
+ private:
+  friend class QueryServer;
+  Session(QueryServer* server, std::string tenant)
+      : server_(server), tenant_(std::move(tenant)) {}
+
+  QueryServer* server_ = nullptr;
+  std::string tenant_;
+};
+
+}  // namespace eslev
+
+#endif  // ESLEV_SERVE_SESSION_H_

@@ -1,0 +1,267 @@
+#include "sql/canonical.h"
+
+#include <cstdio>
+
+#include "common/time.h"
+#include "sql/parser.h"
+
+namespace eslev {
+
+namespace {
+
+Result<std::string> CanonicalExpr(const Expr& expr);
+Result<std::string> CanonicalSelect(const SelectStmt& select);
+
+// The AST's own ToString prints durations in the `30s` shorthand the
+// parser does not accept; the canonical printer re-derives a parseable
+// `RANGE <n> <UNIT>` spelling instead.
+std::string CanonicalWindow(const WindowSpec& w) {
+  std::string out = "[";
+  if (w.row_based) {
+    out += "ROWS " + std::to_string(w.length);
+  } else {
+    struct Unit {
+      Duration micros;
+      const char* name;
+    };
+    static constexpr Unit kUnits[] = {
+        {kDay, "DAYS"},         {kHour, "HOURS"},
+        {kMinute, "MINUTES"},   {kSecond, "SECONDS"},
+        {kMillisecond, "MILLISECONDS"}, {1, "MICROSECONDS"},
+    };
+    Duration n = w.length;
+    const char* unit = "SECONDS";
+    for (const Unit& u : kUnits) {
+      if (n % u.micros == 0) {
+        n /= u.micros;
+        unit = u.name;
+        break;
+      }
+    }
+    if (w.length == 0) {
+      n = 0;
+      unit = "SECONDS";
+    }
+    out += "RANGE " + std::to_string(n) + " " + unit;
+  }
+  out += " ";
+  out += WindowDirectionToString(w.direction);
+  if (!w.anchor.empty()) out += " " + w.anchor;
+  out += "]";
+  return out;
+}
+
+Result<std::string> CanonicalLiteral(const Value& v) {
+  switch (v.type()) {
+    case TypeId::kNull:
+      return std::string("NULL");
+    case TypeId::kBool:
+      return std::string(v.bool_value() ? "TRUE" : "FALSE");
+    case TypeId::kInt64: {
+      const int64_t n = v.int_value();
+      if (n < 0) {
+        // The grammar has no negative literals (unary minus is an
+        // operator node); keep the value while staying parseable.
+        return "(0 - " + std::to_string(-n) + ")";
+      }
+      return std::to_string(n);
+    }
+    case TypeId::kDouble: {
+      const double d = v.double_value();
+      if (!(d == d) || d > 1.7e308 || d < -1.7e308) {
+        return Status::Invalid(
+            "non-finite double literal has no SQL spelling");
+      }
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%.17g", d < 0 ? -d : d);
+      std::string s = buf;
+      if (s.find_first_of(".eE") == std::string::npos) s += ".0";
+      if (d < 0) return "(0 - " + s + ")";
+      return s;
+    }
+    case TypeId::kString: {
+      std::string out = "'";
+      for (char c : v.string_value()) {
+        if (c == '\'') out += '\'';
+        out += c;
+      }
+      out += "'";
+      return out;
+    }
+    case TypeId::kTimestamp:
+      return Status::Invalid("timestamp literal has no SQL spelling");
+  }
+  return Status::Invalid("unknown literal type");
+}
+
+Result<std::string> CanonicalExpr(const Expr& expr) {
+  switch (expr.kind) {
+    case ExprKind::kLiteral:
+      return CanonicalLiteral(static_cast<const LiteralExpr&>(expr).value);
+    case ExprKind::kColumnRef:
+      return expr.ToString();
+    case ExprKind::kFuncCall: {
+      const auto& call = static_cast<const FuncCallExpr&>(expr);
+      std::string out = call.name + "(";
+      if (call.star_arg) {
+        out += "*";
+      } else {
+        for (size_t i = 0; i < call.args.size(); ++i) {
+          if (i > 0) out += ", ";
+          ESLEV_ASSIGN_OR_RETURN(std::string arg,
+                                 CanonicalExpr(*call.args[i]));
+          out += arg;
+        }
+      }
+      return out + ")";
+    }
+    case ExprKind::kStarAgg:
+      return expr.ToString();
+    case ExprKind::kUnary: {
+      const auto& unary = static_cast<const UnaryExpr&>(expr);
+      ESLEV_ASSIGN_OR_RETURN(std::string inner,
+                             CanonicalExpr(*unary.operand));
+      if (unary.op == UnaryOp::kNot) return "NOT (" + inner + ")";
+      return "(0 - " + inner + ")";
+    }
+    case ExprKind::kBinary: {
+      const auto& bin = static_cast<const BinaryExpr&>(expr);
+      ESLEV_ASSIGN_OR_RETURN(std::string lhs, CanonicalExpr(*bin.lhs));
+      ESLEV_ASSIGN_OR_RETURN(std::string rhs, CanonicalExpr(*bin.rhs));
+      return "(" + lhs + " " + BinaryOpToString(bin.op) + " " + rhs + ")";
+    }
+    case ExprKind::kExists: {
+      const auto& exists = static_cast<const ExistsExpr&>(expr);
+      ESLEV_ASSIGN_OR_RETURN(std::string sub,
+                             CanonicalSelect(*exists.subquery));
+      return std::string(exists.negated ? "NOT EXISTS (" : "EXISTS (") +
+             sub + ")";
+    }
+    case ExprKind::kSeq: {
+      const auto& seq = static_cast<const SeqExpr&>(expr);
+      std::string out = SeqKindToString(seq.seq_kind);
+      out += "(";
+      for (size_t i = 0; i < seq.args.size(); ++i) {
+        if (i > 0) out += ", ";
+        if (seq.args[i].negated) out += "!";
+        out += seq.args[i].stream;
+        if (seq.args[i].star) out += "*";
+      }
+      out += ")";
+      if (seq.window) out += " OVER " + CanonicalWindow(*seq.window);
+      if (seq.mode_explicit) {
+        out += " MODE ";
+        out += PairingModeToString(seq.mode);
+      }
+      return out;
+    }
+  }
+  return Status::Invalid("unknown expression kind");
+}
+
+Result<std::string> CanonicalSelect(const SelectStmt& select) {
+  std::string out = "SELECT ";
+  for (size_t i = 0; i < select.items.size(); ++i) {
+    if (i > 0) out += ", ";
+    const SelectItem& item = select.items[i];
+    if (item.is_star) {
+      out += "*";
+      continue;
+    }
+    ESLEV_ASSIGN_OR_RETURN(std::string e, CanonicalExpr(*item.expr));
+    out += e;
+    if (!item.alias.empty()) out += " AS " + item.alias;
+  }
+  out += " FROM ";
+  for (size_t i = 0; i < select.from.size(); ++i) {
+    if (i > 0) out += ", ";
+    const TableRef& ref = select.from[i];
+    out += ref.name;
+    if (!ref.alias.empty() && ref.alias != ref.name) {
+      out += " AS " + ref.alias;
+    }
+    if (ref.window) out += " OVER " + CanonicalWindow(*ref.window);
+  }
+  if (select.where) {
+    ESLEV_ASSIGN_OR_RETURN(std::string w, CanonicalExpr(*select.where));
+    out += " WHERE " + w;
+  }
+  if (!select.group_by.empty()) {
+    out += " GROUP BY ";
+    for (size_t i = 0; i < select.group_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      ESLEV_ASSIGN_OR_RETURN(std::string g,
+                             CanonicalExpr(*select.group_by[i]));
+      out += g;
+    }
+  }
+  if (select.having) {
+    ESLEV_ASSIGN_OR_RETURN(std::string h, CanonicalExpr(*select.having));
+    out += " HAVING " + h;
+  }
+  if (!select.order_by.empty()) {
+    out += " ORDER BY ";
+    for (size_t i = 0; i < select.order_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      ESLEV_ASSIGN_OR_RETURN(std::string k,
+                             CanonicalExpr(*select.order_by[i].expr));
+      out += k;
+      if (select.order_by[i].descending) out += " DESC";
+    }
+  }
+  if (select.limit >= 0) out += " LIMIT " + std::to_string(select.limit);
+  return out;
+}
+
+}  // namespace
+
+Result<std::string> CanonicalStatementText(const Statement& stmt) {
+  switch (stmt.kind) {
+    case StatementKind::kSelect:
+      return CanonicalSelect(
+          *static_cast<const SelectStatement&>(stmt).select);
+    case StatementKind::kInsert: {
+      const auto& insert = static_cast<const InsertStmt&>(stmt);
+      ESLEV_ASSIGN_OR_RETURN(std::string sel,
+                             CanonicalSelect(*insert.select));
+      return "INSERT INTO " + insert.target + " " + sel;
+    }
+    default:
+      return Status::Invalid(
+          "only SELECT / INSERT statements canonicalize");
+  }
+}
+
+Result<CanonicalQuery> CanonicalizeQuery(const std::string& sql) {
+  ESLEV_ASSIGN_OR_RETURN(StatementPtr parsed, ParseStatement(sql));
+  ESLEV_ASSIGN_OR_RETURN(std::string text, CanonicalStatementText(*parsed));
+  // Fixed-point check: the canonical text must survive its own
+  // parse/print cycle, or it is not a stable cache key.
+  Result<StatementPtr> reparsed = ParseStatement(text);
+  if (!reparsed.ok()) {
+    return Status::ExecutionError("canonical text does not re-parse: " + text +
+                            " (" + reparsed.status().ToString() + ")");
+  }
+  ESLEV_ASSIGN_OR_RETURN(std::string again,
+                         CanonicalStatementText(**reparsed));
+  if (again != text) {
+    return Status::ExecutionError("canonicalization is not a fixed point: '" +
+                            text + "' vs '" + again + "'");
+  }
+  CanonicalQuery out;
+  out.text = std::move(text);
+  out.hash = CanonicalHash(out.text);
+  out.stmt = std::move(*reparsed);
+  return out;
+}
+
+uint64_t CanonicalHash(const std::string& text) {
+  uint64_t h = 1469598103934665603ULL;  // FNV-1a 64 offset basis
+  for (unsigned char c : text) {
+    h ^= c;
+    h *= 1099511628211ULL;  // FNV-1a 64 prime
+  }
+  return h;
+}
+
+}  // namespace eslev

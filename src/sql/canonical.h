@@ -1,0 +1,52 @@
+// Canonical query text (DESIGN.md §17): a normalized re-print of the
+// parsed AST, so that two query strings differing only in whitespace,
+// comment placement, keyword case, optional syntax (`TABLE( s OVER
+// (...) )` vs `s OVER [...]`, RANGE vs bare units, redundant AS) or
+// literal spelling (`5 SECONDS` vs `5000000`) map to the same text.
+// The SharedPlanCache keys on this text — equal canonical text means
+// the compiled pipelines are identical, so tenants can share one.
+//
+// The canonical form is conservative: identifier case is preserved
+// (`Readings` and `readings` canonicalize differently and merely miss
+// sharing), and every canonicalization is verified by a re-parse
+// round-trip — the canonical text must parse back to an AST that
+// prints to the same text, or the query is rejected as
+// non-canonicalizable rather than cached under an unstable key.
+
+#ifndef ESLEV_SQL_CANONICAL_H_
+#define ESLEV_SQL_CANONICAL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace eslev {
+
+/// \brief A canonicalized continuous-query statement.
+struct CanonicalQuery {
+  /// Normalized statement text (the plan-cache key).
+  std::string text;
+  /// FNV-1a 64-bit hash of `text` (cheap index / registry tag).
+  uint64_t hash = 0;
+  /// The canonical AST (re-parsed from `text`), ready for planning.
+  StatementPtr stmt;
+};
+
+/// \brief Print the canonical text of a parsed SELECT / INSERT
+/// statement. Fails for statement kinds that are not continuous
+/// queries and for ASTs with no surface syntax (e.g. synthesized
+/// timestamp literals).
+Result<std::string> CanonicalStatementText(const Statement& stmt);
+
+/// \brief Parse one statement and canonicalize it: parse -> print ->
+/// re-parse -> re-print, verifying the fixed point.
+Result<CanonicalQuery> CanonicalizeQuery(const std::string& sql);
+
+/// \brief FNV-1a 64-bit over `text`.
+uint64_t CanonicalHash(const std::string& text);
+
+}  // namespace eslev
+
+#endif  // ESLEV_SQL_CANONICAL_H_

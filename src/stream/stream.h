@@ -41,6 +41,17 @@ class Stream {
     callbacks_.push_back(std::move(cb));
   }
 
+  /// \brief Remove every subscription of `op` (all ports), preserving the
+  /// delivery order of the remaining subscribers. Supports runtime query
+  /// unregistration (DESIGN.md §17); unknown operators are a no-op.
+  void Unsubscribe(const Operator* op) {
+    for (size_t i = subscribers_.size(); i > 0; --i) {
+      if (subscribers_[i - 1].op == op) {
+        subscribers_.erase(subscribers_.begin() + (i - 1));
+      }
+    }
+  }
+
   /// \brief Keep the most recent `duration` of tuples for snapshots.
   /// 0 disables retention (the default).
   void SetRetention(Duration duration) { retention_ = duration; }

@@ -1,0 +1,185 @@
+// SharedPlanCache and SQL canonicalization tests (DESIGN.md §17): the
+// canonical printer must be a fixed point under parse→print, map every
+// formatting variant of a query to one text/hash, and never conflate
+// genuinely different queries; the cache must track refs and expose the
+// sharing metrics.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "serve/plan_cache.h"
+#include "sql/canonical.h"
+#include "sql/parser.h"
+
+namespace eslev {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Canonicalization
+// ---------------------------------------------------------------------------
+
+std::string Canonical(const std::string& sql) {
+  auto r = CanonicalizeQuery(sql);
+  EXPECT_TRUE(r.ok()) << sql << ": " << r.status();
+  return r.ok() ? r->text : "";
+}
+
+TEST(CanonicalTest, FormattingVariantsCollapse) {
+  const std::string reference =
+      Canonical("SELECT * FROM R1 WHERE R1.tagid = 'x'");
+  ASSERT_FALSE(reference.empty());
+  const std::vector<std::string> variants = {
+      "select * from R1 where R1.tagid = 'x'",
+      "SELECT  *  FROM R1\n WHERE  R1.tagid  =  'x';",
+      "SELECT * FROM R1 WHERE (R1.tagid = 'x')",
+  };
+  for (const std::string& v : variants) {
+    EXPECT_EQ(Canonical(v), reference) << v;
+    EXPECT_EQ(CanonicalHash(Canonical(v)), CanonicalHash(reference));
+  }
+}
+
+TEST(CanonicalTest, WindowAndIntervalVariantsCollapse) {
+  const std::string a = Canonical(
+      "SELECT R1.tagid FROM R1, R2 WHERE SEQ(R1, R2) OVER [60 SECONDS "
+      "PRECEDING R2] AND R1.tagid = R2.tagid");
+  const std::string b = Canonical(
+      "SELECT R1.tagid FROM R1, R2 WHERE SEQ(R1, R2) OVER [ 1 MINUTES "
+      "PRECEDING R2 ] AND R1.tagid = R2.tagid");
+  EXPECT_EQ(a, b);
+}
+
+TEST(CanonicalTest, DifferentQueriesStayDifferent) {
+  const std::vector<std::string> queries = {
+      "SELECT * FROM R1 WHERE R1.tagid = 'x'",
+      "SELECT * FROM R1 WHERE R1.tagid = 'y'",
+      "SELECT * FROM R2 WHERE R2.tagid = 'x'",
+      "SELECT R1.tagid FROM R1 WHERE R1.tagid = 'x'",
+      "SELECT * FROM R1 WHERE R1.tagid = 'x' AND R1.readerid = 'r'",
+  };
+  for (size_t i = 0; i < queries.size(); ++i) {
+    for (size_t j = i + 1; j < queries.size(); ++j) {
+      EXPECT_NE(Canonical(queries[i]), Canonical(queries[j]))
+          << queries[i] << " vs " << queries[j];
+    }
+  }
+}
+
+TEST(CanonicalTest, CanonicalTextIsAFixedPoint) {
+  const std::vector<std::string> queries = {
+      "SELECT * FROM R1 WHERE R1.tagid = 'x'",
+      "SELECT R1.tagid, R2.tagtime FROM R1, R2 WHERE SEQ(R1, R2) OVER "
+      "[10 SECONDS PRECEDING R2] MODE RECENT AND R1.tagid = R2.tagid",
+      "SELECT * FROM R1 AS a WHERE NOT EXISTS (SELECT * FROM TABLE( R1 "
+      "OVER (RANGE 1 SECONDS PRECEDING CURRENT)) AS b WHERE b.tagid = "
+      "a.tagid)",
+      "SELECT count(tagid) FROM R1",
+      "SELECT * FROM R1 WHERE R1.tagtime - 5 SECONDS > 0 AND "
+      "R1.readerid <> 'bad'",
+  };
+  for (const std::string& sql : queries) {
+    const std::string once = Canonical(sql);
+    ASSERT_FALSE(once.empty()) << sql;
+    EXPECT_EQ(Canonical(once), once) << sql;
+    // The canonical text must itself parse.
+    auto reparse = ParseStatement(once);
+    EXPECT_TRUE(reparse.ok()) << once << ": " << reparse.status();
+  }
+}
+
+TEST(CanonicalTest, StringEscapesSurvive) {
+  const std::string canonical =
+      Canonical("SELECT * FROM R1 WHERE R1.tagid = 'it''s'");
+  ASSERT_FALSE(canonical.empty());
+  EXPECT_NE(canonical.find("'it''s'"), std::string::npos) << canonical;
+  EXPECT_EQ(Canonical(canonical), canonical);
+}
+
+TEST(CanonicalTest, RejectsMalformedSql) {
+  EXPECT_FALSE(CanonicalizeQuery("SELECT FROM WHERE").ok());
+}
+
+// ---------------------------------------------------------------------------
+// SharedPlanCache
+// ---------------------------------------------------------------------------
+
+SharedPlanCache::Entry MakeEntry(const std::string& canonical, int id) {
+  SharedPlanCache::Entry entry;
+  entry.canonical = canonical;
+  entry.hash = CanonicalHash(canonical);
+  entry.engine_query_id = id;
+  entry.output_stream = "_q" + std::to_string(id);
+  entry.state_tuples = 10;
+  entry.state_bounded = true;
+  return entry;
+}
+
+TEST(SharedPlanCacheTest, LookupInsertReleaseLifecycle) {
+  SharedPlanCache cache(/*share=*/true);
+  EXPECT_EQ(cache.Lookup("q"), nullptr);
+  EXPECT_EQ(cache.misses(), 1u);
+
+  SharedPlanCache::Entry* entry = cache.Insert(MakeEntry("q", 1));
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->refs, 1);
+  EXPECT_EQ(cache.size(), 1u);
+
+  SharedPlanCache::Entry* hit = cache.Lookup("q");
+  ASSERT_EQ(hit, entry);
+  EXPECT_EQ(cache.hits(), 1u);
+  cache.AddRef(hit);
+  EXPECT_EQ(entry->refs, 2);
+
+  EXPECT_FALSE(cache.Release(1));  // one subscriber left
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_TRUE(cache.Release(1));  // last subscriber: destroy pipeline
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.Lookup("q"), nullptr);
+  EXPECT_FALSE(cache.Release(1));  // unknown id
+}
+
+TEST(SharedPlanCacheTest, SharingDisabledAlwaysMisses) {
+  SharedPlanCache cache(/*share=*/false);
+  cache.Insert(MakeEntry("q", 1));
+  EXPECT_EQ(cache.Lookup("q"), nullptr);
+  EXPECT_EQ(cache.misses(), 1u);
+  // Entries are still tracked (dispatcher + registry need them), and
+  // Peek sees them regardless of the sharing flag.
+  EXPECT_EQ(cache.size(), 1u);
+  ASSERT_NE(cache.Peek("q"), nullptr);
+  EXPECT_EQ(cache.Peek("q")->engine_query_id, 1);
+}
+
+TEST(SharedPlanCacheTest, ParallelPipelinesForOneTextWhenUnshared) {
+  SharedPlanCache cache(/*share=*/false);
+  cache.Insert(MakeEntry("q", 1));
+  cache.Insert(MakeEntry("q", 2));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_TRUE(cache.Release(1));
+  ASSERT_NE(cache.Peek("q"), nullptr);
+  EXPECT_EQ(cache.Peek("q")->engine_query_id, 2);
+  EXPECT_TRUE(cache.Release(2));
+  EXPECT_EQ(cache.Peek("q"), nullptr);
+}
+
+TEST(SharedPlanCacheTest, MetricsReportEntriesAndSubscriptions) {
+  SharedPlanCache cache(/*share=*/true);
+  SharedPlanCache::Entry* e = cache.Insert(MakeEntry("a", 1));
+  cache.AddRef(e);
+  cache.Insert(MakeEntry("b", 2));
+  cache.Lookup("a");
+  cache.Lookup("nope");
+
+  MetricsSnapshot snap;
+  cache.AppendMetrics(&snap);
+  EXPECT_EQ(snap.gauges.at("serve.plan_cache.entries"), 2);
+  EXPECT_EQ(snap.gauges.at("serve.plan_cache.subscriptions"), 3);
+  EXPECT_EQ(snap.gauges.at("serve.plan_cache.sharing_enabled"), 1);
+  EXPECT_EQ(snap.counters.at("serve.plan_cache.hits"), 1u);
+  EXPECT_EQ(snap.counters.at("serve.plan_cache.misses"), 1u);
+}
+
+}  // namespace
+}  // namespace eslev

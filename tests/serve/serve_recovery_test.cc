@@ -1,0 +1,297 @@
+// Checkpoint/restore of the serving-layer session registry
+// (DESIGN.md §17): the full topology — operator scripts, tenants,
+// quotas, registrations and the query-id counter — must round-trip
+// through session.reg, rebuilding every pipeline at its original
+// engine query id before host state is restored and the WAL replayed.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "recovery/checkpoint.h"
+#include "recovery/codec.h"
+#include "serve/server.h"
+
+namespace eslev {
+namespace {
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "serve_ckpt_" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+constexpr char kDdl[] = R"sql(
+  CREATE STREAM R1(readerid, tagid, tagtime);
+  CREATE STREAM R2(readerid, tagid, tagtime);
+)sql";
+
+constexpr char kFilter[] = "SELECT * FROM R1 WHERE R1.tagid = 'x'";
+constexpr char kBoundedSeq[] =
+    "SELECT R1.tagid FROM R1, R2 WHERE SEQ(R1, R2) OVER [5 SECONDS "
+    "PRECEDING R2] AND R1.tagid = R2.tagid";
+
+struct Harness {
+  Engine engine;
+  EngineHost host;
+  QueryServer server;
+  Harness() : host(&engine), server(&host) {}
+};
+
+Status PushR1(QueryServer& server, const std::string& tag, Timestamp ts) {
+  return server.Push(
+      "R1", {Value::String("r"), Value::String(tag), Value::Time(ts)}, ts);
+}
+
+std::vector<std::string> DrainAll(Session& session) {
+  std::vector<std::string> out;
+  EXPECT_TRUE(session
+                  .Drain([&](const ServedEmission& e) {
+                    out.push_back(e.query + ":" + e.tuple.ToString());
+                  })
+                  .ok());
+  return out;
+}
+
+TEST(ServeRecoveryTest, RegistryRoundTripRestoresTopologyAndTail) {
+  const std::string dir = FreshDir("roundtrip");
+  WalOptions wal_options;
+  wal_options.group_commit_bytes = 0;
+
+  const std::vector<std::pair<std::string, Timestamp>> trace = {
+      {"x", Seconds(1)}, {"y", Seconds(2)}, {"x", Seconds(3)},
+      {"x", Seconds(4)}, {"y", Seconds(5)}, {"x", Seconds(6)},
+  };
+  const size_t ckpt_at = 2, crash_at = 4;
+
+  // Reference: one uninterrupted server over the full trace.
+  std::vector<std::string> ref_acme, ref_globex;
+  {
+    Harness ref;
+    ASSERT_TRUE(ref.server.ExecuteScript(kDdl).ok());
+    auto acme = ref.server.OpenSession("acme");
+    auto globex = ref.server.OpenSession("globex");
+    ASSERT_TRUE(acme.ok() && globex.ok());
+    ASSERT_TRUE(acme->Register("mine", kFilter).ok());
+    ASSERT_TRUE(globex->Register("same", kFilter).ok());
+    ASSERT_TRUE(acme->Register("pairs", kBoundedSeq).ok());
+    for (const auto& [tag, ts] : trace) {
+      ASSERT_TRUE(PushR1(ref.server, tag, ts).ok());
+    }
+    ref_acme = DrainAll(*acme);
+    ref_globex = DrainAll(*globex);
+  }
+
+  // Run A: same topology, WAL on, checkpoint mid-way, crash later.
+  std::vector<std::string> delivered_acme, delivered_globex;
+  int shared_id = 0;
+  {
+    Harness a;
+    ASSERT_TRUE(
+        a.server.EnableWal(dir + "/" + kWalFileName, wal_options).ok());
+    ASSERT_TRUE(a.server.ExecuteScript(kDdl).ok());
+    auto acme = a.server.OpenSession("acme");
+    auto globex = a.server.OpenSession("globex");
+    ASSERT_TRUE(acme.ok() && globex.ok());
+    auto mine = acme->Register("mine", kFilter);
+    auto same = globex->Register("same", kFilter);
+    ASSERT_TRUE(mine.ok() && same.ok());
+    shared_id = mine->engine_query_id;
+    EXPECT_TRUE(same->shared);
+    ASSERT_TRUE(acme->Register("pairs", kBoundedSeq).ok());
+
+    for (size_t i = 0; i < ckpt_at; ++i) {
+      ASSERT_TRUE(PushR1(a.server, trace[i].first, trace[i].second).ok());
+    }
+    // Emissions observed before the crash.
+    for (const std::string& e : DrainAll(*acme)) delivered_acme.push_back(e);
+    for (const std::string& e : DrainAll(*globex)) {
+      delivered_globex.push_back(e);
+    }
+    ASSERT_TRUE(a.server.Checkpoint(dir).ok());
+    for (size_t i = ckpt_at; i < crash_at; ++i) {
+      ASSERT_TRUE(PushR1(a.server, trace[i].first, trace[i].second).ok());
+    }
+    for (const std::string& e : DrainAll(*acme)) delivered_acme.push_back(e);
+    for (const std::string& e : DrainAll(*globex)) {
+      delivered_globex.push_back(e);
+    }
+  }  // crash
+
+  // Run B: recover and feed the tail.
+  Harness b;
+  ASSERT_TRUE(std::filesystem::exists(dir + "/" +
+                                      kSessionRegistryFileName));
+  const Status recovered = b.server.RecoverFrom(dir);
+  ASSERT_TRUE(recovered.ok()) << recovered;
+  EXPECT_EQ(b.server.tenant_count(), 2u);
+  EXPECT_EQ(b.server.plan_cache().size(), 2u);
+
+  auto acme = b.server.AttachSession("acme");
+  auto globex = b.server.AttachSession("globex");
+  ASSERT_TRUE(acme.ok() && globex.ok());
+  auto queries = acme->Queries();
+  ASSERT_TRUE(queries.ok());
+  ASSERT_EQ(queries->size(), 2u);
+  // Pipelines kept their original engine query ids and sharing.
+  for (const ServedQueryInfo& q : *queries) {
+    if (q.name == "mine") {
+      EXPECT_EQ(q.engine_query_id, shared_id);
+    }
+  }
+  auto gq = globex->Queries();
+  ASSERT_TRUE(gq.ok());
+  ASSERT_EQ(gq->size(), 1u);
+  EXPECT_EQ((*gq)[0].engine_query_id, shared_id);
+
+  // WAL replay must not re-deliver pre-crash emissions.
+  EXPECT_EQ(acme->pending(), 0u);
+  EXPECT_EQ(globex->pending(), 0u);
+
+  for (size_t i = crash_at; i < trace.size(); ++i) {
+    ASSERT_TRUE(PushR1(b.server, trace[i].first, trace[i].second).ok());
+  }
+  std::vector<std::string> combined_acme = delivered_acme;
+  for (const std::string& e : DrainAll(*acme)) combined_acme.push_back(e);
+  std::vector<std::string> combined_globex = delivered_globex;
+  for (const std::string& e : DrainAll(*globex)) combined_globex.push_back(e);
+  EXPECT_EQ(combined_acme, ref_acme);
+  EXPECT_EQ(combined_globex, ref_globex);
+
+  // The id counter was restored: a new pipeline gets a fresh id, not a
+  // recycled one.
+  auto fresh = acme->Register("fresh", "SELECT * FROM R2");
+  ASSERT_TRUE(fresh.ok()) << fresh.status();
+  EXPECT_GT(fresh->engine_query_id, shared_id);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ServeRecoveryTest, IdGapsAndScriptInterleavingReplayExactly) {
+  const std::string dir = FreshDir("gaps");
+  int id_q2 = 0, id_q3 = 0;
+  {
+    Harness a;
+    ASSERT_TRUE(a.server.ExecuteScript(kDdl).ok());
+    auto session = a.server.OpenSession("acme");
+    ASSERT_TRUE(session.ok());
+    auto q1 = session->Register("q1", kFilter);
+    ASSERT_TRUE(q1.ok());
+    auto q2 = session->Register("q2", "SELECT * FROM R2");
+    ASSERT_TRUE(q2.ok());
+    id_q2 = q2->engine_query_id;
+    // Unregistering q1 leaves a permanent id gap the registry must
+    // reproduce (ids are positional in the host checkpoint).
+    ASSERT_TRUE(session->Unregister("q1").ok());
+    // A later operator script interleaves with the registrations.
+    ASSERT_TRUE(a.server
+                    .ExecuteScript(
+                        "CREATE STREAM R3(readerid, tagid, tagtime);")
+                    .ok());
+    auto q3 = session->Register("q3", "SELECT * FROM R3");
+    ASSERT_TRUE(q3.ok());
+    id_q3 = q3->engine_query_id;
+    ASSERT_TRUE(a.server.Checkpoint(dir).ok());
+  }
+  ASSERT_GT(id_q3, id_q2);
+
+  Harness b;
+  const Status recovered = b.server.RecoverFrom(dir);
+  ASSERT_TRUE(recovered.ok()) << recovered;
+  auto session = b.server.AttachSession("acme");
+  ASSERT_TRUE(session.ok());
+  auto queries = session->Queries();
+  ASSERT_TRUE(queries.ok());
+  ASSERT_EQ(queries->size(), 2u);
+  for (const ServedQueryInfo& q : *queries) {
+    if (q.name == "q2") {
+      EXPECT_EQ(q.engine_query_id, id_q2);
+    }
+    if (q.name == "q3") {
+      EXPECT_EQ(q.engine_query_id, id_q3);
+    }
+  }
+  // R3 exists again (the interleaved script replayed) and serves data.
+  ASSERT_TRUE(b.server
+                  .Push("R3",
+                        {Value::String("r"), Value::String("t"),
+                         Value::Time(Seconds(1))},
+                        Seconds(1))
+                  .ok());
+  EXPECT_EQ(session->pending(), 1u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ServeRecoveryTest, QuotasSurviveRecovery) {
+  const std::string dir = FreshDir("quotas");
+  {
+    Harness a;
+    ASSERT_TRUE(a.server.ExecuteScript(kDdl).ok());
+    TenantQuotas quotas;
+    quotas.max_queries = 1;
+    auto session = a.server.OpenSession("acme", quotas);
+    ASSERT_TRUE(session.ok());
+    ASSERT_TRUE(session->Register("q1", kFilter).ok());
+    ASSERT_TRUE(a.server.Checkpoint(dir).ok());
+  }
+  Harness b;
+  ASSERT_TRUE(b.server.RecoverFrom(dir).ok());
+  auto session = b.server.AttachSession("acme");
+  ASSERT_TRUE(session.ok());
+  const auto r = session->Register("q2", "SELECT * FROM R2");
+  EXPECT_TRUE(r.status().IsOutOfRange()) << r.status();
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ServeRecoveryTest, RecoverFromRequiresFreshServer) {
+  const std::string dir = FreshDir("fresh");
+  {
+    Harness a;
+    ASSERT_TRUE(a.server.ExecuteScript(kDdl).ok());
+    ASSERT_TRUE(a.server.Checkpoint(dir).ok());
+  }
+  Harness b;
+  ASSERT_TRUE(b.server.ExecuteScript("CREATE STREAM S1(a, b);").ok());
+  EXPECT_TRUE(b.server.RecoverFrom(dir).IsInvalid());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ServeRecoveryTest, TruncatedRegistryFailsCleanly) {
+  const std::string dir = FreshDir("torn");
+  {
+    Harness a;
+    ASSERT_TRUE(a.server.ExecuteScript(kDdl).ok());
+    auto session = a.server.OpenSession("acme");
+    ASSERT_TRUE(session.ok());
+    ASSERT_TRUE(session->Register("q", kFilter).ok());
+    ASSERT_TRUE(a.server.Checkpoint(dir).ok());
+  }
+  const std::string path = dir + "/" + kSessionRegistryFileName;
+  auto bytes = ReadFileAll(path);
+  ASSERT_TRUE(bytes.ok());
+  // Drop the end-marker frame: a torn registry must fail, not silently
+  // serve a partial topology.
+  ASSERT_TRUE(
+      WriteFileAtomic(path, bytes->substr(0, bytes->size() - 10)).ok());
+  Harness b;
+  EXPECT_TRUE(b.server.RecoverFrom(dir).IsIoError());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ServeRecoveryTest, MissingRegistryFailsCleanly) {
+  const std::string dir = FreshDir("missing");
+  {
+    Engine engine;
+    ASSERT_TRUE(engine.ExecuteScript(kDdl).ok());
+    ASSERT_TRUE(engine.Checkpoint(dir).ok());  // host-only checkpoint
+  }
+  Harness b;
+  EXPECT_TRUE(b.server.RecoverFrom(dir).IsIoError());
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace eslev

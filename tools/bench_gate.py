@@ -15,13 +15,14 @@ Modes:
              cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
              cmake --build build-release -j --target bench_e11_end_to_end \
                bench_e16_batching bench_e6_pairing_modes bench_e9_seq_vs_join \
-               bench_e17_ingest
+               bench_e17_ingest bench_e18_serving
              mkdir -p /tmp/bench-json
              ESLEV_BENCH_JSON_DIR=/tmp/bench-json ./build-release/bench/bench_e11_end_to_end --benchmark_min_time=0.2s
              ESLEV_BENCH_JSON_DIR=/tmp/bench-json ./build-release/bench/bench_e16_batching --benchmark_min_time=0.2s
              ESLEV_BENCH_JSON_DIR=/tmp/bench-json ./build-release/bench/bench_e6_pairing_modes --benchmark_filter='BM_(Nfa)?Mode' --benchmark_min_time=0.2s
              ESLEV_BENCH_JSON_DIR=/tmp/bench-json ./build-release/bench/bench_e9_seq_vs_join --benchmark_filter='BM_Seq(Star|Chronicle)' --benchmark_min_time=0.2s
              ESLEV_BENCH_JSON_DIR=/tmp/bench-json ./build-release/bench/bench_e17_ingest --benchmark_min_time=0.2s
+             ESLEV_BENCH_JSON_DIR=/tmp/bench-json ./build-release/bench/bench_e18_serving --benchmark_min_time=0.2s
              python3 tools/bench_gate.py refresh --json-dir /tmp/bench-json
 
 Only benchmarks present in the baseline gate the build; new benchmarks
@@ -43,6 +44,23 @@ so any run where stategate.*.nfa exceeds stategate.*.history fails the
 gate, as does a workload reporting only one backend (a dropped leg
 would silently drop the guarantee). Workloads with no stategate gauges
 in the run are simply not gated.
+
+Serve-sharing gate: bench_e18_serving publishes gauges under
+
+    servegate.<workload>.{shared_lo_ips, shared_hi_ips,
+                          unshared_hi_ips,
+                          shared_hi_pipelines, unshared_hi_pipelines}
+
+(lo/hi = the low/high duplicate-registration counts of the sweep).
+`check` enforces the multi-tenant sharing guarantees (DESIGN.md §17):
+the shared run must compile strictly fewer pipelines than the unshared
+run, must out-run it by at least SERVE_MIN_SPEEDUP at the high
+duplicate count (measured gap is ~20x, so the gate only trips on a
+genuine sharing break), and quadrupling the duplicate count must cost
+less than half the shared throughput (linear cost would cut it to a
+quarter — the sub-linear-growth acceptance of E18). A missing leg
+fails, as with the retained-state gate. Runs with no servegate gauges
+are not gated.
 """
 
 import argparse
@@ -130,6 +148,70 @@ def check_state_gauges(gauges):
     return rows, failures
 
 
+SERVE_MIN_SPEEDUP = 1.25
+SERVE_LEGS = ("shared_lo_ips", "shared_hi_ips", "unshared_hi_ips",
+              "shared_hi_pipelines", "unshared_hi_pipelines")
+
+
+def load_serve_gauges(json_dir):
+    """Collect {workload: {leg: value}} from servegate.* gauges in
+    BENCH_*_metrics.json blobs."""
+    gauges = {}
+    for entry in sorted(os.listdir(json_dir)):
+        if not (entry.startswith("BENCH_") and
+                entry.endswith("_metrics.json")):
+            continue
+        path = os.path.join(json_dir, entry)
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+        for name, value in doc.get("gauges", {}).items():
+            if not name.startswith("servegate."):
+                continue
+            parts = name.split(".")
+            if len(parts) != 3 or parts[2] not in SERVE_LEGS:
+                continue
+            gauges.setdefault(parts[1], {})[parts[2]] = int(value)
+    return gauges
+
+
+def check_serve_gauges(gauges):
+    """Returns (rows, failures) for the serve-sharing table."""
+    rows = []
+    failures = []
+    for workload in sorted(gauges):
+        legs = gauges[workload]
+        missing = [leg for leg in SERVE_LEGS if leg not in legs]
+        if missing:
+            failures.append(
+                f"servegate.{workload}: missing legs {', '.join(missing)} "
+                "in this run")
+            rows.append((workload, legs, "MISSING"))
+            continue
+        problems = []
+        if legs["shared_hi_pipelines"] >= legs["unshared_hi_pipelines"]:
+            problems.append(
+                f"sharing compiled {legs['shared_hi_pipelines']} pipelines "
+                f"vs {legs['unshared_hi_pipelines']} unshared — duplicate "
+                "registrations no longer collapse onto one pipeline")
+        if legs["shared_hi_ips"] < SERVE_MIN_SPEEDUP * legs["unshared_hi_ips"]:
+            problems.append(
+                f"shared throughput {legs['shared_hi_ips']}/s is under "
+                f"{SERVE_MIN_SPEEDUP}x unshared {legs['unshared_hi_ips']}/s "
+                "at the high duplicate count")
+        if 2 * legs["shared_hi_ips"] < legs["shared_lo_ips"]:
+            problems.append(
+                f"shared throughput fell from {legs['shared_lo_ips']}/s to "
+                f"{legs['shared_hi_ips']}/s across the duplicate sweep — "
+                "cost growth is no longer sub-linear in duplicate count")
+        if problems:
+            for p in problems:
+                failures.append(f"servegate.{workload}: {p}")
+            rows.append((workload, legs, "REGRESSED"))
+        else:
+            rows.append((workload, legs, "ok"))
+    return rows, failures
+
+
 def load_baseline(path):
     with open(path, "r", encoding="utf-8") as f:
         doc = json.load(f)
@@ -196,6 +278,28 @@ def cmd_check(args):
             print(f"| `{workload}` | {history_s} | {nfa_s} | {mark}{status} |")
         print()
 
+    serve_rows, serve_failures = check_serve_gauges(
+        load_serve_gauges(args.json_dir))
+    if serve_rows:
+        failures.extend(serve_failures)
+        print("### Serve-sharing gate (shared vs unshared pipelines)\n")
+        print("| workload | shared lo→hi | unshared hi | pipelines "
+              "(shared/unshared) | status |")
+        print("|---|---:|---:|---:|---|")
+        for workload, legs, status in serve_rows:
+            def leg(name):
+                return (fmt_rate(float(legs[name]))
+                        if name in legs else "—")
+            pipes = (f"{legs['shared_hi_pipelines']}/"
+                     f"{legs['unshared_hi_pipelines']}"
+                     if "shared_hi_pipelines" in legs and
+                     "unshared_hi_pipelines" in legs else "—")
+            mark = "❌ " if status != "ok" else ""
+            print(f"| `{workload}` | {leg('shared_lo_ips')} → "
+                  f"{leg('shared_hi_ips')} | {leg('unshared_hi_ips')} | "
+                  f"{pipes} | {mark}{status} |")
+        print()
+
     if failures:
         print("Regressions:", file=sys.stderr)
         for f in failures:
@@ -203,7 +307,9 @@ def cmd_check(args):
         return 1
     print(f"All {sum(1 for r in rows if r[4] == 'ok')} gated benchmarks "
           f"within tolerance; {sum(1 for r in state_rows if r[3] == 'ok')} "
-          "retained-state pairs hold.")
+          "retained-state pairs hold; "
+          f"{sum(1 for r in serve_rows if r[2] == 'ok')} serve-sharing "
+          "workloads hold.")
     return 0
 
 

@@ -18,7 +18,9 @@
 // 2 = a file could not be read/parsed/executed (or cost analysis
 // crashed). Parse/execution failures take precedence over lint errors.
 
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -35,6 +37,13 @@ bool ReadFile(const std::string& path, std::string* out) {
   buf << in.rdbuf();
   *out = buf.str();
   return true;
+}
+
+/// Every exit-2 path reports through here so the offending file is
+/// always named, in one greppable shape.
+int Fail(const std::string& path, const std::string& reason) {
+  std::fprintf(stderr, "eslev_lint: %s: %s\n", path.c_str(), reason.c_str());
+  return 2;
 }
 
 std::string Stem(const std::string& path) {
@@ -91,23 +100,21 @@ int main(int argc, char** argv) {
   size_t total_errors = 0;
   for (const std::string& path : files) {
     std::string sql;
+    errno = 0;
     if (!ReadFile(path, &sql)) {
-      std::fprintf(stderr, "%s: cannot read file\n", path.c_str());
-      return 2;
+      const std::string detail =
+          errno != 0 ? std::strerror(errno) : "unreadable";
+      return Fail(path, "cannot read file (" + detail + ")");
     }
     // Execute first so every statement lints against the catalog state
     // it would actually run under.
     eslev::Engine engine;
     if (eslev::Status status = engine.ExecuteScript(sql); !status.ok()) {
-      std::fprintf(stderr, "%s: %s\n", path.c_str(),
-                   status.ToString().c_str());
-      return 2;
+      return Fail(path, status.ToString());
     }
     eslev::Result<std::vector<eslev::Diagnostic>> diags = engine.Lint(sql);
     if (!diags.ok()) {
-      std::fprintf(stderr, "%s: %s\n", path.c_str(),
-                   diags.status().ToString().c_str());
-      return 2;
+      return Fail(path, diags.status().ToString());
     }
     total_errors += eslev::CountSeverity(*diags, eslev::Severity::kError);
     if (json) {
@@ -119,9 +126,7 @@ int main(int argc, char** argv) {
             json_dir + "/" + Stem(path) + ".lint.json";
         std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
         if (!out) {
-          std::fprintf(stderr, "%s: cannot write %s\n", path.c_str(),
-                       out_path.c_str());
-          return 2;
+          return Fail(path, "cannot write " + out_path);
         }
         out << text << "\n";
         std::printf("%s: %zu findings -> %s\n", path.c_str(), diags->size(),
@@ -137,9 +142,8 @@ int main(int argc, char** argv) {
       eslev::Result<std::vector<eslev::QueryCostReport>> reports =
           engine.AnalyzeCost(sql);
       if (!reports.ok()) {
-        std::fprintf(stderr, "%s: cost analysis failed: %s\n", path.c_str(),
-                     reports.status().ToString().c_str());
-        return 2;
+        return Fail(path, "cost analysis failed: " +
+                              reports.status().ToString());
       }
       if (json) {
         std::string text = "[";
@@ -155,9 +159,7 @@ int main(int argc, char** argv) {
               json_dir + "/" + Stem(path) + ".cost.json";
           std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
           if (!out) {
-            std::fprintf(stderr, "%s: cannot write %s\n", path.c_str(),
-                         out_path.c_str());
-            return 2;
+            return Fail(path, "cannot write " + out_path);
           }
           out << text << "\n";
           std::printf("%s: %zu cost reports -> %s\n", path.c_str(),

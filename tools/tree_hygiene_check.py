@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Fail if build or test artifacts are tracked in git.
+
+CTest run in-source drops Testing/Temporary/, CMake configure drops
+CMakeCache.txt/CMakeFiles/, benches drop BENCH_*.json — none of which
+belong in history (PR 10 evicted a committed Testing/ tree). The check
+runs `git ls-files` and fails on anything matching the artifact
+patterns below, printing each offending path. Run it from anywhere
+inside the repository; CI runs it on every push.
+"""
+
+import fnmatch
+import subprocess
+import sys
+
+# fnmatch patterns matched against full repo-relative paths ('/' kept
+# literal, so 'Testing/*' only hits the top-level Testing tree).
+ARTIFACT_PATTERNS = [
+    ("Testing/*", "in-source CTest droppings"),
+    ("*/Testing/Temporary/*", "in-source CTest droppings"),
+    ("build/*", "build tree"),
+    ("build-*/*", "build tree"),
+    ("cmake-build-*/*", "build tree"),
+    ("CMakeCache.txt", "CMake configure output"),
+    ("*/CMakeCache.txt", "CMake configure output"),
+    ("CMakeFiles/*", "CMake configure output"),
+    ("*/CMakeFiles/*", "CMake configure output"),
+    ("*.o", "object file"),
+    ("*.obj", "object file"),
+    ("*.a", "static library"),
+    ("*.so", "shared library"),
+    ("BENCH_*.json", "bench output archive"),
+    ("*/BENCH_*.json", "bench output archive"),
+    ("compile_commands.json", "tooling droppings"),
+]
+
+
+def main():
+    files = subprocess.run(
+        ["git", "ls-files"], check=True, capture_output=True,
+        text=True).stdout.splitlines()
+    offenders = []
+    for path in files:
+        for pattern, why in ARTIFACT_PATTERNS:
+            if fnmatch.fnmatchcase(path, pattern):
+                offenders.append((path, why))
+                break
+    if offenders:
+        print("tree_hygiene_check: build/test artifacts are tracked in git:",
+              file=sys.stderr)
+        for path, why in offenders:
+            print(f"  {path} ({why})", file=sys.stderr)
+        print("Remove them with `git rm -r --cached <path>` and make sure "
+              ".gitignore covers the pattern.", file=sys.stderr)
+        return 1
+    print(f"tree_hygiene_check: {len(files)} tracked files clean.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
